@@ -1,0 +1,72 @@
+//===-- bench/ablation_iropt.cpp - D&R needs its optimiser (§3.5) ---------==//
+///
+/// \file
+/// Ablation for the paper's central design argument: D&R "requires more
+/// development effort — Valgrind's JIT uses a lot of conventional compiler
+/// technology", and in exchange "the JIT compiler can optimise analysis
+/// code and client code equally well". This bench disables Phase 2
+/// (flatten-only, no redundant get/put elimination, no cc-thunk
+/// specialisation, no CSE/folding) and measures the damage, with and
+/// without Memcheck instrumentation.
+///
+/// Expected: unoptimised D&R is much slower even for Nulgrind (every guest
+/// register read/write really hits the ThreadState; every condition really
+/// calls the flags helper), and the gap *widens* under Memcheck, because
+/// analysis code "benefits fully from the post-instrumentation optimiser"
+/// (§4 R1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Core.h"
+#include "core/Launcher.h"
+#include "tools/Memcheck.h"
+#include "tools/Nulgrind.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace vg;
+
+namespace {
+
+/// A Nulgrind/Memcheck run with Phase 2 suppressed. There is no public
+/// option for this (it is not a supported configuration), so the ablation
+/// reaches through TranslationOptions by translating with RunOptimise1
+/// off: we emulate by wrapping translateBlock... simplest faithful knob:
+/// the core exposes none, so we measure at the pipeline level instead —
+/// translate every block of the workload both ways and execute each N
+/// times through the raw executor. To keep the comparison end-to-end, we
+/// instead add the documented env knob below.
+} // namespace
+
+int main() {
+  std::printf("== Ablation (Section 3.5): Phase 2 optimisation on/off ==\n");
+  std::printf("%-10s %12s %12s %9s   %12s %12s %9s\n", "workload",
+              "nulg(opt)", "nulg(raw)", "cost x", "memc(opt)", "memc(raw)",
+              "cost x");
+  for (const char *Name : {"crafty", "mcf", "equake"}) {
+    GuestImage Img = buildWorkload(Name, 1);
+    double T[4];
+    for (int Cfg = 0; Cfg != 4; ++Cfg) {
+      bool WithMc = Cfg >= 2;
+      bool Opt = (Cfg & 1) == 0;
+      Nulgrind TN;
+      Memcheck TM;
+      Tool *T0 = WithMc ? static_cast<Tool *>(&TM) : &TN;
+      std::vector<std::string> Opts = {"--smc-check=none"};
+      if (WithMc)
+        Opts.push_back("--leak-check=no");
+      if (!Opt)
+        Opts.push_back("--no-iropt");
+      RunReport R = runUnderCore(Img, T0, Opts);
+      T[Cfg] = R.Completed ? R.Seconds : -1;
+    }
+    std::printf("%-10s %11.3fs %11.3fs %9.2f   %11.3fs %11.3fs %9.2f\n",
+                Name, T[0], T[1], T[1] / T[0], T[2], T[3], T[3] / T[2]);
+  }
+  std::printf("\n(expected: raw D&R — every GET/PUT materialised, every "
+              "condition through the flags helper —\n is substantially "
+              "slower; \"generating good code at the end requires more "
+              "development effort\", §3.5)\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===-- bench/fig123_pipeline.cpp - Reproduces Figures 1, 2 and 3 ---------==//
+///
+/// \file
+/// Regenerates the paper's three worked examples on the VG1 equivalent of
+/// its x86 snippet (a scaled-index load, a flag-setting add, an indirect
+/// jump):
+///
+///   Figure 1: machine code -> tree IR disassembly (Phase 1), plus the
+///             flat/optimised form after Phase 2.
+///   Figure 2: the same block after Memcheck instrumentation — shadow
+///             operations preceding originals, guarded error-helper calls,
+///             shadow loads via helper, first-class shadow register PUTs.
+///   Figure 3: register allocation before/after — virtual registers
+///             replaced and moves coalesced away.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Translate.h"
+#include "guest/Assembler.h"
+#include "guest/Disasm.h"
+#include "tools/Memcheck.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::vg1;
+
+int main() {
+  // The paper's block, in VG1:
+  //   0x24F275: ldx r0, [r3 + r0<<2 - 16180]   (movl -16180(%ebx,%eax,4))
+  //   0x24F27C: add r0, r0, r3                 (addl %ebx,%eax)
+  //   0x24F27F: jmp* r0                        (jmp*l %eax)
+  Assembler A(0x24F275);
+  A.ldx(Reg::R0, Reg::R3, Reg::R0, 2, -16180);
+  A.add(Reg::R0, Reg::R0, Reg::R3);
+  A.jmpr(Reg::R0);
+  std::vector<uint8_t> Img = A.finalize();
+
+  FetchFn Fetch = [&](uint32_t Addr, uint8_t *Buf,
+                      uint32_t MaxLen) -> uint32_t {
+    if (Addr < 0x24F275 || Addr >= 0x24F275 + Img.size())
+      return 0;
+    uint32_t N = std::min<uint32_t>(
+        MaxLen, static_cast<uint32_t>(0x24F275 + Img.size() - Addr));
+    std::memcpy(Buf, Img.data() + (Addr - 0x24F275), N);
+    return N;
+  };
+
+  std::printf("== Guest code ==\n%s\n",
+              vg1::disassembleRange(Img.data(), Img.size(), 0x24F275)
+                  .c_str());
+
+  // Figure 1: no instrumentation.
+  {
+    TranslationOptions TO;
+    TO.Verify = true;
+    TranslationArtifacts Art;
+    translateBlock(0x24F275, Fetch, TO, &Art);
+    std::printf("== Figure 1: disassembly (machine code -> tree IR) ==\n%s\n",
+                Art.TreeIR.c_str());
+    std::printf("== After Phase 2 (flatten + optimise) ==\n%s\n",
+                Art.FlatIR.c_str());
+    std::printf("== Figure 3: instruction selection (virtual registers) ==\n"
+                "%s\n",
+                Art.HostPreAlloc.c_str());
+    std::printf("== Figure 3: after linear-scan register allocation "
+                "(%u moves coalesced) ==\n%s\n",
+                Art.CoalescedMoves, Art.HostPostAlloc.c_str());
+  }
+
+  // Figure 2: Memcheck instrumentation. (The tool is used standalone here:
+  // instrument() is a pure IR-to-IR transformation.)
+  {
+    Memcheck MC;
+    TranslationOptions TO;
+    TO.Verify = true;
+    TO.Instrument = [&](ir::IRSB &SB) { MC.instrument(SB); };
+    TranslationArtifacts Art;
+    translateBlock(0x24F275, Fetch, TO, &Art);
+    std::printf("== Figure 2: Memcheck-instrumented flat IR "
+                "(after Phase 4 cleanup; %u statements) ==\n%s\n",
+                Art.StmtsAfterOptimise2, Art.OptimisedIR.c_str());
+    std::printf("(paper: 18 statements, 11 added by Memcheck — \"the added "
+                "analysis code is larger\n and more complex than the "
+                "original code\")\n");
+  }
+  return 0;
+}

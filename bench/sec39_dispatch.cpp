@@ -1,0 +1,110 @@
+//===-- bench/sec39_dispatch.cpp - Section 3.9: dispatch & chaining -------==//
+///
+/// \file
+/// Reproduces the Section 3.9 dispatcher claims:
+///  - the direct-mapped fast-cache hit rate is ~98% on real programs;
+///  - translation chaining (which Valgrind 3.2 lacked) reduces trips
+///    through the dispatcher, but hurts a fast-dispatcher design less
+///    than it did Strata (22.1x -> 4.1x there; Valgrind without chaining
+///    was already 4.3x).
+///
+/// Also reports translation-table statistics (Section 3.8): occupancy and
+/// FIFO eviction activity on a translation-heavy synthetic.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Nulgrind.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace vg;
+
+int main() {
+  std::printf("== Section 3.9: dispatcher fast-cache hit rates ==\n");
+  std::printf("%-10s %14s %14s %9s\n", "workload", "fast hits", "misses",
+              "hit rate");
+  for (const char *Name : {"gcc", "mcf", "perlbmk", "equake"}) {
+    GuestImage Img = buildWorkload(Name, 1);
+    Nulgrind T;
+    RunReport R = runUnderCore(Img, &T, {"--smc-check=none"});
+    double Hits = static_cast<double>(R.Stats.FastCacheHits);
+    double Total = Hits + static_cast<double>(R.Stats.FastCacheMisses);
+    std::printf("%-10s %14llu %14llu %8.2f%%\n", Name,
+                static_cast<unsigned long long>(R.Stats.FastCacheHits),
+                static_cast<unsigned long long>(R.Stats.FastCacheMisses),
+                Total ? 100.0 * Hits / Total : 0.0);
+  }
+  std::printf("(paper: \"the hit-rate is around 98%%\")\n\n");
+
+  std::printf("== Section 3.9 ablation: chaining off vs on ==\n");
+  std::printf("%-10s %12s %12s %12s %9s\n", "workload", "dispatches",
+              "disp(chain)", "chained", "time x");
+  for (const char *Name : {"crafty", "mcf", "gcc"}) {
+    GuestImage Img = buildWorkload(Name, 1);
+    Nulgrind T1, T2;
+    RunReport Off = runUnderCore(Img, &T1, {"--smc-check=none",
+                                            "--chaining=no"});
+    RunReport On = runUnderCore(Img, &T2, {"--smc-check=none",
+                                           "--chaining=yes"});
+    // "Dispatches" = returns to the dispatcher loop: blocks minus chained
+    // transfers.
+    uint64_t DispOff = Off.Stats.BlocksDispatched;
+    uint64_t DispOn = On.Stats.BlocksDispatched - On.Stats.ChainedTransfers;
+    std::printf("%-10s %12llu %12llu %12llu %9.2f\n", Name,
+                static_cast<unsigned long long>(DispOff),
+                static_cast<unsigned long long>(DispOn),
+                static_cast<unsigned long long>(On.Stats.ChainedTransfers),
+                Off.Seconds > 0 ? On.Seconds / Off.Seconds : 0.0);
+  }
+  std::printf("(expected: chaining removes most dispatcher trips; the "
+              "time ratio stays near 1.0 because\n this dispatcher is "
+              "cheap — the paper's argument for why missing chaining "
+              "hurt Valgrind less than Strata.)\n\n");
+
+  // Translation-table behaviour (Section 3.8): translate a sea of tiny
+  // functions to force occupancy and eviction.
+  std::printf("== Section 3.8: translation table (FIFO eviction) ==\n");
+  {
+    using namespace vg::vg1;
+    Assembler Code(0x1000);
+    Assembler Data(0x100000);
+    Label Main = Code.newLabel();
+    uint32_t Entry = emitStart(Code, Main);
+    GuestLibLabels Lib = emitGuestLib(Code, Data);
+    (void)Lib;
+    // 20000 tiny functions, each its own translation.
+    std::vector<Label> Fns;
+    for (int I = 0; I != 20000; ++I)
+      Fns.push_back(Code.newLabel());
+    Code.bind(Main);
+    for (int I = 0; I != 20000; ++I)
+      Code.call(Fns[I]);
+    Code.movi(Reg::R0, 0);
+    Code.ret();
+    for (int I = 0; I != 20000; ++I) {
+      Code.bind(Fns[I]);
+      Code.addi(Reg::R1, Reg::R1, 1);
+      Code.ret();
+    }
+    GuestImage Img =
+        GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+    Nulgrind T;
+    RunReport R = runUnderCoreWith(
+        Img, &T, {"--smc-check=none"}, "", ~0ull, [](Core &C) {
+          (void)C; // default 16K-entry table; 20k translations overflow it
+        });
+    std::printf("completed=%d translations=%llu table-lookups=%llu "
+                "eviction-runs=%llu evicted=%llu\n",
+                R.Completed,
+                static_cast<unsigned long long>(R.Stats.Translations),
+                static_cast<unsigned long long>(R.TTStats.Lookups),
+                static_cast<unsigned long long>(R.TTStats.EvictionRuns),
+                static_cast<unsigned long long>(R.TTStats.Evicted));
+    std::printf("(the 16K-entry linear-probe table passed 80%% occupancy "
+                "and evicted FIFO chunks of 1/8th,\n as in Section 3.8)\n");
+  }
+  return 0;
+}

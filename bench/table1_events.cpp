@@ -1,0 +1,188 @@
+//===-- bench/table1_events.cpp - Reproduces Table 1 ----------------------==//
+///
+/// \file
+/// Regenerates the paper's Table 1: the events system. Runs a program that
+/// exercises every trigger site (system calls, the loader, stack-pointer
+/// changes) under a recording tool and prints each event with its
+/// requirement, trigger location, Memcheck's handling callback, and the
+/// observed fire count — demonstrating that every Table 1 row is live in
+/// this reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "kernel/SimKernel.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+struct Counts {
+  std::map<std::string, uint64_t> N;
+};
+
+class Recorder : public Tool {
+public:
+  explicit Recorder(Counts &C) : Cnt(C) {}
+  const char *name() const override { return "table1-recorder"; }
+  void init(Core &C) override {
+    EventHub &E = C.events();
+    E.PreRegRead = [&](int, uint32_t, uint32_t, const char *) {
+      ++Cnt.N["pre_reg_read"];
+    };
+    E.PostRegWrite = [&](int, uint32_t, uint32_t) {
+      ++Cnt.N["post_reg_write"];
+    };
+    E.PreMemRead = [&](int, uint32_t, uint32_t, const char *) {
+      ++Cnt.N["pre_mem_read"];
+    };
+    E.PreMemReadAsciiz = [&](int, uint32_t, const char *) {
+      ++Cnt.N["pre_mem_read_asciiz"];
+    };
+    E.PreMemWrite = [&](int, uint32_t, uint32_t, const char *) {
+      ++Cnt.N["pre_mem_write"];
+    };
+    E.PostMemWrite = [&](int, uint32_t, uint32_t) {
+      ++Cnt.N["post_mem_write"];
+    };
+    E.NewMemStartup = [&](uint32_t, uint32_t, uint8_t) {
+      ++Cnt.N["new_mem_startup"];
+    };
+    E.NewMemMmap = [&](uint32_t, uint32_t, uint8_t) {
+      ++Cnt.N["new_mem_mmap"];
+    };
+    E.DieMemMunmap = [&](uint32_t, uint32_t) { ++Cnt.N["die_mem_munmap"]; };
+    E.NewMemBrk = [&](uint32_t, uint32_t) { ++Cnt.N["new_mem_brk"]; };
+    E.DieMemBrk = [&](uint32_t, uint32_t) { ++Cnt.N["die_mem_brk"]; };
+    E.CopyMemMremap = [&](uint32_t, uint32_t, uint32_t) {
+      ++Cnt.N["copy_mem_mremap"];
+    };
+    E.NewMemStack = [&](uint32_t, uint32_t) { ++Cnt.N["new_mem_stack"]; };
+    E.DieMemStack = [&](uint32_t, uint32_t) { ++Cnt.N["die_mem_stack"]; };
+  }
+
+private:
+  Counts &Cnt;
+};
+
+} // namespace
+
+int main() {
+  // A program touching every trigger: files, mmap/mremap/munmap, brk both
+  // ways, gettimeofday, and plenty of stack motion.
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  [[maybe_unused]] GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  Label Path = Data.boundLabel();
+  Data.emitString("t1.dat");
+  Label Tv = Data.boundLabel();
+  Data.emitZeros(8);
+  Code.movi(Reg::R0, SysMmap);
+  Code.movi(Reg::R1, 0);
+  Code.movi(Reg::R2, 8192);
+  Code.movi(Reg::R3, 3);
+  Code.movi(Reg::R4, 0);
+  Code.sys();
+  Code.mov(Reg::R6, Reg::R0);
+  Code.movi(Reg::R0, SysMremap);
+  Code.mov(Reg::R1, Reg::R6);
+  Code.movi(Reg::R2, 8192);
+  Code.movi(Reg::R3, 16384);
+  Code.sys();
+  Code.mov(Reg::R6, Reg::R0);
+  Code.movi(Reg::R0, SysMunmap);
+  Code.mov(Reg::R1, Reg::R6);
+  Code.movi(Reg::R2, 16384);
+  Code.sys();
+  Code.movi(Reg::R0, SysBrk);
+  Code.movi(Reg::R1, 0);
+  Code.sys();
+  Code.mov(Reg::R6, Reg::R0);
+  Code.addi(Reg::R1, Reg::R6, 8192);
+  Code.movi(Reg::R0, SysBrk);
+  Code.sys();
+  Code.mov(Reg::R1, Reg::R6);
+  Code.movi(Reg::R0, SysBrk);
+  Code.sys();
+  Code.movi(Reg::R0, SysOpen);
+  Code.movi(Reg::R1, Data.labelAddr(Path));
+  Code.movi(Reg::R2, 1);
+  Code.sys();
+  Code.movi(Reg::R0, SysGettimeofday);
+  Code.movi(Reg::R1, Data.labelAddr(Tv));
+  Code.sys();
+  // write() pre-reads the buffer it sends (pre_mem_read).
+  Code.movi(Reg::R0, SysWrite);
+  Code.movi(Reg::R1, 1);
+  Code.movi(Reg::R2, Data.labelAddr(Path));
+  Code.movi(Reg::R3, 6);
+  Code.sys();
+  Code.push(Reg::R1);
+  Code.push(Reg::R2);
+  Code.pop(Reg::R2);
+  Code.pop(Reg::R1);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+  GuestImage Img =
+      GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+
+  Counts Cnt;
+  Recorder T(Cnt);
+  RunReport R = runUnderCore(Img, &T);
+  if (!R.Completed) {
+    std::printf("exercise program failed\n");
+    return 1;
+  }
+
+  struct RowDef {
+    const char *Req, *Event, *Trigger, *McCallback;
+  };
+  static const RowDef Rows[] = {
+      {"R4", "pre_reg_read", "every system call wrapper",
+       "check shadow reg defined"},
+      {"R4", "post_reg_write", "every system call wrapper",
+       "make_reg_defined"},
+      {"R4", "pre_mem_read", "many system call wrappers",
+       "check_mem_is_defined"},
+      {"R4", "pre_mem_read_asciiz", "open wrapper (paths)",
+       "check_mem_is_defined_asciiz"},
+      {"R4", "pre_mem_write", "many system call wrappers",
+       "check_mem_is_addressable"},
+      {"R4", "post_mem_write", "many system call wrappers",
+       "make_mem_defined"},
+      {"R5", "new_mem_startup", "the core's code loader",
+       "make_mem_defined"},
+      {"R6", "new_mem_mmap", "mmap wrapper", "make_mem_defined"},
+      {"R6", "die_mem_munmap", "munmap wrapper", "make_mem_noaccess"},
+      {"R6", "new_mem_brk", "brk wrapper", "make_mem_undefined"},
+      {"R6", "die_mem_brk", "brk wrapper", "make_mem_noaccess"},
+      {"R6", "copy_mem_mremap", "mremap wrapper", "copy_range"},
+      {"R7", "new_mem_stack", "instrumentation of SP changes",
+       "make_mem_undefined"},
+      {"R7", "die_mem_stack", "instrumentation of SP changes",
+       "make_mem_noaccess"},
+  };
+
+  std::printf("== Table 1: Valgrind events, trigger sites, Memcheck "
+              "callbacks, observed fires ==\n");
+  std::printf("%-4s %-20s %-34s %-30s %8s\n", "Req", "Event", "Called from",
+              "Memcheck callback", "fires");
+  bool AllFired = true;
+  for (const RowDef &Row : Rows) {
+    uint64_t N = Cnt.N[Row.Event];
+    AllFired = AllFired && N > 0;
+    std::printf("%-4s %-20s %-34s %-30s %8llu\n", Row.Req, Row.Event,
+                Row.Trigger, Row.McCallback,
+                static_cast<unsigned long long>(N));
+  }
+  std::printf("\nall 14 events fired: %s\n", AllFired ? "YES" : "NO");
+  return AllFired ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+//===-- examples/cache_profile.cpp - Cachegrind on array traversals -------==//
+///
+/// \file
+/// The classic cache-behaviour demo under Cachegrind: walk a large array
+/// with stride 1 and then with stride 64 (one element per cache line) and
+/// compare D1 miss rates. Shows the profiler attributing misses to guest
+/// code addresses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Cachegrind.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+GuestImage strideWalk(uint32_t StrideBytes) {
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  const uint32_t Bytes = 1 << 20; // 1MB, larger than D1
+  Code.movi(Reg::R1, Bytes);
+  Code.call(Lib.Malloc);
+  Code.mov(Reg::R6, Reg::R0);
+  Code.movi(Reg::R8, 0);  // checksum
+  Code.movi(Reg::R9, 16); // passes
+  Label Pass = Code.boundLabel();
+  Code.movi(Reg::R7, 0); // offset
+  Label Walk = Code.boundLabel();
+  Code.add(Reg::R2, Reg::R6, Reg::R7);
+  Code.st(Reg::R2, 0, Reg::R7);
+  Code.ld(Reg::R3, Reg::R2, 0);
+  Code.add(Reg::R8, Reg::R8, Reg::R3);
+  Code.addi(Reg::R7, Reg::R7, static_cast<int32_t>(StrideBytes));
+  Code.cmpi(Reg::R7, Bytes);
+  Code.bltu(Walk);
+  Code.addi(Reg::R9, Reg::R9, -1);
+  Code.cmpi(Reg::R9, 0);
+  Code.bgt(Pass);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+  return GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+}
+
+} // namespace
+
+int main() {
+  for (uint32_t Stride : {4u, 64u}) {
+    Cachegrind Tool;
+    RunReport R = runUnderCore(strideWalk(Stride), &Tool);
+    std::printf("=== stride %u bytes ===\n%s\n", Stride,
+                R.ToolOutput.c_str());
+  }
+  std::printf("(stride 4 touches each 64-byte line 16 times — low miss "
+              "rate;\n stride 64 misses on essentially every access once "
+              "the array exceeds D1)\n");
+  return 0;
+}

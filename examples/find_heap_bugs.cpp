@@ -1,0 +1,59 @@
+//===-- examples/find_heap_bugs.cpp - Memcheck on a buggy program ---------==//
+///
+/// \file
+/// A program with the classic heap-bug bestiary — use-after-free, double
+/// free, buffer overrun, leak — run under Memcheck. Demonstrates the R8
+/// machinery: the core redirects the program's malloc/free to its
+/// replacement allocator (red zones, live-block tracking), and Memcheck's
+/// event callbacks turn each mistake into a precise report.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Memcheck.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::vg1;
+
+int main() {
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+
+  // Bug 1: heap overrun (write one past the end).
+  Code.movi(Reg::R1, 16);
+  Code.call(Lib.Malloc);
+  Code.mov(Reg::R6, Reg::R0);
+  Code.movi(Reg::R2, 7);
+  Code.st(Reg::R6, 16, Reg::R2);
+
+  // Bug 2: use after free.
+  Code.mov(Reg::R1, Reg::R6);
+  Code.call(Lib.Free);
+  Code.ld(Reg::R3, Reg::R6, 0);
+
+  // Bug 3: double free.
+  Code.mov(Reg::R1, Reg::R6);
+  Code.call(Lib.Free);
+
+  // Bug 4: leak (pointer dropped on the floor).
+  Code.movi(Reg::R1, 1000);
+  Code.call(Lib.Malloc);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+
+  GuestImage Img =
+      GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+
+  Memcheck Tool;
+  RunReport R = runUnderCore(Img, &Tool);
+  std::printf("exit code: %d\n\n=== memcheck report ===\n%s", R.ExitCode,
+              R.ToolOutput.c_str());
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===-- examples/heap_profile.cpp - Massif on a phased allocator ----------==//
+///
+/// \file
+/// Massif profiling a program with distinct heap phases: ramp up, plateau,
+/// partial release, second spike. The snapshot graph and per-call-site
+/// attribution mirror real massif output.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Massif.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::vg1;
+
+int main() {
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+
+  Label Ptrs = Data.boundLabel();
+  Data.emitZeros(64 * 4);
+  uint32_t PtrsAddr = Data.labelAddr(Ptrs);
+
+  // Phase 1: allocate 64 blocks of 512 bytes (site A).
+  Code.movi(Reg::R6, 0);
+  Label Ramp = Code.boundLabel();
+  Code.movi(Reg::R1, 512);
+  Code.call(Lib.Malloc); // site A
+  Code.movi(Reg::R2, PtrsAddr);
+  Code.stx(Reg::R2, Reg::R6, 2, 0, Reg::R0);
+  Code.addi(Reg::R6, Reg::R6, 1);
+  Code.cmpi(Reg::R6, 64);
+  Code.blt(Ramp);
+
+  // Phase 2: free every other block.
+  Code.movi(Reg::R6, 0);
+  Label Thin = Code.boundLabel();
+  Code.movi(Reg::R2, PtrsAddr);
+  Code.ldx(Reg::R1, Reg::R2, Reg::R6, 2, 0);
+  Code.call(Lib.Free);
+  Code.addi(Reg::R6, Reg::R6, 2);
+  Code.cmpi(Reg::R6, 64);
+  Code.blt(Thin);
+
+  // Phase 3: one big spike (site B), freed immediately.
+  Code.movi(Reg::R1, 100000);
+  Code.call(Lib.Malloc); // site B
+  Code.mov(Reg::R1, Reg::R0);
+  Code.call(Lib.Free);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+
+  GuestImage Img =
+      GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+
+  Massif Tool;
+  RunReport R = runUnderCore(Img, &Tool);
+  std::printf("=== massif report ===\n%s", R.ToolOutput.c_str());
+  std::printf("\n(the peak captures phase 3's spike on top of the "
+              "surviving phase-1 blocks;\n the live-bytes table points at "
+              "the allocation sites still holding memory at exit)\n");
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===-- examples/taint_tracking.cpp - TaintGrind catching an "exploit" ----==//
+///
+/// \file
+/// The TaintCheck scenario (paper Section 1.2): a program reads untrusted
+/// input (stdin), uses an attacker-controlled byte to index a function
+/// table, and jumps through the result. TaintGrind tracks the taint from
+/// the read() through the arithmetic to the indirect call and flags the
+/// control-flow transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "kernel/SimKernel.h"
+#include "tools/TaintGrind.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::vg1;
+
+int main() {
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  [[maybe_unused]] GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+
+  // The two handlers are laid out back to back with a fixed spacing, so
+  // an attacker-controlled byte can select one arithmetically — the
+  // tainted-pointer-arithmetic pattern TaintCheck flags.
+  Label Handler0 = Code.newLabel(), Handler1 = Code.newLabel();
+  Label Skip = Code.newLabel();
+  Code.bind(Main);
+  Code.jmp(Skip);
+  Code.bind(Handler0); // 8 bytes of handler 0: movi r0,10 (6) + ret + nop
+  Code.movi(Reg::R0, 10);
+  Code.ret();
+  Code.nop();
+  Code.bind(Handler1);
+  Code.movi(Reg::R0, 11);
+  Code.ret();
+  Code.bind(Skip);
+
+  Label Buf = Data.boundLabel();
+  Data.emitZeros(16);
+
+  // read(0, buf, 1): one attacker-controlled byte.
+  Code.movi(Reg::R0, SysRead);
+  Code.movi(Reg::R1, 0);
+  Code.movi(Reg::R2, Data.labelAddr(Buf));
+  Code.movi(Reg::R3, 1);
+  Code.sys();
+  // target = &handler0 + (buf[0] & 1) * 8 — attacker-derived address.
+  Code.movi(Reg::R2, Data.labelAddr(Buf));
+  Code.ldb(Reg::R3, Reg::R2, 0);
+  Code.andi(Reg::R3, Reg::R3, 1);
+  Code.shli(Reg::R3, Reg::R3, 3);
+  Code.leai(Reg::R5, Handler0);
+  Code.add(Reg::R5, Reg::R5, Reg::R3);
+  Code.callr(Reg::R5); // <- tainted control transfer
+  Code.ret();
+
+  GuestImage Img =
+      GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+
+  TaintGrind Tool;
+  RunReport R = runUnderCore(Img, &Tool, {}, /*StdinData=*/"\x01");
+  std::printf("exit code: %d (handler chosen by the input byte)\n\n"
+              "=== taintgrind report ===\n%s",
+              R.ExitCode, R.ToolOutput.c_str());
+  std::printf("\n(TaintCheck detected exploits exactly this way: a jump "
+              "target derived from network input.)\n");
+  return 0;
+}

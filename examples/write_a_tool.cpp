@@ -1,0 +1,129 @@
+//===-- examples/write_a_tool.cpp - Build your own plug-in ----------------==//
+///
+/// \file
+/// The tool-writing tutorial: a complete, working branch profiler in ~60
+/// lines. It shows the three things most tools do:
+///
+///   1. instrument(): add analysis IR / helper calls to each superblock
+///      (here: a dirty call before every conditional exit, with taken /
+///      not-taken discovered via the guard expression's shadow... no —
+///      via a second call at the fall-through);
+///   2. keep host-side state keyed by guest addresses;
+///   3. report through the core's output sink at fini().
+///
+/// "Writing a new tool plug-in is much easier than writing a new DBA tool
+/// from scratch" (Section 3.1) — this file is the evidence.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+/// A branch profiler: counts, for every conditional branch, how often it
+/// was reached and how often it was taken.
+class BranchProfiler : public Tool {
+public:
+  const char *name() const override { return "branch-profiler"; }
+
+  void init(Core &C) override { TheCore = &C; }
+
+  void instrument(ir::IRSB &SB) override {
+    using namespace ir;
+    std::vector<Stmt *> Old;
+    Old.swap(SB.stmts());
+    uint32_t CurPC = 0;
+    for (Stmt *S : Old) {
+      if (S->Kind == StmtKind::IMark)
+        CurPC = S->IAddr;
+      if (S->Kind == StmtKind::Exit && S->JK == JumpKind::Boring) {
+        // reached++ unconditionally...
+        SB.dirty(&ReachedCallee, {SB.constI64(CurPC)});
+        // ...taken++ guarded by the branch's own condition.
+        SB.dirty(&TakenCallee, {SB.constI64(CurPC)}, NoTmp, S->Guard);
+      }
+      SB.append(S);
+    }
+  }
+
+  void fini(int ExitCode) override {
+    OutputSink &Out = TheCore->output();
+    Out.printf("==branch-profiler== %zu conditional branches observed\n",
+               Counts.size());
+    for (const auto &[PC, C] : Counts) {
+      Out.printf("==branch-profiler== 0x%08X reached %8llu taken %8llu "
+                 "(%.0f%%)\n",
+                 PC, static_cast<unsigned long long>(C.first),
+                 static_cast<unsigned long long>(C.second),
+                 C.first ? 100.0 * static_cast<double>(C.second) /
+                               static_cast<double>(C.first)
+                         : 0.0);
+    }
+  }
+
+  // Helpers: the Env pointer carries the running tool.
+  static uint64_t onReached(void *Env, uint64_t PC, uint64_t, uint64_t,
+                            uint64_t) {
+    auto *T = static_cast<BranchProfiler *>(
+        static_cast<ExecContext *>(Env)->Tool);
+    ++T->Counts[static_cast<uint32_t>(PC)].first;
+    return 0;
+  }
+  static uint64_t onTaken(void *Env, uint64_t PC, uint64_t, uint64_t,
+                          uint64_t) {
+    auto *T = static_cast<BranchProfiler *>(
+        static_cast<ExecContext *>(Env)->Tool);
+    ++T->Counts[static_cast<uint32_t>(PC)].second;
+    return 0;
+  }
+
+private:
+  static const ir::Callee ReachedCallee, TakenCallee;
+  Core *TheCore = nullptr;
+  std::map<uint32_t, std::pair<uint64_t, uint64_t>> Counts;
+};
+
+const ir::Callee BranchProfiler::ReachedCallee = {"bp_reached",
+                                                  &BranchProfiler::onReached,
+                                                  0};
+const ir::Callee BranchProfiler::TakenCallee = {"bp_taken",
+                                                &BranchProfiler::onTaken, 0};
+
+} // namespace
+
+int main() {
+  // A program with branches of very different biases.
+  Assembler Code(0x1000);
+  Assembler Data(0x100000);
+  [[maybe_unused]] GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  Code.movi(Reg::R1, 0);
+  Label Loop = Code.boundLabel();
+  // ~12%-taken branch: (i & 7) == 0
+  Code.andi(Reg::R2, Reg::R1, 7);
+  Code.cmpi(Reg::R2, 0);
+  Label Rare = Code.newLabel();
+  Code.beq(Rare);
+  Code.bind(Rare);
+  Code.addi(Reg::R1, Reg::R1, 1);
+  Code.cmpi(Reg::R1, 1000); // 99.9%-taken back edge
+  Code.blt(Loop);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+  GuestImage Img =
+      GuestImageBuilder().addCode(Code).addData(Data).entry(Entry).build();
+
+  BranchProfiler Tool;
+  RunReport R = runUnderCore(Img, &Tool);
+  std::printf("%s", R.ToolOutput.c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===-- core/ClientRequests.h - The client-request trap door ----*- C++ -*-==//
+///
+/// \file
+/// Client requests (Section 3.11): a guest program executes CLREQ with a
+/// request code in r0 and arguments in r1..r4; the result is returned in
+/// r0. Codes below 0x10000 are handled by the core; higher codes go to the
+/// running tool. Running natively (no Valgrind), CLREQ returns 0 — exactly
+/// the behaviour of the real macros outside Valgrind.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_CLIENTREQUESTS_H
+#define VG_CORE_CLIENTREQUESTS_H
+
+#include <cstdint>
+
+namespace vg {
+
+enum ClientRequest : uint32_t {
+  /// Discard cached translations of [arg1, arg1+arg2) — for dynamic code
+  /// generators (Section 3.16).
+  CrDiscardTranslations = 0x1001,
+  /// Register a stack [arg1=start(low), arg2=end(high)); returns an id.
+  /// (Section 3.12: help for stack-switch detection in tricky cases.)
+  CrStackRegister = 0x1002,
+  /// Deregister stack arg1.
+  CrStackDeregister = 0x1003,
+  /// Change stack arg1 to [arg2, arg3).
+  CrStackChange = 0x1004,
+  /// Print the NUL-terminated string at arg1 on the tool output channel.
+  CrPrint = 0x1005,
+  /// True (1) when running under the core — lets guest code detect it.
+  CrRunningOnValgrind = 0x1006,
+
+  // --- replacement-allocator requests (issued by guestlib malloc etc.,
+  //     the moral equivalent of Valgrind's vgpreload stubs; R8) ----------
+  CrMalloc = 0x2001,  ///< arg1=size        -> payload address (0 on OOM)
+  CrFree = 0x2002,    ///< arg1=addr
+  CrCalloc = 0x2003,  ///< arg1=n, arg2=sz  -> zeroed payload
+  CrRealloc = 0x2004, ///< arg1=addr, arg2=newsize -> payload
+
+  /// First code owned by tools.
+  CrToolBase = 0x10000,
+};
+
+} // namespace vg
+
+#endif // VG_CORE_CLIENTREQUESTS_H

@@ -1,0 +1,920 @@
+//===-- core/Core.cpp - The Valgrind core ---------------------------------==//
+
+#include "core/Core.h"
+
+#include "core/ClientRequests.h"
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <cinttypes>
+
+using namespace vg;
+using namespace vg::vg1;
+
+//===----------------------------------------------------------------------===//
+// Construction and options
+//===----------------------------------------------------------------------===//
+
+Tool::~Tool() = default;
+
+Core::Core(Tool *ToolPlugin)
+    : TT(1u << 14), ToolPlugin(ToolPlugin), FastCache(FastCacheSize),
+      Spec(vg1SpecFn()) {
+  Opts.addOption("smc-check", "stack",
+                 "when to check for self-modifying code: none|stack|all");
+  Opts.addOption("chaining", "no",
+                 "chain translations directly (ablation of Section 3.9)");
+  Opts.addOption("stack-switch-threshold", "2097152",
+                 "SP jumps above this many bytes are stack switches");
+  Opts.addOption("log-file", "", "send tool output to a file");
+  Opts.addOption("verify-ir", "no", "typecheck IR between phases");
+  Opts.addOption("no-iropt", "no",
+                 "ablation: disable Phase 2 optimisation and cc-thunk "
+                 "specialisation (Section 3.5 bench)");
+  Opts.addOption("suppressions", "",
+                 "inline suppression spec (Kind or Kind:0xLO-0xHI; ';' "
+                 "separates entries)");
+  if (ToolPlugin)
+    ToolPlugin->registerOptions(Opts);
+  Kernel = std::make_unique<SimKernel>(AS, &Events, this);
+  AS.reserveCoreRegion();
+}
+
+Core::~Core() = default;
+
+void Core::applyOptions() {
+  std::string S = Opts.getString("smc-check");
+  if (S == "none")
+    Smc = SmcMode::None;
+  else if (S == "all")
+    Smc = SmcMode::All;
+  else
+    Smc = SmcMode::Stack;
+  ChainingEnabled = Opts.getBool("chaining");
+  StackSwitchThreshold =
+      static_cast<uint32_t>(Opts.getInt("stack-switch-threshold"));
+  if (std::string F = Opts.getString("log-file"); !F.empty())
+    Out.openFile(F);
+  if (std::string Sup = Opts.getString("suppressions"); !Sup.empty()) {
+    std::string Text = Sup;
+    std::replace(Text.begin(), Text.end(), ';', '\n');
+    Errors.parseSuppressions(Text);
+  }
+}
+
+int Core::liveThreads() const {
+  int N = 0;
+  for (const ThreadState &TS : Threads)
+    if (TS.Status == ThreadStatus::Runnable)
+      ++N;
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Start-up (Section 3.3)
+//===----------------------------------------------------------------------===//
+
+void Core::loadImage(const GuestImage &Img) {
+  if (ToolPlugin)
+    ToolPlugin->init(*this);
+
+  // Chain the core onto the deallocation events (after the tool installed
+  // its callbacks): unmapped code must lose its translations (Section 3.8:
+  // "translations are also evicted when code in shared objects is
+  // unloaded").
+  {
+    auto ToolMunmap = Events.DieMemMunmap;
+    Events.DieMemMunmap = [this, ToolMunmap](uint32_t Addr, uint32_t Len) {
+      discardTranslations(Addr, Len);
+      if (ToolMunmap)
+        ToolMunmap(Addr, Len);
+    };
+    auto ToolBrk = Events.DieMemBrk;
+    Events.DieMemBrk = [this, ToolBrk](uint32_t Addr, uint32_t Len) {
+      discardTranslations(Addr, Len);
+      if (ToolBrk)
+        ToolBrk(Addr, Len);
+    };
+  }
+
+  // The sigreturn trampoline lives in the core's own region: a handler
+  // returning normally lands here, which re-enters the core via the
+  // sigreturn syscall.
+  {
+    Assembler TrampAsm(AddressSpace::CoreBase);
+    TrampAsm.movi(Reg::R0, SysSigreturn);
+    TrampAsm.sys();
+    TrampAsm.hlt(); // unreachable
+    std::vector<uint8_t> T = TrampAsm.finalize();
+    Memory.map(AddressSpace::CoreBase, AddressSpace::PageSize, PermRX);
+    Memory.write(AddressSpace::CoreBase, T.data(),
+                 static_cast<uint32_t>(T.size()), /*IgnorePerms=*/true);
+  }
+
+  uint32_t HighestEnd = 0;
+  for (const ImageSegment &S : Img.Segments) {
+    uint32_t Len = static_cast<uint32_t>(S.Bytes.size());
+    Memory.map(S.Base, Len, S.Perms);
+    Memory.write(S.Base, S.Bytes.data(), Len, /*IgnorePerms=*/true);
+    AS.add(S.Base, Len, S.Perms,
+           (S.Perms & PermExec) ? SegKind::ClientText : SegKind::ClientData,
+           (S.Perms & PermExec) ? "text" : "data");
+    if (Events.NewMemStartup)
+      Events.NewMemStartup(S.Base, Len, S.Perms);
+    HighestEnd = std::max(HighestEnd, S.Base + Len);
+  }
+
+  // The brk segment starts one page past the highest load segment.
+  uint32_t HeapStart = AddressSpace::pageUp(HighestEnd) + AddressSpace::PageSize;
+  AS.add(HeapStart, AddressSpace::PageSize, PermRW, SegKind::ClientHeap,
+         "brk");
+  Memory.map(HeapStart, AddressSpace::PageSize, PermRW);
+  if (Events.NewMemStartup)
+    Events.NewMemStartup(HeapStart, AddressSpace::PageSize, PermRW);
+
+  // Client stack.
+  uint32_t StackTop = 0xBFFF0000;
+  uint32_t StackSize = AddressSpace::pageUp(Img.StackSize);
+  Memory.map(StackTop - StackSize, StackSize, PermRW);
+  AS.add(StackTop - StackSize, StackSize, PermRW, SegKind::ClientStack,
+         "stack");
+  uint32_t InitSP = StackTop - 64; // start-up setup area
+  if (Events.NewMemStartup)
+    Events.NewMemStartup(InitSP, StackTop - InitSP, PermRW);
+
+  ThreadState &TS = Threads[0];
+  TS.Tid = 0;
+  TS.Status = ThreadStatus::Runnable;
+  TS.Memory = &Memory;
+  TS.StackBase = StackTop;
+  TS.StackLimit = StackTop - StackSize;
+  TS.TrackedSP = InitSP;
+  TS.setGpr(RegSP, InitSP);
+  TS.setPCVal(Img.Entry);
+
+  // R8: heap-tracking tools get the replacement allocator. The core
+  // redirects the program's allocator symbols (Section 3.13) to host
+  // replacements backed by clientMalloc/clientFree, which drive the
+  // tool's onMalloc/onFree callbacks and add red zones.
+  if (ToolPlugin && ToolPlugin->tracksHeap()) {
+    redirectSymbolToHost("malloc", [](Core &C, ThreadState &TS) {
+      TS.setGpr(0, C.clientMalloc(TS.Tid, TS.gpr(1), false));
+    });
+    redirectSymbolToHost("free", [](Core &C, ThreadState &TS) {
+      C.clientFree(TS.Tid, TS.gpr(1));
+    });
+    redirectSymbolToHost("calloc", [](Core &C, ThreadState &TS) {
+      uint64_t Total = static_cast<uint64_t>(TS.gpr(1)) * TS.gpr(2);
+      TS.setGpr(0, Total > 0xFFFFFFFFull
+                       ? 0
+                       : C.clientMalloc(TS.Tid,
+                                        static_cast<uint32_t>(Total), true));
+    });
+    redirectSymbolToHost("realloc", [](Core &C, ThreadState &TS) {
+      TS.setGpr(0, C.clientRealloc(TS.Tid, TS.gpr(1), TS.gpr(2)));
+    });
+  }
+
+  // Resolve pending symbol redirections against the image's symbol table
+  // (and keep the table so later registrations resolve immediately).
+  ImageSymbols = Img.Symbols;
+  for (auto &[Sym, Fn] : PendingSymbolRedirects) {
+    if (uint32_t Addr = Img.symbol(Sym))
+      HostRedirects[Addr] = Fn;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Core-side helpers callable from translated code
+//===----------------------------------------------------------------------===//
+
+uint64_t Core::helperSmcCheck(void *Env, uint64_t TransPtr, uint64_t,
+                              uint64_t, uint64_t) {
+  auto *Ctx = static_cast<ExecContext *>(Env);
+  auto *T = reinterpret_cast<Translation *>(static_cast<uintptr_t>(TransPtr));
+  GuestMemory &Mem = *Ctx->Mem;
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (auto [Lo, Hi] : T->Extents) {
+    for (uint32_t A = Lo; A != Hi; ++A) {
+      uint8_t B = 0;
+      Mem.read(A, &B, 1, /*IgnorePerms=*/true);
+      H ^= B;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  return H != T->CodeHash ? 1 : 0;
+}
+
+uint64_t Core::helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
+                             uint64_t) {
+  auto *Ctx = static_cast<ExecContext *>(Env);
+  Core *C = static_cast<Core *>(Ctx->Core);
+  ThreadState &TS = C->Threads[C->CurTid];
+  uint32_t NewSP = TS.gpr(RegSP);
+  uint32_t Old = TS.TrackedSP;
+  if (NewSP == Old)
+    return 0;
+
+  // Stack-switch heuristic (Section 3.12): a jump of >= threshold bytes, or
+  // a move into a different registered stack, is a switch (no events).
+  auto StackOf = [&](uint32_t A) -> int {
+    for (const RegisteredStack &R : C->AltStacks)
+      if (A >= R.Start && A < R.End)
+        return static_cast<int>(R.Id);
+    return -1;
+  };
+  uint32_t Delta = NewSP > Old ? NewSP - Old : Old - NewSP;
+  int OldStk = StackOf(Old), NewStk = StackOf(NewSP);
+  if (Delta >= C->StackSwitchThreshold || OldStk != NewStk) {
+    TS.TrackedSP = NewSP;
+    return 0;
+  }
+  if (NewSP < Old) {
+    if (C->Events.NewMemStack)
+      C->Events.NewMemStack(NewSP, Old - NewSP);
+  } else {
+    if (C->Events.DieMemStack)
+      C->Events.DieMemStack(Old, NewSP - Old);
+  }
+  TS.TrackedSP = NewSP;
+  return 0;
+}
+
+namespace {
+const ir::Callee SmcCheckCallee = {"vg_smc_check", &Core::helperSmcCheck, 0};
+const ir::Callee TrackSpCallee = {"vg_track_sp", &Core::helperTrackSp, 0};
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Translation (including the core's own instrumentation)
+//===----------------------------------------------------------------------===//
+
+void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans) {
+  // Phase 3 proper: the tool's analysis code.
+  if (ToolPlugin)
+    ToolPlugin->instrument(SB);
+
+  // R7: stack events. The core instruments SP changes on the tool's behalf
+  // (Section 3.12): after every Put of the stack pointer, call the
+  // SP-tracking helper (annotated as reading SP so the put stays live).
+  if (Events.wantsStackEvents()) {
+    std::vector<ir::Stmt *> Old;
+    Old.swap(SB.stmts());
+    for (ir::Stmt *S : Old) {
+      SB.append(S);
+      if (S->Kind == ir::StmtKind::Put && S->Offset == gso::gpr(RegSP))
+        SB.dirty(&TrackSpCallee, {}, ir::NoTmp, nullptr,
+                 {{gso::gpr(RegSP), 4, /*IsWrite=*/false}});
+    }
+  }
+
+  // Self-modifying-code check (Section 3.16): prepended so a stale block
+  // aborts before running any guest work.
+  bool WantSmc = Smc == SmcMode::All ||
+                 (Smc == SmcMode::Stack && addrOnAnyStack(Addr));
+  if (WantSmc) {
+    std::vector<ir::Stmt *> Old;
+    Old.swap(SB.stmts());
+    ir::TmpId Stale = SB.newTmp(ir::Ty::I32);
+    SB.dirty(&SmcCheckCallee,
+             {SB.constI64(static_cast<uint64_t>(
+                 reinterpret_cast<uintptr_t>(Trans)))},
+             Stale);
+    ir::TmpId Cond = SB.wrTmp(SB.unop(ir::Op::CmpNEZ32, SB.rdTmp(Stale)));
+    SB.exit(SB.rdTmp(Cond), Addr, ir::JumpKind::SmcFail);
+    for (ir::Stmt *S : Old)
+      SB.append(S);
+  }
+}
+
+bool Core::addrOnAnyStack(uint32_t Addr) const {
+  for (const ThreadState &TS : Threads)
+    if (TS.Status == ThreadStatus::Runnable && Addr >= TS.StackLimit &&
+        Addr < TS.StackBase)
+      return true;
+  for (const RegisteredStack &R : AltStacks)
+    if (Addr >= R.Start && Addr < R.End)
+      return true;
+  return false;
+}
+
+Translation *Core::translateOne(uint32_t PC) {
+  auto TPtr = std::make_unique<Translation>();
+  Translation *Raw = TPtr.get();
+
+  TranslationOptions TO;
+  TO.Spec = Spec;
+  TO.Verify = Opts.getBool("verify-ir");
+  if (Opts.getBool("no-iropt")) {
+    TO.RunOptimise1 = false;
+    TO.RunOptimise2 = false;
+    TO.Spec = [](ir::IRSB &, const ir::Callee *,
+                 const std::vector<ir::Expr *> &) -> ir::Expr * {
+      return nullptr; // keep every helper call
+    };
+  }
+  if (Events.wantsStackEvents()) {
+    // Every SP write must remain visible to the SP-tracking helper (R7).
+    TO.Preserve.Lo = gso::gpr(RegSP);
+    TO.Preserve.Hi = gso::gpr(RegSP) + 4;
+  }
+  TO.Instrument = [this, PC, Raw](ir::IRSB &SB) {
+    instrumentBlock(SB, PC, Raw);
+  };
+  FetchFn Fetch = [this](uint32_t Addr, uint8_t *Buf,
+                         uint32_t MaxLen) -> uint32_t {
+    uint32_t N = 0;
+    while (N < MaxLen && !Memory.fetch(Addr + N, Buf + N, 1).Faulted)
+      ++N;
+    return N;
+  };
+
+  TranslatedBlock TB = translateBlock(PC, Fetch, TO);
+  Raw->Addr = PC;
+  Raw->Blob = std::move(TB.Blob);
+  Raw->Extents = TB.Meta.Extents;
+  if (Raw->Extents.empty())
+    Raw->Extents.push_back({PC, PC + 1}); // NoDecode-at-entry blocks
+  Raw->NumInsns = TB.Meta.NumInsns;
+  Raw->Chain.assign(Raw->Blob.NumChainSlots, nullptr);
+
+  // Hash the original bytes for SMC checks.
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (auto [Lo, Hi] : Raw->Extents) {
+    for (uint32_t A = Lo; A != Hi; ++A) {
+      uint8_t B = 0;
+      Memory.read(A, &B, 1, /*IgnorePerms=*/true);
+      H ^= B;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  Raw->CodeHash = H;
+
+  ++Stats.Translations;
+  Stats.GuestInsnsTranslated += Raw->NumInsns;
+  return TT.insert(std::move(TPtr));
+}
+
+Translation *Core::findOrTranslate(uint32_t PC) {
+  if (FastCacheGen != TT.generation()) {
+    std::fill(FastCache.begin(), FastCache.end(), FastCacheEntry{});
+    FastCacheGen = TT.generation();
+  }
+  FastCacheEntry &E = FastCache[hashAddr(PC) & (FastCacheSize - 1)];
+  if (E.Addr == PC && E.T) {
+    ++Stats.FastCacheHits;
+    return E.T;
+  }
+  ++Stats.FastCacheMisses;
+  Translation *T = TT.lookup(PC);
+  if (!T)
+    T = translateOne(PC);
+  if (FastCacheGen != TT.generation()) {
+    std::fill(FastCache.begin(), FastCache.end(), FastCacheEntry{});
+    FastCacheGen = TT.generation();
+  }
+  FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
+  return T;
+}
+
+const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
+                                             uint32_t Slot) {
+  Core *C = static_cast<Core *>(User);
+  auto *T = static_cast<Translation *>(Cookie);
+  if (Slot >= T->Chain.size() || !T->Chain[Slot])
+    return nullptr;
+  ++C->Stats.ChainedTransfers;
+  return &T->Chain[Slot]->Blob;
+}
+
+//===----------------------------------------------------------------------===//
+// The dispatcher/scheduler (Section 3.9/3.14)
+//===----------------------------------------------------------------------===//
+
+void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
+  ExecContext Ctx;
+  Ctx.GuestState = TS.Guest;
+  Ctx.Mem = &Memory;
+  Ctx.Core = this;
+  Ctx.Tool = ToolPlugin;
+  hvm::Executor Exec(Ctx, gso::PC);
+  if (ChainingEnabled)
+    Exec.setChaining(&chainResolveThunk, this);
+
+  // For lazy chain filling.
+  void *LastCookie = nullptr;
+  uint32_t LastSlot = ~0u;
+
+  while (Quantum > 0 && !ProcessExited && !FatalSignal &&
+         TS.Status == ThreadStatus::Runnable && !YieldRequested) {
+    if (deliverPendingSignals(TS))
+      continue; // PC changed; redispatch
+
+    uint32_t PC = TS.getPC();
+    if (PC == StopPC)
+      return;
+
+    // Function redirection (Section 3.13).
+    if (auto GR = GuestRedirects.find(PC); GR != GuestRedirects.end()) {
+      TS.setPCVal(GR->second);
+      continue;
+    }
+    if (auto HR = HostRedirects.find(PC); HR != HostRedirects.end()) {
+      ++Stats.HostRedirectCalls;
+      HR->second(*this, TS);
+      // Perform the guest return: pop the address CALL pushed.
+      uint32_t SP = TS.gpr(RegSP);
+      uint32_t Ret = 0;
+      if (Memory.read(SP, &Ret, 4, /*IgnorePerms=*/true).Faulted) {
+        handleFault(TS, PC, SP, false, SigSEGV);
+        continue;
+      }
+      TS.setGpr(RegSP, SP + 4);
+      TS.setPCVal(Ret);
+      LastCookie = nullptr;
+      continue;
+    }
+
+    Translation *T = findOrTranslate(PC);
+
+    // Fill the previous exit's chain slot now that the successor is known.
+    if (ChainingEnabled && LastCookie && LastSlot != ~0u) {
+      auto *Prev = static_cast<Translation *>(LastCookie);
+      if (TT.lookup(Prev->Addr) == Prev && LastSlot < Prev->Chain.size())
+        Prev->Chain[LastSlot] = T;
+    }
+    LastCookie = nullptr;
+    LastSlot = ~0u;
+
+    hvm::RunOutcome O = Exec.run(T->Blob, ChainingEnabled ? Quantum - 1 : 0);
+    Stats.BlocksDispatched += O.BlocksExecuted;
+    Quantum -= std::min<uint64_t>(Quantum, O.BlocksExecuted);
+
+    if (O.K == hvm::RunOutcome::Kind::Fault) {
+      handleFault(TS, O.FaultPC, O.FaultAddr, O.FaultWrite, SigSEGV);
+      continue;
+    }
+
+    switch (O.JK) {
+    case ir::JumpKind::Boring:
+      LastCookie = O.ExitCookie;
+      LastSlot = O.ExitSlot;
+      continue;
+    case ir::JumpKind::Call:
+    case ir::JumpKind::Ret:
+      continue;
+    case ir::JumpKind::Syscall: {
+      SimKernel::Action A = Kernel->onSyscall(TS);
+      if (A == SimKernel::Action::Exit) {
+        ProcessExited = true;
+        ProcessExitCode = Kernel->exitCode();
+      }
+      continue;
+    }
+    case ir::JumpKind::ClientReq:
+      handleClientRequest(TS);
+      continue;
+    case ir::JumpKind::Yield:
+      Quantum = 0;
+      continue;
+    case ir::JumpKind::Exit:
+      ProcessExited = true;
+      continue;
+    case ir::JumpKind::NoDecode:
+      handleFault(TS, O.NextPC, O.NextPC, false, SigILL);
+      continue;
+    case ir::JumpKind::SmcFail: {
+      // Stale translation: throw it (and anything else over those bytes)
+      // away and retranslate. PC is unchanged.
+      ++Stats.SmcRetranslations;
+      for (auto [Lo, Hi] : T->Extents)
+        TT.invalidateRange(Lo, Hi - Lo);
+      continue;
+    }
+    case ir::JumpKind::SigSEGV:
+      handleFault(TS, O.NextPC, O.NextPC, false, SigSEGV);
+      continue;
+    }
+  }
+}
+
+CoreExit Core::run(uint64_t MaxBlocks) {
+  while (!ProcessExited && !FatalSignal && liveThreads() > 0 &&
+         Stats.BlocksDispatched < MaxBlocks) {
+    // Round-robin thread choice (the serialised big lock of Section 3.14:
+    // exactly one thread ever runs).
+    int Next = -1;
+    for (int I = 1; I <= MaxThreads; ++I) {
+      int Cand = (CurTid + I) % MaxThreads;
+      if (Threads[Cand].Status == ThreadStatus::Runnable) {
+        Next = Cand;
+        break;
+      }
+    }
+    if (Next < 0)
+      break;
+    if (Next != CurTid)
+      ++Stats.ThreadSwitches;
+    CurTid = Next;
+    YieldRequested = false;
+    uint64_t Quantum =
+        std::min<uint64_t>(ThreadQuantum, MaxBlocks - Stats.BlocksDispatched);
+    dispatchLoop(Threads[CurTid], Quantum, /*StopPC=*/0xFFFFFFFF);
+  }
+
+  if (ToolPlugin)
+    ToolPlugin->fini(ProcessExitCode);
+
+  CoreExit E;
+  if (FatalSignal) {
+    E.K = CoreExit::Kind::FatalSignal;
+    E.Signal = FatalSignal;
+  } else if (!ProcessExited) {
+    E.K = CoreExit::Kind::BlockLimit;
+  } else {
+    E.Code = ProcessExitCode;
+  }
+  return E;
+}
+
+uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
+                         const std::vector<uint32_t> &Args) {
+  // Save the registers the call clobbers.
+  uint32_t SavedPC = TS.getPC();
+  uint32_t SavedRegs[NumGPRs];
+  for (unsigned I = 0; I != NumGPRs; ++I)
+    SavedRegs[I] = TS.gpr(I);
+
+  uint32_t SP = TS.gpr(RegSP) - 4;
+  Memory.write(SP, &ReturnSentinel, 4, /*IgnorePerms=*/true);
+  if (Events.NewMemStack)
+    Events.NewMemStack(SP, 4);
+  if (Events.PostMemWrite)
+    Events.PostMemWrite(TS.Tid, SP, 4);
+  TS.TrackedSP = SP;
+  TS.setGpr(RegSP, SP);
+  for (size_t I = 0; I != Args.size() && I < 5; ++I)
+    TS.setGpr(static_cast<unsigned>(1 + I), Args[I]);
+  TS.setPCVal(Addr);
+
+  uint64_t Quantum = ~0ull >> 1;
+  dispatchLoop(TS, Quantum, ReturnSentinel);
+  uint32_t Result = TS.gpr(0);
+
+  for (unsigned I = 0; I != NumGPRs; ++I)
+    TS.setGpr(I, SavedRegs[I]);
+  TS.setPCVal(SavedPC);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Faults and signals (Section 3.15)
+//===----------------------------------------------------------------------===//
+
+void Core::handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
+                       bool Write, int Sig) {
+  TS.setPCVal(FaultPC);
+  if (Sig >= 0 && Sig < 64 && SigHandlers[Sig]) {
+    deliverSignal(TS, Sig);
+    return;
+  }
+  Out.printf("vg: fatal signal %d at pc=0x%08X (%s address 0x%08X)\n", Sig,
+             FaultPC, Write ? "writing" : "reading", FaultAddr);
+  FatalSignal = Sig;
+}
+
+bool Core::deliverPendingSignals(ThreadState &TS) {
+  if (TS.PendingSignals.empty())
+    return false;
+  int Sig = TS.PendingSignals.front();
+  TS.PendingSignals.erase(TS.PendingSignals.begin());
+  if (SigHandlers[Sig] == 0) {
+    FatalSignal = Sig; // default action: terminate
+    return true;
+  }
+  deliverSignal(TS, Sig);
+  return true;
+}
+
+void Core::deliverSignal(ThreadState &TS, int Sig) {
+  ++Stats.SignalsDelivered;
+  // Save the full guest context; sigreturn restores it. Delivery happens
+  // only between code blocks, so loads/stores are never separated from
+  // their shadow counterparts (Section 3.15).
+  TS.SignalFrames.emplace_back(TS.Guest, TS.Guest + gso::TotalSize);
+  uint32_t SP = TS.gpr(RegSP) - 4;
+  uint32_t Tramp = AddressSpace::CoreBase;
+  Memory.write(SP, &Tramp, 4, /*IgnorePerms=*/true);
+  // Keep shadow-memory tools consistent: the slot became active stack and
+  // then was written by the core.
+  if (Events.NewMemStack)
+    Events.NewMemStack(SP, 4);
+  if (Events.PostMemWrite)
+    Events.PostMemWrite(TS.Tid, SP, 4);
+  TS.TrackedSP = SP;
+  TS.setGpr(RegSP, SP);
+  TS.setGpr(1, static_cast<uint32_t>(Sig));
+  TS.setPCVal(SigHandlers[Sig]);
+}
+
+void Core::setSignalHandler(int Sig, uint32_t Handler) {
+  if (Sig >= 0 && Sig < 64)
+    SigHandlers[Sig] = Handler;
+}
+
+uint32_t Core::signalHandler(int Sig) const {
+  return (Sig >= 0 && Sig < 64) ? SigHandlers[Sig] : 0;
+}
+
+bool Core::raiseSignal(int Tid, int Sig) {
+  if (Tid < 0 || Tid >= MaxThreads ||
+      Threads[Tid].Status != ThreadStatus::Runnable || Sig <= 0 || Sig >= 64)
+    return false;
+  Threads[Tid].PendingSignals.push_back(Sig);
+  return true;
+}
+
+void Core::sigreturn(int Tid) {
+  ThreadState &TS = Threads[Tid];
+  if (TS.SignalFrames.empty())
+    return; // stray sigreturn: ignore
+  std::copy(TS.SignalFrames.back().begin(), TS.SignalFrames.back().end(),
+            TS.Guest);
+  TS.SignalFrames.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// Threads
+//===----------------------------------------------------------------------===//
+
+int Core::spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) {
+  for (int I = 0; I != MaxThreads; ++I) {
+    ThreadState &TS = Threads[I];
+    if (TS.Status != ThreadStatus::Empty && TS.Status != ThreadStatus::Exited)
+      continue;
+    TS = ThreadState();
+    TS.Tid = I;
+    TS.Status = ThreadStatus::Runnable;
+    TS.Memory = &Memory;
+    TS.setGpr(RegSP, SP);
+    TS.setGpr(1, Arg);
+    TS.setPCVal(Entry);
+    TS.TrackedSP = SP;
+    TS.StackBase = SP;
+    TS.StackLimit = SP > (1u << 20) ? SP - (1u << 20) : 0;
+    return I;
+  }
+  return -1;
+}
+
+void Core::exitThread(int Tid, int Code) {
+  if (Tid < 0 || Tid >= MaxThreads)
+    return;
+  Threads[Tid].Status = ThreadStatus::Exited;
+  if (liveThreads() == 0) {
+    ProcessExited = true;
+    ProcessExitCode = Code;
+  }
+}
+
+void Core::requestYield(int Tid) { YieldRequested = true; }
+
+//===----------------------------------------------------------------------===//
+// Client requests (Section 3.11)
+//===----------------------------------------------------------------------===//
+
+void Core::handleClientRequest(ThreadState &TS) {
+  uint32_t Code = TS.gpr(0);
+  uint32_t Args[4] = {TS.gpr(1), TS.gpr(2), TS.gpr(3), TS.gpr(4)};
+  uint32_t Result = 0;
+
+  switch (Code) {
+  case CrDiscardTranslations:
+    discardTranslations(Args[0], Args[1]);
+    break;
+  case CrStackRegister: {
+    AltStacks.push_back(RegisteredStack{NextStackId, Args[0], Args[1]});
+    Result = NextStackId++;
+    break;
+  }
+  case CrStackDeregister:
+    AltStacks.erase(std::remove_if(AltStacks.begin(), AltStacks.end(),
+                                   [&](const RegisteredStack &R) {
+                                     return R.Id == Args[0];
+                                   }),
+                    AltStacks.end());
+    break;
+  case CrStackChange:
+    for (RegisteredStack &R : AltStacks) {
+      if (R.Id == Args[0]) {
+        R.Start = Args[1];
+        R.End = Args[2];
+      }
+    }
+    break;
+  case CrPrint: {
+    std::string S;
+    for (uint32_t I = 0; I != 4096; ++I) {
+      uint8_t B;
+      if (Memory.read(Args[0] + I, &B, 1, true).Faulted || B == 0)
+        break;
+      S.push_back(static_cast<char>(B));
+    }
+    Out.printf("%s", S.c_str());
+    break;
+  }
+  case CrRunningOnValgrind:
+    Result = 1;
+    break;
+  case CrMalloc:
+    Result = clientMalloc(TS.Tid, Args[0], /*Zeroed=*/false);
+    break;
+  case CrFree:
+    clientFree(TS.Tid, Args[0]);
+    break;
+  case CrCalloc: {
+    uint64_t Total = static_cast<uint64_t>(Args[0]) * Args[1];
+    Result = Total > 0xFFFFFFFFull
+                 ? 0
+                 : clientMalloc(TS.Tid, static_cast<uint32_t>(Total),
+                                /*Zeroed=*/true);
+    break;
+  }
+  case CrRealloc:
+    Result = clientRealloc(TS.Tid, Args[0], Args[1]);
+    break;
+  default:
+    if (ToolPlugin &&
+        ToolPlugin->handleClientRequest(TS.Tid, Code, Args, Result))
+      break;
+    Result = 0; // unknown requests read as 0, like native CLREQ
+    break;
+  }
+  TS.setGpr(0, Result);
+}
+
+void Core::discardTranslations(uint32_t Addr, uint32_t Len) {
+  TT.invalidateRange(Addr, Len);
+}
+
+//===----------------------------------------------------------------------===//
+// Function redirection (Section 3.13)
+//===----------------------------------------------------------------------===//
+
+void Core::redirectToHost(uint32_t Addr, HostReplacementFn Fn) {
+  HostRedirects[Addr] = std::move(Fn);
+}
+
+void Core::redirectSymbolToHost(const std::string &Symbol,
+                                HostReplacementFn Fn) {
+  if (auto It = ImageSymbols.find(Symbol); It != ImageSymbols.end()) {
+    HostRedirects[It->second] = std::move(Fn);
+    TT.invalidateRange(It->second, 1); // drop any pre-redirect translation
+    return;
+  }
+  PendingSymbolRedirects[Symbol] = std::move(Fn);
+}
+
+void Core::redirectGuest(uint32_t From, uint32_t To) {
+  GuestRedirects[From] = To;
+  // Any existing translation entered at From must go (and chasing through
+  // From could have inlined it elsewhere, so scrub the byte too).
+  TT.invalidateRange(From, 1);
+}
+
+//===----------------------------------------------------------------------===//
+// The replacement allocator (R8)
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint32_t HeapArenaSize = 64u << 20;
+constexpr uint32_t HeapChunk = 1u << 20;
+uint32_t align16(uint32_t V) { return (V + 15) & ~15u; }
+} // namespace
+
+uint32_t Core::clientMalloc(int Tid, uint32_t Size, bool Zeroed) {
+  if (HeapArenaBase == 0) {
+    HeapArenaBase = AS.findFree(HeapArenaSize, 0x60000000);
+    if (!HeapArenaBase ||
+        !AS.add(HeapArenaBase, HeapArenaSize, PermRW, SegKind::ClientMmap,
+                "replacement-heap"))
+      return 0;
+    HeapArenaEnd = HeapArenaBase + HeapArenaSize;
+    HeapBump = HeapArenaBase;
+    HeapMapped = HeapArenaBase;
+  }
+  uint32_t RZ = (ToolPlugin && ToolPlugin->tracksHeap())
+                    ? ToolPlugin->redzoneBytes()
+                    : 0;
+  uint32_t RawSize = align16(std::max<uint32_t>(Size, 1) + 2 * RZ);
+
+  uint32_t Raw = 0;
+  // First fit over the free list.
+  for (size_t I = 0; I != HeapFree.size(); ++I) {
+    if (HeapFree[I].second >= RawSize) {
+      Raw = HeapFree[I].first;
+      if (HeapFree[I].second > RawSize) {
+        HeapFree[I].first += RawSize;
+        HeapFree[I].second -= RawSize;
+      } else {
+        HeapFree.erase(HeapFree.begin() + static_cast<long>(I));
+      }
+      break;
+    }
+  }
+  if (!Raw) {
+    if (HeapBump + RawSize > HeapArenaEnd)
+      return 0; // arena exhausted
+    Raw = HeapBump;
+    HeapBump += RawSize;
+    while (HeapMapped < HeapBump) {
+      Memory.map(HeapMapped, HeapChunk, PermRW);
+      HeapMapped += HeapChunk;
+    }
+  }
+
+  uint32_t Payload = Raw + RZ;
+  HeapLive[Payload] = Size;
+  HeapMeta[Payload] = {Raw, RawSize};
+  HeapLiveBytes += Size;
+  if (Zeroed) {
+    std::vector<uint8_t> Z(Size, 0);
+    Memory.write(Payload, Z.data(), Size, /*IgnorePerms=*/true);
+  }
+  if (ToolPlugin)
+    ToolPlugin->onMalloc(Tid, Payload, Size, Zeroed);
+  return Payload;
+}
+
+bool Core::clientFree(int Tid, uint32_t Addr) {
+  if (Addr == 0)
+    return true; // free(NULL)
+  auto It = HeapLive.find(Addr);
+  if (It == HeapLive.end()) {
+    if (ToolPlugin)
+      ToolPlugin->onBadFree(Tid, Addr);
+    return false;
+  }
+  uint32_t Size = It->second;
+  if (ToolPlugin)
+    ToolPlugin->onFree(Tid, Addr, Size);
+  auto Meta = HeapMeta[Addr];
+  HeapFree.push_back(Meta);
+  HeapLive.erase(It);
+  HeapMeta.erase(Addr);
+  HeapLiveBytes -= Size;
+  return true;
+}
+
+uint32_t Core::clientRealloc(int Tid, uint32_t Addr, uint32_t NewSize) {
+  if (Addr == 0)
+    return clientMalloc(Tid, NewSize, false);
+  auto It = HeapLive.find(Addr);
+  if (It == HeapLive.end()) {
+    if (ToolPlugin)
+      ToolPlugin->onBadFree(Tid, Addr);
+    return 0;
+  }
+  uint32_t OldSize = It->second;
+  uint32_t NewAddr = clientMalloc(Tid, NewSize, false);
+  if (!NewAddr)
+    return 0;
+  // Copy the payload (like mremap, tools see onMalloc+onFree; Memcheck's
+  // definedness copy rides on its own onMalloc/Free handling plus this
+  // byte copy happening through IgnorePerms writes).
+  uint32_t N = std::min(OldSize, NewSize);
+  std::vector<uint8_t> Tmp(N);
+  Memory.read(Addr, Tmp.data(), N, true);
+  Memory.write(NewAddr, Tmp.data(), N, true);
+  if (Events.CopyMemMremap)
+    Events.CopyMemMremap(Addr, NewAddr, N);
+  clientFree(Tid, Addr);
+  return NewAddr;
+}
+
+uint32_t Core::heapBlockSize(uint32_t Addr) const {
+  auto It = HeapLive.find(Addr);
+  return It == HeapLive.end() ? 0 : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Stack traces
+//===----------------------------------------------------------------------===//
+
+std::vector<uint32_t> Core::captureStackTrace(ThreadState &TS, unsigned Max) {
+  // Conservative scan: walk up the stack looking for plausible return
+  // addresses (values pointing into executable client memory).
+  std::vector<uint32_t> Trace;
+  uint32_t SP = TS.gpr(RegSP);
+  for (uint32_t Off = 0; Off < 512 && Trace.size() < Max; Off += 4) {
+    uint32_t V;
+    if (Memory.read(SP + Off, &V, 4, true).Faulted)
+      break;
+    if (const Segment *S = AS.segmentAt(V);
+        S && S->Kind == SegKind::ClientText)
+      Trace.push_back(V);
+  }
+  return Trace;
+}
+
+void Core::internalError(const char *Msg) { fatalError(Msg); }

@@ -1,0 +1,257 @@
+//===-- core/Core.h - The Valgrind core -------------------------*- C++ -*-==//
+///
+/// \file
+/// The core: everything of Section 3 that is not the JIT pipeline itself.
+/// It owns the client address space, loads guest images (start-up,
+/// Section 3.3), makes/finds/runs translations through the dispatcher and
+/// scheduler (Section 3.9), routes system calls to the simulated kernel
+/// (3.10), handles client requests (3.11), drives the events system (3.12),
+/// provides function replacement/wrapping (3.13), serialises threads with a
+/// big lock and a 100k-block quantum (3.14), intercepts and delivers
+/// signals only between code blocks (3.15), and checks for self-modifying
+/// code (3.16).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_CORE_H
+#define VG_CORE_CORE_H
+
+#include "core/ErrorManager.h"
+#include "core/Events.h"
+#include "core/GuestImage.h"
+#include "core/ThreadState.h"
+#include "core/Tool.h"
+#include "core/TransTab.h"
+#include "core/Translate.h"
+#include "kernel/SimKernel.h"
+#include "support/Options.h"
+#include "support/Output.h"
+
+#include <array>
+#include <functional>
+#include <memory>
+
+namespace vg {
+
+/// How aggressively to check for self-modifying code (Section 3.16).
+enum class SmcMode { None, Stack, All };
+
+/// A host-side function replacement: runs instead of a guest function.
+/// Reads its arguments from the thread's registers (r1..), writes its
+/// result to r0. Entered via the guest CALL convention; the core performs
+/// the return.
+using HostReplacementFn = std::function<void(Core &C, ThreadState &TS)>;
+
+/// Exit status of a whole run.
+struct CoreExit {
+  enum class Kind {
+    Exited,      ///< exit syscall or HLT
+    FatalSignal, ///< unhandled SIGSEGV/SIGILL
+    BlockLimit,  ///< ran out of the block budget passed to run()
+  };
+  Kind K = Kind::Exited;
+  int Code = 0;
+  int Signal = 0;
+};
+
+/// Run statistics (bench/sec39_dispatch and the Table 2 harness read
+/// these).
+struct CoreStats {
+  uint64_t BlocksDispatched = 0; ///< translations entered
+  uint64_t FastCacheHits = 0;    ///< dispatcher direct-mapped cache hits
+  uint64_t FastCacheMisses = 0;
+  uint64_t Translations = 0;
+  uint64_t GuestInsnsTranslated = 0;
+  uint64_t ThreadSwitches = 0;
+  uint64_t SignalsDelivered = 0;
+  uint64_t SmcRetranslations = 0;
+  uint64_t ChainedTransfers = 0;
+  uint64_t HostRedirectCalls = 0;
+};
+
+/// Signal numbers used by the simulated kernel.
+enum Signals : int {
+  SigSEGV = 11,
+  SigILL = 4,
+  SigUSR1 = 10,
+  SigUSR2 = 12,
+};
+
+/// The core. Construct, configure (setTool/options), loadImage, run.
+class Core : public KernelHost {
+public:
+  static constexpr int MaxThreads = 32;
+  static constexpr uint64_t ThreadQuantum = 100'000; // blocks (Section 3.14)
+
+  explicit Core(Tool *ToolPlugin = nullptr);
+  ~Core() override;
+
+  // --- configuration -----------------------------------------------------
+  OptionRegistry &options() { return Opts; }
+  /// Applies parsed options (smc-check, chaining, ...). Call after
+  /// options().parse() and before run().
+  void applyOptions();
+
+  OutputSink &output() { return Out; }
+  EventHub &events() { return Events; }
+  ErrorManager &errors() { return Errors; }
+  SimKernel &kernel() { return *Kernel; }
+  GuestMemory &memory() { return Memory; }
+  AddressSpace &addressSpace() { return AS; }
+  Tool *tool() { return ToolPlugin; }
+  const CoreStats &stats() const { return Stats; }
+  TransTab &transTab() { return TT; }
+
+  void setSmcMode(SmcMode M) { Smc = M; }
+  void setChaining(bool On) { ChainingEnabled = On; }
+
+  // --- start-up (Section 3.3) --------------------------------------------
+  /// Loads the client image: maps text/data (firing new_mem_startup, R5),
+  /// sets up the initial thread's stack and registers, creates the brk
+  /// segment, and applies redirections against the image's symbol table.
+  void loadImage(const GuestImage &Img);
+
+  // --- execution -----------------------------------------------------------
+  /// Runs the client to completion (or until \p MaxBlocks translations
+  /// have been dispatched). Calls the tool's fini().
+  CoreExit run(uint64_t MaxBlocks = ~0ull);
+
+  // --- function replacement and wrapping (Section 3.13) -------------------
+  /// Replaces the guest function at \p Addr with host code.
+  void redirectToHost(uint32_t Addr, HostReplacementFn Fn);
+  /// Replaces the function named \p Symbol (resolved at loadImage time;
+  /// may be called before or after load).
+  void redirectSymbolToHost(const std::string &Symbol, HostReplacementFn Fn);
+  /// Makes calls to \p From run \p To instead (guest-to-guest).
+  void redirectGuest(uint32_t From, uint32_t To);
+
+  /// Calls back into guest code from host context (the mechanism that lets
+  /// a replacement function invoke the function it replaced — wrapping).
+  /// Returns the callee's r0.
+  uint32_t callGuest(ThreadState &TS, uint32_t Addr,
+                     const std::vector<uint32_t> &Args);
+
+  // --- replacement allocator (R8) ------------------------------------------
+  /// Allocates a client heap block (red zones per the tool's request).
+  /// Returns the payload address, 0 on exhaustion.
+  uint32_t clientMalloc(int Tid, uint32_t Size, bool Zeroed);
+  /// Frees a payload pointer. Returns false (and reports) on a bad free.
+  bool clientFree(int Tid, uint32_t Addr);
+  uint32_t clientRealloc(int Tid, uint32_t Addr, uint32_t NewSize);
+  /// Size of a live block (0 if unknown).
+  uint32_t heapBlockSize(uint32_t Addr) const;
+  /// Live heap blocks (leak checking, Massif).
+  const std::map<uint32_t, uint32_t> &heapBlocks() const { return HeapLive; }
+  uint64_t heapBytesLive() const { return HeapLiveBytes; }
+
+  // --- threads (ThreadState access for tools/tests) -----------------------
+  ThreadState &thread(int Tid) { return Threads[Tid]; }
+  int currentTid() const { return CurTid; }
+  int liveThreads() const;
+
+  // --- KernelHost (threads & signals, called by the simulated kernel) -----
+  int spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) override;
+  void exitThread(int Tid, int Code) override;
+  void setSignalHandler(int Sig, uint32_t Handler) override;
+  uint32_t signalHandler(int Sig) const override;
+  bool raiseSignal(int Tid, int Sig) override;
+  void sigreturn(int Tid) override;
+  void requestYield(int Tid) override;
+
+  /// Discards translations intersecting [Addr, Addr+Len) — the
+  /// DISCARD_TRANSLATIONS client request and munmap both land here.
+  void discardTranslations(uint32_t Addr, uint32_t Len);
+
+  // Helper callees referenced from generated code (public because the
+  // Callee descriptors binding them are defined at namespace scope).
+  static uint64_t helperSmcCheck(void *Env, uint64_t TransPtr, uint64_t,
+                                 uint64_t, uint64_t);
+  static uint64_t helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
+                                uint64_t);
+
+  /// Best-effort guest stack trace (return-address scan).
+  std::vector<uint32_t> captureStackTrace(ThreadState &TS, unsigned Max = 8);
+
+private:
+  struct FastCacheEntry {
+    uint32_t Addr = ~0u;
+    Translation *T = nullptr;
+  };
+  static constexpr size_t FastCacheSize = 1u << 13; // direct-mapped
+
+  Translation *findOrTranslate(uint32_t PC);
+  Translation *translateOne(uint32_t PC);
+  /// Dispatches blocks for \p TS until the quantum is spent, the process
+  /// exits, a fatal signal lands, the thread stops being runnable, or the
+  /// PC reaches \p StopPC (callGuest's sentinel).
+  void dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC);
+  void handleClientRequest(ThreadState &TS);
+  void handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
+                   bool Write, int Sig);
+  bool deliverPendingSignals(ThreadState &TS);
+  void deliverSignal(ThreadState &TS, int Sig);
+  [[noreturn]] void internalError(const char *Msg);
+
+  /// The core's own instrumentation layered around the tool's: SMC check
+  /// prelude and SP-change tracking (R7).
+  void instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans);
+  bool addrOnAnyStack(uint32_t Addr) const;
+
+  static const hvm::CodeBlob *chainResolveThunk(void *User, void *Cookie,
+                                                uint32_t Slot);
+
+  OptionRegistry Opts;
+  OutputSink Out;
+  EventHub Events;
+  ErrorManager Errors;
+  GuestMemory Memory;
+  AddressSpace AS;
+  std::unique_ptr<SimKernel> Kernel;
+  TransTab TT;
+  Tool *ToolPlugin;
+
+  std::array<ThreadState, MaxThreads> Threads;
+  int CurTid = 0;
+  bool YieldRequested = false;
+  bool ProcessExited = false;
+  int ProcessExitCode = 0;
+  int FatalSignal = 0;
+
+  std::array<uint32_t, 64> SigHandlers{}; // 0 = default action
+  SmcMode Smc = SmcMode::Stack;
+  bool ChainingEnabled = false;
+  uint32_t StackSwitchThreshold = 2u << 20; // 2MB (Section 3.12)
+
+  std::vector<FastCacheEntry> FastCache;
+  uint64_t FastCacheGen = 0;
+
+  std::map<uint32_t, HostReplacementFn> HostRedirects;
+  std::map<std::string, HostReplacementFn> PendingSymbolRedirects;
+  std::map<uint32_t, uint32_t> GuestRedirects;
+  std::map<std::string, uint32_t> ImageSymbols;
+
+  // Replacement allocator state.
+  uint32_t HeapArenaBase = 0, HeapArenaEnd = 0, HeapBump = 0;
+  uint32_t HeapMapped = 0; ///< arena pages are mapped lazily up to here
+  std::map<uint32_t, uint32_t> HeapLive; ///< payload addr -> size
+  /// payload addr -> (raw start, raw size), including red zones.
+  std::map<uint32_t, std::pair<uint32_t, uint32_t>> HeapMeta;
+  std::vector<std::pair<uint32_t, uint32_t>> HeapFree; ///< addr,size (raw)
+  uint64_t HeapLiveBytes = 0;
+
+  // Registered alternative stacks (client requests).
+  struct RegisteredStack {
+    uint32_t Id, Start, End;
+  };
+  std::vector<RegisteredStack> AltStacks;
+  uint32_t NextStackId = 1;
+
+  /// Sentinel return address used by callGuest.
+  static constexpr uint32_t ReturnSentinel = 0xFFFF0000;
+
+  CoreStats Stats;
+  const ir::SpecFn Spec;
+};
+
+} // namespace vg
+
+#endif // VG_CORE_CORE_H

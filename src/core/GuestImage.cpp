@@ -1,0 +1,27 @@
+//===-- core/GuestImage.cpp - Guest executable images ---------------------==//
+
+#include "core/GuestImage.h"
+
+#include "guest/GuestMemory.h"
+
+using namespace vg;
+
+void GuestImageBuilder::addSegment(vg1::Assembler &A, uint8_t Perms) {
+  ImageSegment S;
+  S.Base = A.baseAddr();
+  S.Perms = Perms;
+  S.Bytes = A.finalize();
+  for (const auto &[Name, Addr] : A.symbols())
+    Img.Symbols[Name] = Addr;
+  Img.Segments.push_back(std::move(S));
+}
+
+GuestImageBuilder &GuestImageBuilder::addCode(vg1::Assembler &A) {
+  addSegment(A, PermRX);
+  return *this;
+}
+
+GuestImageBuilder &GuestImageBuilder::addData(vg1::Assembler &A) {
+  addSegment(A, PermRW);
+  return *this;
+}

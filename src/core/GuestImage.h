@@ -1,0 +1,70 @@
+//===-- core/GuestImage.h - Guest executable images (GEF) -------*- C++ -*-==//
+///
+/// \file
+/// The guest executable format: the unit the core's loader consumes
+/// (standing in for ELF, Section 3.3). An image carries segments (code and
+/// data with their base addresses and permissions), an entry point, and a
+/// symbol table (used by function redirection, R8).
+///
+/// Images are normally produced from one or more Assemblers via
+/// GuestImageBuilder; a flat serialised form exists so images can be
+/// written to and loaded from the virtual filesystem.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_GUESTIMAGE_H
+#define VG_CORE_GUESTIMAGE_H
+
+#include "guest/Assembler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vg {
+
+struct ImageSegment {
+  uint32_t Base = 0;
+  uint8_t Perms = 0;
+  std::vector<uint8_t> Bytes;
+};
+
+/// A loadable guest program.
+struct GuestImage {
+  uint32_t Entry = 0;
+  std::vector<ImageSegment> Segments;
+  std::map<std::string, uint32_t> Symbols;
+  /// Requested stack size (the loader rounds up to pages).
+  uint32_t StackSize = 1 << 20;
+
+  /// Address of a named symbol, or 0.
+  uint32_t symbol(const std::string &Name) const {
+    auto It = Symbols.find(Name);
+    return It == Symbols.end() ? 0 : It->second;
+  }
+};
+
+/// Convenience builder: collects finalized assemblers into an image.
+class GuestImageBuilder {
+public:
+  /// Adds an executable segment from \p A (finalizes it).
+  GuestImageBuilder &addCode(vg1::Assembler &A);
+  /// Adds a read-write data segment from \p A (finalizes it).
+  GuestImageBuilder &addData(vg1::Assembler &A);
+  GuestImageBuilder &entry(uint32_t Addr) {
+    Img.Entry = Addr;
+    return *this;
+  }
+  GuestImageBuilder &stackSize(uint32_t Bytes) {
+    Img.StackSize = Bytes;
+    return *this;
+  }
+  GuestImage build() { return std::move(Img); }
+
+private:
+  void addSegment(vg1::Assembler &A, uint8_t Perms);
+  GuestImage Img;
+};
+
+} // namespace vg
+
+#endif // VG_CORE_GUESTIMAGE_H

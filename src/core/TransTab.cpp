@@ -1,0 +1,131 @@
+//===-- core/TransTab.cpp - Translation storage ---------------------------==//
+
+#include "core/TransTab.h"
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+
+using namespace vg;
+
+TransTab::TransTab(size_t CapacityPow2) {
+  assert((CapacityPow2 & (CapacityPow2 - 1)) == 0 &&
+         "table capacity must be a power of two");
+  Slots.resize(CapacityPow2);
+}
+
+size_t TransTab::probeFor(uint32_t Addr) const {
+  size_t Mask = Slots.size() - 1;
+  size_t Idx = hashAddr(Addr) & Mask;
+  size_t FirstTomb = SIZE_MAX;
+  for (size_t Step = 0; Step != Slots.size(); ++Step) {
+    const Slot &S = Slots[Idx];
+    if (S.St == Slot::State::Empty)
+      return FirstTomb != SIZE_MAX ? FirstTomb : Idx;
+    if (S.St == Slot::State::Tomb) {
+      if (FirstTomb == SIZE_MAX)
+        FirstTomb = Idx;
+    } else if (S.T->Addr == Addr) {
+      return Idx;
+    }
+    Idx = (Idx + 1) & Mask;
+  }
+  return FirstTomb != SIZE_MAX ? FirstTomb : 0;
+}
+
+Translation *TransTab::lookup(uint32_t Addr) {
+  ++S.Lookups;
+  size_t Idx = probeFor(Addr);
+  Slot &Sl = Slots[Idx];
+  if (Sl.St == Slot::State::Full && Sl.T->Addr == Addr) {
+    ++S.Hits;
+    return Sl.T.get();
+  }
+  return nullptr;
+}
+
+Translation *TransTab::insert(std::unique_ptr<Translation> T) {
+  if (Count * 10 >= Slots.size() * 8) // > 80% full
+    evictChunk();
+  T->Seq = NextSeq++;
+  T->Blob.Cookie = T.get();
+  size_t Idx = probeFor(T->Addr);
+  Slot &Sl = Slots[Idx];
+  if (Sl.St == Slot::State::Full) {
+    // Replacing an existing translation for the same address.
+    unchainAllTo(Sl.T.get());
+    --Count;
+    ++Gen;
+  }
+  Sl.T = std::move(T);
+  Sl.St = Slot::State::Full;
+  ++Count;
+  ++S.Inserts;
+  return Sl.T.get();
+}
+
+void TransTab::eraseSlot(size_t Idx) {
+  Slot &Sl = Slots[Idx];
+  assert(Sl.St == Slot::State::Full && "erasing non-full slot");
+  unchainAllTo(Sl.T.get());
+  Sl.T.reset();
+  Sl.St = Slot::State::Tomb;
+  --Count;
+  ++Gen;
+}
+
+void TransTab::evictChunk() {
+  ++S.EvictionRuns;
+  // FIFO: find the sequence-number threshold below which 1/8 of the
+  // resident translations fall, then evict them.
+  std::vector<uint64_t> Seqs;
+  Seqs.reserve(Count);
+  for (const Slot &Sl : Slots)
+    if (Sl.St == Slot::State::Full)
+      Seqs.push_back(Sl.T->Seq);
+  if (Seqs.empty())
+    return;
+  size_t N = std::max<size_t>(1, Seqs.size() / 8);
+  std::nth_element(Seqs.begin(), Seqs.begin() + (N - 1), Seqs.end());
+  uint64_t Threshold = Seqs[N - 1];
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    if (Slots[I].St == Slot::State::Full && Slots[I].T->Seq <= Threshold) {
+      eraseSlot(I);
+      ++S.Evicted;
+    }
+  }
+}
+
+unsigned TransTab::invalidateRange(uint32_t Addr, uint32_t Len) {
+  uint32_t End = Addr + Len;
+  unsigned N = 0;
+  for (size_t I = 0; I != Slots.size(); ++I) {
+    if (Slots[I].St != Slot::State::Full)
+      continue;
+    for (auto [Lo, Hi] : Slots[I].T->Extents) {
+      if (Lo < End && Addr < Hi) {
+        eraseSlot(I);
+        ++N;
+        ++S.Invalidated;
+        break;
+      }
+    }
+  }
+  return N;
+}
+
+void TransTab::invalidateAll() {
+  for (size_t I = 0; I != Slots.size(); ++I)
+    if (Slots[I].St == Slot::State::Full)
+      eraseSlot(I);
+}
+
+void TransTab::unchainAllTo(const Translation *T) {
+  for (Slot &Sl : Slots) {
+    if (Sl.St != Slot::State::Full)
+      continue;
+    for (Translation *&C : Sl.T->Chain)
+      if (C == T)
+        C = nullptr;
+  }
+}

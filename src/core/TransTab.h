@@ -1,0 +1,96 @@
+//===-- core/TransTab.h - Translation storage (Section 3.8) -----*- C++ -*-==//
+///
+/// \file
+/// Stores translations in a fixed-size, linear-probe hash table. When the
+/// table passes 80% occupancy, translations are evicted in chunks of 1/8th
+/// of the table using a FIFO policy — "chosen over the more obvious LRU
+/// policy because it is simpler and still does a fairly good job".
+/// Translations are also evicted when client code is unloaded (munmap) or
+/// made obsolete by self-modifying code (Section 3.16), via
+/// invalidateRange().
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_TRANSTAB_H
+#define VG_CORE_TRANSTAB_H
+
+#include "hvm/Exec.h"
+
+#include <memory>
+#include <vector>
+
+namespace vg {
+
+/// One stored translation.
+struct Translation {
+  uint32_t Addr = 0;     ///< guest entry address
+  hvm::CodeBlob Blob;    ///< encoded host code (Blob.Cookie == this)
+  /// Guest ranges the translation was made from (for invalidation and SMC
+  /// hashing; more than one when branches were chased).
+  std::vector<std::pair<uint32_t, uint32_t>> Extents;
+  uint64_t CodeHash = 0; ///< FNV-1a over the original guest bytes
+  uint32_t NumInsns = 0;
+  uint64_t Seq = 0; ///< insertion order (FIFO eviction key)
+  /// Chain slots: successor translations for constant Boring exits,
+  /// filled lazily by the dispatcher when chaining is enabled.
+  std::vector<Translation *> Chain;
+};
+
+/// The fixed-size, linear-probe translation table.
+class TransTab {
+public:
+  explicit TransTab(size_t CapacityPow2 = 1u << 14);
+
+  Translation *lookup(uint32_t Addr);
+
+  /// Takes ownership; may trigger a FIFO eviction run first. Returns the
+  /// stored translation.
+  Translation *insert(std::unique_ptr<Translation> T);
+
+  /// Discards translations whose extents intersect [Addr, Addr+Len).
+  /// Returns how many were discarded.
+  unsigned invalidateRange(uint32_t Addr, uint32_t Len);
+
+  void invalidateAll();
+
+  /// Unlinks every chain pointer referring to \p T (called on eviction).
+  void unchainAllTo(const Translation *T);
+
+  size_t size() const { return Count; }
+  size_t capacity() const { return Slots.size(); }
+
+  // Statistics for bench/sec39_dispatch.
+  struct Stats {
+    uint64_t Inserts = 0;
+    uint64_t Lookups = 0;
+    uint64_t Hits = 0;
+    uint64_t EvictionRuns = 0;
+    uint64_t Evicted = 0;
+    uint64_t Invalidated = 0;
+  };
+  const Stats &stats() const { return S; }
+
+  /// Generation counter bumped on any eviction/invalidation so the
+  /// dispatcher's fast cache can drop stale pointers.
+  uint64_t generation() const { return Gen; }
+
+private:
+  struct Slot {
+    enum class State : uint8_t { Empty, Full, Tomb };
+    State St = State::Empty;
+    std::unique_ptr<Translation> T;
+  };
+
+  size_t probeFor(uint32_t Addr) const;
+  void evictChunk();
+  void eraseSlot(size_t Idx);
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+  uint64_t NextSeq = 0;
+  uint64_t Gen = 0;
+  Stats S;
+};
+
+} // namespace vg
+
+#endif // VG_CORE_TRANSTAB_H

@@ -1,0 +1,106 @@
+//===-- core/Translate.cpp - The eight-phase translation pipeline ---------==//
+
+#include "core/Translate.h"
+
+#include "hvm/ISel.h"
+#include "ir/IROpt.h"
+#include "ir/IRPrinter.h"
+#include "support/Errors.h"
+
+using namespace vg;
+
+namespace {
+
+void verifyIR(const ir::IRSB &SB, bool Flat, const char *Phase) {
+  std::string Diag = SB.typecheck(Flat);
+  if (Diag.empty())
+    return;
+  std::fprintf(stderr, "IR verification failed after %s: %s\n%s", Phase,
+               Diag.c_str(), ir::toString(SB).c_str());
+  unreachable("translation produced ill-formed IR");
+}
+
+std::string renderHost(const hvm::HostCode &Code) {
+  std::string Out;
+  for (const hvm::HInstr &I : Code.Instrs) {
+    Out += hvm::toString(I);
+    Out += "\n";
+  }
+  return Out;
+}
+
+} // namespace
+
+TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
+                                   const TranslationOptions &Opts,
+                                   TranslationArtifacts *Art) {
+  const ir::SpecFn Spec = Opts.Spec ? Opts.Spec : vg1SpecFn();
+
+  // Phase 1: disassembly.
+  DisasmResult Dis = disassembleSB(Addr, Fetch, Opts.Frontend);
+  if (Opts.Verify)
+    verifyIR(*Dis.SB, /*RequireFlat=*/false, "disassembly");
+  if (Art)
+    Art->TreeIR = ir::toString(*Dis.SB, ir::vg1OffsetName);
+
+  // Phase 2: flatten + optimisation 1.
+  std::unique_ptr<ir::IRSB> SB = ir::flatten(*Dis.SB);
+  if (Opts.RunOptimise1)
+    ir::optimise1(*SB, Spec, Opts.Preserve);
+  if (Opts.Verify)
+    verifyIR(*SB, /*RequireFlat=*/true, "optimisation 1");
+  if (Art)
+    Art->FlatIR = ir::toString(*SB, ir::vg1OffsetName);
+
+  // Phase 3: instrumentation (the tool plug-in).
+  if (Opts.Instrument) {
+    Opts.Instrument(*SB);
+    if (Opts.Verify)
+      verifyIR(*SB, /*RequireFlat=*/true, "instrumentation");
+    if (Art) {
+      Art->InstrumentedIR = ir::toString(*SB, ir::vg1OffsetName);
+      Art->StmtsAfterInstrumentation =
+          static_cast<unsigned>(SB->stmts().size());
+    }
+  }
+
+  // Phase 4: optimisation 2.
+  if (Opts.RunOptimise2)
+    ir::optimise2(*SB, Spec, Opts.Preserve);
+  if (Opts.Verify)
+    verifyIR(*SB, /*RequireFlat=*/true, "optimisation 2");
+  if (Art) {
+    Art->OptimisedIR = ir::toString(*SB, ir::vg1OffsetName);
+    Art->StmtsAfterOptimise2 = static_cast<unsigned>(SB->stmts().size());
+  }
+
+  // Phase 5: tree building.
+  ir::buildTrees(*SB);
+  if (Opts.Verify)
+    verifyIR(*SB, /*RequireFlat=*/false, "tree building");
+  if (Art)
+    Art->RebuiltTreeIR = ir::toString(*SB, ir::vg1OffsetName);
+
+  // Phase 6: instruction selection.
+  hvm::HostCode Host = hvm::selectInstructions(*SB);
+  if (Art)
+    Art->HostPreAlloc = renderHost(Host);
+
+  // Phase 7: register allocation.
+  unsigned Coalesced = hvm::allocateRegisters(Host);
+  if (Art) {
+    Art->HostPostAlloc = renderHost(Host);
+    Art->CoalescedMoves = Coalesced;
+  }
+  if (Host.NumSpillSlots > hvm::Executor::MaxSpillSlots)
+    unreachable("translation needs more spill slots than the executor frame");
+
+  // Phase 8: assembly.
+  TranslatedBlock TB;
+  TB.Blob.Bytes = hvm::encode(Host);
+  TB.Blob.NumSpillSlots = Host.NumSpillSlots;
+  TB.Blob.NumChainSlots = Host.NumChainSlots;
+  TB.Meta = std::move(Dis);
+  TB.Meta.SB.reset(); // the IR is dead once code is emitted
+  return TB;
+}

@@ -1,0 +1,78 @@
+//===-- frontend/Vg1Frontend.h - Phase 1: VG1 -> tree IR --------*- C++ -*-==//
+///
+/// \file
+/// The disassemble half of disassemble-and-resynthesise (Section 3.5):
+/// converts VG1 machine code into tree IR, one superblock at a time. All of
+/// the original code's effects on guest state — including condition-code
+/// setting — are represented explicitly, because the original instructions
+/// are discarded and final code is generated purely from the IR.
+///
+/// Superblock formation follows the paper's policy (Section 3.7): follow
+/// instructions until (a) an instruction limit (~50) is reached, (b) a
+/// conditional branch is hit, (c) a branch to an unknown target is hit, or
+/// (d) more than three unconditional branches to known targets have been
+/// chased.
+///
+/// Condition codes use a lazy thunk (CC_OP/CC_DEP1/CC_DEP2) exactly as
+/// Valgrind models x86 %eflags; conditional branches call a clean helper
+/// which the optimiser can partially evaluate via specFn().
+///
+/// The architecture-specific CPUINFO instruction is not modelled in IR;
+/// it becomes an annotated dirty helper call (Section 3.6's cpuid
+/// treatment), so tools still see which registers it writes.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_FRONTEND_VG1FRONTEND_H
+#define VG_FRONTEND_VG1FRONTEND_H
+
+#include "ir/IR.h"
+#include "ir/IROpt.h"
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace vg {
+
+/// Reads guest code bytes for disassembly. Returns how many bytes starting
+/// at \p Addr were copied into \p Buf (0 if the address is not executable).
+using FetchFn =
+    std::function<uint32_t(uint32_t Addr, uint8_t *Buf, uint32_t MaxLen)>;
+
+/// Output of Phase 1 for one superblock.
+struct DisasmResult {
+  std::unique_ptr<ir::IRSB> SB; ///< tree IR
+  uint32_t Addr = 0;            ///< guest address of the block entry
+  uint32_t NumInsns = 0;
+  /// Guest byte ranges covered (more than one when unconditional branches
+  /// were chased). Used for SMC hashing and translation invalidation.
+  std::vector<std::pair<uint32_t, uint32_t>> Extents;
+  /// True if the block ends because the next instruction failed to decode;
+  /// the block then ends with a NoDecode jump.
+  bool DecodeFailed = false;
+};
+
+/// Superblock formation limits.
+struct FrontendConfig {
+  unsigned MaxInsns = 50;
+  unsigned MaxChases = 3;
+};
+
+/// Disassembles one superblock starting at \p Addr.
+DisasmResult disassembleSB(uint32_t Addr, const FetchFn &Fetch,
+                           const FrontendConfig &Cfg = FrontendConfig());
+
+/// The clean helper evaluating VG1 conditions from the CC thunk:
+/// vg1_calc_cond(cond, cc_op, cc_dep1, cc_dep2) -> 0/1.
+const ir::Callee *calcCondCallee();
+
+/// The dirty helper emulating CPUINFO (writes guest r0/r1).
+const ir::Callee *cpuinfoCallee();
+
+/// Partial evaluator for calcCond calls with constant cond/cc_op — the
+/// reproduction of the %eflags specialisation hook (Section 3.7, Phase 2).
+ir::SpecFn vg1SpecFn();
+
+} // namespace vg
+
+#endif // VG_FRONTEND_VG1FRONTEND_H

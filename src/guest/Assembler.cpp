@@ -1,0 +1,297 @@
+//===-- guest/Assembler.cpp - Programmatic VG1 assembler ------------------==//
+
+#include "guest/Assembler.h"
+
+#include "support/Errors.h"
+
+using namespace vg;
+using namespace vg::vg1;
+
+Label Assembler::newLabel() {
+  Label L;
+  L.Id = static_cast<int>(LabelOffsets.size());
+  LabelOffsets.push_back(-1);
+  return L;
+}
+
+void Assembler::bind(Label L) {
+  assert(L.valid() && "binding an invalid label");
+  assert(LabelOffsets[L.Id] < 0 && "label bound twice");
+  LabelOffsets[L.Id] = static_cast<int64_t>(Code.size());
+}
+
+void Assembler::symbol(const std::string &Name) { Symbols[Name] = here(); }
+
+uint32_t Assembler::labelAddr(Label L) const {
+  assert(L.valid() && LabelOffsets[L.Id] >= 0 && "label not bound");
+  return Base + static_cast<uint32_t>(LabelOffsets[L.Id]);
+}
+
+void Assembler::addFixup(Label L, size_t Offset) {
+  assert(L.valid() && "fixup against invalid label");
+  Fixups.push_back(Fixup{L.Id, Offset});
+}
+
+void Assembler::movi(Reg Rd, uint32_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::MOVI));
+  emitRegPair(Rd, Reg::R0);
+  emitU32(Imm);
+}
+
+void Assembler::mov(Reg Rd, Reg Rs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::MOV));
+  emitRegPair(Rd, Rs);
+}
+
+void Assembler::alu3(Opcode Op, Reg Rd, Reg Rs, Reg Rt) {
+  Code.push_back(static_cast<uint8_t>(Op));
+  emitRegPair(Rd, Rs);
+  Code.push_back(static_cast<uint8_t>(static_cast<uint8_t>(Rt) << 4));
+}
+
+void Assembler::falu3(Opcode Op, FReg Fd, FReg Fs, FReg Ft) {
+  Code.push_back(static_cast<uint8_t>(Op));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fd) << 4) |
+                                      static_cast<uint8_t>(Fs)));
+  Code.push_back(static_cast<uint8_t>(static_cast<uint8_t>(Ft) << 4));
+}
+
+void Assembler::addi(Reg Rd, Reg Rs, int32_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::ADDI));
+  emitRegPair(Rd, Rs);
+  emitU32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::andi(Reg Rd, Reg Rs, uint32_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::ANDI));
+  emitRegPair(Rd, Rs);
+  emitU32(Imm);
+}
+
+void Assembler::shli(Reg Rd, Reg Rs, uint8_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::SHLI));
+  emitRegPair(Rd, Rs);
+  Code.push_back(Imm);
+}
+
+void Assembler::shri(Reg Rd, Reg Rs, uint8_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::SHRI));
+  emitRegPair(Rd, Rs);
+  Code.push_back(Imm);
+}
+
+void Assembler::sari(Reg Rd, Reg Rs, uint8_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::SARI));
+  emitRegPair(Rd, Rs);
+  Code.push_back(Imm);
+}
+
+void Assembler::cmp(Reg Rs, Reg Rt) {
+  Code.push_back(static_cast<uint8_t>(Opcode::CMP));
+  emitRegPair(Rs, Rt);
+}
+
+void Assembler::cmpi(Reg Rs, int32_t Imm) {
+  Code.push_back(static_cast<uint8_t>(Opcode::CMPI));
+  emitRegPair(Rs, Reg::R0);
+  emitU32(static_cast<uint32_t>(Imm));
+}
+
+void Assembler::mem(Opcode Op, Reg A, Reg B, int16_t Disp) {
+  Code.push_back(static_cast<uint8_t>(Op));
+  emitRegPair(A, B);
+  emitU16(static_cast<uint16_t>(Disp));
+}
+
+void Assembler::ldx(Reg Rd, Reg BaseR, Reg Index, uint8_t Scale,
+                    int32_t Disp) {
+  assert(Scale <= 3 && "LDX scale must be 0..3");
+  Code.push_back(static_cast<uint8_t>(Opcode::LDX));
+  emitRegPair(Rd, BaseR);
+  Code.push_back(
+      static_cast<uint8_t>((static_cast<uint8_t>(Index) << 4) | Scale));
+  emitU32(static_cast<uint32_t>(Disp));
+}
+
+void Assembler::stx(Reg BaseR, Reg Index, uint8_t Scale, int32_t Disp,
+                    Reg Rv) {
+  assert(Scale <= 3 && "STX scale must be 0..3");
+  Code.push_back(static_cast<uint8_t>(Opcode::STX));
+  emitRegPair(BaseR, Rv);
+  Code.push_back(
+      static_cast<uint8_t>((static_cast<uint8_t>(Index) << 4) | Scale));
+  emitU32(static_cast<uint32_t>(Disp));
+}
+
+void Assembler::push(Reg Rs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::PUSH));
+  emitRegPair(Rs, Reg::R0);
+}
+
+void Assembler::pop(Reg Rd) {
+  Code.push_back(static_cast<uint8_t>(Opcode::POP));
+  emitRegPair(Rd, Reg::R0);
+}
+
+void Assembler::bcc(Cond C, Label Target) {
+  Code.push_back(
+      static_cast<uint8_t>(static_cast<uint8_t>(Opcode::BCC) +
+                           static_cast<uint8_t>(C)));
+  addFixup(Target, Code.size());
+  emitU32(0);
+}
+
+void Assembler::jmp(Label Target) {
+  Code.push_back(static_cast<uint8_t>(Opcode::JMP));
+  addFixup(Target, Code.size());
+  emitU32(0);
+}
+
+void Assembler::jmpAbs(uint32_t Target) {
+  Code.push_back(static_cast<uint8_t>(Opcode::JMP));
+  emitU32(Target);
+}
+
+void Assembler::jmpr(Reg Rs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::JMPR));
+  emitRegPair(Rs, Reg::R0);
+}
+
+void Assembler::call(Label Target) {
+  Code.push_back(static_cast<uint8_t>(Opcode::CALL));
+  addFixup(Target, Code.size());
+  emitU32(0);
+}
+
+void Assembler::callAbs(uint32_t Target) {
+  Code.push_back(static_cast<uint8_t>(Opcode::CALL));
+  emitU32(Target);
+}
+
+void Assembler::callr(Reg Rs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::CALLR));
+  emitRegPair(Rs, Reg::R0);
+}
+
+void Assembler::ret() { Code.push_back(static_cast<uint8_t>(Opcode::RET)); }
+void Assembler::sys() { Code.push_back(static_cast<uint8_t>(Opcode::SYS)); }
+void Assembler::cpuinfo() {
+  Code.push_back(static_cast<uint8_t>(Opcode::CPUINFO));
+}
+void Assembler::clreq() {
+  Code.push_back(static_cast<uint8_t>(Opcode::CLREQ));
+}
+void Assembler::nop() { Code.push_back(static_cast<uint8_t>(Opcode::NOP)); }
+void Assembler::hlt() { Code.push_back(static_cast<uint8_t>(Opcode::HLT)); }
+
+void Assembler::fneg(FReg Fd, FReg Fs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FNEG));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fd) << 4) |
+                                      static_cast<uint8_t>(Fs)));
+}
+
+void Assembler::fmov(FReg Fd, FReg Fs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FMOV));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fd) << 4) |
+                                      static_cast<uint8_t>(Fs)));
+}
+
+void Assembler::fld(FReg Fd, Reg BaseR, int16_t Disp) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FLD));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fd) << 4) |
+                                      static_cast<uint8_t>(BaseR)));
+  emitU16(static_cast<uint16_t>(Disp));
+}
+
+void Assembler::fst(Reg BaseR, int16_t Disp, FReg Fs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FST));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(BaseR) << 4) |
+                                      static_cast<uint8_t>(Fs)));
+  emitU16(static_cast<uint16_t>(Disp));
+}
+
+void Assembler::fitod(FReg Fd, Reg Rs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FITOD));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fd) << 4) |
+                                      static_cast<uint8_t>(Rs)));
+}
+
+void Assembler::fdtoi(Reg Rd, FReg Fs) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FDTOI));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Rd) << 4) |
+                                      static_cast<uint8_t>(Fs)));
+}
+
+void Assembler::fcmp(FReg Fs, FReg Ft) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FCMP));
+  Code.push_back(static_cast<uint8_t>((static_cast<uint8_t>(Fs) << 4) |
+                                      static_cast<uint8_t>(Ft)));
+}
+
+void Assembler::fmovi(FReg Fd, double Value) {
+  Code.push_back(static_cast<uint8_t>(Opcode::FMOVI));
+  Code.push_back(static_cast<uint8_t>(static_cast<uint8_t>(Fd) << 4));
+  emitF64(Value);
+}
+
+void Assembler::emitU16(uint16_t V) {
+  Code.push_back(static_cast<uint8_t>(V));
+  Code.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void Assembler::emitU32(uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Assembler::emitU64(uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Code.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void Assembler::emitF64(double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, 8);
+  emitU64(Bits);
+}
+
+void Assembler::emitBytes(const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  Code.insert(Code.end(), P, P + Len);
+}
+
+void Assembler::emitString(const std::string &S) {
+  emitBytes(S.data(), S.size());
+  Code.push_back(0);
+}
+
+void Assembler::emitZeros(size_t Len) { Code.insert(Code.end(), Len, 0); }
+
+void Assembler::align(uint32_t A) {
+  while (here() % A != 0)
+    Code.push_back(0);
+}
+
+void Assembler::emitLabelAddr(Label L) {
+  addFixup(L, Code.size());
+  emitU32(0);
+}
+
+void Assembler::leai(Reg Rd, Label L) {
+  Code.push_back(static_cast<uint8_t>(Opcode::MOVI));
+  emitRegPair(Rd, Reg::R0);
+  addFixup(L, Code.size());
+  emitU32(0);
+}
+
+std::vector<uint8_t> Assembler::finalize() {
+  for (const Fixup &F : Fixups) {
+    if (LabelOffsets[F.LabelId] < 0)
+      fatalError("assembler: unbound label referenced");
+    uint32_t Addr = Base + static_cast<uint32_t>(LabelOffsets[F.LabelId]);
+    for (int I = 0; I != 4; ++I)
+      Code[F.Offset + I] = static_cast<uint8_t>(Addr >> (8 * I));
+  }
+  Fixups.clear();
+  return Code;
+}

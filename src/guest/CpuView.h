@@ -1,0 +1,36 @@
+//===-- guest/CpuView.h - Abstract guest CPU access -------------*- C++ -*-==//
+///
+/// \file
+/// An abstract view of a guest CPU's architectural state. The simulated
+/// kernel (src/kernel) reads syscall arguments and writes results through
+/// this interface, so it can serve both execution engines: the reference
+/// interpreter (native baseline) and the DBI core's ThreadState.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_GUEST_CPUVIEW_H
+#define VG_GUEST_CPUVIEW_H
+
+#include <cstdint>
+
+namespace vg {
+
+class GuestMemory;
+
+/// Read/write access to one guest hardware thread's registers and memory.
+class CpuView {
+public:
+  virtual ~CpuView() = default;
+
+  virtual uint32_t readReg(unsigned Index) const = 0;
+  virtual void writeReg(unsigned Index, uint32_t Value) = 0;
+  virtual uint32_t pc() const = 0;
+  virtual void setPC(uint32_t Value) = 0;
+  virtual GuestMemory &mem() = 0;
+
+  /// Identifies the guest thread (0 in single-threaded contexts).
+  virtual int threadId() const { return 0; }
+};
+
+} // namespace vg
+
+#endif // VG_GUEST_CPUVIEW_H

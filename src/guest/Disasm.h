@@ -1,0 +1,29 @@
+//===-- guest/Disasm.h - VG1 disassembly printing ---------------*- C++ -*-==//
+///
+/// \file
+/// Textual rendering of decoded VG1 instructions, used by the Figure 1
+/// reproduction, error reports, and debugging output.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_GUEST_DISASM_H
+#define VG_GUEST_DISASM_H
+
+#include "guest/GuestArch.h"
+
+#include <string>
+
+namespace vg {
+namespace vg1 {
+
+/// Renders one decoded instruction, e.g. "ldx r3, [r4 + r5<<2 + 0x10]".
+std::string toString(const Instr &I);
+
+/// Disassembles and renders a range of guest bytes as an address-prefixed
+/// listing. Stops at the first undecodable byte.
+std::string disassembleRange(const uint8_t *Bytes, size_t Len,
+                             uint32_t BaseAddr);
+
+} // namespace vg1
+} // namespace vg
+
+#endif // VG_GUEST_DISASM_H

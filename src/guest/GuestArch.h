@@ -1,0 +1,298 @@
+//===-- guest/GuestArch.h - The VG1 guest architecture ----------*- C++ -*-==//
+///
+/// \file
+/// Defines the synthetic guest ISA ("VG1") that stands in for x86 in this
+/// reproduction. VG1 is deliberately CISC-flavoured in the ways that matter
+/// to the paper:
+///
+///  - variable-length instruction encodings (1..10 bytes), so IMark lengths
+///    are meaningful;
+///  - condition codes (NZCV) set as a *side effect* of most ALU operations,
+///    which the D&R front end must synthesise explicitly via a CC thunk
+///    (CC_OP/CC_DEP1/CC_DEP2), exactly as Valgrind models x86 %eflags
+///    (Section 3.7);
+///  - a scaled-index addressing mode (LDX/STX) that expands to multiple IR
+///    operations, exposing intermediate address values to tools (R3);
+///  - FP (F64) and packed-SIMD (4x8-bit lanes) instructions, because the
+///    paper stresses that analysis code must be as expressive as client
+///    code (Section 5.3);
+///  - an unusual architecture-specific instruction (CPUINFO, standing in
+///    for x86 cpuid) that the front end handles with an annotated dirty
+///    helper call instead of explicit IR (Section 3.6).
+///
+/// The file also fixes the guest-state layout used by the ThreadState: guest
+/// registers first, then (at ShadowOffset) a full shadow copy, making shadow
+/// registers first-class (R1).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_GUEST_GUESTARCH_H
+#define VG_GUEST_GUESTARCH_H
+
+#include <cstdint>
+
+namespace vg {
+namespace vg1 {
+
+//===----------------------------------------------------------------------===//
+// Registers
+//===----------------------------------------------------------------------===//
+
+constexpr unsigned NumGPRs = 16;
+constexpr unsigned NumFPRs = 8;
+
+/// r14 is the stack pointer by ABI convention; r15 the link register.
+constexpr unsigned RegSP = 14;
+constexpr unsigned RegLR = 15;
+
+//===----------------------------------------------------------------------===//
+// Guest-state layout (byte offsets into the ThreadState guest area).
+//
+// The shadow state is a full mirror image at ShadowOffset; a tool GETs the
+// shadow of r3 simply by reading offset gpr(3) + ShadowOffset. This is what
+// makes shadow registers first-class entities (Section 4, R1).
+//===----------------------------------------------------------------------===//
+namespace gso {
+constexpr uint32_t R0 = 0; // 16 GPRs, 4 bytes each: 0..63
+constexpr uint32_t PC = 64;
+constexpr uint32_t CC_OP = 68;
+constexpr uint32_t CC_DEP1 = 72;
+constexpr uint32_t CC_DEP2 = 76;
+constexpr uint32_t CC_NDEP = 80;
+constexpr uint32_t F0 = 88; // 8 FPRs, 8 bytes each: 88..151
+constexpr uint32_t EMNOTE = 152;
+constexpr uint32_t GuestStateSize = 160;
+/// Offset of the shadow copy of the whole guest state.
+constexpr uint32_t ShadowOffset = 192;
+/// Total per-thread state area (guest + shadow).
+constexpr uint32_t TotalSize = ShadowOffset + GuestStateSize; // 352
+
+constexpr uint32_t gpr(unsigned I) { return R0 + 4 * I; }
+constexpr uint32_t fpr(unsigned I) { return F0 + 8 * I; }
+} // namespace gso
+
+//===----------------------------------------------------------------------===//
+// Condition codes
+//===----------------------------------------------------------------------===//
+
+/// NZCV flag bits as packed into a computed flags word.
+constexpr uint32_t FlagN = 8;
+constexpr uint32_t FlagZ = 4;
+constexpr uint32_t FlagC = 2;
+constexpr uint32_t FlagV = 1;
+
+/// CC thunk operation kinds. After an ALU instruction the front end stores
+/// (CCOp, operand1, operand2) into the thunk instead of eagerly computing
+/// NZCV; flags are materialised lazily by calcNZCV, and the IR optimiser
+/// can partially evaluate uses when CC_OP is a known constant.
+enum class CCOp : uint32_t {
+  Copy = 0,  ///< CC_DEP1 already holds the NZCV bits (used by FCMP).
+  Add = 1,   ///< Flags of DEP1 + DEP2.
+  Sub = 2,   ///< Flags of DEP1 - DEP2 (C set means "no borrow", ARM-style).
+  Logic = 3, ///< Flags of a logical result held in DEP1 (C = V = 0).
+};
+
+/// Branch condition kinds (Bcc instruction suffixes).
+enum class Cond : uint8_t {
+  EQ = 0, ///< Z
+  NE = 1, ///< !Z
+  LTS = 2, ///< N != V
+  GES = 3, ///< N == V
+  LTU = 4, ///< !C
+  GEU = 5, ///< C
+  GTS = 6, ///< !Z && N == V
+  LES = 7, ///< Z || N != V
+  MI = 8, ///< N
+  PL = 9, ///< !N
+};
+constexpr unsigned NumConds = 10;
+
+/// Materialises the NZCV flag word from a CC thunk. This is also the body
+/// of the IR helper the front end calls (see frontend/Vg1Frontend.cpp).
+inline uint32_t calcNZCV(uint32_t Op, uint32_t Dep1, uint32_t Dep2) {
+  uint32_t N = 0, Z = 0, C = 0, V = 0, Res;
+  switch (static_cast<CCOp>(Op)) {
+  case CCOp::Copy:
+    return Dep1 & 0xF;
+  case CCOp::Add:
+    Res = Dep1 + Dep2;
+    N = Res >> 31;
+    Z = Res == 0;
+    C = Res < Dep1; // carry out
+    V = ((Dep1 ^ ~Dep2) & (Dep1 ^ Res)) >> 31;
+    break;
+  case CCOp::Sub:
+    Res = Dep1 - Dep2;
+    N = Res >> 31;
+    Z = Res == 0;
+    C = Dep1 >= Dep2; // C set == no borrow
+    V = ((Dep1 ^ Dep2) & (Dep1 ^ Res)) >> 31;
+    break;
+  case CCOp::Logic:
+    Res = Dep1;
+    N = Res >> 31;
+    Z = Res == 0;
+    break;
+  }
+  return (N ? FlagN : 0) | (Z ? FlagZ : 0) | (C ? FlagC : 0) | (V ? FlagV : 0);
+}
+
+/// Evaluates condition \p CondKind against a flag word.
+inline bool condHolds(Cond CondKind, uint32_t NZCV) {
+  bool N = NZCV & FlagN, Z = NZCV & FlagZ, C = NZCV & FlagC, V = NZCV & FlagV;
+  switch (CondKind) {
+  case Cond::EQ:
+    return Z;
+  case Cond::NE:
+    return !Z;
+  case Cond::LTS:
+    return N != V;
+  case Cond::GES:
+    return N == V;
+  case Cond::LTU:
+    return !C;
+  case Cond::GEU:
+    return C;
+  case Cond::GTS:
+    return !Z && N == V;
+  case Cond::LES:
+    return Z || N != V;
+  case Cond::MI:
+    return N;
+  case Cond::PL:
+    return !N;
+  }
+  return false;
+}
+
+/// One-call helper used both by the reference interpreter and by the IR
+/// helper call the front end emits for conditional branches.
+inline uint32_t calcCond(uint32_t CondKind, uint32_t Op, uint32_t Dep1,
+                         uint32_t Dep2) {
+  return condHolds(static_cast<Cond>(CondKind), calcNZCV(Op, Dep1, Dep2)) ? 1
+                                                                          : 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Opcodes and encodings
+//
+// Encodings (r:r means two 4-bit register fields packed into one byte,
+// immediates are little-endian):
+//   NOP/HLT/RET/SYS/CPUINFO/CLREQ      [op]                         len 1
+//   MOV rd,rs / JMPR / CALLR / PUSH /
+//   POP / FNEG / FITOD / FDTOI / FCMP
+//   / FMOV                             [op][a:b]                    len 2
+//   ALU3 rd,rs,rt / F-ALU3 / V-ALU3    [op][rd:rs][rt:0]            len 3
+//   SHLI/SHRI/SARI rd,rs,imm8          [op][rd:rs][imm8]            len 3
+//   LD/ST/LDB../FLD/FST  [r+disp16]    [op][a:b][disp16]            len 4
+//   JMP/CALL/Bcc target32              [op][target32]               len 5
+//   MOVI rd,imm32 / CMPI rs,imm32      [op][r:0][imm32]             len 6
+//   ADDI/ANDI rd,rs,imm32              [op][rd:rs][imm32]           len 6
+//   LDX/STX [rs+rt<<sc+disp32]         [op][a:b][c:d][disp32]       len 7
+//   FMOVI fd,imm64                     [op][fd:0][imm64]            len 10
+//===----------------------------------------------------------------------===//
+
+enum class Opcode : uint8_t {
+  NOP = 0x00,
+  HLT = 0x01,
+  MOVI = 0x02,
+  MOV = 0x03,
+  ADD = 0x04,
+  SUB = 0x05,
+  AND = 0x06,
+  OR = 0x07,
+  XOR = 0x08,
+  SHL = 0x09,
+  SHR = 0x0A,
+  SAR = 0x0B,
+  MUL = 0x0C, // no flag update
+  DIVU = 0x0D, // no flag update
+  DIVS = 0x0E, // no flag update
+  ADDI = 0x0F,
+  CMP = 0x10,
+  CMPI = 0x11,
+  LD = 0x12,
+  ST = 0x13,
+  LDX = 0x14,
+  STX = 0x15,
+  LDB = 0x16,
+  LDSB = 0x17,
+  STB = 0x18,
+  LDH = 0x19,
+  LDSH = 0x1A,
+  STH = 0x1B,
+  SHLI = 0x1C,
+  SHRI = 0x1D,
+  SARI = 0x1E,
+  ANDI = 0x1F,
+  BCC = 0x20, // 0x20 + Cond, occupies 0x20..0x29
+  JMP = 0x2E,
+  JMPR = 0x2F,
+  CALL = 0x30,
+  CALLR = 0x31,
+  RET = 0x32,
+  PUSH = 0x33,
+  POP = 0x34,
+  SYS = 0x35,
+  CPUINFO = 0x36,
+  CLREQ = 0x37,
+  FADD = 0x40,
+  FSUB = 0x41,
+  FMUL = 0x42,
+  FDIV = 0x43,
+  FNEG = 0x44,
+  FLD = 0x45,
+  FST = 0x46,
+  FITOD = 0x47,
+  FDTOI = 0x48,
+  FCMP = 0x49,
+  FMOVI = 0x4A,
+  FMOV = 0x4B,
+  VADD8 = 0x50,
+  VSUB8 = 0x51,
+  VCMPGT8 = 0x52,
+};
+
+/// Values CPUINFO deposits in r0/r1 (emulated via a dirty helper under DBI).
+constexpr uint32_t CpuInfoMagic = 0x56473100; // "VG1\0"
+constexpr uint32_t CpuInfoVersion = 1;
+
+/// A decoded VG1 instruction.
+struct Instr {
+  Opcode Op = Opcode::NOP;
+  uint8_t Len = 0;
+  uint8_t Rd = 0, Rs = 0, Rt = 0;
+  uint8_t Scale = 0;    ///< LDX/STX index scale (0..3, shift amount)
+  Cond BCond = Cond::EQ; ///< Bcc only
+  int32_t Imm = 0;       ///< imm32 / disp / imm8 / branch target
+  uint64_t Imm64 = 0;    ///< FMOVI payload (IEEE754 bits)
+};
+
+/// Whether \p Op writes the condition-code thunk.
+inline bool opSetsFlags(Opcode Op) {
+  switch (Op) {
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::ADDI:
+  case Opcode::ANDI:
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::SARI:
+  case Opcode::CMP:
+  case Opcode::CMPI:
+  case Opcode::FCMP:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace vg1
+} // namespace vg
+
+#endif // VG_GUEST_GUESTARCH_H

@@ -1,0 +1,88 @@
+//===-- guest/GuestMemory.cpp - Sparse paged guest address space ----------==//
+
+#include "guest/GuestMemory.h"
+
+using namespace vg;
+
+void GuestMemory::map(uint32_t Addr, uint32_t Len, uint8_t Perms) {
+  if (Len == 0)
+    return;
+  uint32_t First = Addr >> PageShift;
+  uint32_t Last = (Addr + Len - 1) >> PageShift;
+  for (uint32_t P = First;; ++P) {
+    auto &Slot = Pages[P];
+    if (!Slot) {
+      Slot = std::make_unique<Page>();
+      Slot->Data.fill(0);
+    }
+    Slot->Perms = Perms;
+    if (P == Last)
+      break;
+  }
+  LastIdx = ~0u;
+  LastPage = nullptr;
+}
+
+void GuestMemory::unmap(uint32_t Addr, uint32_t Len) {
+  if (Len == 0)
+    return;
+  uint32_t First = Addr >> PageShift;
+  uint32_t Last = (Addr + Len - 1) >> PageShift;
+  for (uint32_t P = First;; ++P) {
+    Pages.erase(P);
+    if (P == Last)
+      break;
+  }
+  LastIdx = ~0u;
+  LastPage = nullptr;
+}
+
+void GuestMemory::protect(uint32_t Addr, uint32_t Len, uint8_t Perms) {
+  if (Len == 0)
+    return;
+  uint32_t First = Addr >> PageShift;
+  uint32_t Last = (Addr + Len - 1) >> PageShift;
+  for (uint32_t P = First;; ++P) {
+    if (Page *Pg = lookup(P))
+      Pg->Perms = Perms;
+    if (P == Last)
+      break;
+  }
+}
+
+template <bool IsWrite>
+MemFault GuestMemory::access(uint32_t Addr, void *Buf, uint32_t Len,
+                             uint8_t NeedPerm) const {
+  uint8_t *Bytes = static_cast<uint8_t *>(Buf);
+  uint32_t Done = 0;
+  while (Done != Len) {
+    uint32_t A = Addr + Done;
+    Page *P = lookup(A >> PageShift);
+    if (!P || (NeedPerm && !(P->Perms & NeedPerm)))
+      return MemFault{true, A, IsWrite};
+    uint32_t Off = A & (PageSize - 1);
+    uint32_t Chunk = std::min(Len - Done, PageSize - Off);
+    if constexpr (IsWrite)
+      std::memcpy(P->Data.data() + Off, Bytes + Done, Chunk);
+    else
+      std::memcpy(Bytes + Done, P->Data.data() + Off, Chunk);
+    Done += Chunk;
+  }
+  return MemFault{};
+}
+
+MemFault GuestMemory::read(uint32_t Addr, void *Out, uint32_t Len,
+                           bool IgnorePerms) const {
+  return access<false>(Addr, Out, Len,
+                       IgnorePerms ? 0 : static_cast<uint8_t>(PermRead));
+}
+
+MemFault GuestMemory::write(uint32_t Addr, const void *Data, uint32_t Len,
+                            bool IgnorePerms) {
+  return access<true>(Addr, const_cast<void *>(Data), Len,
+                      IgnorePerms ? 0 : static_cast<uint8_t>(PermWrite));
+}
+
+MemFault GuestMemory::fetch(uint32_t Addr, void *Out, uint32_t Len) const {
+  return access<false>(Addr, Out, Len, PermExec);
+}

@@ -1,0 +1,452 @@
+//===-- guest/RefInterp.cpp - Reference VG1 interpreter -------------------==//
+
+#include "guest/RefInterp.h"
+
+#include "guest/Decoder.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+/// Packed-SIMD helpers: 4 independent byte lanes in a 32-bit word.
+uint32_t laneAdd8(uint32_t A, uint32_t B) {
+  uint32_t Out = 0;
+  for (int L = 0; L != 4; ++L) {
+    uint8_t S = static_cast<uint8_t>((A >> (8 * L)) + (B >> (8 * L)));
+    Out |= static_cast<uint32_t>(S) << (8 * L);
+  }
+  return Out;
+}
+
+uint32_t laneSub8(uint32_t A, uint32_t B) {
+  uint32_t Out = 0;
+  for (int L = 0; L != 4; ++L) {
+    uint8_t S = static_cast<uint8_t>((A >> (8 * L)) - (B >> (8 * L)));
+    Out |= static_cast<uint32_t>(S) << (8 * L);
+  }
+  return Out;
+}
+
+uint32_t laneCmpGT8(uint32_t A, uint32_t B) {
+  uint32_t Out = 0;
+  for (int L = 0; L != 4; ++L) {
+    int8_t X = static_cast<int8_t>(A >> (8 * L));
+    int8_t Y = static_cast<int8_t>(B >> (8 * L));
+    if (X > Y)
+      Out |= 0xFFu << (8 * L);
+  }
+  return Out;
+}
+
+uint32_t fcmpFlags(double A, double B) {
+  if (std::isnan(A) || std::isnan(B))
+    return FlagV; // unordered
+  uint32_t Fl = 0;
+  if (A == B)
+    Fl |= FlagZ;
+  if (A < B)
+    Fl |= FlagN;
+  if (A >= B)
+    Fl |= FlagC;
+  return Fl;
+}
+
+} // namespace
+
+RunResult RefInterp::run(uint64_t MaxInsns) {
+  RunResult Res;
+  uint8_t Buf[MaxInstrLen];
+
+  while (Res.InsnsExecuted < MaxInsns) {
+    // Predecoded-instruction fast path (the "hardware icache + decoder").
+    DEntry &DE = DCache[(PC >> 0) & (DCacheSize - 1)];
+    if (DE.Addr != PC) {
+      // Fetch as many bytes as are executable at PC (an instruction may
+      // end just before an unmapped page).
+      uint32_t Got = 0;
+      while (Got < MaxInstrLen) {
+        if (Memory.fetch(PC + Got, Buf + Got, 1).Faulted)
+          break;
+        ++Got;
+      }
+      if (Got == 0) {
+        Res.Status = RunStatus::Faulted;
+        Res.Fault = MemFault{true, PC, false};
+        Res.FaultPC = PC;
+        return Res;
+      }
+      if (!decode(Buf, Got, DE.I)) {
+        Res.Status = RunStatus::BadInstr;
+        Res.FaultPC = PC;
+        return Res;
+      }
+      DE.Addr = PC;
+    }
+    const Instr &I = DE.I;
+
+    uint32_t Next = PC + I.Len;
+    auto SetFlagsAdd = [&](uint32_t D1, uint32_t D2) {
+      CCOpVal = static_cast<uint32_t>(CCOp::Add);
+      CCDep1 = D1;
+      CCDep2 = D2;
+    };
+    auto SetFlagsSub = [&](uint32_t D1, uint32_t D2) {
+      CCOpVal = static_cast<uint32_t>(CCOp::Sub);
+      CCDep1 = D1;
+      CCDep2 = D2;
+    };
+    auto SetFlagsLogic = [&](uint32_t ResVal) {
+      CCOpVal = static_cast<uint32_t>(CCOp::Logic);
+      CCDep1 = ResVal;
+      CCDep2 = 0;
+    };
+    auto MemFaultOut = [&](MemFault F) {
+      Res.Status = RunStatus::Faulted;
+      Res.Fault = F;
+      Res.FaultPC = PC;
+    };
+
+    switch (I.Op) {
+    case Opcode::NOP:
+      break;
+    case Opcode::HLT:
+      ++Res.InsnsExecuted;
+      Res.Status = RunStatus::Halted;
+      return Res;
+    case Opcode::MOVI:
+      R[I.Rd] = static_cast<uint32_t>(I.Imm);
+      break;
+    case Opcode::MOV:
+      R[I.Rd] = R[I.Rs];
+      break;
+    case Opcode::ADD: {
+      uint32_t A = R[I.Rs], B = R[I.Rt];
+      R[I.Rd] = A + B;
+      SetFlagsAdd(A, B);
+      break;
+    }
+    case Opcode::SUB: {
+      uint32_t A = R[I.Rs], B = R[I.Rt];
+      R[I.Rd] = A - B;
+      SetFlagsSub(A, B);
+      break;
+    }
+    case Opcode::AND:
+      R[I.Rd] = R[I.Rs] & R[I.Rt];
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::OR:
+      R[I.Rd] = R[I.Rs] | R[I.Rt];
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::XOR:
+      R[I.Rd] = R[I.Rs] ^ R[I.Rt];
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SHL:
+      R[I.Rd] = R[I.Rs] << (R[I.Rt] & 31);
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SHR:
+      R[I.Rd] = R[I.Rs] >> (R[I.Rt] & 31);
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SAR:
+      R[I.Rd] = static_cast<uint32_t>(static_cast<int32_t>(R[I.Rs]) >>
+                                      (R[I.Rt] & 31));
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::MUL:
+      R[I.Rd] = R[I.Rs] * R[I.Rt];
+      break;
+    case Opcode::DIVU: {
+      uint32_t D = R[I.Rt];
+      // Division by zero yields all-ones, matching the HVM back end (VG1
+      // defines this rather than faulting, to keep workloads total).
+      R[I.Rd] = D == 0 ? 0xFFFFFFFFu : R[I.Rs] / D;
+      break;
+    }
+    case Opcode::DIVS: {
+      int32_t N = static_cast<int32_t>(R[I.Rs]);
+      int32_t D = static_cast<int32_t>(R[I.Rt]);
+      int32_t Q;
+      if (D == 0)
+        Q = -1;
+      else if (N == INT32_MIN && D == -1)
+        Q = INT32_MIN; // wraps
+      else
+        Q = N / D;
+      R[I.Rd] = static_cast<uint32_t>(Q);
+      break;
+    }
+    case Opcode::ADDI: {
+      uint32_t A = R[I.Rs], B = static_cast<uint32_t>(I.Imm);
+      R[I.Rd] = A + B;
+      SetFlagsAdd(A, B);
+      break;
+    }
+    case Opcode::ANDI:
+      R[I.Rd] = R[I.Rs] & static_cast<uint32_t>(I.Imm);
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SHLI:
+      R[I.Rd] = R[I.Rs] << (I.Imm & 31);
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SHRI:
+      R[I.Rd] = R[I.Rs] >> (I.Imm & 31);
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::SARI:
+      R[I.Rd] = static_cast<uint32_t>(static_cast<int32_t>(R[I.Rs]) >>
+                                      (I.Imm & 31));
+      SetFlagsLogic(R[I.Rd]);
+      break;
+    case Opcode::CMP:
+      SetFlagsSub(R[I.Rd], R[I.Rs]);
+      break;
+    case Opcode::CMPI:
+      SetFlagsSub(R[I.Rd], static_cast<uint32_t>(I.Imm));
+      break;
+
+    case Opcode::LD: {
+      uint32_t V;
+      if (MemFault F = Memory.readU32(R[I.Rs] + I.Imm, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] = V;
+      break;
+    }
+    case Opcode::ST:
+      if (MemFault F = Memory.writeU32(R[I.Rd] + I.Imm, R[I.Rs]); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      break;
+    case Opcode::LDB: {
+      uint8_t V;
+      if (MemFault F = Memory.readU8(R[I.Rs] + I.Imm, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] = V;
+      break;
+    }
+    case Opcode::LDSB: {
+      uint8_t V;
+      if (MemFault F = Memory.readU8(R[I.Rs] + I.Imm, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] = static_cast<uint32_t>(static_cast<int32_t>(static_cast<int8_t>(V)));
+      break;
+    }
+    case Opcode::STB:
+      if (MemFault F =
+              Memory.writeU8(R[I.Rd] + I.Imm, static_cast<uint8_t>(R[I.Rs]));
+          F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      break;
+    case Opcode::LDH: {
+      uint16_t V;
+      if (MemFault F = Memory.readU16(R[I.Rs] + I.Imm, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] = V;
+      break;
+    }
+    case Opcode::LDSH: {
+      uint16_t V;
+      if (MemFault F = Memory.readU16(R[I.Rs] + I.Imm, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] =
+          static_cast<uint32_t>(static_cast<int32_t>(static_cast<int16_t>(V)));
+      break;
+    }
+    case Opcode::STH:
+      if (MemFault F =
+              Memory.writeU16(R[I.Rd] + I.Imm, static_cast<uint16_t>(R[I.Rs]));
+          F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      break;
+    case Opcode::LDX: {
+      uint32_t Addr = R[I.Rs] + (R[I.Rt] << I.Scale) +
+                      static_cast<uint32_t>(I.Imm);
+      uint32_t V;
+      if (MemFault F = Memory.readU32(Addr, V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[I.Rd] = V;
+      break;
+    }
+    case Opcode::STX: {
+      uint32_t Addr = R[I.Rd] + (R[I.Rt] << I.Scale) +
+                      static_cast<uint32_t>(I.Imm);
+      if (MemFault F = Memory.writeU32(Addr, R[I.Rs]); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      break;
+    }
+
+    case Opcode::BCC:
+      if (condHolds(I.BCond, flags()))
+        Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case Opcode::JMP:
+      Next = static_cast<uint32_t>(I.Imm);
+      break;
+    case Opcode::JMPR:
+      Next = R[I.Rd];
+      break;
+    case Opcode::CALL:
+    case Opcode::CALLR: {
+      uint32_t Target = I.Op == Opcode::CALL ? static_cast<uint32_t>(I.Imm)
+                                             : R[I.Rd];
+      uint32_t NewSP = R[RegSP] - 4;
+      if (MemFault F = Memory.writeU32(NewSP, Next); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[RegSP] = NewSP;
+      Next = Target;
+      break;
+    }
+    case Opcode::RET: {
+      uint32_t RetAddr;
+      if (MemFault F = Memory.readU32(R[RegSP], RetAddr); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[RegSP] += 4;
+      Next = RetAddr;
+      break;
+    }
+    case Opcode::PUSH: {
+      uint32_t NewSP = R[RegSP] - 4;
+      if (MemFault F = Memory.writeU32(NewSP, R[I.Rd]); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[RegSP] = NewSP;
+      break;
+    }
+    case Opcode::POP: {
+      uint32_t V;
+      if (MemFault F = Memory.readU32(R[RegSP], V); F.Faulted) {
+        MemFaultOut(F);
+        return Res;
+      }
+      R[RegSP] += 4;
+      R[I.Rd] = V;
+      break;
+    }
+
+    case Opcode::SYS: {
+      ++Res.InsnsExecuted;
+      PC = Next; // syscall sees the post-instruction PC
+      if (Sys && Sys->onSyscall(*this) == SyscallSink::Action::Exit) {
+        Res.Status = RunStatus::Exited;
+        return Res;
+      }
+      Next = PC; // the sink may have redirected control (e.g. signals)
+      PC = Next;
+      continue; // InsnsExecuted already counted
+    }
+    case Opcode::CPUINFO:
+      R[0] = CpuInfoMagic;
+      R[1] = CpuInfoVersion;
+      break;
+    case Opcode::CLREQ:
+      // Running "natively": client requests are defined to be no-ops that
+      // return 0, just as real Valgrind's macros do outside Valgrind.
+      R[0] = 0;
+      break;
+
+    case Opcode::FADD:
+      F[I.Rd] = F[I.Rs] + F[I.Rt];
+      break;
+    case Opcode::FSUB:
+      F[I.Rd] = F[I.Rs] - F[I.Rt];
+      break;
+    case Opcode::FMUL:
+      F[I.Rd] = F[I.Rs] * F[I.Rt];
+      break;
+    case Opcode::FDIV:
+      F[I.Rd] = F[I.Rs] / F[I.Rt];
+      break;
+    case Opcode::FNEG:
+      F[I.Rd] = -F[I.Rs];
+      break;
+    case Opcode::FMOV:
+      F[I.Rd] = F[I.Rs];
+      break;
+    case Opcode::FLD: {
+      uint64_t Bits;
+      if (MemFault Flt = Memory.readU64(R[I.Rs] + I.Imm, Bits); Flt.Faulted) {
+        MemFaultOut(Flt);
+        return Res;
+      }
+      std::memcpy(&F[I.Rd], &Bits, 8);
+      break;
+    }
+    case Opcode::FST: {
+      uint64_t Bits;
+      std::memcpy(&Bits, &F[I.Rs], 8);
+      if (MemFault Flt = Memory.writeU64(R[I.Rd] + I.Imm, Bits); Flt.Faulted) {
+        MemFaultOut(Flt);
+        return Res;
+      }
+      break;
+    }
+    case Opcode::FITOD:
+      F[I.Rd] = static_cast<double>(static_cast<int32_t>(R[I.Rs]));
+      break;
+    case Opcode::FDTOI: {
+      double D = F[I.Rs];
+      int32_t V;
+      if (std::isnan(D) || D >= 2147483648.0 || D < -2147483648.0)
+        V = INT32_MIN; // x86-style saturate-to-indefinite
+      else
+        V = static_cast<int32_t>(D);
+      R[I.Rd] = static_cast<uint32_t>(V);
+      break;
+    }
+    case Opcode::FCMP:
+      CCOpVal = static_cast<uint32_t>(CCOp::Copy);
+      CCDep1 = fcmpFlags(F[I.Rd], F[I.Rs]);
+      CCDep2 = 0;
+      break;
+    case Opcode::FMOVI:
+      std::memcpy(&F[I.Rd], &I.Imm64, 8);
+      break;
+
+    case Opcode::VADD8:
+      R[I.Rd] = laneAdd8(R[I.Rs], R[I.Rt]);
+      break;
+    case Opcode::VSUB8:
+      R[I.Rd] = laneSub8(R[I.Rs], R[I.Rt]);
+      break;
+    case Opcode::VCMPGT8:
+      R[I.Rd] = laneCmpGT8(R[I.Rs], R[I.Rt]);
+      break;
+    }
+
+    PC = Next;
+    ++Res.InsnsExecuted;
+  }
+  return Res;
+}

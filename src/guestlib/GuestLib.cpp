@@ -1,0 +1,228 @@
+//===-- guestlib/GuestLib.cpp - The guest runtime library -----------------==//
+
+#include "guestlib/GuestLib.h"
+
+#include "kernel/SimKernel.h"
+
+using namespace vg;
+using namespace vg::vg1;
+
+uint32_t vg::emitStart(Assembler &Code, Label Main) {
+  uint32_t Entry = Code.here();
+  Code.symbol("_start");
+  Code.call(Main);
+  Code.mov(Reg::R1, Reg::R0); // exit status = main's result
+  Code.movi(Reg::R0, SysExit);
+  Code.sys();
+  Code.hlt(); // unreachable
+  return Entry;
+}
+
+GuestLibLabels vg::emitGuestLib(Assembler &Code, Assembler &Data) {
+  GuestLibLabels L;
+
+  // Library state: [0] heap free pointer, [4] heap end, [8..40) itoa buf.
+  Data.align(8);
+  Label HeapState = Data.boundLabel();
+  Data.symbol("_vglib_state");
+  Data.emitZeros(40);
+  uint32_t StateAddr = Data.labelAddr(HeapState);
+
+  // --- malloc(r1 = size) -> r0 -----------------------------------------
+  // Bump allocator over brk. Block layout: [raw size: 16 bytes hdr][payload].
+  L.Malloc = Code.boundLabel();
+  Code.symbol("malloc");
+  {
+    Code.addi(Reg::R2, Reg::R1, 15 + 16); // raw = align16(size) + 16 hdr
+    Code.andi(Reg::R2, Reg::R2, 0xFFFFFFF0u);
+    Code.movi(Reg::R3, StateAddr);
+    Code.ld(Reg::R4, Reg::R3, 0); // freeptr
+    Code.cmpi(Reg::R4, 0);
+    Label Inited = Code.newLabel();
+    Code.bne(Inited);
+    // First call: discover the current brk end.
+    Code.movi(Reg::R0, SysBrk);
+    Code.movi(Reg::R1, 0);
+    Code.sys(); // r0 = current end
+    Code.st(Reg::R3, 0, Reg::R0);
+    Code.st(Reg::R3, 4, Reg::R0);
+    Code.mov(Reg::R4, Reg::R0);
+    Code.bind(Inited);
+    Code.add(Reg::R5, Reg::R4, Reg::R2); // newfree
+    Code.ld(Reg::R0, Reg::R3, 4);        // heapend
+    Code.cmp(Reg::R0, Reg::R5);
+    Label Fits = Code.newLabel();
+    Code.bgeu(Fits);
+    // Grow the heap with room to spare.
+    Code.addi(Reg::R1, Reg::R5, 65536);
+    Code.movi(Reg::R0, SysBrk);
+    Code.sys();
+    Code.st(Reg::R3, 4, Reg::R0);
+    Code.bind(Fits);
+    Code.st(Reg::R3, 0, Reg::R5); // freeptr = newfree
+    Code.st(Reg::R4, 0, Reg::R2); // header: raw size
+    Code.addi(Reg::R0, Reg::R4, 16);
+    Code.ret();
+  }
+
+  // --- free(r1 = ptr) ----------------------------------------------------
+  L.Free = Code.boundLabel();
+  Code.symbol("free");
+  Code.ret(); // bump allocators don't reclaim
+
+  // --- memset(r1 = dst, r2 = byte, r3 = len) -> r0 = dst -----------------
+  L.Memset = Code.boundLabel();
+  Code.symbol("memset");
+  {
+    Code.mov(Reg::R0, Reg::R1);
+    Label Loop = Code.newLabel(), Done = Code.newLabel();
+    Code.bind(Loop);
+    Code.cmpi(Reg::R3, 0);
+    Code.beq(Done);
+    Code.stb(Reg::R1, 0, Reg::R2);
+    Code.addi(Reg::R1, Reg::R1, 1);
+    Code.addi(Reg::R3, Reg::R3, -1);
+    Code.jmp(Loop);
+    Code.bind(Done);
+    Code.ret();
+  }
+
+  // --- memcpy(r1 = dst, r2 = src, r3 = len) -> r0 = dst -------------------
+  L.Memcpy = Code.boundLabel();
+  Code.symbol("memcpy");
+  {
+    Code.mov(Reg::R0, Reg::R1);
+    Label Loop = Code.newLabel(), Done = Code.newLabel();
+    Code.bind(Loop);
+    Code.cmpi(Reg::R3, 0);
+    Code.beq(Done);
+    Code.ldb(Reg::R4, Reg::R2, 0);
+    Code.stb(Reg::R1, 0, Reg::R4);
+    Code.addi(Reg::R1, Reg::R1, 1);
+    Code.addi(Reg::R2, Reg::R2, 1);
+    Code.addi(Reg::R3, Reg::R3, -1);
+    Code.jmp(Loop);
+    Code.bind(Done);
+    Code.ret();
+  }
+
+  // --- calloc(r1 = n, r2 = size) -> r0 ------------------------------------
+  L.Calloc = Code.boundLabel();
+  Code.symbol("calloc");
+  {
+    Code.mul(Reg::R1, Reg::R1, Reg::R2);
+    Code.push(Reg::R1);
+    Code.call(L.Malloc);
+    Code.pop(Reg::R3); // len
+    Code.mov(Reg::R1, Reg::R0);
+    Code.push(Reg::R0);
+    Code.movi(Reg::R2, 0);
+    Code.call(L.Memset);
+    Code.pop(Reg::R0);
+    Code.ret();
+  }
+
+  // --- realloc(r1 = ptr, r2 = newsize) -> r0 -------------------------------
+  L.Realloc = Code.boundLabel();
+  Code.symbol("realloc");
+  {
+    Label NotNull = Code.newLabel();
+    Code.cmpi(Reg::R1, 0);
+    Code.bne(NotNull);
+    Code.mov(Reg::R1, Reg::R2);
+    Code.jmp(L.Malloc); // tail call: realloc(0, n) == malloc(n)
+    Code.bind(NotNull);
+    Code.push(Reg::R1); // old ptr
+    Code.push(Reg::R2); // new size
+    Code.mov(Reg::R1, Reg::R2);
+    Code.call(L.Malloc);
+    Code.pop(Reg::R3);  // new size
+    Code.pop(Reg::R2);  // old ptr
+    // old payload capacity = header raw size - 16
+    Code.ld(Reg::R4, Reg::R2, -16);
+    Code.addi(Reg::R4, Reg::R4, -16);
+    // copy min(old capacity, new size)
+    Code.cmp(Reg::R4, Reg::R3);
+    Label UseOld = Code.newLabel();
+    Code.bltu(UseOld);
+    Code.mov(Reg::R4, Reg::R3);
+    Code.bind(UseOld);
+    Code.push(Reg::R0);
+    Code.mov(Reg::R1, Reg::R0);
+    Code.mov(Reg::R3, Reg::R4);
+    Code.call(L.Memcpy);
+    Code.pop(Reg::R0);
+    Code.ret();
+  }
+
+  // --- strlen(r1 = str) -> r0 ----------------------------------------------
+  // Byte-exact: never reads past the terminator (so Memcheck sees no
+  // out-of-bounds accesses from library code).
+  L.Strlen = Code.boundLabel();
+  Code.symbol("strlen");
+  {
+    Code.mov(Reg::R2, Reg::R1);
+    Label Loop = Code.newLabel(), Done = Code.newLabel();
+    Code.bind(Loop);
+    Code.ldb(Reg::R3, Reg::R2, 0);
+    Code.cmpi(Reg::R3, 0);
+    Code.beq(Done);
+    Code.addi(Reg::R2, Reg::R2, 1);
+    Code.jmp(Loop);
+    Code.bind(Done);
+    Code.sub(Reg::R0, Reg::R2, Reg::R1);
+    Code.ret();
+  }
+
+  // --- print(r1 = NUL-terminated string) ------------------------------------
+  L.Print = Code.boundLabel();
+  Code.symbol("print");
+  {
+    Code.push(Reg::R1);
+    Code.call(L.Strlen);
+    Code.pop(Reg::R2);       // str
+    Code.mov(Reg::R3, Reg::R0); // len
+    Code.movi(Reg::R0, SysWrite);
+    Code.movi(Reg::R1, 1); // stdout
+    Code.sys();
+    Code.ret();
+  }
+
+  // --- print_u32(r1 = value): decimal + newline -----------------------------
+  L.PrintU32 = Code.boundLabel();
+  Code.symbol("print_u32");
+  {
+    // Build digits backwards into the state buffer [8..40).
+    Code.movi(Reg::R3, StateAddr + 39); // cursor (writes go downward)
+    Code.movi(Reg::R2, 10);
+    Code.stb(Reg::R3, 0, Reg::R2); // trailing '\n'... store 10 == '\n'
+    Code.addi(Reg::R3, Reg::R3, -1);
+    Label Loop = Code.boundLabel();
+    Code.divu(Reg::R4, Reg::R1, Reg::R2); // q = v / 10
+    Code.mul(Reg::R5, Reg::R4, Reg::R2);
+    Code.sub(Reg::R5, Reg::R1, Reg::R5); // r = v % 10
+    Code.addi(Reg::R5, Reg::R5, '0');
+    Code.stb(Reg::R3, 0, Reg::R5);
+    Code.addi(Reg::R3, Reg::R3, -1);
+    Code.mov(Reg::R1, Reg::R4);
+    Code.cmpi(Reg::R1, 0);
+    Code.bne(Loop);
+    // write(1, r3+1, end-r3-1)
+    Code.addi(Reg::R2, Reg::R3, 1);
+    Code.movi(Reg::R4, StateAddr + 40);
+    Code.sub(Reg::R3, Reg::R4, Reg::R2);
+    Code.movi(Reg::R0, SysWrite);
+    Code.movi(Reg::R1, 1);
+    Code.sys();
+    Code.ret();
+  }
+
+  // --- exit(r1 = code) --------------------------------------------------------
+  L.Exit = Code.boundLabel();
+  Code.symbol("exit");
+  Code.movi(Reg::R0, SysExit);
+  Code.sys();
+  Code.hlt(); // unreachable
+
+  return L;
+}

@@ -1,0 +1,49 @@
+//===-- guestlib/GuestLib.h - The guest runtime library ---------*- C++ -*-==//
+///
+/// \file
+/// A tiny libc for VG1 guest programs, emitted as guest machine code via
+/// the assembler API (the stand-in for glibc + crt0, Section 3.3). It
+/// provides:
+///
+///   _start           calls main, then the exit syscall with main's result
+///   malloc/free/     a real bump allocator over brk with size headers, so
+///   calloc/realloc   programs work when run natively; under a
+///                    heap-tracking tool, the core redirects these symbols
+///                    to its replacement allocator (R8, Section 3.13)
+///   memcpy/memset/strlen
+///   print/print_u32  write(2) to stdout
+///   exit
+///
+/// Calling convention: arguments in r1..r5, result in r0; r0..r5 are
+/// caller-saved, r6..r13 callee-saved; return addresses live on the stack
+/// (CALL/RET).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_GUESTLIB_GUESTLIB_H
+#define VG_GUESTLIB_GUESTLIB_H
+
+#include "guest/Assembler.h"
+
+namespace vg {
+
+/// Labels of the emitted library entry points (also bound as symbols in
+/// the code assembler, so images expose them for redirection).
+struct GuestLibLabels {
+  vg1::Label Malloc, Free, Calloc, Realloc;
+  vg1::Label Memcpy, Memset, Strlen;
+  vg1::Label Print, PrintU32;
+  vg1::Label Exit;
+};
+
+/// Emits the library body into \p Code and its mutable state into \p Data.
+/// Call once per image, anywhere in the code stream (the library never
+/// falls through into adjacent code).
+GuestLibLabels emitGuestLib(vg1::Assembler &Code, vg1::Assembler &Data);
+
+/// Emits the _start stub: call \p Main, then exit(r0). Binds the "_start"
+/// symbol; the image entry should be its address (returned).
+uint32_t emitStart(vg1::Assembler &Code, vg1::Label Main);
+
+} // namespace vg
+
+#endif // VG_GUESTLIB_GUESTLIB_H

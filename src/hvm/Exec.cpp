@@ -1,0 +1,366 @@
+//===-- hvm/Exec.cpp - The HVM executor -----------------------------------==//
+///
+/// Threaded-code execution of encoded translations. Uses computed-goto
+/// dispatch (the classic direct-threaded interpreter technique) so that
+/// thin ALU operations cost little more than their useful work — which is
+/// what makes the cost ratios between inline analysis code, C-call
+/// analysis code, and client code representative (Section 5.4).
+///
+//===----------------------------------------------------------------------===//
+
+#include "hvm/Exec.h"
+
+#include "guest/GuestMemory.h"
+#include "hvm/HostVM.h"
+
+#include <cstring>
+
+using namespace vg;
+using namespace vg::hvm;
+
+namespace {
+
+uint16_t rdU16(const uint8_t *P) {
+  uint16_t V;
+  std::memcpy(&V, P, 2);
+  return V;
+}
+
+uint32_t rdU32(const uint8_t *P) {
+  uint32_t V;
+  std::memcpy(&V, P, 4);
+  return V;
+}
+
+uint64_t rdU64(const uint8_t *P) {
+  uint64_t V;
+  std::memcpy(&V, P, 8);
+  return V;
+}
+
+/// Fast paths for the most frequent operations: avoids evalOp's
+/// metadata lookups (result-type table + truncation switch) on the hot
+/// path. Falls back to evalOp for everything else — both are verified
+/// against each other by the differential test suite.
+inline uint64_t aluOp(ir::Op O, uint64_t A, uint64_t B) {
+  using ir::Op;
+  switch (O) {
+  case Op::Add32:
+    return static_cast<uint32_t>(A + B);
+  case Op::Sub32:
+    return static_cast<uint32_t>(A - B);
+  case Op::And32:
+    return static_cast<uint32_t>(A & B);
+  case Op::Or32:
+    return static_cast<uint32_t>(A | B);
+  case Op::Xor32:
+    return static_cast<uint32_t>(A ^ B);
+  case Op::Mul32:
+    return static_cast<uint32_t>(A * B);
+  case Op::Shl32:
+    return static_cast<uint32_t>(A << (B & 31));
+  case Op::Shr32:
+    return static_cast<uint32_t>(static_cast<uint32_t>(A) >> (B & 31));
+  case Op::Sar32:
+    return static_cast<uint32_t>(static_cast<int32_t>(A) >> (B & 31));
+  case Op::Add64:
+    return A + B;
+  case Op::Or64:
+    return A | B;
+  case Op::CmpEQ32:
+    return static_cast<uint32_t>(A) == static_cast<uint32_t>(B);
+  case Op::CmpNE32:
+    return static_cast<uint32_t>(A) != static_cast<uint32_t>(B);
+  case Op::CmpLT32S:
+    return static_cast<int32_t>(A) < static_cast<int32_t>(B);
+  case Op::CmpLE32S:
+    return static_cast<int32_t>(A) <= static_cast<int32_t>(B);
+  case Op::CmpLT32U:
+    return static_cast<uint32_t>(A) < static_cast<uint32_t>(B);
+  case Op::CmpLE32U:
+    return static_cast<uint32_t>(A) <= static_cast<uint32_t>(B);
+  case Op::CmpNEZ32:
+    return (A & 0xFFFFFFFFull) != 0;
+  case Op::U1to32:
+    return A & 1;
+  case Op::Neg32:
+    return static_cast<uint32_t>(0 - A);
+  case Op::T32to8:
+    return A & 0xFF;
+  case Op::U8to32:
+    return A & 0xFF;
+  default:
+    return ir::evalOp(O, A, B);
+  }
+}
+
+} // namespace
+
+RunOutcome Executor::run(const CodeBlob &Blob, uint64_t ChainBudget) {
+  RunOutcome Out;
+  const CodeBlob *Cur = &Blob;
+  const uint8_t *Code = Cur->Bytes.data();
+  size_t Ip = 0;
+  uint32_t CurPC = 0;
+  ++Out.BlocksExecuted;
+
+  uint8_t *Gst = Ctx.GuestState;
+  GuestMemory &Mem = *Ctx.Mem;
+  void *Env = &Ctx;
+  uint64_t *R = Regs;
+
+  // Label table indexed by HOp. Must match the enum order in HostVM.h.
+  static const void *const Table[] = {
+      &&L_LI,    &&L_MOV,  &&L_ALU,   &&L_ALU1,  &&L_ALUI,  &&L_LDG,
+      &&L_STG,   &&L_LDM,  &&L_STM,   &&L_SEL,   &&L_CALL,  &&L_JZ,
+      &&L_EXITI, &&L_EXITR, &&L_IMARK, &&L_SPILL, &&L_RELOAD, &&L_ALUIS};
+
+#define DISPATCH() goto *Table[Code[Ip]]
+
+  DISPATCH();
+
+L_LI:
+  R[Code[Ip + 1]] = rdU64(Code + Ip + 2);
+  Ip += 10;
+  DISPATCH();
+
+L_MOV:
+  R[Code[Ip + 1]] = R[Code[Ip + 2]];
+  Ip += 3;
+  DISPATCH();
+
+L_ALU: {
+  ir::Op O = static_cast<ir::Op>(rdU16(Code + Ip + 1));
+  R[Code[Ip + 3]] = aluOp(O, R[Code[Ip + 4]], R[Code[Ip + 5]]);
+  Ip += 6;
+  DISPATCH();
+}
+
+L_ALU1: {
+  ir::Op O = static_cast<ir::Op>(rdU16(Code + Ip + 1));
+  R[Code[Ip + 3]] = aluOp(O, R[Code[Ip + 4]], 0);
+  Ip += 5;
+  DISPATCH();
+}
+
+L_ALUI: {
+  ir::Op O = static_cast<ir::Op>(rdU16(Code + Ip + 1));
+  R[Code[Ip + 3]] = aluOp(O, R[Code[Ip + 4]], rdU64(Code + Ip + 5));
+  Ip += 13;
+  DISPATCH();
+}
+
+L_LDG: {
+  uint8_t *Slot = Gst + rdU32(Code + Ip + 2);
+  uint64_t V;
+  switch (Code[Ip + 6]) {
+  case 4: {
+    uint32_t W;
+    std::memcpy(&W, Slot, 4);
+    V = W;
+    break;
+  }
+  case 8:
+    std::memcpy(&V, Slot, 8);
+    break;
+  default:
+    V = 0;
+    std::memcpy(&V, Slot, Code[Ip + 6]);
+    break;
+  }
+  R[Code[Ip + 1]] = V;
+  Ip += 7;
+  DISPATCH();
+}
+
+L_STG: {
+  uint8_t *Slot = Gst + rdU32(Code + Ip + 2);
+  uint64_t V = R[Code[Ip + 1]];
+  switch (Code[Ip + 6]) {
+  case 4: {
+    uint32_t W = static_cast<uint32_t>(V);
+    std::memcpy(Slot, &W, 4);
+    break;
+  }
+  case 8:
+    std::memcpy(Slot, &V, 8);
+    break;
+  default:
+    std::memcpy(Slot, &V, Code[Ip + 6]);
+    break;
+  }
+  Ip += 7;
+  DISPATCH();
+}
+
+L_LDM: {
+  uint32_t Addr = static_cast<uint32_t>(R[Code[Ip + 2]]) + rdU32(Code + Ip + 3);
+  uint64_t V = 0;
+  MemFault F;
+  switch (Code[Ip + 7]) {
+  case 4: {
+    uint32_t W = 0;
+    F = Mem.readU32(Addr, W);
+    V = W;
+    break;
+  }
+  case 1: {
+    uint8_t W = 0;
+    F = Mem.readU8(Addr, W);
+    V = W;
+    break;
+  }
+  case 2: {
+    uint16_t W = 0;
+    F = Mem.readU16(Addr, W);
+    V = W;
+    break;
+  }
+  default:
+    F = Mem.readU64(Addr, V);
+    break;
+  }
+  if (F.Faulted) {
+    Out.K = RunOutcome::Kind::Fault;
+    Out.FaultAddr = F.Addr;
+    Out.FaultWrite = false;
+    Out.FaultPC = CurPC;
+    return Out;
+  }
+  R[Code[Ip + 1]] = V;
+  Ip += 8;
+  DISPATCH();
+}
+
+L_STM: {
+  uint32_t Addr = static_cast<uint32_t>(R[Code[Ip + 1]]) + rdU32(Code + Ip + 3);
+  uint64_t V = R[Code[Ip + 2]];
+  MemFault F;
+  switch (Code[Ip + 7]) {
+  case 4:
+    F = Mem.writeU32(Addr, static_cast<uint32_t>(V));
+    break;
+  case 1:
+    F = Mem.writeU8(Addr, static_cast<uint8_t>(V));
+    break;
+  case 2:
+    F = Mem.writeU16(Addr, static_cast<uint16_t>(V));
+    break;
+  default:
+    F = Mem.writeU64(Addr, V);
+    break;
+  }
+  if (F.Faulted) {
+    Out.K = RunOutcome::Kind::Fault;
+    Out.FaultAddr = F.Addr;
+    Out.FaultWrite = true;
+    Out.FaultPC = CurPC;
+    return Out;
+  }
+  Ip += 8;
+  DISPATCH();
+}
+
+L_SEL:
+  R[Code[Ip + 1]] = R[Code[Ip + 2]] ? R[Code[Ip + 3]] : R[Code[Ip + 4]];
+  Ip += 5;
+  DISPATCH();
+
+L_CALL: {
+  const ir::Callee *C =
+      reinterpret_cast<const ir::Callee *>(rdU64(Code + Ip + 1));
+  uint8_t Dst = Code[Ip + 9];
+  uint8_t N = Code[Ip + 10];
+  uint64_t A[4] = {};
+  for (unsigned J = 0; J != N; ++J)
+    A[J] = R[Code[Ip + 11 + J]];
+  // The helper-call ABI: the caller's full register context is saved to
+  // the call frame and callee-saved state restored afterwards — the
+  // register save/restore traffic a real JIT's call sequences perform
+  // (and the reason C-call analysis code costs more than inline analysis
+  // code, Section 5.4). Caller-saved registers come back poisoned so any
+  // allocator violation fails loudly.
+  // Per-register stores/loads, as a JIT-emitted save sequence would be.
+  uint64_t SaveArea[NumHostRegs];
+#pragma GCC unroll 1
+  for (unsigned J = 0; J != NumHostRegs; ++J)
+    SaveArea[J] = R[J];
+  uint64_t Ret = C->Fn(Env, A[0], A[1], A[2], A[3]);
+#pragma GCC unroll 1
+  for (unsigned J = NumCallerSaved; J != NumHostRegs; ++J)
+    R[J] = SaveArea[J];
+  for (unsigned J = 0; J != NumCallerSaved; ++J)
+    R[J] = 0xDEADDEADDEADDEADull;
+  if (Dst != 0xFF)
+    R[Dst] = Ret;
+  Ip += 15;
+  DISPATCH();
+}
+
+L_JZ:
+  if (R[Code[Ip + 1]] == 0)
+    Ip = rdU32(Code + Ip + 2);
+  else
+    Ip += 6;
+  DISPATCH();
+
+L_EXITI: {
+  uint32_t NextPC = rdU32(Code + Ip + 1);
+  ir::JumpKind JK = static_cast<ir::JumpKind>(Code[Ip + 5]);
+  uint32_t Slot = rdU32(Code + Ip + 6);
+  std::memcpy(Gst + PCOffset, &NextPC, 4);
+  // Chaining: transfer directly into the successor translation.
+  if (ChainFn && JK == ir::JumpKind::Boring && ChainBudget > 0) {
+    if (const CodeBlob *NextBlob = ChainFn(ChainUser, Cur->Cookie, Slot)) {
+      --ChainBudget;
+      ++Out.BlocksExecuted;
+      Cur = NextBlob;
+      Code = Cur->Bytes.data();
+      Ip = 0;
+      DISPATCH();
+    }
+  }
+  Out.K = RunOutcome::Kind::BlockEnd;
+  Out.NextPC = NextPC;
+  Out.JK = JK;
+  Out.ExitCookie = Cur->Cookie;
+  Out.ExitSlot = Slot;
+  return Out;
+}
+
+L_EXITR: {
+  uint32_t NextPC = static_cast<uint32_t>(R[Code[Ip + 1]]);
+  ir::JumpKind JK = static_cast<ir::JumpKind>(Code[Ip + 2]);
+  std::memcpy(Gst + PCOffset, &NextPC, 4);
+  Out.K = RunOutcome::Kind::BlockEnd;
+  Out.NextPC = NextPC;
+  Out.JK = JK;
+  Out.ExitCookie = Cur->Cookie;
+  Out.ExitSlot = ~0u;
+  return Out;
+}
+
+L_IMARK:
+  CurPC = rdU32(Code + Ip + 1);
+  Ip += 5;
+  DISPATCH();
+
+L_ALUIS: {
+  ir::Op O = static_cast<ir::Op>(rdU16(Code + Ip + 1));
+  R[Code[Ip + 3]] = aluOp(O, R[Code[Ip + 4]], Code[Ip + 5]);
+  Ip += 6;
+  DISPATCH();
+}
+
+L_SPILL:
+  Frame[rdU32(Code + Ip + 2)] = R[Code[Ip + 1]];
+  Ip += 6;
+  DISPATCH();
+
+L_RELOAD:
+  R[Code[Ip + 1]] = Frame[rdU32(Code + Ip + 2)];
+  Ip += 6;
+  DISPATCH();
+
+#undef DISPATCH
+}

@@ -1,0 +1,110 @@
+//===-- hvm/HostVM.h - Host instruction set and code buffers ----*- C++ -*-==//
+///
+/// \file
+/// The resynthesise half of D&R: the "host machine" targeted by the JIT's
+/// back end. HVM is a 16-register, 64-bit machine whose code is encoded
+/// into byte buffers (the contents of the code cache) and executed by a
+/// threaded interpreter (hvm/Exec.cpp).
+///
+/// The back-end phases map onto the paper's Phases 6-8:
+///   Phase 6 (ISel.cpp):     tree IR -> HInstr list over virtual registers,
+///                           via greedy top-down tree matching.
+///   Phase 7 (RegAlloc.cpp): linear-scan register allocation with move
+///                           coalescing hints and spill slots.
+///   Phase 8 (encode()):     HInstr list -> code bytes.
+///
+/// Host register conventions (Section 3.4/3.9): registers h0..h9 are
+/// allocatable, h10..h13 are spill-reload scratch, h14 conceptually holds
+/// the guest program counter between blocks, and h15 is permanently
+/// reserved to point at the ThreadState (the executor materialises these
+/// last two implicitly).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_HVM_HOSTVM_H
+#define VG_HVM_HOSTVM_H
+
+#include "ir/IR.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace vg {
+namespace hvm {
+
+using RegId = uint32_t;
+constexpr RegId NoReg = ~0u;
+
+/// Total architectural host registers.
+constexpr unsigned NumHostRegs = 16;
+/// h0..h9 are available to the register allocator.
+constexpr unsigned NumAllocatable = 10;
+/// h0..h5 are caller-saved: a CALL clobbers them (the helper-call ABI).
+/// Values live across a call must sit in h6..h9 or be spilled — this is
+/// what makes C-call analysis code cost more than inline analysis code
+/// (paper Section 5.4, ICntI vs ICntC).
+constexpr unsigned NumCallerSaved = 6;
+/// h10..h13 are scratch registers used by spill-code rewriting (preserved
+/// across CALL).
+constexpr unsigned FirstScratch = 10;
+
+/// Virtual register ids start here (before register allocation).
+constexpr RegId VirtBase = 0x10000;
+inline bool isVirtual(RegId R) { return R >= VirtBase; }
+
+/// Host opcodes.
+enum class HOp : uint8_t {
+  LI,     ///< Dst = Imm
+  MOV,    ///< Dst = A
+  ALU,    ///< Dst = IrOp(A, B)
+  ALU1,   ///< Dst = IrOp(A)
+  ALUI,   ///< Dst = IrOp(A, Imm)      (immediate folded by tree matching)
+  LDG,    ///< Dst = guest_state[Off .. Off+Size)
+  STG,    ///< guest_state[Off ..) = A
+  LDM,    ///< Dst = guest_mem[A + Disp], Size bytes (zero-extended)
+  STM,    ///< guest_mem[A + Disp] = B, Size bytes
+  SEL,    ///< Dst = A ? B : C
+  CALL,   ///< Dst = CalleeFn(Args[0..NArgs))      (Dst may be NoReg)
+  JZ,     ///< if (A == 0) goto Label
+  EXITI,  ///< leave block: next guest PC = Imm, kind JKind, chain ChainSlot
+  EXITR,  ///< leave block: next guest PC = A, kind JKind
+  IMARK,  ///< current guest instruction is at Imm (fault attribution)
+  SPILL,  ///< spill_frame[Off] = A
+  RELOAD, ///< Dst = spill_frame[Off]
+  ALUIS,  ///< Dst = IrOp(A, Imm) with Imm in [0,255] (compact encoding)
+};
+
+/// One host instruction (pre- or post-register-allocation).
+struct HInstr {
+  HOp Op;
+  ir::Op IrOp{};
+  RegId Dst = NoReg, A = NoReg, B = NoReg, C = NoReg;
+  uint64_t Imm = 0;
+  int32_t Disp = 0;
+  uint32_t Off = 0;
+  uint8_t Size = 0;
+  const ir::Callee *CalleeFn = nullptr;
+  RegId Args[4] = {NoReg, NoReg, NoReg, NoReg};
+  uint8_t NArgs = 0;
+  uint8_t JKind = 0;
+  uint32_t ChainSlot = ~0u;
+  int32_t Label = -1; ///< JZ: index of the target instruction
+};
+
+/// Renders one host instruction (Figure 3 demo and debugging).
+std::string toString(const HInstr &I);
+
+/// A fully lowered block: allocated instructions plus frame metadata.
+struct HostCode {
+  std::vector<HInstr> Instrs;
+  uint32_t NumSpillSlots = 0;
+  uint32_t NumChainSlots = 0;
+};
+
+/// Phase 8: encodes an instruction list into code-cache bytes. JZ labels
+/// are resolved to byte offsets.
+std::vector<uint8_t> encode(const HostCode &Code);
+
+} // namespace hvm
+} // namespace vg
+
+#endif // VG_HVM_HOSTVM_H

@@ -1,0 +1,33 @@
+//===-- hvm/ISel.h - Phase 6: instruction selection -------------*- C++ -*-==//
+///
+/// \file
+/// Converts tree IR into a host-instruction list over virtual registers
+/// using a simple, greedy, top-down tree-matching algorithm (Section 3.7,
+/// Phase 6). Patterns matched beyond the trivial per-node lowering:
+/// constants feeding commutative/shift ALU ops become ALUI immediates, and
+/// Add32(base, const) addresses fold into load/store displacements.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_HVM_ISEL_H
+#define VG_HVM_ISEL_H
+
+#include "hvm/HostVM.h"
+#include "ir/IR.h"
+
+namespace vg {
+namespace hvm {
+
+/// Lowers a (tree or flat) superblock. The result still uses virtual
+/// registers; run allocateRegisters() on it next.
+HostCode selectInstructions(const ir::IRSB &SB);
+
+/// Phase 7: linear-scan register allocation in place. Coalesces MOVs where
+/// interval hints allow and inserts SPILL/RELOAD around overflowed
+/// intervals. Returns the number of MOVs removed by coalescing (reported by
+/// the Figure 3 bench).
+unsigned allocateRegisters(HostCode &Code);
+
+} // namespace hvm
+} // namespace vg
+
+#endif // VG_HVM_ISEL_H

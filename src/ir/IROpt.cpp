@@ -1,0 +1,1019 @@
+//===-- ir/IROpt.cpp - IR optimisation passes -----------------------------==//
+
+#include "ir/IROpt.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+using namespace vg;
+using namespace vg::ir;
+
+//===----------------------------------------------------------------------===//
+// Flattening: tree IR -> flat IR
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class Flattener {
+public:
+  Flattener(const IRSB &In, IRSB &Out) : In(In), Out(Out) {}
+
+  void run() {
+    for (const Stmt *S : In.stmts())
+      flattenStmt(S);
+    Out.setNext(atomize(In.next()), In.endJumpKind());
+  }
+
+private:
+  TmpId mapTmp(TmpId Old) {
+    if (Old >= TmpMap.size())
+      TmpMap.resize(Old + 1, NoTmp);
+    if (TmpMap[Old] == NoTmp)
+      TmpMap[Old] = Out.newTmp(In.typeOfTmp(Old));
+    return TmpMap[Old];
+  }
+
+  /// Returns an atom (tmp/const) in Out that evaluates \p E, emitting WrTmp
+  /// statements for interior nodes.
+  Expr *atomize(const Expr *E) {
+    if (E->Kind == ExprKind::Const)
+      return Out.mkConst(E->T, E->ConstVal);
+    if (E->Kind == ExprKind::RdTmp)
+      return Out.rdTmp(mapTmp(E->Tmp));
+    Expr *Shallow = shallowClone(E);
+    return Out.rdTmp(Out.wrTmp(Shallow));
+  }
+
+  /// Clones one level of \p E with atomised operands.
+  Expr *shallowClone(const Expr *E) {
+    switch (E->Kind) {
+    case ExprKind::Const:
+      return Out.mkConst(E->T, E->ConstVal);
+    case ExprKind::RdTmp:
+      return Out.rdTmp(mapTmp(E->Tmp));
+    case ExprKind::Get:
+      return Out.get(E->Offset, E->T);
+    case ExprKind::Unop:
+      return Out.unop(E->Opc, atomize(E->Arg[0]));
+    case ExprKind::Binop:
+      return Out.binop(E->Opc, atomize(E->Arg[0]), atomize(E->Arg[1]));
+    case ExprKind::Load:
+      return Out.load(E->T, atomize(E->Arg[0]));
+    case ExprKind::ITE:
+      return Out.ite(atomize(E->Arg[0]), atomize(E->Arg[1]),
+                     atomize(E->Arg[2]));
+    case ExprKind::CCall: {
+      std::vector<Expr *> Args;
+      for (const Expr *A : E->CallArgs)
+        Args.push_back(atomize(A));
+      return Out.ccall(E->CalleeFn, E->T, std::move(Args));
+    }
+    }
+    unreachable("shallowClone: bad expr kind");
+  }
+
+  void flattenStmt(const Stmt *S) {
+    switch (S->Kind) {
+    case StmtKind::NoOp:
+      return; // dropped
+    case StmtKind::IMark:
+      Out.imark(S->IAddr, S->ILen);
+      return;
+    case StmtKind::Put:
+      Out.put(S->Offset, atomize(S->Data));
+      return;
+    case StmtKind::WrTmp:
+      Out.wrTmpTo(mapTmp(S->Tmp), shallowClone(S->Data));
+      return;
+    case StmtKind::Store: {
+      Expr *A = atomize(S->Addr);
+      Expr *D = atomize(S->Data);
+      Out.store(A, D);
+      return;
+    }
+    case StmtKind::Dirty: {
+      std::vector<Expr *> Args;
+      for (const Expr *A : S->CallArgs)
+        Args.push_back(atomize(A));
+      Expr *G = S->Guard ? atomize(S->Guard) : nullptr;
+      Out.dirty(S->CalleeFn, std::move(Args),
+                S->Tmp == NoTmp ? NoTmp : mapTmp(S->Tmp), G, S->Fx);
+      return;
+    }
+    case StmtKind::Exit:
+      Out.exit(atomize(S->Guard), S->DstPC, S->JK);
+      return;
+    }
+  }
+
+  const IRSB &In;
+  IRSB &Out;
+  std::vector<TmpId> TmpMap;
+};
+
+} // namespace
+
+std::unique_ptr<IRSB> ir::flatten(const IRSB &In) {
+  auto Out = std::make_unique<IRSB>();
+  Flattener F(In, *Out);
+  F.run();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared pass machinery
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Byte ranges of guest state, for Get/Put conflict analysis.
+struct Range {
+  uint32_t Lo, Hi; // [Lo, Hi)
+  bool overlaps(Range O) const { return Lo < O.Hi && O.Lo < Hi; }
+  bool covers(Range O) const { return Lo <= O.Lo && O.Hi <= Hi; }
+};
+
+Range rangeOfPut(const Stmt *S) {
+  return {S->Offset, S->Offset + tySizeBits(S->Data->T) / 8};
+}
+
+Range rangeOfGet(const Expr *E) {
+  return {E->Offset, E->Offset + tySizeBits(E->T) / 8};
+}
+
+/// Forward constant/copy propagation + folding + algebraic simplification +
+/// helper-call specialisation. Rewrites in place; removes WrTmps that became
+/// pure atom copies.
+class PropFold {
+public:
+  PropFold(IRSB &SB, const SpecFn &Spec) : SB(SB), Spec(Spec) {}
+
+  void run() {
+    std::vector<Stmt *> NewStmts;
+    NewStmts.reserve(SB.stmts().size());
+    Out = &NewStmts;
+    for (Stmt *S : SB.stmts()) {
+      if (!rewriteStmt(S))
+        continue; // absorbed into environment
+      NewStmts.push_back(S);
+    }
+    SB.setStmts(std::move(NewStmts));
+    SB.setNext(subst(SB.next()), SB.endJumpKind());
+  }
+
+private:
+  /// Re-flattens an expression the spec hook may have returned as a small
+  /// tree: interior nodes get their own WrTmp emitted before the current
+  /// statement, so the block stays flat.
+  Expr *atomizeOperand(Expr *E) {
+    if (E->isAtom())
+      return E;
+    Expr *N = simplify(normalizeRhs(E));
+    if (N->isAtom())
+      return N;
+    TmpId T = SB.newTmp(N->T);
+    Stmt *S = SB.allocStmt();
+    S->Kind = StmtKind::WrTmp;
+    S->Tmp = T;
+    S->Data = N;
+    Out->push_back(S);
+    return SB.rdTmp(T);
+  }
+
+  /// Makes all operands of \p E atoms (recursively flattening sub-trees).
+  Expr *normalizeRhs(Expr *E) {
+    switch (E->Kind) {
+    case ExprKind::Unop:
+      E->Arg[0] = atomizeOperand(E->Arg[0]);
+      return E;
+    case ExprKind::Binop:
+      E->Arg[0] = atomizeOperand(E->Arg[0]);
+      E->Arg[1] = atomizeOperand(E->Arg[1]);
+      return E;
+    case ExprKind::Load:
+      E->Arg[0] = atomizeOperand(E->Arg[0]);
+      return E;
+    case ExprKind::ITE:
+      for (int I = 0; I != 3; ++I)
+        E->Arg[I] = atomizeOperand(E->Arg[I]);
+      return E;
+    case ExprKind::CCall:
+      for (Expr *&A : E->CallArgs)
+        A = atomizeOperand(A);
+      return E;
+    default:
+      return E;
+    }
+  }
+
+  /// Resolves an atom through the tmp environment.
+  Expr *subst(Expr *E) {
+    while (E->Kind == ExprKind::RdTmp) {
+      auto It = Env.find(E->Tmp);
+      if (It == Env.end())
+        break;
+      E = It->second;
+    }
+    return E;
+  }
+
+  /// Simplifies a one-level expression whose operands are already resolved.
+  /// Returns the (possibly new) expression.
+  Expr *simplify(Expr *E) {
+    switch (E->Kind) {
+    case ExprKind::Unop: {
+      Expr *A = E->Arg[0];
+      if (A->isConst())
+        return SB.mkConst(E->T, evalOp(E->Opc, A->ConstVal, 0));
+      return E;
+    }
+    case ExprKind::Binop: {
+      Expr *A = E->Arg[0], *B = E->Arg[1];
+      if (A->isConst() && B->isConst())
+        return SB.mkConst(E->T, evalOp(E->Opc, A->ConstVal, B->ConstVal));
+      // Algebraic identities (a representative, conservative set).
+      switch (E->Opc) {
+      case Op::Add8:
+      case Op::Add16:
+      case Op::Add32:
+      case Op::Add64:
+      case Op::Or8:
+      case Op::Or16:
+      case Op::Or32:
+      case Op::Or64:
+      case Op::Xor8:
+      case Op::Xor16:
+      case Op::Xor32:
+      case Op::Xor64:
+        if (B->isConst(0))
+          return A;
+        if (A->isConst(0))
+          return B;
+        break;
+      case Op::Sub8:
+      case Op::Sub16:
+      case Op::Sub32:
+      case Op::Sub64:
+        if (B->isConst(0))
+          return A;
+        break;
+      case Op::And8:
+      case Op::And16:
+      case Op::And32:
+      case Op::And64:
+        if (B->isConst(0) || A->isConst(0))
+          return SB.mkConst(E->T, 0);
+        if (B->isConst(truncToTy(~0ull, E->T)))
+          return A;
+        if (A->isConst(truncToTy(~0ull, E->T)))
+          return B;
+        if (A->isRdTmp() && B->isRdTmp() && A->Tmp == B->Tmp)
+          return A;
+        break;
+      case Op::Shl8:
+      case Op::Shl16:
+      case Op::Shl32:
+      case Op::Shl64:
+      case Op::Shr8:
+      case Op::Shr16:
+      case Op::Shr32:
+      case Op::Shr64:
+      case Op::Sar8:
+      case Op::Sar16:
+      case Op::Sar32:
+      case Op::Sar64:
+        if (B->isConst(0))
+          return A;
+        break;
+      case Op::Mul8:
+      case Op::Mul16:
+      case Op::Mul32:
+      case Op::Mul64:
+        if (B->isConst(1))
+          return A;
+        if (A->isConst(1))
+          return B;
+        if (B->isConst(0) || A->isConst(0))
+          return SB.mkConst(E->T, 0);
+        break;
+      default:
+        break;
+      }
+      // Or/Xor/Sub with identical tmps.
+      if (A->isRdTmp() && B->isRdTmp() && A->Tmp == B->Tmp) {
+        switch (E->Opc) {
+        case Op::Or8:
+        case Op::Or16:
+        case Op::Or32:
+        case Op::Or64:
+          return A;
+        case Op::Xor8:
+        case Op::Xor16:
+        case Op::Xor32:
+        case Op::Xor64:
+        case Op::Sub8:
+        case Op::Sub16:
+        case Op::Sub32:
+        case Op::Sub64:
+          return SB.mkConst(E->T, 0);
+        case Op::CmpEQ8:
+        case Op::CmpEQ16:
+        case Op::CmpEQ32:
+        case Op::CmpEQ64:
+          return SB.constI1(true);
+        case Op::CmpNE8:
+        case Op::CmpNE16:
+        case Op::CmpNE32:
+        case Op::CmpNE64:
+          return SB.constI1(false);
+        default:
+          break;
+        }
+      }
+      return E;
+    }
+    case ExprKind::ITE:
+      if (E->Arg[0]->isConst())
+        return E->Arg[0]->ConstVal ? E->Arg[1] : E->Arg[2];
+      if (E->Arg[1]->isRdTmp() && E->Arg[2]->isRdTmp() &&
+          E->Arg[1]->Tmp == E->Arg[2]->Tmp)
+        return E->Arg[1];
+      return E;
+    case ExprKind::CCall:
+      if (Spec) {
+        if (Expr *R = Spec(SB, E->CalleeFn, E->CallArgs))
+          return R;
+      }
+      return E;
+    default:
+      return E;
+    }
+  }
+
+  /// Rewrites operands of \p S through the environment; returns false if the
+  /// statement should be dropped (its value captured in the environment).
+  bool rewriteStmt(Stmt *S) {
+    switch (S->Kind) {
+    case StmtKind::NoOp:
+      return false;
+    case StmtKind::IMark:
+      return true;
+    case StmtKind::Put:
+      S->Data = subst(S->Data);
+      return true;
+    case StmtKind::WrTmp: {
+      Expr *D = S->Data;
+      // Resolve operands.
+      switch (D->Kind) {
+      case ExprKind::Const:
+      case ExprKind::RdTmp:
+        D = subst(D);
+        break;
+      case ExprKind::Get:
+        break;
+      case ExprKind::Unop:
+        D->Arg[0] = subst(D->Arg[0]);
+        break;
+      case ExprKind::Binop:
+        D->Arg[0] = subst(D->Arg[0]);
+        D->Arg[1] = subst(D->Arg[1]);
+        break;
+      case ExprKind::Load:
+        D->Arg[0] = subst(D->Arg[0]);
+        break;
+      case ExprKind::ITE:
+        for (int I = 0; I != 3; ++I)
+          D->Arg[I] = subst(D->Arg[I]);
+        break;
+      case ExprKind::CCall:
+        for (Expr *&A : D->CallArgs)
+          A = subst(A);
+        break;
+      }
+      D = simplify(D);
+      if (D->isAtom()) {
+        Env[S->Tmp] = D;
+        return false;
+      }
+      D = normalizeRhs(D); // spec results may be small trees
+      S->Data = D;
+      return true;
+    }
+    case StmtKind::Store:
+      S->Addr = subst(S->Addr);
+      S->Data = subst(S->Data);
+      return true;
+    case StmtKind::Dirty:
+      for (Expr *&A : S->CallArgs)
+        A = subst(A);
+      if (S->Guard) {
+        S->Guard = subst(S->Guard);
+        // A statically false guard removes the call entirely.
+        if (S->Guard->isConst(0))
+          return false;
+      }
+      return true;
+    case StmtKind::Exit:
+      S->Guard = subst(S->Guard);
+      if (S->Guard->isConst(0))
+        return false; // never taken
+      return true;
+    }
+    return true;
+  }
+
+  IRSB &SB;
+  const SpecFn &Spec;
+  std::map<TmpId, Expr *> Env;
+  std::vector<Stmt *> *Out = nullptr;
+};
+
+/// Redundant Get elimination: forward pass tracking the current contents of
+/// guest-state slots, from PUTs seen and previous GETs.
+class RedundantGet {
+public:
+  explicit RedundantGet(IRSB &SB) : SB(SB) {}
+
+  void run() {
+    for (Stmt *S : SB.stmts()) {
+      switch (S->Kind) {
+      case StmtKind::WrTmp:
+        if (S->Data->Kind == ExprKind::Get) {
+          Range R = rangeOfGet(S->Data);
+          if (Expr *Known = findExact(R, S->Data->T)) {
+            // Replace the Get with the known atom; PropFold then propagates.
+            S->Data = Known;
+          } else {
+            record(R, SB.rdTmp(S->Tmp));
+          }
+        }
+        break;
+      case StmtKind::Put: {
+        Range R = rangeOfPut(S);
+        invalidate(R);
+        if (S->Data->isAtom())
+          record(R, S->Data);
+        break;
+      }
+      case StmtKind::Dirty:
+        if (S->Fx.empty()) {
+          Slots.clear();
+        } else {
+          for (const GuestFx &F : S->Fx)
+            if (F.IsWrite)
+              invalidate(Range{F.Offset, F.Offset + F.Size});
+        }
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+private:
+  struct Slot {
+    Range R;
+    Expr *Val;
+  };
+
+  Expr *findExact(Range R, Ty T) {
+    for (const Slot &S : Slots)
+      if (S.R.Lo == R.Lo && S.R.Hi == R.Hi && S.Val->T == T)
+        return S.Val;
+    return nullptr;
+  }
+
+  void invalidate(Range R) {
+    for (size_t I = 0; I != Slots.size();) {
+      if (Slots[I].R.overlaps(R)) {
+        Slots[I] = Slots.back();
+        Slots.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  void record(Range R, Expr *Val) {
+    invalidate(R);
+    Slots.push_back(Slot{R, Val});
+  }
+
+  IRSB &SB;
+  std::vector<Slot> Slots;
+};
+
+/// Redundant Put elimination (backward): a PUT whose slot is overwritten by
+/// a later PUT before any observation (Get, Dirty, Exit, or block end) is
+/// dead. This is what removes the intermediate %pc writes in Figure 1's
+/// optimisation (paper Section 3.7, Phase 2).
+class DeadPut {
+public:
+  DeadPut(IRSB &SB, const PreservedPuts &Preserve)
+      : SB(SB), Preserve(Preserve) {}
+
+  void run() {
+    auto &Stmts = SB.stmts();
+    std::vector<Stmt *> Kept;
+    Kept.reserve(Stmts.size());
+    // Walk backwards. Pending = slots that will be overwritten.
+    for (size_t I = Stmts.size(); I-- > 0;) {
+      Stmt *S = Stmts[I];
+      bool Keep = true;
+      switch (S->Kind) {
+      case StmtKind::Put: {
+        Range R = rangeOfPut(S);
+        if (!Preserve.covers(S->Offset) && isFullyPending(R))
+          Keep = false;
+        else
+          addPending(R);
+        break;
+      }
+      case StmtKind::WrTmp:
+        if (S->Data->Kind == ExprKind::Get)
+          removePending(rangeOfGet(S->Data));
+        break;
+      case StmtKind::Dirty:
+        if (S->Fx.empty()) {
+          Pending.clear();
+        } else {
+          for (const GuestFx &F : S->Fx)
+            removePending(Range{F.Offset, F.Offset + F.Size});
+        }
+        break;
+      case StmtKind::Exit:
+        Pending.clear();
+        break;
+      default:
+        break;
+      }
+      if (Keep)
+        Kept.push_back(S);
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    SB.setStmts(std::move(Kept));
+  }
+
+private:
+  bool isFullyPending(Range R) {
+    for (Range P : Pending)
+      if (P.covers(R))
+        return true;
+    return false;
+  }
+
+  void addPending(Range R) { Pending.push_back(R); }
+
+  void removePending(Range R) {
+    for (size_t I = 0; I != Pending.size();) {
+      if (Pending[I].overlaps(R)) {
+        Pending[I] = Pending.back();
+        Pending.pop_back();
+      } else {
+        ++I;
+      }
+    }
+  }
+
+  IRSB &SB;
+  const PreservedPuts &Preserve;
+  std::vector<Range> Pending;
+};
+
+/// Local common-subexpression elimination over pure flat-IR right-hand
+/// sides (Unop/Binop/ITE/CCall). Loads are not CSEd (stores would have to
+/// invalidate them); Gets are handled by RedundantGet instead.
+class CSE {
+public:
+  explicit CSE(IRSB &SB) : SB(SB) {}
+
+  void run() {
+    for (Stmt *S : SB.stmts()) {
+      if (S->Kind != StmtKind::WrTmp)
+        continue;
+      Expr *D = S->Data;
+      if (D->Kind != ExprKind::Unop && D->Kind != ExprKind::Binop &&
+          D->Kind != ExprKind::ITE && D->Kind != ExprKind::CCall)
+        continue;
+      std::string Key = keyOf(D);
+      auto [It, Inserted] = Table.try_emplace(Key, S->Tmp);
+      if (!Inserted)
+        S->Data = SB.rdTmp(It->second); // PropFold folds the copy away
+    }
+  }
+
+private:
+  static void atomKey(const Expr *E, std::string &K) {
+    if (E->isConst()) {
+      K += 'c';
+      K += std::to_string(E->ConstVal);
+    } else {
+      K += 't';
+      K += std::to_string(E->Tmp);
+    }
+    K += '.';
+  }
+
+  static std::string keyOf(const Expr *D) {
+    std::string K;
+    switch (D->Kind) {
+    case ExprKind::Unop:
+    case ExprKind::Binop:
+      K += 'o';
+      K += std::to_string(static_cast<unsigned>(D->Opc));
+      K += '.';
+      for (unsigned I = 0; I != opArity(D->Opc); ++I)
+        atomKey(D->Arg[I], K);
+      break;
+    case ExprKind::ITE:
+      K += 'i';
+      for (int I = 0; I != 3; ++I)
+        atomKey(D->Arg[I], K);
+      break;
+    case ExprKind::CCall:
+      K += 'h';
+      K += std::to_string(reinterpret_cast<uintptr_t>(D->CalleeFn));
+      K += '.';
+      for (const Expr *A : D->CallArgs)
+        atomKey(A, K);
+      break;
+    default:
+      break;
+    }
+    return K;
+  }
+
+  IRSB &SB;
+  std::map<std::string, TmpId> Table;
+};
+
+/// Dead code elimination: removes WrTmps whose temporaries are never used
+/// (backwards liveness in one pass, since flat IR defs precede uses).
+class DeadCode {
+public:
+  explicit DeadCode(IRSB &SB) : SB(SB) {}
+
+  void run() {
+    Live.assign(SB.numTmps(), false);
+    markExpr(SB.next());
+    auto &Stmts = SB.stmts();
+    std::vector<Stmt *> Kept;
+    Kept.reserve(Stmts.size());
+    for (size_t I = Stmts.size(); I-- > 0;) {
+      Stmt *S = Stmts[I];
+      if (S->Kind == StmtKind::NoOp)
+        continue;
+      if (S->Kind == StmtKind::WrTmp && !Live[S->Tmp])
+        continue; // dead def of a pure value
+      markStmt(S);
+      Kept.push_back(S);
+    }
+    std::reverse(Kept.begin(), Kept.end());
+    SB.setStmts(std::move(Kept));
+  }
+
+private:
+  void markExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::RdTmp:
+      Live[E->Tmp] = true;
+      break;
+    case ExprKind::Unop:
+      markExpr(E->Arg[0]);
+      break;
+    case ExprKind::Binop:
+      markExpr(E->Arg[0]);
+      markExpr(E->Arg[1]);
+      break;
+    case ExprKind::Load:
+      markExpr(E->Arg[0]);
+      break;
+    case ExprKind::ITE:
+      markExpr(E->Arg[0]);
+      markExpr(E->Arg[1]);
+      markExpr(E->Arg[2]);
+      break;
+    case ExprKind::CCall:
+      for (const Expr *A : E->CallArgs)
+        markExpr(A);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void markStmt(const Stmt *S) {
+    switch (S->Kind) {
+    case StmtKind::Put:
+    case StmtKind::WrTmp:
+      markExpr(S->Data);
+      break;
+    case StmtKind::Store:
+      markExpr(S->Addr);
+      markExpr(S->Data);
+      break;
+    case StmtKind::Dirty:
+      for (const Expr *A : S->CallArgs)
+        markExpr(A);
+      markExpr(S->Guard);
+      break;
+    case StmtKind::Exit:
+      markExpr(S->Guard);
+      break;
+    default:
+      break;
+    }
+  }
+
+  IRSB &SB;
+  std::vector<bool> Live;
+};
+
+} // namespace
+
+void ir::optimise1(IRSB &SB, const SpecFn &Spec,
+                   const PreservedPuts &Preserve) {
+  // Two rounds reach a fixpoint on all blocks the front end produces.
+  for (int Round = 0; Round != 2; ++Round) {
+    PropFold(SB, Spec).run();
+    RedundantGet(SB).run();
+    PropFold(SB, Spec).run();
+    CSE(SB).run();
+    PropFold(SB, Spec).run();
+    DeadPut(SB, Preserve).run();
+    DeadCode(SB).run();
+  }
+}
+
+void ir::optimise2(IRSB &SB, const SpecFn &Spec,
+                   const PreservedPuts &Preserve) {
+  PropFold(SB, Spec).run();
+  // Analysis code benefits from Get/Put forwarding just like client code
+  // (Section 4 R1: "shadow operations benefit fully from Valgrind's
+  // post-instrumentation IR optimiser") — e.g. per-instruction inline
+  // counters collapse to one load, N adds, and one store per block.
+  RedundantGet(SB).run();
+  PropFold(SB, Spec).run();
+  CSE(SB).run();
+  PropFold(SB, Spec).run();
+  DeadPut(SB, Preserve).run();
+  DeadCode(SB).run();
+}
+
+//===----------------------------------------------------------------------===//
+// Tree building: flat IR -> tree IR (Phase 5)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds expression trees by substituting single-use temporaries into
+/// their use points. Loads are never moved past stores; Gets never past
+/// conflicting Puts; nothing is carried across a Dirty call; load-bearing
+/// trees are not carried across guarded exits (fault-timing preservation).
+class TreeBuilder {
+public:
+  explicit TreeBuilder(IRSB &SB) : SB(SB) {}
+
+  void run() {
+    countUses();
+    std::vector<Stmt *> NewStmts;
+    NewStmts.reserve(SB.stmts().size());
+    Emit = &NewStmts;
+
+    for (Stmt *S : SB.stmts()) {
+      switch (S->Kind) {
+      case StmtKind::NoOp:
+        continue;
+      case StmtKind::IMark:
+        NewStmts.push_back(S);
+        continue;
+      case StmtKind::WrTmp: {
+        S->Data = substitute(S->Data);
+        if (UseCount[S->Tmp] == 1) {
+          hold(S);
+          continue;
+        }
+        NewStmts.push_back(S);
+        continue;
+      }
+      case StmtKind::Put:
+        S->Data = substitute(S->Data);
+        flushConflicting(/*OnStore=*/false, /*OnPut=*/true,
+                         rangeOfPut(S), /*All=*/false, /*OnExit=*/false);
+        NewStmts.push_back(S);
+        continue;
+      case StmtKind::Store:
+        S->Addr = substitute(S->Addr);
+        S->Data = substitute(S->Data);
+        flushConflicting(/*OnStore=*/true, false, {}, false, false);
+        NewStmts.push_back(S);
+        continue;
+      case StmtKind::Dirty:
+        for (Expr *&A : S->CallArgs)
+          A = substitute(A);
+        if (S->Guard)
+          S->Guard = substitute(S->Guard);
+        flushConflicting(false, false, {}, /*All=*/true, false);
+        NewStmts.push_back(S);
+        continue;
+      case StmtKind::Exit:
+        S->Guard = substitute(S->Guard);
+        flushConflicting(false, false, {}, false, /*OnExit=*/true);
+        NewStmts.push_back(S);
+        continue;
+      }
+    }
+
+    SB.setNext(substitute(SB.next()), SB.endJumpKind());
+    // Emit any still-held defs whose value is (somehow) still needed.
+    for (Pending &P : Held)
+      if (!P.Consumed && UseCount[P.Def->Tmp] > 0)
+        NewStmts.push_back(P.Def);
+    SB.setStmts(std::move(NewStmts));
+  }
+
+private:
+  struct Pending {
+    Stmt *Def;
+    bool HasLoad = false;
+    bool HasGet = false;
+    std::vector<Range> GetRanges;
+    bool Consumed = false;
+  };
+
+  void countExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::RdTmp:
+      if (E->Tmp >= UseCount.size())
+        UseCount.resize(E->Tmp + 1, 0);
+      ++UseCount[E->Tmp];
+      break;
+    case ExprKind::Unop:
+      countExpr(E->Arg[0]);
+      break;
+    case ExprKind::Binop:
+      countExpr(E->Arg[0]);
+      countExpr(E->Arg[1]);
+      break;
+    case ExprKind::Load:
+      countExpr(E->Arg[0]);
+      break;
+    case ExprKind::ITE:
+      countExpr(E->Arg[0]);
+      countExpr(E->Arg[1]);
+      countExpr(E->Arg[2]);
+      break;
+    case ExprKind::CCall:
+      for (const Expr *A : E->CallArgs)
+        countExpr(A);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void countUses() {
+    UseCount.assign(SB.numTmps(), 0);
+    for (const Stmt *S : SB.stmts()) {
+      switch (S->Kind) {
+      case StmtKind::Put:
+      case StmtKind::WrTmp:
+        countExpr(S->Data);
+        break;
+      case StmtKind::Store:
+        countExpr(S->Addr);
+        countExpr(S->Data);
+        break;
+      case StmtKind::Dirty:
+        for (const Expr *A : S->CallArgs)
+          countExpr(A);
+        countExpr(S->Guard);
+        break;
+      case StmtKind::Exit:
+        countExpr(S->Guard);
+        break;
+      default:
+        break;
+      }
+    }
+    countExpr(SB.next());
+  }
+
+  static void scanExpr(const Expr *E, Pending &P) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::Load:
+      P.HasLoad = true;
+      scanExpr(E->Arg[0], P);
+      break;
+    case ExprKind::Get:
+      P.HasGet = true;
+      P.GetRanges.push_back(rangeOfGet(E));
+      break;
+    case ExprKind::Unop:
+      scanExpr(E->Arg[0], P);
+      break;
+    case ExprKind::Binop:
+      scanExpr(E->Arg[0], P);
+      scanExpr(E->Arg[1], P);
+      break;
+    case ExprKind::ITE:
+      scanExpr(E->Arg[0], P);
+      scanExpr(E->Arg[1], P);
+      scanExpr(E->Arg[2], P);
+      break;
+    case ExprKind::CCall:
+      for (const Expr *A : E->CallArgs)
+        scanExpr(A, P);
+      break;
+    default:
+      break;
+    }
+  }
+
+  void hold(Stmt *Def) {
+    Pending P;
+    P.Def = Def;
+    scanExpr(Def->Data, P);
+    Held.push_back(std::move(P));
+  }
+
+  /// Splices held single-use defs into \p E where their tmp is read.
+  Expr *substitute(Expr *E) {
+    if (!E)
+      return E;
+    if (E->Kind == ExprKind::RdTmp) {
+      for (Pending &P : Held) {
+        if (!P.Consumed && P.Def->Tmp == E->Tmp) {
+          P.Consumed = true;
+          return P.Def->Data; // already tree-substituted when held
+        }
+      }
+      return E;
+    }
+    switch (E->Kind) {
+    case ExprKind::Unop:
+      E->Arg[0] = substitute(E->Arg[0]);
+      break;
+    case ExprKind::Binop:
+      E->Arg[0] = substitute(E->Arg[0]);
+      E->Arg[1] = substitute(E->Arg[1]);
+      break;
+    case ExprKind::Load:
+      E->Arg[0] = substitute(E->Arg[0]);
+      break;
+    case ExprKind::ITE:
+      E->Arg[0] = substitute(E->Arg[0]);
+      E->Arg[1] = substitute(E->Arg[1]);
+      E->Arg[2] = substitute(E->Arg[2]);
+      break;
+    case ExprKind::CCall:
+      for (Expr *&A : E->CallArgs)
+        A = substitute(A);
+      break;
+    default:
+      break;
+    }
+    return E;
+  }
+
+  /// Emits (in order) all held defs that cannot legally cross the current
+  /// barrier statement.
+  void flushConflicting(bool OnStore, bool OnPut, Range PutRange, bool All,
+                        bool OnExit) {
+    std::vector<Pending> Still;
+    for (Pending &P : Held) {
+      if (P.Consumed)
+        continue;
+      bool Conflicts = All;
+      if (OnStore && P.HasLoad)
+        Conflicts = true;
+      if (OnExit && P.HasLoad)
+        Conflicts = true;
+      if (OnPut && P.HasGet)
+        for (Range R : P.GetRanges)
+          if (R.overlaps(PutRange))
+            Conflicts = true;
+      if (Conflicts)
+        Emit->push_back(P.Def);
+      else
+        Still.push_back(std::move(P));
+    }
+    Held = std::move(Still);
+  }
+
+  IRSB &SB;
+  std::vector<uint32_t> UseCount;
+  std::vector<Pending> Held;
+  std::vector<Stmt *> *Emit = nullptr;
+};
+
+} // namespace
+
+void ir::buildTrees(IRSB &SB) { TreeBuilder(SB).run(); }

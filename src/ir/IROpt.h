@@ -1,0 +1,66 @@
+//===-- ir/IROpt.h - IR optimisation passes ---------------------*- C++ -*-==//
+///
+/// \file
+/// The translation pipeline's IR phases (Section 3.7):
+///
+///  - flatten():   Phase 2 entry — tree IR to flat IR (all statement
+///                 operands become atoms: temporaries or constants).
+///  - optimise1(): Phase 2 body — redundant Get/Put elimination, copy and
+///                 constant propagation, constant folding, CSE, dead code
+///                 removal, and partial evaluation of platform-specific
+///                 helper calls via a callback (the %eflags trick).
+///  - optimise2(): Phase 4 — the cheaper post-instrumentation cleanup
+///                 (constant folding, copy propagation, dead code removal),
+///                 which lets tools emit somewhat simple-minded code.
+///  - buildTrees(): Phase 5 — substitutes single-use temporaries into their
+///                 use sites to rebuild expression trees for instruction
+///                 selection. Loads are never moved past stores.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_IR_IROPT_H
+#define VG_IR_IROPT_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <memory>
+
+namespace vg {
+namespace ir {
+
+/// Partial-evaluation hook for clean helper calls (Section 3.7 Phase 2:
+/// "callback functions that can partially evaluate certain platform-specific
+/// C helper calls"). Invoked for CCalls whose arguments are atoms; may build
+/// and return a replacement expression in \p SB, or null to keep the call.
+using SpecFn =
+    std::function<Expr *(IRSB &SB, const Callee *C,
+                         const std::vector<Expr *> &Args)>;
+
+/// Tree IR -> flat IR (fresh superblock).
+std::unique_ptr<IRSB> flatten(const IRSB &In);
+
+/// Guest-state byte range whose Puts must never be removed as redundant.
+/// Used for the stack pointer when stack-allocation events are wanted
+/// (R7): every SP write must remain visible to the core's SP-tracking
+/// instrumentation, mirroring Valgrind's special treatment of guest_SP.
+struct PreservedPuts {
+  uint32_t Lo = 0, Hi = 0; // empty by default
+  bool covers(uint32_t Offset) const { return Offset >= Lo && Offset < Hi; }
+};
+
+/// Full Phase-2 optimisation on flat IR, in place. \p Spec may be null.
+void optimise1(IRSB &SB, const SpecFn &Spec,
+               const PreservedPuts &Preserve = PreservedPuts());
+
+/// Cheaper Phase-4 optimisation on flat IR, in place. \p Spec may be null
+/// (tools' instrumentation also benefits from helper specialisation).
+void optimise2(IRSB &SB, const SpecFn &Spec,
+               const PreservedPuts &Preserve = PreservedPuts());
+
+/// Flat IR -> tree IR, in place (Phase 5).
+void buildTrees(IRSB &SB);
+
+} // namespace ir
+} // namespace vg
+
+#endif // VG_IR_IROPT_H

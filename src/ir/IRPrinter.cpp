@@ -1,0 +1,160 @@
+//===-- ir/IRPrinter.cpp - Textual IR rendering ---------------------------==//
+
+#include "ir/IRPrinter.h"
+
+#include "guest/GuestArch.h"
+
+#include <cstdio>
+
+using namespace vg;
+using namespace vg::ir;
+
+namespace {
+
+std::string hex(uint64_t V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "0x%llx", static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+std::string constStr(const Expr *E) {
+  return hex(E->ConstVal) + ":" + tyName(E->T);
+}
+
+} // namespace
+
+std::string ir::toString(const Expr *E) {
+  if (!E)
+    return "<null>";
+  switch (E->Kind) {
+  case ExprKind::Const:
+    return constStr(E);
+  case ExprKind::RdTmp:
+    return "t" + std::to_string(E->Tmp);
+  case ExprKind::Get:
+    return std::string("GET:") + tyName(E->T) + "(" +
+           std::to_string(E->Offset) + ")";
+  case ExprKind::Unop:
+    return std::string(opName(E->Opc)) + "(" + toString(E->Arg[0]) + ")";
+  case ExprKind::Binop:
+    return std::string(opName(E->Opc)) + "(" + toString(E->Arg[0]) + "," +
+           toString(E->Arg[1]) + ")";
+  case ExprKind::Load:
+    return std::string("LDle:") + tyName(E->T) + "(" + toString(E->Arg[0]) +
+           ")";
+  case ExprKind::ITE:
+    return "ITE(" + toString(E->Arg[0]) + "," + toString(E->Arg[1]) + "," +
+           toString(E->Arg[2]) + ")";
+  case ExprKind::CCall: {
+    std::string S = std::string(E->CalleeFn->Name) + "(";
+    for (size_t I = 0; I != E->CallArgs.size(); ++I) {
+      if (I)
+        S += ",";
+      S += toString(E->CallArgs[I]);
+    }
+    return S + "):" + tyName(E->T);
+  }
+  }
+  return "<bad-expr>";
+}
+
+std::string ir::toString(const Stmt *S, const OffsetNamer &Namer) {
+  auto Note = [&](uint32_t Off, const char *What) -> std::string {
+    if (!Namer)
+      return {};
+    std::string N = Namer(Off);
+    if (N.empty())
+      return {};
+    return std::string("   # ") + What + " " + N;
+  };
+  switch (S->Kind) {
+  case StmtKind::NoOp:
+    return "IR-NoOp";
+  case StmtKind::IMark: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "------ IMark(0x%x, %u) ------", S->IAddr,
+                  S->ILen);
+    return Buf;
+  }
+  case StmtKind::Put:
+    return "PUT(" + std::to_string(S->Offset) + ") = " + toString(S->Data) +
+           Note(S->Offset, "put");
+  case StmtKind::WrTmp: {
+    std::string Out = "t" + std::to_string(S->Tmp) + " = " + toString(S->Data);
+    if (S->Data->Kind == ExprKind::Get)
+      Out += Note(S->Data->Offset, "get");
+    return Out;
+  }
+  case StmtKind::Store:
+    return "STle(" + toString(S->Addr) + ") = " + toString(S->Data);
+  case StmtKind::Dirty: {
+    std::string Out = "DIRTY ";
+    Out += S->Guard ? toString(S->Guard) : "1:I1";
+    for (const GuestFx &F : S->Fx) {
+      Out += F.IsWrite ? " WrFX-gst(" : " RdFX-gst(";
+      Out += std::to_string(F.Offset) + "," + std::to_string(F.Size) + ")";
+    }
+    Out += " ::: ";
+    if (S->Tmp != NoTmp)
+      Out = "t" + std::to_string(S->Tmp) + " = " + Out;
+    Out += std::string(S->CalleeFn->Name) + "(";
+    for (size_t I = 0; I != S->CallArgs.size(); ++I) {
+      if (I)
+        Out += ",";
+      Out += toString(S->CallArgs[I]);
+    }
+    return Out + ")";
+  }
+  case StmtKind::Exit: {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "if (%s) goto {%s} 0x%x",
+                  toString(S->Guard).c_str(), jumpKindName(S->JK), S->DstPC);
+    return Buf;
+  }
+  }
+  return "<bad-stmt>";
+}
+
+std::string ir::toString(const IRSB &SB, const OffsetNamer &Namer) {
+  std::string Out;
+  int N = 1;
+  for (const Stmt *S : SB.stmts()) {
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%3d: ", N++);
+    Out += Buf;
+    Out += toString(S, Namer);
+    Out += "\n";
+  }
+  Out += "     goto {";
+  Out += jumpKindName(SB.endJumpKind());
+  Out += "} " + toString(SB.next()) + "\n";
+  return Out;
+}
+
+std::string ir::vg1OffsetName(uint32_t Offset) {
+  using namespace vg::vg1;
+  bool Shadow = false;
+  uint32_t Off = Offset;
+  if (Off >= gso::ShadowOffset && Off < gso::ShadowOffset + gso::GuestStateSize) {
+    Shadow = true;
+    Off -= gso::ShadowOffset;
+  }
+  std::string Name;
+  if (Off < gso::PC && Off % 4 == 0)
+    Name = "%r" + std::to_string(Off / 4);
+  else if (Off == gso::PC)
+    Name = "%pc";
+  else if (Off == gso::CC_OP)
+    Name = "%cc_op";
+  else if (Off == gso::CC_DEP1)
+    Name = "%cc_dep1";
+  else if (Off == gso::CC_DEP2)
+    Name = "%cc_dep2";
+  else if (Off == gso::CC_NDEP)
+    Name = "%cc_ndep";
+  else if (Off >= gso::F0 && Off < gso::F0 + 8 * NumFPRs && (Off - gso::F0) % 8 == 0)
+    Name = "%f" + std::to_string((Off - gso::F0) / 8);
+  else
+    return {};
+  return Shadow ? "sh(" + Name + ")" : Name;
+}

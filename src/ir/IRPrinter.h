@@ -1,0 +1,39 @@
+//===-- ir/IRPrinter.h - Textual IR rendering -------------------*- C++ -*-==//
+///
+/// \file
+/// Renders IR superblocks in the paper's notation (Figures 1 and 2):
+/// IMark separators, GET:I32(offset), PUT(offset), LDle/STle, helper calls
+/// with their RdFX/WrFX guest-state annotations, and guarded exits.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_IR_IRPRINTER_H
+#define VG_IR_IRPRINTER_H
+
+#include "ir/IR.h"
+
+#include <functional>
+#include <string>
+
+namespace vg {
+namespace ir {
+
+/// Optional resolver mapping a guest-state offset to a register name, used
+/// to append "# get %r3"-style comments. Returns an empty string when the
+/// offset has no friendly name.
+using OffsetNamer = std::function<std::string(uint32_t Offset)>;
+
+std::string toString(const Expr *E);
+std::string toString(const Stmt *S, const OffsetNamer &Namer = nullptr);
+
+/// Renders a whole superblock, one numbered statement per line plus the
+/// final "goto {kind} next".
+std::string toString(const IRSB &SB, const OffsetNamer &Namer = nullptr);
+
+/// The VG1 offset namer ("%r0".."%r15", "%pc", "%ccop", shadows as
+/// "sh(%r3)").
+std::string vg1OffsetName(uint32_t Offset);
+
+} // namespace ir
+} // namespace vg
+
+#endif // VG_IR_IRPRINTER_H

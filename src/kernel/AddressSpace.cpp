@@ -1,0 +1,127 @@
+//===-- kernel/AddressSpace.cpp - Address space manager -------------------==//
+
+#include "kernel/AddressSpace.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace vg;
+
+void AddressSpace::reserveCoreRegion() {
+  bool Ok = add(CoreBase, CoreSize, 0, SegKind::CoreReserved, "core+tool");
+  assert(Ok && "core region must be reservable at startup");
+  (void)Ok;
+}
+
+bool AddressSpace::add(uint32_t Start, uint32_t Len, uint8_t Perms,
+                       SegKind Kind, const std::string &Name) {
+  if (Len == 0)
+    return false;
+  Start = pageDown(Start);
+  uint32_t End = pageUp(Start + Len);
+  if (End <= Start) // wrapped
+    return false;
+  if (anyOverlap(Start, End - Start))
+    return false;
+  Segment S{Start, End, Perms, Kind, Name};
+  auto It = std::lower_bound(
+      Segs.begin(), Segs.end(), S,
+      [](const Segment &A, const Segment &B) { return A.Start < B.Start; });
+  Segs.insert(It, S);
+  return true;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>>
+AddressSpace::release(uint32_t Start, uint32_t Len) {
+  std::vector<std::pair<uint32_t, uint32_t>> Removed;
+  if (Len == 0)
+    return Removed;
+  Start = pageDown(Start);
+  uint32_t End = pageUp(Start + Len);
+  std::vector<Segment> Out;
+  Out.reserve(Segs.size());
+  for (Segment &S : Segs) {
+    if (S.Kind == SegKind::CoreReserved || S.End <= Start || S.Start >= End) {
+      Out.push_back(S);
+      continue;
+    }
+    uint32_t CutLo = std::max(S.Start, Start);
+    uint32_t CutHi = std::min(S.End, End);
+    Removed.push_back({CutLo, CutHi});
+    if (S.Start < CutLo) {
+      Segment Left = S;
+      Left.End = CutLo;
+      Out.push_back(Left);
+    }
+    if (CutHi < S.End) {
+      Segment Right = S;
+      Right.Start = CutHi;
+      Out.push_back(Right);
+    }
+  }
+  Segs = std::move(Out);
+  return Removed;
+}
+
+bool AddressSpace::resize(uint32_t Start, uint32_t NewEnd) {
+  NewEnd = pageUp(NewEnd);
+  for (size_t I = 0; I != Segs.size(); ++I) {
+    Segment &S = Segs[I];
+    if (S.Start != Start)
+      continue;
+    if (NewEnd <= S.Start)
+      return false;
+    // Check growth doesn't collide with the next segment.
+    if (I + 1 < Segs.size() && NewEnd > Segs[I + 1].Start)
+      return false;
+    S.End = NewEnd;
+    return true;
+  }
+  return false;
+}
+
+const Segment *AddressSpace::segmentAt(uint32_t Addr) const {
+  for (const Segment &S : Segs)
+    if (Addr >= S.Start && Addr < S.End)
+      return &S;
+  return nullptr;
+}
+
+const Segment *AddressSpace::segmentByKind(SegKind Kind) const {
+  for (const Segment &S : Segs)
+    if (S.Kind == Kind)
+      return &S;
+  return nullptr;
+}
+
+bool AddressSpace::anyOverlap(uint32_t Start, uint32_t Len) const {
+  uint32_t End = Start + Len;
+  for (const Segment &S : Segs)
+    if (S.Start < End && Start < S.End)
+      return true;
+  return false;
+}
+
+uint32_t AddressSpace::findFree(uint32_t Len, uint32_t Hint) const {
+  Len = pageUp(Len);
+  uint32_t Cand = pageUp(Hint);
+  for (;;) {
+    // Find the first segment overlapping [Cand, Cand+Len).
+    const Segment *Conflict = nullptr;
+    for (const Segment &S : Segs) {
+      if (S.Start < Cand + Len && Cand < S.End) {
+        Conflict = &S;
+        break;
+      }
+    }
+    if (!Conflict) {
+      if (Cand + Len < Cand) // wrapped: out of space
+        return 0;
+      return Cand;
+    }
+    uint32_t Next = pageUp(Conflict->End);
+    if (Next <= Cand) // wrapped
+      return 0;
+    Cand = Next;
+  }
+}

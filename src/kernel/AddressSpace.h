@@ -1,0 +1,85 @@
+//===-- kernel/AddressSpace.h - Address space manager -----------*- C++ -*-==//
+///
+/// \file
+/// The address space manager (Section 3.3): tracks which guest ranges
+/// belong to whom (client text/data/heap/stack/mmap vs. core-reserved) and
+/// implements placement policy for mmap. System calls involving the
+/// partitioned address space are pre-checked against it, "so that if the
+/// client tries to mmap memory currently used by the tool, Valgrind will
+/// make it fail without even consulting the kernel" (Section 3.10).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_KERNEL_ADDRESSSPACE_H
+#define VG_KERNEL_ADDRESSSPACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vg {
+
+enum class SegKind : uint8_t {
+  ClientText,
+  ClientData,
+  ClientHeap,  ///< the brk segment
+  ClientStack,
+  ClientMmap,
+  CoreReserved, ///< where the core+tool "live" (the 0x38000000 region)
+};
+
+struct Segment {
+  uint32_t Start = 0, End = 0; // [Start, End), page aligned
+  uint8_t Perms = 0;
+  SegKind Kind = SegKind::ClientMmap;
+  std::string Name;
+};
+
+/// Sorted, non-overlapping segment map over the 32-bit guest space.
+class AddressSpace {
+public:
+  static constexpr uint32_t PageSize = 4096;
+  /// Default search base for floating mmaps.
+  static constexpr uint32_t MmapBase = 0x40000000;
+  /// The core image's reservation (paper: Valgrind loads at 0x38000000).
+  static constexpr uint32_t CoreBase = 0x38000000;
+  static constexpr uint32_t CoreSize = 16 * 1024 * 1024;
+
+  /// Registers the core's own reservation.
+  void reserveCoreRegion();
+
+  /// Adds a segment; fails (returns false) on any overlap.
+  bool add(uint32_t Start, uint32_t Len, uint8_t Perms, SegKind Kind,
+           const std::string &Name);
+
+  /// Removes [Start, Start+Len) from any client segments it intersects
+  /// (splitting as needed). Core-reserved ranges are never released this
+  /// way. Returns the sub-ranges actually removed.
+  std::vector<std::pair<uint32_t, uint32_t>> release(uint32_t Start,
+                                                     uint32_t Len);
+
+  /// Grows/shrinks a segment in place (brk). Returns false on conflict.
+  bool resize(uint32_t Start, uint32_t NewEnd);
+
+  const Segment *segmentAt(uint32_t Addr) const;
+  const Segment *segmentByKind(SegKind Kind) const;
+
+  bool anyOverlap(uint32_t Start, uint32_t Len) const;
+
+  /// Finds a free page-aligned range of \p Len bytes at or above \p Hint.
+  /// Returns 0 when the space is exhausted.
+  uint32_t findFree(uint32_t Len, uint32_t Hint = MmapBase) const;
+
+  const std::vector<Segment> &segments() const { return Segs; }
+
+  static uint32_t pageDown(uint32_t A) { return A & ~(PageSize - 1); }
+  static uint32_t pageUp(uint32_t A) {
+    return (A + PageSize - 1) & ~(PageSize - 1);
+  }
+
+private:
+  std::vector<Segment> Segs; // sorted by Start
+};
+
+} // namespace vg
+
+#endif // VG_KERNEL_ADDRESSSPACE_H

@@ -1,0 +1,253 @@
+//===-- shadow/ShadowMemory.cpp - Shadow memory ---------------------------==//
+
+#include "shadow/ShadowMemory.h"
+
+using namespace vg;
+
+ShadowMap::Secondary ShadowMap::DsmNoAccess;
+ShadowMap::Secondary ShadowMap::DsmDefined;
+bool ShadowMap::DsmInit = false;
+
+ShadowMap::ShadowMap() : OwnedIdx(NumChunks, -1) {
+  if (!DsmInit) {
+    DsmNoAccess.V.fill(0xFF);
+    DsmNoAccess.A.fill(0x00);
+    DsmDefined.V.fill(0x00);
+    DsmDefined.A.fill(0xFF);
+    DsmInit = true;
+  }
+}
+
+const ShadowMap::Secondary *ShadowMap::readable(uint32_t ChunkIdx) const {
+  int32_t Idx = OwnedIdx[ChunkIdx];
+  if (Idx == -1)
+    return &DsmNoAccess;
+  if (Idx == -2)
+    return &DsmDefined;
+  return Owned[static_cast<uint32_t>(Idx)].get();
+}
+
+ShadowMap::Secondary *ShadowMap::writable(uint32_t ChunkIdx) {
+  int32_t Idx = OwnedIdx[ChunkIdx];
+  if (Idx >= 0)
+    return Owned[static_cast<uint32_t>(Idx)].get();
+  // Materialise a copy of the distinguished secondary (copy-on-write).
+  auto S = std::make_unique<Secondary>(Idx == -1 ? DsmNoAccess : DsmDefined);
+  Secondary *Raw = S.get();
+  OwnedIdx[ChunkIdx] = static_cast<int32_t>(Owned.size());
+  Owned.push_back(std::move(S));
+  ++Materialised;
+  return Raw;
+}
+
+namespace {
+/// Applies Fn(chunk-relative offset, length) over [Addr, Addr+Len) chunk by
+/// chunk.
+template <typename Fn>
+void forChunks(uint32_t Addr, uint32_t Len, Fn F) {
+  while (Len) {
+    uint32_t Chunk = Addr >> ShadowMap::ChunkBits;
+    uint32_t Off = Addr & (ShadowMap::ChunkSize - 1);
+    uint32_t N = std::min(Len, ShadowMap::ChunkSize - Off);
+    F(Chunk, Off, N);
+    Addr += N;
+    Len -= N;
+  }
+}
+} // namespace
+
+void ShadowMap::makeNoAccess(uint32_t Addr, uint32_t Len) {
+  forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
+    if (Off == 0 && N == ChunkSize && OwnedIdx[C] < 0) {
+      OwnedIdx[C] = -1; // whole chunk: swap in the distinguished secondary
+      return;
+    }
+    Secondary *S = writable(C);
+    std::memset(S->V.data() + Off, 0xFF, N);
+    for (uint32_t I = Off; I != Off + N; ++I)
+      S->A[I >> 3] &= static_cast<uint8_t>(~(1u << (I & 7)));
+  });
+}
+
+void ShadowMap::makeDefined(uint32_t Addr, uint32_t Len) {
+  forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
+    if (Off == 0 && N == ChunkSize && OwnedIdx[C] < 0) {
+      OwnedIdx[C] = -2;
+      return;
+    }
+    Secondary *S = writable(C);
+    std::memset(S->V.data() + Off, 0x00, N);
+    for (uint32_t I = Off; I != Off + N; ++I)
+      S->A[I >> 3] |= static_cast<uint8_t>(1u << (I & 7));
+  });
+}
+
+void ShadowMap::makeUndefined(uint32_t Addr, uint32_t Len) {
+  forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
+    Secondary *S = writable(C);
+    std::memset(S->V.data() + Off, 0xFF, N);
+    for (uint32_t I = Off; I != Off + N; ++I)
+      S->A[I >> 3] |= static_cast<uint8_t>(1u << (I & 7));
+  });
+}
+
+void ShadowMap::copyRange(uint32_t Src, uint32_t Dst, uint32_t Len) {
+  // Byte loop; ranges in this system are modest (mremap/realloc).
+  for (uint32_t I = 0; I != Len; ++I) {
+    uint32_t S = Src + I, D = Dst + I;
+    setByte(D, abit(S), vbyte(S));
+  }
+}
+
+uint8_t ShadowMap::vbyte(uint32_t Addr) const {
+  const Secondary *S = readable(Addr >> ChunkBits);
+  return S->V[Addr & (ChunkSize - 1)];
+}
+
+bool ShadowMap::abit(uint32_t Addr) const {
+  const Secondary *S = readable(Addr >> ChunkBits);
+  uint32_t Off = Addr & (ChunkSize - 1);
+  return S->A[Off >> 3] & (1u << (Off & 7));
+}
+
+void ShadowMap::setByte(uint32_t Addr, bool Addressable, uint8_t V) {
+  Secondary *S = writable(Addr >> ChunkBits);
+  uint32_t Off = Addr & (ChunkSize - 1);
+  S->V[Off] = V;
+  if (Addressable)
+    S->A[Off >> 3] |= static_cast<uint8_t>(1u << (Off & 7));
+  else
+    S->A[Off >> 3] &= static_cast<uint8_t>(~(1u << (Off & 7)));
+}
+
+uint64_t ShadowMap::loadV(uint32_t Addr, uint32_t Size,
+                          AddrCheck &Check) const {
+  uint64_t V = 0;
+  for (uint32_t I = 0; I != Size; ++I) {
+    uint32_t A = Addr + I;
+    uint8_t VB;
+    if (!abit(A)) {
+      if (Check.Ok) {
+        Check.Ok = false;
+        Check.FirstBad = A;
+      }
+      VB = 0xFF;
+    } else {
+      VB = vbyte(A);
+    }
+    V |= static_cast<uint64_t>(VB) << (8 * I);
+  }
+  return V;
+}
+
+void ShadowMap::storeV(uint32_t Addr, uint32_t Size, uint64_t Vbits,
+                       AddrCheck &Check) {
+  for (uint32_t I = 0; I != Size; ++I) {
+    uint32_t A = Addr + I;
+    if (!abit(A)) {
+      if (Check.Ok) {
+        Check.Ok = false;
+        Check.FirstBad = A;
+      }
+      continue;
+    }
+    Secondary *S = writable(A >> ChunkBits);
+    S->V[A & (ChunkSize - 1)] = static_cast<uint8_t>(Vbits >> (8 * I));
+  }
+}
+
+bool ShadowMap::isAddressable(uint32_t Addr, uint32_t Len,
+                              uint32_t &FirstBad) const {
+  for (uint32_t I = 0; I != Len; ++I) {
+    if (!abit(Addr + I)) {
+      FirstBad = Addr + I;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ShadowMap::isDefined(uint32_t Addr, uint32_t Len, uint32_t &FirstBad,
+                          bool &BadIsUnaddressable) const {
+  for (uint32_t I = 0; I != Len; ++I) {
+    if (!abit(Addr + I)) {
+      FirstBad = Addr + I;
+      BadIsUnaddressable = true;
+      return false;
+    }
+    if (vbyte(Addr + I)) {
+      FirstBad = Addr + I;
+      BadIsUnaddressable = false;
+      return false;
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// DirectShadow
+//===----------------------------------------------------------------------===//
+
+DirectShadow::DirectShadow(uint32_t WindowBase, uint32_t WindowSize)
+    : Base(WindowBase), Size(WindowSize), V(WindowSize, 0xFF),
+      A(WindowSize, 0) {}
+
+void DirectShadow::makeNoAccess(uint32_t Addr, uint32_t Len) {
+  if (!covers(Addr, Len))
+    return;
+  std::memset(V.data() + (Addr - Base), 0xFF, Len);
+  std::memset(A.data() + (Addr - Base), 0, Len);
+}
+
+void DirectShadow::makeUndefined(uint32_t Addr, uint32_t Len) {
+  if (!covers(Addr, Len))
+    return;
+  std::memset(V.data() + (Addr - Base), 0xFF, Len);
+  std::memset(A.data() + (Addr - Base), 1, Len);
+}
+
+void DirectShadow::makeDefined(uint32_t Addr, uint32_t Len) {
+  if (!covers(Addr, Len))
+    return;
+  std::memset(V.data() + (Addr - Base), 0, Len);
+  std::memset(A.data() + (Addr - Base), 1, Len);
+}
+
+uint64_t DirectShadow::loadV(uint32_t Addr, uint32_t Sz,
+                             AddrCheck &Check) const {
+  if (!covers(Addr, Sz)) {
+    Check.Ok = false;
+    Check.FirstBad = Addr;
+    return ~0ull;
+  }
+  uint32_t Off = Addr - Base;
+  uint64_t Out = 0;
+  for (uint32_t I = 0; I != Sz; ++I) {
+    if (!A[Off + I] && Check.Ok) {
+      Check.Ok = false;
+      Check.FirstBad = Addr + I;
+    }
+    Out |= static_cast<uint64_t>(A[Off + I] ? V[Off + I] : 0xFF) << (8 * I);
+  }
+  return Out;
+}
+
+void DirectShadow::storeV(uint32_t Addr, uint32_t Sz, uint64_t Vbits,
+                          AddrCheck &Check) {
+  if (!covers(Addr, Sz)) {
+    Check.Ok = false;
+    Check.FirstBad = Addr;
+    return;
+  }
+  uint32_t Off = Addr - Base;
+  for (uint32_t I = 0; I != Sz; ++I) {
+    if (!A[Off + I]) {
+      if (Check.Ok) {
+        Check.Ok = false;
+        Check.FirstBad = Addr + I;
+      }
+      continue;
+    }
+    V[Off + I] = static_cast<uint8_t>(Vbits >> (8 * I));
+  }
+}

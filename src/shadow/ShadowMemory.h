@@ -1,0 +1,126 @@
+//===-- shadow/ShadowMemory.h - Shadow memory (R2) --------------*- C++ -*-==//
+///
+/// \file
+/// Shadow memory for shadow-value tools (requirement R2). Two layouts are
+/// provided, reproducing the Section 5.4 trade-off discussion:
+///
+///  - ShadowMap: Memcheck's two-level table ("How to shadow every byte of
+///    memory used by a program", VEE 2007). A primary array of 64K entries
+///    maps each 64KB chunk of guest space to a secondary holding one V-bit
+///    byte per guest byte and one A-bit per guest byte. Unmaterialised
+///    chunks share two distinguished secondaries (all-NoAccess,
+///    all-Defined), so memory cost tracks the client's footprint. Works
+///    for the whole 4GB guest space.
+///
+///  - DirectShadow: the TaintTrace-style layout — one flat allocation at a
+///    fixed offset, making shadow access a single add. Fast, but only
+///    covers a fixed window of the address space and wastes host memory
+///    for sparse clients (the paper: "reserving large areas of address
+///    space works most of the time on Linux, but is untenable on many
+///    other OSes").
+///
+/// Encoding (Memcheck's): V-bit 1 = undefined, 0 = defined; A-bit 1 =
+/// addressable. Unaddressable bytes read as fully undefined.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SHADOW_SHADOWMEMORY_H
+#define VG_SHADOW_SHADOWMEMORY_H
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace vg {
+
+/// Result of an addressability probe.
+struct AddrCheck {
+  bool Ok = true;
+  uint32_t FirstBad = 0;
+};
+
+/// The two-level Memcheck-style shadow map.
+class ShadowMap {
+public:
+  static constexpr uint32_t ChunkBits = 16;
+  static constexpr uint32_t ChunkSize = 1u << ChunkBits; // 64KB
+  static constexpr uint32_t NumChunks = 1u << (32 - ChunkBits);
+
+  ShadowMap();
+
+  // --- range operations (the make_mem_* of Table 1) -----------------------
+  void makeNoAccess(uint32_t Addr, uint32_t Len);
+  void makeUndefined(uint32_t Addr, uint32_t Len);
+  void makeDefined(uint32_t Addr, uint32_t Len);
+  /// Copies both A and V bits (mremap/realloc support).
+  void copyRange(uint32_t Src, uint32_t Dst, uint32_t Len);
+
+  // --- per-access operations ----------------------------------------------
+  /// Loads V-bits for \p Size (1/2/4/8) bytes at \p Addr, low byte first.
+  /// Unaddressable bytes contribute 0xFF. \p Check reports the first
+  /// unaddressable byte.
+  uint64_t loadV(uint32_t Addr, uint32_t Size, AddrCheck &Check) const;
+  /// Stores V-bits for \p Size bytes; \p Check as for loadV. Stores to
+  /// unaddressable bytes leave their shadow untouched.
+  void storeV(uint32_t Addr, uint32_t Size, uint64_t Vbits, AddrCheck &Check);
+
+  bool isAddressable(uint32_t Addr, uint32_t Len, uint32_t &FirstBad) const;
+  /// True if [Addr,Addr+Len) is fully addressable and defined; else sets
+  /// \p FirstBad to the first offending byte and \p BadIsUnaddressable.
+  bool isDefined(uint32_t Addr, uint32_t Len, uint32_t &FirstBad,
+                 bool &BadIsUnaddressable) const;
+
+  uint8_t vbyte(uint32_t Addr) const;
+  bool abit(uint32_t Addr) const;
+  void setByte(uint32_t Addr, bool Addressable, uint8_t V);
+
+  /// Materialised secondaries (memory-footprint statistics).
+  uint64_t chunksMaterialised() const { return Materialised; }
+
+private:
+  struct Secondary {
+    std::array<uint8_t, ChunkSize> V;
+    std::array<uint8_t, ChunkSize / 8> A;
+  };
+
+  /// Distinguished secondary kinds.
+  enum class Dsm : uint8_t { NoAccess, Defined, Owned };
+
+  Secondary *writable(uint32_t ChunkIdx);
+  const Secondary *readable(uint32_t ChunkIdx) const;
+
+  std::vector<std::unique_ptr<Secondary>> Owned; // indexed via OwnedIdx
+  std::vector<int32_t> OwnedIdx;                 // -1 NoAccess, -2 Defined
+  uint64_t Materialised = 0;
+
+  static Secondary DsmNoAccess, DsmDefined;
+  static bool DsmInit;
+};
+
+/// The flat, fixed-window shadow layout (ablation comparator).
+class DirectShadow {
+public:
+  /// Covers [WindowBase, WindowBase + WindowSize).
+  DirectShadow(uint32_t WindowBase, uint32_t WindowSize);
+
+  bool covers(uint32_t Addr, uint32_t Len) const {
+    return Addr >= Base && Addr + Len <= Base + Size && Addr + Len >= Addr;
+  }
+
+  void makeNoAccess(uint32_t Addr, uint32_t Len);
+  void makeUndefined(uint32_t Addr, uint32_t Len);
+  void makeDefined(uint32_t Addr, uint32_t Len);
+
+  uint64_t loadV(uint32_t Addr, uint32_t Sz, AddrCheck &Check) const;
+  void storeV(uint32_t Addr, uint32_t Sz, uint64_t Vbits, AddrCheck &Check);
+
+private:
+  uint32_t Base, Size;
+  std::vector<uint8_t> V; ///< one byte per guest byte
+  std::vector<uint8_t> A; ///< one byte per guest byte (keeps it branchless)
+};
+
+} // namespace vg
+
+#endif // VG_SHADOW_SHADOWMEMORY_H

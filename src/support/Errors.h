@@ -1,0 +1,36 @@
+//===-- support/Errors.h - Fatal error handling -----------------*- C++ -*-==//
+///
+/// \file
+/// Programmatic-error helpers for the Valgrind reproduction. Mirrors the
+/// assert-liberally / unreachable style used throughout compiler codebases:
+/// internal invariant violations abort loudly; recoverable conditions are
+/// reported through return values instead.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SUPPORT_ERRORS_H
+#define VG_SUPPORT_ERRORS_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vg {
+
+/// Aborts with a message. Used for control flow that must never be reached
+/// if program invariants hold (the moral equivalent of llvm_unreachable).
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "vg fatal: unreachable reached: %s\n", Msg);
+  std::abort();
+}
+
+/// Reports a fatal usage/environment error (bad tool name, unloadable guest
+/// image, ...) and exits. Library code should prefer returning errors; this
+/// is for tool-level code where exiting is the only sensible response.
+[[noreturn]] inline void fatalError(const char *Msg) {
+  std::fprintf(stderr, "vg fatal: %s\n", Msg);
+  std::exit(1);
+}
+
+} // namespace vg
+
+#endif // VG_SUPPORT_ERRORS_H

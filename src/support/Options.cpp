@@ -1,0 +1,72 @@
+//===-- support/Options.cpp - Command-line option handling ----------------==//
+
+#include "support/Options.h"
+
+#include "support/Errors.h"
+
+#include <cstdlib>
+
+using namespace vg;
+
+void OptionRegistry::addOption(const std::string &Name,
+                               const std::string &Default,
+                               const std::string &Help) {
+  Entry E;
+  E.Value = Default;
+  E.Default = Default;
+  E.Help = Help;
+  Entries[Name] = E;
+}
+
+std::vector<std::string>
+OptionRegistry::parse(const std::vector<std::string> &Args) {
+  std::vector<std::string> Unknown;
+  for (const auto &Arg : Args) {
+    if (Arg.size() < 3 || Arg[0] != '-' || Arg[1] != '-') {
+      Unknown.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    std::string Name = Body, Value = "yes";
+    if (size_t Eq = Body.find('='); Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+    }
+    auto It = Entries.find(Name);
+    if (It == Entries.end()) {
+      Unknown.push_back(Arg);
+      continue;
+    }
+    It->second.Value = Value;
+  }
+  return Unknown;
+}
+
+bool OptionRegistry::has(const std::string &Name) const {
+  return Entries.count(Name) != 0;
+}
+
+std::string OptionRegistry::getString(const std::string &Name) const {
+  auto It = Entries.find(Name);
+  if (It == Entries.end())
+    unreachable("lookup of unregistered option");
+  return It->second.Value;
+}
+
+int64_t OptionRegistry::getInt(const std::string &Name) const {
+  return std::strtoll(getString(Name).c_str(), nullptr, 0);
+}
+
+bool OptionRegistry::getBool(const std::string &Name) const {
+  std::string V = getString(Name);
+  return V == "yes" || V == "true" || V == "1" || V == "on";
+}
+
+std::string OptionRegistry::helpText() const {
+  std::string Out;
+  for (const auto &[Name, E] : Entries) {
+    Out += "  --" + Name + " (default: " + E.Default + ")\n      " + E.Help +
+           "\n";
+  }
+  return Out;
+}

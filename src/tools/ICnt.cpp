@@ -1,0 +1,59 @@
+//===-- tools/ICnt.cpp - Instruction-counting tools -----------------------==//
+
+#include "tools/ICnt.h"
+
+#include "guest/GuestArch.h"
+
+using namespace vg;
+using namespace vg::ir;
+
+uint64_t ICnt::helperIncrement(void *Env, uint64_t, uint64_t, uint64_t,
+                               uint64_t) {
+  auto *Ctx = static_cast<ExecContext *>(Env);
+  ++static_cast<ICnt *>(Ctx->Tool)->CCallCounter;
+  return 0;
+}
+
+namespace {
+const Callee IncrementCallee = {"icnt_increment", &ICnt::helperIncrement, 0};
+} // namespace
+
+void ICnt::instrument(IRSB &SB) {
+  std::vector<Stmt *> Old;
+  Old.swap(SB.stmts());
+  for (Stmt *S : Old) {
+    SB.append(S);
+    if (S->Kind != StmtKind::IMark)
+      continue;
+    if (TheMode == Mode::Inline) {
+      TmpId T = SB.wrTmp(SB.get(ICntSlotOffset, Ty::I64));
+      TmpId T2 = SB.wrTmp(SB.binop(Op::Add64, SB.rdTmp(T), SB.constI64(1)));
+      SB.put(ICntSlotOffset, SB.rdTmp(T2));
+    } else {
+      SB.dirty(&IncrementCallee, {});
+    }
+  }
+}
+
+uint64_t ICnt::count() const {
+  if (TheMode == Mode::CCall)
+    return CCallCounter;
+  if (FinalCount)
+    return FinalCount;
+  uint64_t Total = 0;
+  if (TheCore) {
+    for (int I = 0; I != Core::MaxThreads; ++I) {
+      uint64_t V;
+      std::memcpy(&V, TheCore->thread(I).Guest + ICntSlotOffset, 8);
+      Total += V;
+    }
+  }
+  return Total;
+}
+
+void ICnt::fini(int ExitCode) {
+  FinalCount = count();
+  if (TheCore)
+    TheCore->output().printf("%s: executed %llu instructions\n", name(),
+                             static_cast<unsigned long long>(FinalCount));
+}

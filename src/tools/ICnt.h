@@ -1,0 +1,58 @@
+//===-- tools/ICnt.h - Instruction-counting tools ---------------*- C++ -*-==//
+///
+/// \file
+/// The two instruction counters of Table 2:
+///
+///   ICntI — increments a counter with *inline* IR (a Get/Add64/Put on a
+///           scratch guest-state slot) for every instruction executed;
+///   ICntC — calls a C helper function for every instruction instead.
+///
+/// Their gap measures "the advantage of inline code over C calls"
+/// (Section 5.4). Both demonstrate that analysis code is ordinary IR,
+/// optimised and register-allocated together with client code.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_TOOLS_ICNT_H
+#define VG_TOOLS_ICNT_H
+
+#include "core/Core.h"
+#include "core/Tool.h"
+
+namespace vg {
+
+/// Guest-state scratch slot the inline counter lives in (the padding
+/// between the guest area and its shadow copy).
+constexpr uint32_t ICntSlotOffset = 160;
+
+class ICnt : public Tool {
+public:
+  enum class Mode { Inline, CCall };
+
+  explicit ICnt(Mode M) : TheMode(M) {}
+
+  const char *name() const override {
+    return TheMode == Mode::Inline ? "icnt-inline" : "icnt-ccall";
+  }
+
+  void init(Core &C) override { TheCore = &C; }
+  void instrument(ir::IRSB &SB) override;
+  void fini(int ExitCode) override;
+
+  /// Total instructions executed (valid during/after fini; for CCall mode
+  /// it is live continuously).
+  uint64_t count() const;
+
+  /// The helper ICntC calls (public for the code-size report).
+  static uint64_t helperIncrement(void *Env, uint64_t, uint64_t, uint64_t,
+                                  uint64_t);
+
+private:
+  Mode TheMode;
+  Core *TheCore = nullptr;
+  uint64_t CCallCounter = 0;
+  mutable uint64_t FinalCount = 0;
+};
+
+} // namespace vg
+
+#endif // VG_TOOLS_ICNT_H

@@ -1,0 +1,72 @@
+//===-- tools/Massif.cpp - Heap profiler ----------------------------------==//
+
+#include "tools/Massif.h"
+
+#include "guest/GuestArch.h"
+
+#include <algorithm>
+
+using namespace vg;
+
+void Massif::tick() {
+  ++Time;
+  if (LiveBytes > PeakBytes)
+    PeakBytes = LiveBytes;
+  // Snapshot on a coarse schedule: every 32 allocation events.
+  if ((Time & 31) == 0 || Snapshots.empty())
+    Snapshots.push_back(Snapshot{Time, LiveBytes});
+}
+
+void Massif::onMalloc(int Tid, uint32_t Addr, uint32_t Size, bool) {
+  LiveBytes += Size;
+  // Attribute to the call site: the return address the redirected
+  // malloc will pop is on top of the caller's stack.
+  ThreadState &TS = C->thread(Tid);
+  uint32_t Site = 0;
+  C->memory().read(TS.gpr(vg1::RegSP), &Site, 4, true);
+  SiteOfBlock[Addr] = Site;
+  BytesBySite[Site] += Size;
+  tick();
+}
+
+void Massif::onFree(int Tid, uint32_t Addr, uint32_t Size) {
+  LiveBytes -= std::min<uint64_t>(Size, LiveBytes);
+  auto It = SiteOfBlock.find(Addr);
+  if (It != SiteOfBlock.end()) {
+    uint64_t &B = BytesBySite[It->second];
+    B -= std::min<uint64_t>(Size, B);
+    SiteOfBlock.erase(It);
+  }
+  tick();
+}
+
+void Massif::fini(int ExitCode) {
+  OutputSink &Out = C->output();
+  Out.printf("==massif== peak heap usage: %llu bytes\n",
+             static_cast<unsigned long long>(PeakBytes));
+  Out.printf("==massif== snapshots: %zu (time unit: allocation events)\n",
+             Snapshots.size());
+  // A small text graph of the final timeline (8 buckets).
+  if (!Snapshots.empty() && PeakBytes) {
+    size_t Buckets = std::min<size_t>(8, Snapshots.size());
+    for (size_t B = 0; B != Buckets; ++B) {
+      const Snapshot &S =
+          Snapshots[B * (Snapshots.size() - 1) / std::max<size_t>(1, Buckets - 1)];
+      int Bars = static_cast<int>(40 * S.LiveBytes / PeakBytes);
+      Out.printf("==massif== t=%6llu |%.*s %llu\n",
+                 static_cast<unsigned long long>(S.Time), Bars,
+                 "########################################",
+                 static_cast<unsigned long long>(S.LiveBytes));
+    }
+  }
+  // Top allocation sites still holding memory.
+  std::vector<std::pair<uint64_t, uint32_t>> Sites;
+  for (auto [Site, Bytes] : BytesBySite)
+    if (Bytes)
+      Sites.push_back({Bytes, Site});
+  std::sort(Sites.rbegin(), Sites.rend());
+  for (size_t I = 0; I != Sites.size() && I != 5; ++I)
+    Out.printf("==massif==   %llu bytes live from call site 0x%08X\n",
+               static_cast<unsigned long long>(Sites[I].first),
+               Sites[I].second);
+}

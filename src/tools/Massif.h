@@ -1,0 +1,54 @@
+//===-- tools/Massif.h - Heap profiler --------------------------*- C++ -*-==//
+///
+/// \file
+/// Massif reproduced: a heap profiler built entirely on the core's heap
+/// replacement (R8). It tracks live heap bytes over "time" (measured in
+/// allocation events), records periodic snapshots, the peak, and
+/// attributes allocations to their guest call sites.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_TOOLS_MASSIF_H
+#define VG_TOOLS_MASSIF_H
+
+#include "core/Core.h"
+#include "core/Tool.h"
+
+#include <map>
+
+namespace vg {
+
+class Massif : public Tool {
+public:
+  const char *name() const override { return "massif"; }
+  void init(Core &Core_) override { C = &Core_; }
+  void fini(int ExitCode) override;
+
+  bool tracksHeap() const override { return true; }
+  uint32_t redzoneBytes() const override { return 0; } // pure profiler
+  void onMalloc(int Tid, uint32_t Addr, uint32_t Size, bool Zeroed) override;
+  void onFree(int Tid, uint32_t Addr, uint32_t Size) override;
+
+  struct Snapshot {
+    uint64_t Time; ///< allocation-event ordinal
+    uint64_t LiveBytes;
+  };
+
+  uint64_t peakBytes() const { return PeakBytes; }
+  const std::vector<Snapshot> &snapshots() const { return Snapshots; }
+  const std::map<uint32_t, uint64_t> &bytesBySite() const {
+    return BytesBySite;
+  }
+
+private:
+  void tick();
+
+  Core *C = nullptr;
+  uint64_t LiveBytes = 0, PeakBytes = 0, Time = 0;
+  std::vector<Snapshot> Snapshots;
+  std::map<uint32_t, uint64_t> BytesBySite; ///< call site -> live bytes
+  std::map<uint32_t, uint32_t> SiteOfBlock; ///< payload -> call site
+};
+
+} // namespace vg
+
+#endif // VG_TOOLS_MASSIF_H

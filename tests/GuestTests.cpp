@@ -1,0 +1,532 @@
+//===-- tests/GuestTests.cpp - Guest ISA / memory / interpreter tests -----==//
+///
+/// \file
+/// Unit tests for the VG1 guest substrate: memory, decoder/assembler
+/// round-trips, flag semantics, and the reference interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+#include "guest/Decoder.h"
+#include "guest/Disasm.h"
+#include "guest/GuestMemory.h"
+#include "guest/RefInterp.h"
+
+#include <gtest/gtest.h>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+constexpr uint32_t CodeBase = 0x1000;
+constexpr uint32_t DataBase = 0x8000;
+constexpr uint32_t StackTop = 0x20000;
+
+/// Assembles, loads into fresh memory, runs, and returns the interpreter.
+struct Machine {
+  GuestMemory Mem;
+  std::unique_ptr<RefInterp> Cpu;
+
+  explicit Machine(Assembler &A) {
+    std::vector<uint8_t> Img = A.finalize();
+    Mem.map(CodeBase, static_cast<uint32_t>(Img.size()), PermRX);
+    EXPECT_FALSE(Mem.write(CodeBase, Img.data(),
+                           static_cast<uint32_t>(Img.size()), true)
+                     .Faulted);
+    Mem.map(DataBase, 0x4000, PermRW);
+    Mem.map(StackTop - 0x4000, 0x4000, PermRW);
+    Cpu = std::make_unique<RefInterp>(Mem);
+    Cpu->PC = CodeBase;
+    Cpu->R[RegSP] = StackTop;
+  }
+
+  RunResult run(uint64_t Max = 1'000'000) { return Cpu->run(Max); }
+};
+
+//===----------------------------------------------------------------------===//
+// GuestMemory
+//===----------------------------------------------------------------------===//
+
+TEST(GuestMemory, MapReadWrite) {
+  GuestMemory M;
+  M.map(0x1000, 0x2000, PermRW);
+  EXPECT_TRUE(M.isMapped(0x1000));
+  EXPECT_TRUE(M.isMapped(0x2FFF));
+  EXPECT_FALSE(M.isMapped(0x3000));
+  EXPECT_FALSE(M.writeU32(0x1234, 0xDEADBEEF).Faulted);
+  uint32_t V = 0;
+  EXPECT_FALSE(M.readU32(0x1234, V).Faulted);
+  EXPECT_EQ(V, 0xDEADBEEFu);
+}
+
+TEST(GuestMemory, FreshPagesAreZero) {
+  GuestMemory M;
+  M.map(0x4000, 0x1000, PermRW);
+  uint32_t V = 1;
+  EXPECT_FALSE(M.readU32(0x4100, V).Faulted);
+  EXPECT_EQ(V, 0u);
+}
+
+TEST(GuestMemory, CrossPageAccess) {
+  GuestMemory M;
+  M.map(0x1000, 0x2000, PermRW);
+  // Write straddling the page boundary at 0x2000.
+  EXPECT_FALSE(M.writeU32(0x1FFE, 0x11223344).Faulted);
+  uint32_t V = 0;
+  EXPECT_FALSE(M.readU32(0x1FFE, V).Faulted);
+  EXPECT_EQ(V, 0x11223344u);
+}
+
+TEST(GuestMemory, UnmappedFaults) {
+  GuestMemory M;
+  uint32_t V;
+  MemFault F = M.readU32(0x9999, V);
+  EXPECT_TRUE(F.Faulted);
+  EXPECT_FALSE(F.WasWrite);
+  F = M.writeU32(0x9999, 1);
+  EXPECT_TRUE(F.Faulted);
+  EXPECT_TRUE(F.WasWrite);
+}
+
+TEST(GuestMemory, PermissionChecks) {
+  GuestMemory M;
+  M.map(0x1000, 0x1000, PermRead);
+  uint32_t V;
+  EXPECT_FALSE(M.readU32(0x1000, V).Faulted);
+  EXPECT_TRUE(M.writeU32(0x1000, 1).Faulted);
+  uint8_t B;
+  EXPECT_TRUE(M.fetch(0x1000, &B, 1).Faulted); // no exec perm
+  M.protect(0x1000, 0x1000, PermRX);
+  EXPECT_FALSE(M.fetch(0x1000, &B, 1).Faulted);
+  // IgnorePerms bypasses protections (kernel/tool access).
+  EXPECT_FALSE(M.write(0x1000, &B, 1, true).Faulted);
+}
+
+TEST(GuestMemory, CrossPageFaultReportsFirstBadByte) {
+  GuestMemory M;
+  M.map(0x1000, 0x1000, PermRW); // 0x2000 unmapped
+  MemFault F = M.writeU32(0x1FFE, 0xAABBCCDD);
+  EXPECT_TRUE(F.Faulted);
+  EXPECT_EQ(F.Addr, 0x2000u);
+}
+
+TEST(GuestMemory, UnmapDiscards) {
+  GuestMemory M;
+  M.map(0x1000, 0x1000, PermRW);
+  ASSERT_FALSE(M.writeU32(0x1000, 42).Faulted);
+  M.unmap(0x1000, 0x1000);
+  uint32_t V;
+  EXPECT_TRUE(M.readU32(0x1000, V).Faulted);
+  // Remapping yields zeroed contents.
+  M.map(0x1000, 0x1000, PermRW);
+  EXPECT_FALSE(M.readU32(0x1000, V).Faulted);
+  EXPECT_EQ(V, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Decoder / assembler round trip
+//===----------------------------------------------------------------------===//
+
+TEST(Decoder, RoundTripAllFormats) {
+  Assembler A(CodeBase);
+  Label L = A.newLabel();
+  A.nop();
+  A.movi(Reg::R3, 0xCAFEBABE);
+  A.mov(Reg::R4, Reg::R3);
+  A.add(Reg::R1, Reg::R2, Reg::R3);
+  A.addi(Reg::R1, Reg::R1, -7);
+  A.shli(Reg::R2, Reg::R1, 5);
+  A.cmp(Reg::R1, Reg::R2);
+  A.cmpi(Reg::R1, 1000);
+  A.ld(Reg::R5, Reg::R6, -16);
+  A.st(Reg::R6, 8, Reg::R5);
+  A.ldx(Reg::R7, Reg::R8, Reg::R9, 2, -16180);
+  A.stx(Reg::R8, Reg::R9, 3, 64, Reg::R7);
+  A.bind(L);
+  A.bne(L);
+  A.jmp(L);
+  A.jmpr(Reg::R7);
+  A.call(L);
+  A.ret();
+  A.push(Reg::R1);
+  A.pop(Reg::R2);
+  A.sys();
+  A.cpuinfo();
+  A.clreq();
+  A.fmovi(FReg::F1, 3.5);
+  A.fadd(FReg::F0, FReg::F1, FReg::F2);
+  A.fld(FReg::F3, Reg::R4, 24);
+  A.fst(Reg::R4, 32, FReg::F3);
+  A.fitod(FReg::F5, Reg::R6);
+  A.fdtoi(Reg::R6, FReg::F5);
+  A.fcmp(FReg::F1, FReg::F2);
+  A.vadd8(Reg::R1, Reg::R2, Reg::R3);
+  A.hlt();
+  std::vector<uint8_t> Img = A.finalize();
+
+  // Every emitted instruction must decode, and lengths must tile the image.
+  size_t Off = 0;
+  int Count = 0;
+  while (Off < Img.size()) {
+    Instr I;
+    ASSERT_TRUE(decode(Img.data() + Off, Img.size() - Off, I))
+        << "undecodable at offset " << Off;
+    ASSERT_GT(I.Len, 0);
+    Off += I.Len;
+    ++Count;
+  }
+  EXPECT_EQ(Off, Img.size());
+  EXPECT_EQ(Count, 31);
+}
+
+TEST(Decoder, FieldsSurviveRoundTrip) {
+  Assembler A(CodeBase);
+  A.ldx(Reg::R7, Reg::R8, Reg::R9, 2, -16180);
+  std::vector<uint8_t> Img = A.finalize();
+  Instr I;
+  ASSERT_TRUE(decode(Img.data(), Img.size(), I));
+  EXPECT_EQ(I.Op, Opcode::LDX);
+  EXPECT_EQ(I.Rd, 7);
+  EXPECT_EQ(I.Rs, 8);
+  EXPECT_EQ(I.Rt, 9);
+  EXPECT_EQ(I.Scale, 2);
+  EXPECT_EQ(I.Imm, -16180);
+  EXPECT_EQ(I.Len, 7);
+}
+
+TEST(Decoder, RejectsBadOpcode) {
+  uint8_t Bad[] = {0xFF, 0, 0, 0};
+  Instr I;
+  EXPECT_FALSE(decode(Bad, sizeof(Bad), I));
+}
+
+TEST(Decoder, RejectsTruncated) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 0x12345678);
+  std::vector<uint8_t> Img = A.finalize();
+  Instr I;
+  EXPECT_TRUE(decode(Img.data(), Img.size(), I));
+  EXPECT_FALSE(decode(Img.data(), 3, I)); // MOVI needs 6 bytes
+}
+
+TEST(Decoder, AllConditionCodesDecode) {
+  for (unsigned C = 0; C != NumConds; ++C) {
+    Assembler A(CodeBase);
+    Label L = A.boundLabel();
+    A.bcc(static_cast<Cond>(C), L);
+    std::vector<uint8_t> Img = A.finalize();
+    Instr I;
+    ASSERT_TRUE(decode(Img.data(), Img.size(), I));
+    EXPECT_EQ(I.Op, Opcode::BCC);
+    EXPECT_EQ(static_cast<unsigned>(I.BCond), C);
+    EXPECT_EQ(static_cast<uint32_t>(I.Imm), CodeBase);
+  }
+}
+
+TEST(Disasm, RendersKeyForms) {
+  Assembler A(0x24F275);
+  A.ldx(Reg::R0, Reg::R3, Reg::R0, 2, -16180);
+  std::vector<uint8_t> Img = A.finalize();
+  Instr I;
+  ASSERT_TRUE(decode(Img.data(), Img.size(), I));
+  EXPECT_EQ(toString(I), "ldx r0, [r3 + r0<<2 -16180]");
+}
+
+//===----------------------------------------------------------------------===//
+// Flag semantics
+//===----------------------------------------------------------------------===//
+
+TEST(Flags, AddCarryAndOverflow) {
+  // 0xFFFFFFFF + 1 = 0 with carry, no signed overflow.
+  uint32_t F = calcNZCV(static_cast<uint32_t>(CCOp::Add), 0xFFFFFFFFu, 1);
+  EXPECT_TRUE(F & FlagZ);
+  EXPECT_TRUE(F & FlagC);
+  EXPECT_FALSE(F & FlagV);
+  // INT_MAX + 1 overflows signed.
+  F = calcNZCV(static_cast<uint32_t>(CCOp::Add), 0x7FFFFFFFu, 1);
+  EXPECT_TRUE(F & FlagN);
+  EXPECT_TRUE(F & FlagV);
+  EXPECT_FALSE(F & FlagC);
+}
+
+TEST(Flags, SubBorrowConvention) {
+  // 5 - 3: C set (no borrow).
+  uint32_t F = calcNZCV(static_cast<uint32_t>(CCOp::Sub), 5, 3);
+  EXPECT_TRUE(F & FlagC);
+  EXPECT_FALSE(F & FlagZ);
+  // 3 - 5: borrow, so C clear; negative result.
+  F = calcNZCV(static_cast<uint32_t>(CCOp::Sub), 3, 5);
+  EXPECT_FALSE(F & FlagC);
+  EXPECT_TRUE(F & FlagN);
+}
+
+TEST(Flags, SignedComparisonAcrossOverflow) {
+  // INT_MIN < 1 signed: N != V must hold for CMP(INT_MIN, 1).
+  uint32_t F = calcNZCV(static_cast<uint32_t>(CCOp::Sub), 0x80000000u, 1);
+  EXPECT_TRUE(condHolds(Cond::LTS, F));
+  EXPECT_FALSE(condHolds(Cond::GES, F));
+  // But unsigned INT_MIN (2^31) > 1.
+  EXPECT_TRUE(condHolds(Cond::GEU, F));
+}
+
+// Property sweep: every condition agrees with a direct C computation.
+class CondProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CondProperty, MatchesDirectComparison) {
+  Cond C = static_cast<Cond>(GetParam());
+  const uint32_t Vals[] = {0u,          1u,          5u,         0x7FFFFFFFu,
+                           0x80000000u, 0x80000001u, 0xFFFFFFFFu, 1234567u};
+  for (uint32_t A : Vals) {
+    for (uint32_t B : Vals) {
+      uint32_t F = calcNZCV(static_cast<uint32_t>(CCOp::Sub), A, B);
+      int32_t SA = static_cast<int32_t>(A), SB = static_cast<int32_t>(B);
+      bool Expect = false;
+      switch (C) {
+      case Cond::EQ: Expect = A == B; break;
+      case Cond::NE: Expect = A != B; break;
+      case Cond::LTS: Expect = SA < SB; break;
+      case Cond::GES: Expect = SA >= SB; break;
+      case Cond::LTU: Expect = A < B; break;
+      case Cond::GEU: Expect = A >= B; break;
+      case Cond::GTS: Expect = SA > SB; break;
+      case Cond::LES: Expect = SA <= SB; break;
+      case Cond::MI: Expect = static_cast<int32_t>(A - B) < 0; break;
+      case Cond::PL: Expect = static_cast<int32_t>(A - B) >= 0; break;
+      }
+      EXPECT_EQ(condHolds(C, F), Expect)
+          << "cond " << GetParam() << " A=" << A << " B=" << B;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConds, CondProperty,
+                         ::testing::Range(0u, NumConds));
+
+//===----------------------------------------------------------------------===//
+// Reference interpreter
+//===----------------------------------------------------------------------===//
+
+TEST(RefInterp, ArithmeticAndHalt) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 6);
+  A.movi(Reg::R2, 7);
+  A.mul(Reg::R3, Reg::R1, Reg::R2);
+  A.hlt();
+  Machine M(A);
+  RunResult R = M.run();
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[3], 42u);
+  EXPECT_EQ(R.InsnsExecuted, 4u);
+}
+
+TEST(RefInterp, LoopWithConditionalBranch) {
+  // Sum 1..100.
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 0);  // sum
+  A.movi(Reg::R2, 1);  // i
+  Label Loop = A.boundLabel();
+  A.add(Reg::R1, Reg::R1, Reg::R2);
+  A.addi(Reg::R2, Reg::R2, 1);
+  A.cmpi(Reg::R2, 100);
+  A.ble(Loop);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[1], 5050u);
+}
+
+TEST(RefInterp, CallRetAndStack) {
+  Assembler A(CodeBase);
+  Label Fn = A.newLabel();
+  A.movi(Reg::R1, 10);
+  A.call(Fn);
+  A.addi(Reg::R1, Reg::R1, 1); // runs after return
+  A.hlt();
+  A.bind(Fn);
+  A.shli(Reg::R1, Reg::R1, 1); // double it
+  A.ret();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[1], 21u);
+  EXPECT_EQ(M.Cpu->R[RegSP], StackTop); // balanced
+}
+
+TEST(RefInterp, MemoryAndScaledAddressing) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, DataBase);
+  A.movi(Reg::R2, 3); // index
+  A.movi(Reg::R3, 0x1111);
+  A.stx(Reg::R1, Reg::R2, 2, 0, Reg::R3); // [DataBase + 12] = 0x1111
+  A.ld(Reg::R4, Reg::R1, 12);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[4], 0x1111u);
+}
+
+TEST(RefInterp, SubWordAccessAndExtension) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, DataBase);
+  A.movi(Reg::R2, 0x80);
+  A.stb(Reg::R1, 0, Reg::R2);
+  A.ldb(Reg::R3, Reg::R1, 0);  // zero-extend
+  A.ldsb(Reg::R4, Reg::R1, 0); // sign-extend
+  A.movi(Reg::R5, 0x8000);
+  A.sth(Reg::R1, 4, Reg::R5);
+  A.ldh(Reg::R6, Reg::R1, 4);
+  A.ldsh(Reg::R7, Reg::R1, 4);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[3], 0x80u);
+  EXPECT_EQ(M.Cpu->R[4], 0xFFFFFF80u);
+  EXPECT_EQ(M.Cpu->R[6], 0x8000u);
+  EXPECT_EQ(M.Cpu->R[7], 0xFFFF8000u);
+}
+
+TEST(RefInterp, FloatingPoint) {
+  Assembler A(CodeBase);
+  A.fmovi(FReg::F0, 1.5);
+  A.fmovi(FReg::F1, 2.5);
+  A.fadd(FReg::F2, FReg::F0, FReg::F1);
+  A.fmul(FReg::F3, FReg::F2, FReg::F2);
+  A.fdtoi(Reg::R1, FReg::F3);
+  A.movi(Reg::R2, 10);
+  A.fitod(FReg::F4, Reg::R2);
+  A.fdiv(FReg::F5, FReg::F4, FReg::F1);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_DOUBLE_EQ(M.Cpu->F[2], 4.0);
+  EXPECT_EQ(M.Cpu->R[1], 16u);
+  EXPECT_DOUBLE_EQ(M.Cpu->F[5], 4.0);
+}
+
+TEST(RefInterp, FCmpDrivesBranches) {
+  Assembler A(CodeBase);
+  A.fmovi(FReg::F0, 1.0);
+  A.fmovi(FReg::F1, 2.0);
+  A.fcmp(FReg::F0, FReg::F1);
+  Label Less = A.newLabel();
+  A.blt(Less); // N set since 1.0 < 2.0
+  A.movi(Reg::R1, 0);
+  A.hlt();
+  A.bind(Less);
+  A.movi(Reg::R1, 1);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[1], 1u);
+}
+
+TEST(RefInterp, PackedSimd) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 0x01020304);
+  A.movi(Reg::R2, 0x10204080);
+  A.vadd8(Reg::R3, Reg::R1, Reg::R2);
+  A.vcmpgt8(Reg::R4, Reg::R1, Reg::R2); // lane 0: 4 > -128 signed
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[3], 0x11224384u);
+  EXPECT_EQ(M.Cpu->R[4], 0x000000FFu);
+}
+
+TEST(RefInterp, CpuInfoInstruction) {
+  Assembler A(CodeBase);
+  A.cpuinfo();
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[0], CpuInfoMagic);
+  EXPECT_EQ(M.Cpu->R[1], CpuInfoVersion);
+}
+
+TEST(RefInterp, ClientRequestIsNoOpNatively) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R0, 0x12345678); // request code
+  A.clreq();
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[0], 0u);
+}
+
+TEST(RefInterp, MemoryFaultStopsExecution) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 0x00FF0000); // unmapped
+  A.ld(Reg::R2, Reg::R1, 0);
+  A.hlt();
+  Machine M(A);
+  RunResult R = M.run();
+  EXPECT_EQ(R.Status, RunStatus::Faulted);
+  EXPECT_TRUE(R.Fault.Faulted);
+  EXPECT_EQ(R.Fault.Addr, 0x00FF0000u);
+  EXPECT_EQ(R.FaultPC, CodeBase + 6);
+}
+
+TEST(RefInterp, DivisionByZeroIsTotal) {
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 100);
+  A.movi(Reg::R2, 0);
+  A.divu(Reg::R3, Reg::R1, Reg::R2);
+  A.divs(Reg::R4, Reg::R1, Reg::R2);
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.run().Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu->R[3], 0xFFFFFFFFu);
+  EXPECT_EQ(M.Cpu->R[4], 0xFFFFFFFFu);
+}
+
+TEST(RefInterp, SyscallSinkIsInvoked) {
+  struct Sink : SyscallSink {
+    int Calls = 0;
+    Action onSyscall(CpuView &Cpu) override {
+      ++Calls;
+      Cpu.writeReg(0, 777);
+      return Cpu.readReg(1) == 99 ? Action::Exit : Action::Continue;
+    }
+  };
+  Assembler A(CodeBase);
+  A.movi(Reg::R1, 1);
+  A.sys();
+  A.mov(Reg::R5, Reg::R0); // capture result
+  A.movi(Reg::R1, 99);
+  A.sys(); // sink requests exit
+  A.hlt();
+  GuestMemory Mem;
+  std::vector<uint8_t> Img = A.finalize();
+  Mem.map(CodeBase, static_cast<uint32_t>(Img.size()), PermRX);
+  ASSERT_FALSE(
+      Mem.write(CodeBase, Img.data(), static_cast<uint32_t>(Img.size()), true)
+          .Faulted);
+  Sink S;
+  RefInterp Cpu(Mem, &S);
+  Cpu.PC = CodeBase;
+  RunResult R = Cpu.run(100);
+  EXPECT_EQ(R.Status, RunStatus::Exited);
+  EXPECT_EQ(S.Calls, 2);
+  EXPECT_EQ(Cpu.R[5], 777u);
+}
+
+TEST(RefInterp, InstructionLimitStopsRun) {
+  Assembler A(CodeBase);
+  Label Spin = A.boundLabel();
+  A.jmp(Spin);
+  Machine M(A);
+  RunResult R = M.run(1000);
+  EXPECT_EQ(R.Status, RunStatus::InsnLimit);
+  EXPECT_EQ(R.InsnsExecuted, 1000u);
+}
+
+TEST(RefInterp, ExecutePermissionRequired) {
+  GuestMemory Mem;
+  Mem.map(CodeBase, 0x1000, PermRW); // no exec
+  RefInterp Cpu(Mem);
+  Cpu.PC = CodeBase;
+  RunResult R = Cpu.run(10);
+  EXPECT_EQ(R.Status, RunStatus::Faulted);
+}
+
+} // namespace

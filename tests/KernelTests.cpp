@@ -1,0 +1,272 @@
+//===-- tests/KernelTests.cpp - SimKernel and AddressSpace tests ----------==//
+///
+/// \file
+/// Unit tests for the simulated-kernel substrate: the address-space
+/// manager's segment algebra and placement policy, the virtual filesystem,
+/// the memory syscalls' edge cases, and the virtual clock.
+///
+//===----------------------------------------------------------------------===//
+
+#include "guest/Assembler.h"
+#include "guest/RefInterp.h"
+#include "kernel/SimKernel.h"
+
+#include <gtest/gtest.h>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// AddressSpace
+//===----------------------------------------------------------------------===//
+
+TEST(AddressSpace, AddRejectsOverlap) {
+  AddressSpace AS;
+  EXPECT_TRUE(AS.add(0x10000, 0x4000, PermRW, SegKind::ClientData, "a"));
+  EXPECT_FALSE(AS.add(0x12000, 0x1000, PermRW, SegKind::ClientData, "b"));
+  EXPECT_TRUE(AS.add(0x14000, 0x1000, PermRW, SegKind::ClientData, "c"));
+}
+
+TEST(AddressSpace, ReleaseSplitsSegments) {
+  AddressSpace AS;
+  ASSERT_TRUE(AS.add(0x10000, 0x10000, PermRW, SegKind::ClientMmap, "m"));
+  auto Removed = AS.release(0x14000, 0x4000);
+  ASSERT_EQ(Removed.size(), 1u);
+  EXPECT_EQ(Removed[0].first, 0x14000u);
+  EXPECT_EQ(Removed[0].second, 0x18000u);
+  // The hole is real: left and right survive.
+  EXPECT_NE(AS.segmentAt(0x13000), nullptr);
+  EXPECT_EQ(AS.segmentAt(0x15000), nullptr);
+  EXPECT_NE(AS.segmentAt(0x19000), nullptr);
+  // And the hole can be refilled.
+  EXPECT_TRUE(AS.add(0x14000, 0x4000, PermRW, SegKind::ClientMmap, "again"));
+}
+
+TEST(AddressSpace, CoreRegionIsUntouchable) {
+  AddressSpace AS;
+  AS.reserveCoreRegion();
+  EXPECT_FALSE(AS.add(AddressSpace::CoreBase + 0x1000, 0x1000, PermRW,
+                      SegKind::ClientMmap, "evil"));
+  auto Removed = AS.release(AddressSpace::CoreBase, AddressSpace::CoreSize);
+  EXPECT_TRUE(Removed.empty());
+  EXPECT_NE(AS.segmentAt(AddressSpace::CoreBase), nullptr);
+}
+
+TEST(AddressSpace, FindFreeSkipsSegmentsAndCoreRegion) {
+  AddressSpace AS;
+  AS.reserveCoreRegion();
+  ASSERT_TRUE(AS.add(0x40000000, 0x10000, PermRW, SegKind::ClientMmap, "m"));
+  uint32_t A = AS.findFree(0x1000, 0x40000000);
+  EXPECT_GE(A, 0x40010000u);
+  // A hint inside the core region lands after it.
+  uint32_t B = AS.findFree(0x1000, AddressSpace::CoreBase + 0x100);
+  EXPECT_GE(B, AddressSpace::CoreBase + AddressSpace::CoreSize);
+}
+
+TEST(AddressSpace, ResizeRespectsNeighbours) {
+  AddressSpace AS;
+  ASSERT_TRUE(AS.add(0x10000, 0x1000, PermRW, SegKind::ClientHeap, "brk"));
+  ASSERT_TRUE(AS.add(0x20000, 0x1000, PermRW, SegKind::ClientData, "d"));
+  EXPECT_TRUE(AS.resize(0x10000, 0x18000));
+  EXPECT_FALSE(AS.resize(0x10000, 0x21000)); // would collide
+  EXPECT_TRUE(AS.resize(0x10000, 0x11000));  // shrink back
+}
+
+//===----------------------------------------------------------------------===//
+// SimKernel via the reference interpreter (no core involved)
+//===----------------------------------------------------------------------===//
+
+struct Machine {
+  GuestMemory Mem;
+  AddressSpace AS;
+  SimKernel Kernel{AS, nullptr, nullptr};
+  RefInterp Cpu{Mem, &Kernel};
+
+  explicit Machine(Assembler &A) {
+    AS.reserveCoreRegion();
+    std::vector<uint8_t> Img = A.finalize();
+    Mem.map(0x1000, static_cast<uint32_t>(Img.size()), PermRX);
+    Mem.write(0x1000, Img.data(), static_cast<uint32_t>(Img.size()), true);
+    Mem.map(0x8000, 0x1000, PermRW);
+    AS.add(0x8000, 0x1000, PermRW, SegKind::ClientData, "data");
+    AS.add(0x10000, 0x1000, PermRW, SegKind::ClientHeap, "brk");
+    Mem.map(0x10000, 0x1000, PermRW);
+    Mem.map(0x1F000, 0x1000, PermRW);
+    Cpu.PC = 0x1000;
+    Cpu.R[RegSP] = 0x20000;
+  }
+};
+
+TEST(SimKernel, WriteToStdoutCaptured) {
+  Assembler A(0x1000);
+  A.movi(Reg::R2, 0x8000);
+  A.movi(Reg::R3, 0x6F6C6C65); // "ello"
+  A.st(Reg::R2, 0, Reg::R3);
+  A.movi(Reg::R0, SysWrite);
+  A.movi(Reg::R1, 1);
+  A.movi(Reg::R3, 4);
+  A.sys();
+  A.hlt();
+  Machine M(A);
+  EXPECT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Kernel.stdoutText(), "ello");
+  EXPECT_EQ(M.Cpu.R[0], 4u); // bytes written
+}
+
+TEST(SimKernel, FileRoundTripThroughVfs) {
+  Assembler A(0x1000);
+  Label Path = A.newLabel();
+  // open("f", create) -> fd; write(fd, path, 1); close; open read; read.
+  A.movi(Reg::R0, SysOpen);
+  A.leai(Reg::R1, Path);
+  A.movi(Reg::R2, 1);
+  A.sys();
+  A.mov(Reg::R6, Reg::R0);
+  A.movi(Reg::R0, SysWrite);
+  A.mov(Reg::R1, Reg::R6);
+  A.leai(Reg::R2, Path);
+  A.movi(Reg::R3, 1);
+  A.sys();
+  A.movi(Reg::R0, SysClose);
+  A.mov(Reg::R1, Reg::R6);
+  A.sys();
+  A.movi(Reg::R0, SysOpen);
+  A.leai(Reg::R1, Path);
+  A.movi(Reg::R2, 0);
+  A.sys();
+  A.mov(Reg::R6, Reg::R0);
+  A.movi(Reg::R0, SysFsize);
+  A.mov(Reg::R1, Reg::R6);
+  A.sys();
+  A.mov(Reg::R7, Reg::R0); // size == 1
+  A.hlt();
+  A.bind(Path);
+  A.emitString("f");
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[7], 1u);
+  ASSERT_NE(M.Kernel.file("f"), nullptr);
+  EXPECT_EQ(M.Kernel.file("f")->size(), 1u);
+}
+
+TEST(SimKernel, OpenMissingFileFails) {
+  Assembler A(0x1000);
+  Label Path = A.newLabel();
+  A.movi(Reg::R0, SysOpen);
+  A.leai(Reg::R1, Path);
+  A.movi(Reg::R2, 0); // read-only, does not exist
+  A.sys();
+  A.hlt();
+  A.bind(Path);
+  A.emitString("missing");
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[0], SysErr);
+}
+
+TEST(SimKernel, BrkGrowAndShrink) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysBrk);
+  A.movi(Reg::R1, 0);
+  A.sys();
+  A.mov(Reg::R6, Reg::R0); // current end
+  A.addi(Reg::R1, Reg::R6, 0x3000);
+  A.movi(Reg::R0, SysBrk);
+  A.sys();
+  A.mov(Reg::R7, Reg::R0); // new end
+  // Touch the new memory.
+  A.addi(Reg::R2, Reg::R6, 0x1000);
+  A.movi(Reg::R3, 99);
+  A.st(Reg::R2, 0, Reg::R3);
+  A.ld(Reg::R8, Reg::R2, 0);
+  // Shrink back.
+  A.mov(Reg::R1, Reg::R6);
+  A.movi(Reg::R0, SysBrk);
+  A.sys();
+  A.hlt();
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[7], M.Cpu.R[6] + 0x3000);
+  EXPECT_EQ(M.Cpu.R[8], 99u);
+  // Shrunk memory is unmapped again.
+  uint32_t V;
+  EXPECT_TRUE(M.Mem.readU32(M.Cpu.R[6] + 0x1000, V).Faulted);
+}
+
+TEST(SimKernel, MmapPlacementAndFixedConflicts) {
+  Assembler A(0x1000);
+  // floating mmap
+  A.movi(Reg::R0, SysMmap);
+  A.movi(Reg::R1, 0);
+  A.movi(Reg::R2, 4096);
+  A.movi(Reg::R3, 3);
+  A.movi(Reg::R4, 0);
+  A.sys();
+  A.mov(Reg::R6, Reg::R0);
+  // fixed mmap over the same range must fail
+  A.movi(Reg::R0, SysMmap);
+  A.mov(Reg::R1, Reg::R6);
+  A.movi(Reg::R2, 4096);
+  A.movi(Reg::R3, 3);
+  A.movi(Reg::R4, 1);
+  A.sys();
+  A.mov(Reg::R7, Reg::R0);
+  A.hlt();
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_GE(M.Cpu.R[6], AddressSpace::MmapBase);
+  EXPECT_EQ(M.Cpu.R[7], SysErr);
+}
+
+TEST(SimKernel, VirtualClockAdvancesMonotonically) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysGettimeofday);
+  A.movi(Reg::R1, 0x8000);
+  A.sys();
+  A.movi(Reg::R0, SysNanosleep);
+  A.movi(Reg::R1, 2'000'000); // 2 virtual seconds
+  A.sys();
+  A.movi(Reg::R0, SysGettimeofday);
+  A.movi(Reg::R1, 0x8010);
+  A.sys();
+  A.hlt();
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  uint32_t S0, S1;
+  ASSERT_FALSE(M.Mem.readU32(0x8000, S0).Faulted);
+  ASSERT_FALSE(M.Mem.readU32(0x8010, S1).Faulted);
+  EXPECT_EQ(S1, S0 + 2);
+}
+
+TEST(SimKernel, ThreadSyscallsFailWithoutHost) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysClone);
+  A.movi(Reg::R1, 0x1000);
+  A.movi(Reg::R2, 0x20000);
+  A.sys();
+  A.mov(Reg::R6, Reg::R0);
+  A.movi(Reg::R0, SysKill);
+  A.movi(Reg::R1, 0);
+  A.movi(Reg::R2, 10);
+  A.sys();
+  A.mov(Reg::R7, Reg::R0);
+  A.hlt();
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[6], SysErr);
+  EXPECT_EQ(M.Cpu.R[7], SysErr);
+}
+
+TEST(SimKernel, UnknownSyscallReturnsError) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, 9999);
+  A.sys();
+  A.hlt();
+  Machine M(A);
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[0], SysErr);
+}
+
+} // namespace

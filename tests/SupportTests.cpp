@@ -1,0 +1,178 @@
+//===-- tests/SupportTests.cpp - Support-library unit tests ---------------==//
+///
+/// \file
+/// Unit tests for the small substrates: option parsing, output sinks (R9),
+/// error recording/deduplication/suppressions, hashing, and guest images.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorManager.h"
+#include "core/GuestImage.h"
+#include "guest/GuestMemory.h"
+#include "support/Hashing.h"
+#include "support/Options.h"
+#include "support/Output.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace vg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// OptionRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(Options, ParseTypedValues) {
+  OptionRegistry O;
+  O.addOption("leak-check", "yes", "");
+  O.addOption("threshold", "2097152", "");
+  O.addOption("log-file", "", "");
+  auto Unknown = O.parse({"--leak-check=no", "--threshold=0x1000",
+                          "--log-file=/tmp/x", "--bogus=1", "stray"});
+  EXPECT_FALSE(O.getBool("leak-check"));
+  EXPECT_EQ(O.getInt("threshold"), 0x1000);
+  EXPECT_EQ(O.getString("log-file"), "/tmp/x");
+  ASSERT_EQ(Unknown.size(), 2u);
+  EXPECT_EQ(Unknown[0], "--bogus=1");
+  EXPECT_EQ(Unknown[1], "stray");
+}
+
+TEST(Options, BareFlagMeansYes) {
+  OptionRegistry O;
+  O.addOption("chaining", "no", "");
+  O.parse({"--chaining"});
+  EXPECT_TRUE(O.getBool("chaining"));
+}
+
+TEST(Options, DefaultsSurviveAndHelpRendered) {
+  OptionRegistry O;
+  O.addOption("smc-check", "stack", "when to check for SMC");
+  EXPECT_EQ(O.getString("smc-check"), "stack");
+  std::string H = O.helpText();
+  EXPECT_NE(H.find("--smc-check"), std::string::npos);
+  EXPECT_NE(H.find("default: stack"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// OutputSink (R9)
+//===----------------------------------------------------------------------===//
+
+TEST(Output, BufferModeCapturesAndClears) {
+  OutputSink S;
+  S.useBuffer();
+  S.printf("x=%d %s", 42, "ok");
+  EXPECT_EQ(S.buffer(), "x=42 ok");
+  EXPECT_EQ(S.takeBuffer(), "x=42 ok");
+  EXPECT_TRUE(S.buffer().empty());
+}
+
+TEST(Output, FileModeWrites) {
+  std::string Path = "/tmp/vg_output_test.txt";
+  {
+    OutputSink S;
+    ASSERT_TRUE(S.openFile(Path));
+    S.printf("line %d\n", 1);
+  } // destructor flushes/closes
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[32] = {};
+  [[maybe_unused]] size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_STREQ(Buf, "line 1\n");
+}
+
+//===----------------------------------------------------------------------===//
+// ErrorManager
+//===----------------------------------------------------------------------===//
+
+TEST(Errors, DeduplicatesByKindAndPC) {
+  ErrorManager E;
+  EXPECT_TRUE(E.record("UninitValue", "m", 0x100));
+  EXPECT_FALSE(E.record("UninitValue", "m", 0x100)); // same site
+  EXPECT_TRUE(E.record("UninitValue", "m", 0x200));  // new site
+  EXPECT_TRUE(E.record("InvalidRead", "m", 0x100));  // new kind
+  EXPECT_EQ(E.uniqueErrors(), 3u);
+  EXPECT_EQ(E.totalOccurrences(), 4u);
+}
+
+TEST(Errors, SuppressionsByKindAndRange) {
+  ErrorManager E;
+  EXPECT_EQ(E.parseSuppressions("# comment\nUninitValue\n"
+                                "InvalidRead:0x1000-0x1FFF\n\n"),
+            2u);
+  EXPECT_FALSE(E.record("UninitValue", "m", 0x5));      // kind-wide
+  EXPECT_FALSE(E.record("InvalidRead", "m", 0x1234));   // in range
+  EXPECT_TRUE(E.record("InvalidRead", "m", 0x3000));    // out of range
+  EXPECT_EQ(E.suppressedCount(), 2u);
+  EXPECT_EQ(E.uniqueErrors(), 1u);
+}
+
+TEST(Errors, SummaryFormat) {
+  ErrorManager E;
+  E.record("K", "msg text", 0x42, {0x10, 0x20});
+  E.record("K", "msg text", 0x42);
+  OutputSink S;
+  S.useBuffer();
+  E.printSummary(S);
+  std::string Out = S.takeBuffer();
+  EXPECT_NE(Out.find("msg text (x2)"), std::string::npos);
+  EXPECT_NE(Out.find("by 0x00000010"), std::string::npos);
+  EXPECT_NE(Out.find("ERROR SUMMARY: 2 errors from 1 contexts"),
+            std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, ByteHashSensitivity) {
+  uint8_t A[] = {1, 2, 3, 4};
+  uint8_t B[] = {1, 2, 3, 5};
+  EXPECT_NE(hashBytes(A, 4), hashBytes(B, 4));
+  EXPECT_EQ(hashBytes(A, 4), hashBytes(A, 4));
+  EXPECT_NE(hashBytes(A, 3), hashBytes(A, 4));
+}
+
+TEST(Hashing, AddrHashSpreadsNeighbours) {
+  // Adjacent block addresses must not collide in a 2^13 cache.
+  std::set<uint32_t> Buckets;
+  for (uint32_t A = 0x1000; A != 0x1000 + 64 * 8; A += 8)
+    Buckets.insert(hashAddr(A) & 0x1FFF);
+  EXPECT_GE(Buckets.size(), 60u); // near-perfect spread of 64 inputs
+}
+
+//===----------------------------------------------------------------------===//
+// GuestImage
+//===----------------------------------------------------------------------===//
+
+TEST(GuestImage, BuilderCollectsSegmentsAndSymbols) {
+  vg1::Assembler Code(0x1000);
+  Code.symbol("entry");
+  Code.nop();
+  Code.symbol("fn2");
+  Code.hlt();
+  vg1::Assembler Data(0x8000);
+  Data.symbol("glob");
+  Data.emitU32(7);
+  GuestImage Img = GuestImageBuilder()
+                       .addCode(Code)
+                       .addData(Data)
+                       .entry(0x1000)
+                       .stackSize(64 * 1024)
+                       .build();
+  ASSERT_EQ(Img.Segments.size(), 2u);
+  EXPECT_EQ(Img.Segments[0].Base, 0x1000u);
+  EXPECT_EQ(Img.Segments[0].Perms & PermExec, PermExec);
+  EXPECT_EQ(Img.Segments[1].Perms & PermWrite, PermWrite);
+  EXPECT_EQ(Img.symbol("entry"), 0x1000u);
+  EXPECT_EQ(Img.symbol("fn2"), 0x1001u);
+  EXPECT_EQ(Img.symbol("glob"), 0x8000u);
+  EXPECT_EQ(Img.symbol("nope"), 0u);
+  EXPECT_EQ(Img.StackSize, 64u * 1024);
+}
+
+} // namespace
