@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_iropt.dir/ablation_iropt.cpp.o"
+  "CMakeFiles/ablation_iropt.dir/ablation_iropt.cpp.o.d"
+  "ablation_iropt"
+  "ablation_iropt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_iropt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

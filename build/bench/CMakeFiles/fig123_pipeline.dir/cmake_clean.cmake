@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig123_pipeline.dir/fig123_pipeline.cpp.o"
+  "CMakeFiles/fig123_pipeline.dir/fig123_pipeline.cpp.o.d"
+  "fig123_pipeline"
+  "fig123_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig123_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

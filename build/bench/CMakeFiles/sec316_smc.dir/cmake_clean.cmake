@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec316_smc.dir/sec316_smc.cpp.o"
+  "CMakeFiles/sec316_smc.dir/sec316_smc.cpp.o.d"
+  "sec316_smc"
+  "sec316_smc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec316_smc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec39_dispatch.dir/sec39_dispatch.cpp.o"
+  "CMakeFiles/sec39_dispatch.dir/sec39_dispatch.cpp.o.d"
+  "sec39_dispatch"
+  "sec39_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec39_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec51_codesize.dir/sec51_codesize.cpp.o"
+  "CMakeFiles/sec51_codesize.dir/sec51_codesize.cpp.o.d"
+  "sec51_codesize"
+  "sec51_codesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec51_codesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec54_shadowmem.dir/sec54_shadowmem.cpp.o"
+  "CMakeFiles/sec54_shadowmem.dir/sec54_shadowmem.cpp.o.d"
+  "sec54_shadowmem"
+  "sec54_shadowmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec54_shadowmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_slowdown.dir/table2_slowdown.cpp.o"
+  "CMakeFiles/table2_slowdown.dir/table2_slowdown.cpp.o.d"
+  "table2_slowdown"
+  "table2_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_profile.dir/cache_profile.cpp.o"
+  "CMakeFiles/cache_profile.dir/cache_profile.cpp.o.d"
+  "cache_profile"
+  "cache_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_heap_bugs.dir/find_heap_bugs.cpp.o"
+  "CMakeFiles/find_heap_bugs.dir/find_heap_bugs.cpp.o.d"
+  "find_heap_bugs"
+  "find_heap_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_heap_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vgrun.dir/vgrun.cpp.o"
+  "CMakeFiles/vgrun.dir/vgrun.cpp.o.d"
+  "vgrun"
+  "vgrun.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vgrun.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

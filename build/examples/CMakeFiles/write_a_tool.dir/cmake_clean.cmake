@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_a_tool.dir/write_a_tool.cpp.o"
+  "CMakeFiles/write_a_tool.dir/write_a_tool.cpp.o.d"
+  "write_a_tool"
+  "write_a_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_a_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

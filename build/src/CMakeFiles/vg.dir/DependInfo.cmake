@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Core.cpp" "src/CMakeFiles/vg.dir/core/Core.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/Core.cpp.o.d"
+  "/root/repo/src/core/ErrorManager.cpp" "src/CMakeFiles/vg.dir/core/ErrorManager.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/ErrorManager.cpp.o.d"
+  "/root/repo/src/core/GuestImage.cpp" "src/CMakeFiles/vg.dir/core/GuestImage.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/GuestImage.cpp.o.d"
+  "/root/repo/src/core/Launcher.cpp" "src/CMakeFiles/vg.dir/core/Launcher.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/Launcher.cpp.o.d"
+  "/root/repo/src/core/TransTab.cpp" "src/CMakeFiles/vg.dir/core/TransTab.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/TransTab.cpp.o.d"
+  "/root/repo/src/core/Translate.cpp" "src/CMakeFiles/vg.dir/core/Translate.cpp.o" "gcc" "src/CMakeFiles/vg.dir/core/Translate.cpp.o.d"
+  "/root/repo/src/frontend/Vg1Frontend.cpp" "src/CMakeFiles/vg.dir/frontend/Vg1Frontend.cpp.o" "gcc" "src/CMakeFiles/vg.dir/frontend/Vg1Frontend.cpp.o.d"
+  "/root/repo/src/guest/Assembler.cpp" "src/CMakeFiles/vg.dir/guest/Assembler.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guest/Assembler.cpp.o.d"
+  "/root/repo/src/guest/Decoder.cpp" "src/CMakeFiles/vg.dir/guest/Decoder.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guest/Decoder.cpp.o.d"
+  "/root/repo/src/guest/Disasm.cpp" "src/CMakeFiles/vg.dir/guest/Disasm.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guest/Disasm.cpp.o.d"
+  "/root/repo/src/guest/GuestMemory.cpp" "src/CMakeFiles/vg.dir/guest/GuestMemory.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guest/GuestMemory.cpp.o.d"
+  "/root/repo/src/guest/RefInterp.cpp" "src/CMakeFiles/vg.dir/guest/RefInterp.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guest/RefInterp.cpp.o.d"
+  "/root/repo/src/guestlib/GuestLib.cpp" "src/CMakeFiles/vg.dir/guestlib/GuestLib.cpp.o" "gcc" "src/CMakeFiles/vg.dir/guestlib/GuestLib.cpp.o.d"
+  "/root/repo/src/hvm/Exec.cpp" "src/CMakeFiles/vg.dir/hvm/Exec.cpp.o" "gcc" "src/CMakeFiles/vg.dir/hvm/Exec.cpp.o.d"
+  "/root/repo/src/hvm/HostVM.cpp" "src/CMakeFiles/vg.dir/hvm/HostVM.cpp.o" "gcc" "src/CMakeFiles/vg.dir/hvm/HostVM.cpp.o.d"
+  "/root/repo/src/hvm/ISel.cpp" "src/CMakeFiles/vg.dir/hvm/ISel.cpp.o" "gcc" "src/CMakeFiles/vg.dir/hvm/ISel.cpp.o.d"
+  "/root/repo/src/hvm/RegAlloc.cpp" "src/CMakeFiles/vg.dir/hvm/RegAlloc.cpp.o" "gcc" "src/CMakeFiles/vg.dir/hvm/RegAlloc.cpp.o.d"
+  "/root/repo/src/ir/IR.cpp" "src/CMakeFiles/vg.dir/ir/IR.cpp.o" "gcc" "src/CMakeFiles/vg.dir/ir/IR.cpp.o.d"
+  "/root/repo/src/ir/IROpt.cpp" "src/CMakeFiles/vg.dir/ir/IROpt.cpp.o" "gcc" "src/CMakeFiles/vg.dir/ir/IROpt.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/vg.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/vg.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/kernel/AddressSpace.cpp" "src/CMakeFiles/vg.dir/kernel/AddressSpace.cpp.o" "gcc" "src/CMakeFiles/vg.dir/kernel/AddressSpace.cpp.o.d"
+  "/root/repo/src/kernel/SimKernel.cpp" "src/CMakeFiles/vg.dir/kernel/SimKernel.cpp.o" "gcc" "src/CMakeFiles/vg.dir/kernel/SimKernel.cpp.o.d"
+  "/root/repo/src/shadow/ShadowMemory.cpp" "src/CMakeFiles/vg.dir/shadow/ShadowMemory.cpp.o" "gcc" "src/CMakeFiles/vg.dir/shadow/ShadowMemory.cpp.o.d"
+  "/root/repo/src/support/Options.cpp" "src/CMakeFiles/vg.dir/support/Options.cpp.o" "gcc" "src/CMakeFiles/vg.dir/support/Options.cpp.o.d"
+  "/root/repo/src/support/Output.cpp" "src/CMakeFiles/vg.dir/support/Output.cpp.o" "gcc" "src/CMakeFiles/vg.dir/support/Output.cpp.o.d"
+  "/root/repo/src/tools/Cachegrind.cpp" "src/CMakeFiles/vg.dir/tools/Cachegrind.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/Cachegrind.cpp.o.d"
+  "/root/repo/src/tools/ICnt.cpp" "src/CMakeFiles/vg.dir/tools/ICnt.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/ICnt.cpp.o.d"
+  "/root/repo/src/tools/Massif.cpp" "src/CMakeFiles/vg.dir/tools/Massif.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/Massif.cpp.o.d"
+  "/root/repo/src/tools/Memcheck.cpp" "src/CMakeFiles/vg.dir/tools/Memcheck.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/Memcheck.cpp.o.d"
+  "/root/repo/src/tools/TaintGrind.cpp" "src/CMakeFiles/vg.dir/tools/TaintGrind.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/TaintGrind.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/vg.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/vg.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guest.dir/GuestTests.cpp.o"
+  "CMakeFiles/test_guest.dir/GuestTests.cpp.o.d"
+  "test_guest"
+  "test_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

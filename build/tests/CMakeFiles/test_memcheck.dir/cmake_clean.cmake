@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memcheck.dir/MemcheckTests.cpp.o"
+  "CMakeFiles/test_memcheck.dir/MemcheckTests.cpp.o.d"
+  "test_memcheck"
+  "test_memcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
