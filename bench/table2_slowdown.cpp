@@ -5,7 +5,9 @@
 /// factors of four tools — Nulgrind (no instrumentation), ICntI (inline
 /// instruction counter), ICntC (C-call instruction counter), and Memcheck —
 /// relative to native execution, on the SPEC-like workload suite, with
-/// per-column geometric means.
+/// per-column geometric means. A fifth column runs Nulgrind with the
+/// dispatcher hot path on (--chaining=yes --hot-threshold=50) to show the
+/// two-tier JIT's effect on the headline slow-down.
 ///
 /// "Native" is the reference interpreter (see DESIGN.md: the substitution
 /// for direct hardware execution). Expected shape, as in the paper:
@@ -39,7 +41,8 @@ uint32_t benchScale() {
 struct Row {
   std::string Name;
   double NativeSec = 0;
-  double Factor[4] = {0, 0, 0, 0}; // nulgrind, icnt-i, icnt-c, memcheck
+  // nulgrind, icnt-i, icnt-c, memcheck, nulgrind+chaining+hotness
+  double Factor[5] = {0, 0, 0, 0, 0};
 };
 
 } // namespace
@@ -48,11 +51,11 @@ int main() {
   uint32_t Scale = benchScale();
   std::printf("== Table 2: tool slow-down factors vs native (scale %u) ==\n",
               Scale);
-  std::printf("%-10s %10s %9s %9s %9s %9s\n", "Program", "Nat.(s)", "Nulg.",
-              "ICntI", "ICntC", "Memc.");
+  std::printf("%-10s %10s %9s %9s %9s %9s %9s\n", "Program", "Nat.(s)",
+              "Nulg.", "ICntI", "ICntC", "Memc.", "Nulg.+h");
 
   std::vector<Row> Rows;
-  double GeoSum[4] = {0, 0, 0, 0};
+  double GeoSum[5] = {0, 0, 0, 0, 0};
   int GeoN = 0;
 
   for (const WorkloadInfo &W : allWorkloads()) {
@@ -73,7 +76,7 @@ int main() {
     R.Name = W.Name;
     R.NativeSec = Native.Seconds;
 
-    for (int T = 0; T != 4; ++T) {
+    for (int T = 0; T != 5; ++T) {
       std::unique_ptr<Tool> Tool;
       std::vector<std::string> Opts = {"--smc-check=none"};
       switch (T) {
@@ -90,6 +93,11 @@ int main() {
         Tool = std::make_unique<Memcheck>();
         Opts.push_back("--leak-check=no"); // as in the paper's Table 2 runs
         break;
+      case 4:
+        Tool = std::make_unique<Nulgrind>();
+        Opts.push_back("--chaining=yes");
+        Opts.push_back("--hot-threshold=50");
+        break;
       }
       RunReport Rep = runUnderCore(Img, Tool.get(), Opts);
       {
@@ -103,14 +111,14 @@ int main() {
                         ? Rep.Seconds / Native.Seconds
                         : -1;
     }
-    std::printf("%-10s %10.3f %9.1f %9.1f %9.1f %9.1f\n", R.Name.c_str(),
-                R.NativeSec, R.Factor[0], R.Factor[1], R.Factor[2],
-                R.Factor[3]);
+    std::printf("%-10s %10.3f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+                R.Name.c_str(), R.NativeSec, R.Factor[0], R.Factor[1],
+                R.Factor[2], R.Factor[3], R.Factor[4]);
     bool AllOk = true;
     for (double F : R.Factor)
       AllOk = AllOk && F > 0;
     if (AllOk) {
-      for (int T = 0; T != 4; ++T)
+      for (int T = 0; T != 5; ++T)
         GeoSum[T] += std::log(R.Factor[T]);
       ++GeoN;
     }
@@ -119,7 +127,7 @@ int main() {
 
   if (GeoN) {
     std::printf("%-10s %10s", "geo. mean", "");
-    for (int T = 0; T != 4; ++T)
+    for (int T = 0; T != 5; ++T)
       std::printf(" %9.1f", std::exp(GeoSum[T] / GeoN));
     std::printf("\n");
     std::printf("\n(paper, SPEC CPU2000 on real hardware: Nulgrind 4.3x, "

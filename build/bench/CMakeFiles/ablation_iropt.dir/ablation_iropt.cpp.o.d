@@ -224,8 +224,9 @@ bench/CMakeFiles/ablation_iropt.dir/ablation_iropt.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/Options.h \
  /root/repo/src/core/TransTab.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/core/Translate.h \
- /root/repo/src/frontend/Vg1Frontend.h /root/repo/src/ir/IROpt.h \
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/core/Translate.h /root/repo/src/frontend/Vg1Frontend.h \
+ /root/repo/src/ir/IROpt.h /root/repo/src/support/Profile.h \
  /root/repo/src/kernel/SimKernel.h /root/repo/src/guest/RefInterp.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \

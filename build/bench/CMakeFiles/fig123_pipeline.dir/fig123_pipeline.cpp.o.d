@@ -215,20 +215,22 @@ bench/CMakeFiles/fig123_pipeline.dir/fig123_pipeline.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/guest/Assembler.h \
- /root/repo/src/guest/GuestArch.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/support/Profile.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/guest/Disasm.h \
- /root/repo/src/tools/Memcheck.h /root/repo/src/core/ClientRequests.h \
- /root/repo/src/core/Core.h /root/repo/src/core/ErrorManager.h \
- /root/repo/src/support/Output.h /usr/include/c++/12/cstdarg \
- /root/repo/src/core/Events.h /root/repo/src/core/GuestImage.h \
- /root/repo/src/core/ThreadState.h /root/repo/src/guest/CpuView.h \
- /root/repo/src/guest/GuestMemory.h /root/repo/src/core/Tool.h \
- /root/repo/src/support/Options.h /root/repo/src/core/TransTab.h \
- /root/repo/src/kernel/SimKernel.h /root/repo/src/guest/RefInterp.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/guest/Assembler.h \
+ /root/repo/src/guest/GuestArch.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/guest/Disasm.h /root/repo/src/tools/Memcheck.h \
+ /root/repo/src/core/ClientRequests.h /root/repo/src/core/Core.h \
+ /root/repo/src/core/ErrorManager.h /root/repo/src/support/Output.h \
+ /usr/include/c++/12/cstdarg /root/repo/src/core/Events.h \
+ /root/repo/src/core/GuestImage.h /root/repo/src/core/ThreadState.h \
+ /root/repo/src/guest/CpuView.h /root/repo/src/guest/GuestMemory.h \
+ /root/repo/src/core/Tool.h /root/repo/src/support/Options.h \
+ /root/repo/src/core/TransTab.h /root/repo/src/kernel/SimKernel.h \
+ /root/repo/src/guest/RefInterp.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/kernel/AddressSpace.h \

@@ -33,6 +33,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/shadow/ShadowMemory.cpp" "src/CMakeFiles/vg.dir/shadow/ShadowMemory.cpp.o" "gcc" "src/CMakeFiles/vg.dir/shadow/ShadowMemory.cpp.o.d"
   "/root/repo/src/support/Options.cpp" "src/CMakeFiles/vg.dir/support/Options.cpp.o" "gcc" "src/CMakeFiles/vg.dir/support/Options.cpp.o.d"
   "/root/repo/src/support/Output.cpp" "src/CMakeFiles/vg.dir/support/Output.cpp.o" "gcc" "src/CMakeFiles/vg.dir/support/Output.cpp.o.d"
+  "/root/repo/src/support/Profile.cpp" "src/CMakeFiles/vg.dir/support/Profile.cpp.o" "gcc" "src/CMakeFiles/vg.dir/support/Profile.cpp.o.d"
   "/root/repo/src/tools/Cachegrind.cpp" "src/CMakeFiles/vg.dir/tools/Cachegrind.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/Cachegrind.cpp.o.d"
   "/root/repo/src/tools/ICnt.cpp" "src/CMakeFiles/vg.dir/tools/ICnt.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/ICnt.cpp.o.d"
   "/root/repo/src/tools/Massif.cpp" "src/CMakeFiles/vg.dir/tools/Massif.cpp.o" "gcc" "src/CMakeFiles/vg.dir/tools/Massif.cpp.o.d"

@@ -224,13 +224,19 @@ src/CMakeFiles/vg.dir/core/Core.cpp.o: /root/repo/src/core/Core.cpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/Options.h \
  /root/repo/src/core/TransTab.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/core/Translate.h \
- /root/repo/src/frontend/Vg1Frontend.h /root/repo/src/ir/IROpt.h \
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/core/Translate.h /root/repo/src/frontend/Vg1Frontend.h \
+ /root/repo/src/ir/IROpt.h /root/repo/src/support/Profile.h \
  /root/repo/src/kernel/SimKernel.h /root/repo/src/guest/RefInterp.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/kernel/AddressSpace.h \
  /root/repo/src/core/ClientRequests.h /root/repo/src/support/Hashing.h \
- /usr/include/c++/12/cstddef /usr/include/c++/12/cinttypes \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/chrono \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/cinttypes \
  /usr/include/inttypes.h

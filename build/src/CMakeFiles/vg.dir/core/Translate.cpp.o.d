@@ -215,5 +215,8 @@ src/CMakeFiles/vg.dir/core/Translate.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/ISel.h \
- /root/repo/src/hvm/HostVM.h /root/repo/src/ir/IRPrinter.h
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/support/Profile.h /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/hvm/ISel.h \
+ /root/repo/src/ir/IRPrinter.h

@@ -19,7 +19,8 @@ src/CMakeFiles/vg.dir/hvm/Exec.cpp.o: /root/repo/src/hvm/Exec.cpp \
  /usr/include/x86_64-linux-gnu/bits/time64.h \
  /usr/include/x86_64-linux-gnu/bits/wchar.h \
  /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h /root/repo/src/ir/IR.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /root/repo/src/hvm/HostVM.h /root/repo/src/ir/IR.h \
  /root/repo/src/support/Errors.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/cstdio /usr/include/stdio.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
@@ -208,4 +209,4 @@ src/CMakeFiles/vg.dir/hvm/Exec.cpp.o: /root/repo/src/hvm/Exec.cpp \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/hvm/HostVM.h
+ /usr/include/c++/12/bits/erase_if.h

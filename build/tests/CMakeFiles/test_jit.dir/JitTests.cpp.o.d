@@ -215,13 +215,15 @@ tests/CMakeFiles/test_jit.dir/JitTests.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/guest/Assembler.h \
- /root/repo/src/guest/GuestArch.h /usr/include/c++/12/cstring \
- /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/map \
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/support/Profile.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/guest/RefInterp.h \
- /root/repo/src/guest/CpuView.h /root/repo/src/guest/GuestMemory.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/guest/Assembler.h \
+ /root/repo/src/guest/GuestArch.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/guest/RefInterp.h /root/repo/src/guest/CpuView.h \
+ /root/repo/src/guest/GuestMemory.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \

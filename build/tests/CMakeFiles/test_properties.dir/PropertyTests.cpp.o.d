@@ -225,16 +225,17 @@ tests/CMakeFiles/test_properties.dir/PropertyTests.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/support/Options.h \
  /root/repo/src/core/TransTab.h /root/repo/src/hvm/Exec.h \
- /root/repo/src/hvm/ExecContext.h /root/repo/src/core/Translate.h \
- /root/repo/src/frontend/Vg1Frontend.h /root/repo/src/ir/IROpt.h \
+ /root/repo/src/hvm/ExecContext.h /root/repo/src/hvm/HostVM.h \
+ /root/repo/src/core/Translate.h /root/repo/src/frontend/Vg1Frontend.h \
+ /root/repo/src/ir/IROpt.h /root/repo/src/support/Profile.h \
  /root/repo/src/kernel/SimKernel.h /root/repo/src/guest/RefInterp.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/kernel/AddressSpace.h /root/repo/src/guestlib/GuestLib.h \
- /root/repo/src/hvm/ISel.h /root/repo/src/hvm/HostVM.h \
- /root/repo/src/tools/Cachegrind.h /root/repo/src/tools/ICnt.h \
- /root/repo/src/tools/Memcheck.h /root/repo/src/core/ClientRequests.h \
+ /root/repo/src/hvm/ISel.h /root/repo/src/tools/Cachegrind.h \
+ /root/repo/src/tools/ICnt.h /root/repo/src/tools/Memcheck.h \
+ /root/repo/src/core/ClientRequests.h \
  /root/repo/src/shadow/ShadowMemory.h /root/repo/src/tools/Nulgrind.h \
  /root/repo/src/tools/TaintGrind.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/cstddef /usr/include/c++/12/limits \

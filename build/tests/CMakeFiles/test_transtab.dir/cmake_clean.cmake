@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transtab.dir/TransTabTests.cpp.o"
+  "CMakeFiles/test_transtab.dir/TransTabTests.cpp.o.d"
+  "test_transtab"
+  "test_transtab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transtab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

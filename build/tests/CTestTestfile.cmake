@@ -12,17 +12,19 @@ add_test(test_jit "/root/repo/build/tests/test_jit")
 set_tests_properties(test_jit PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;9;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_core "/root/repo/build/tests/test_core")
 set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;10;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transtab "/root/repo/build/tests/test_transtab")
+set_tests_properties(test_transtab PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_memcheck "/root/repo/build/tests/test_memcheck")
-set_tests_properties(test_memcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;11;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_memcheck PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_workloads "/root/repo/build/tests/test_workloads")
-set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;12;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_workloads PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_tools "/root/repo/build/tests/test_tools")
-set_tests_properties(test_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;13;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_kernel "/root/repo/build/tests/test_kernel")
-set_tests_properties(test_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;14;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_kernel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_hvm "/root/repo/build/tests/test_hvm")
-set_tests_properties(test_hvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;15;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_hvm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_properties "/root/repo/build/tests/test_properties")
-set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;16;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_properties PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;vg_test;/root/repo/tests/CMakeLists.txt;0;")
 add_test(test_support "/root/repo/build/tests/test_support")
-set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;17;vg_test;/root/repo/tests/CMakeLists.txt;0;")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;4;add_test;/root/repo/tests/CMakeLists.txt;18;vg_test;/root/repo/tests/CMakeLists.txt;0;")

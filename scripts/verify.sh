@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Tier-1 verification: configure, build, run the full test suite, then
+# smoke-run the dispatcher and slow-down benches (a crash or a hang here
+# is a regression even when the unit tests pass).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure -j
+
+echo "== smoke: sec39_dispatch =="
+./build/bench/sec39_dispatch
+
+echo "== smoke: table2_slowdown =="
+./build/bench/table2_slowdown
+
+echo "verify: OK"

@@ -6,6 +6,7 @@
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 
 using namespace vg;
@@ -24,6 +25,12 @@ Core::Core(Tool *ToolPlugin)
                  "when to check for self-modifying code: none|stack|all");
   Opts.addOption("chaining", "no",
                  "chain translations directly (ablation of Section 3.9)");
+  Opts.addOption("hot-threshold", "0",
+                 "executions before a block is retranslated as a "
+                 "branch-chased superblock (0 = off)");
+  Opts.addOption("profile", "no",
+                 "record per-phase translation time and per-block execution "
+                 "counts; dump a ranked hot-block report at exit");
   Opts.addOption("stack-switch-threshold", "2097152",
                  "SP jumps above this many bytes are stack switches");
   Opts.addOption("log-file", "", "send tool output to a file");
@@ -51,6 +58,9 @@ void Core::applyOptions() {
   else
     Smc = SmcMode::Stack;
   ChainingEnabled = Opts.getBool("chaining");
+  HotThreshold = static_cast<uint64_t>(Opts.getInt("hot-threshold"));
+  if (Opts.getBool("profile") && !Prof)
+    Prof = std::make_unique<Profiler>();
   StackSwitchThreshold =
       static_cast<uint32_t>(Opts.getInt("stack-switch-threshold"));
   if (std::string F = Opts.getString("log-file"); !F.empty())
@@ -298,13 +308,22 @@ bool Core::addrOnAnyStack(uint32_t Addr) const {
   return false;
 }
 
-Translation *Core::translateOne(uint32_t PC) {
+Translation *Core::translateOne(uint32_t PC, bool Hot) {
   auto TPtr = std::make_unique<Translation>();
   Translation *Raw = TPtr.get();
 
   TranslationOptions TO;
   TO.Spec = Spec;
   TO.Verify = Opts.getBool("verify-ir");
+  TO.Prof = Prof.get();
+  if (Hot) {
+    // Hot tier: chase branches aggressively so the loop body becomes one
+    // superblock with chainable internal exits. Cold translations keep the
+    // default limits; only blocks that prove hot pay for big-superblock
+    // formation.
+    TO.Frontend.MaxInsns = 200;
+    TO.Frontend.MaxChases = 16;
+  }
   if (Opts.getBool("no-iropt")) {
     TO.RunOptimise1 = false;
     TO.RunOptimise2 = false;
@@ -329,8 +348,15 @@ Translation *Core::translateOne(uint32_t PC) {
     return N;
   };
 
+  double T0 = 0;
+  if (Prof) {
+    using Clock = std::chrono::steady_clock;
+    T0 = std::chrono::duration<double>(Clock::now().time_since_epoch())
+             .count();
+  }
   TranslatedBlock TB = translateBlock(PC, Fetch, TO);
   Raw->Addr = PC;
+  Raw->Tier = Hot ? 1 : 0;
   Raw->Blob = std::move(TB.Blob);
   Raw->Extents = TB.Meta.Extents;
   if (Raw->Extents.empty())
@@ -352,7 +378,44 @@ Translation *Core::translateOne(uint32_t PC) {
 
   ++Stats.Translations;
   Stats.GuestInsnsTranslated += Raw->NumInsns;
+  if (Prof) {
+    using Clock = std::chrono::steady_clock;
+    double T1 = std::chrono::duration<double>(Clock::now().time_since_epoch())
+                    .count();
+    Prof->noteTranslation(PC, Raw->NumInsns, Raw->Tier, T1 - T0);
+  }
   return TT.insert(std::move(TPtr));
+}
+
+Translation *Core::promoteHot(uint32_t PC) {
+  ++Stats.HotPromotions;
+  // insert() replaces the cold translation; its predecessors' chain slots
+  // are re-parked and relink to the superblock immediately (TransTab's
+  // eager waiter resolution), so the hot path re-forms without further
+  // dispatcher round-trips.
+  return translateOne(PC, /*Hot=*/true);
+}
+
+void Core::dumpProfile() {
+  if (!Prof)
+    return;
+  const TransTab::Stats &TS = TT.stats();
+  ProfCounters C;
+  C.BlocksDispatched = Stats.BlocksDispatched;
+  C.DispatcherEntries = Stats.BlocksDispatched - Stats.ChainedTransfers;
+  C.FastCacheHits = Stats.FastCacheHits;
+  C.FastCacheMisses = Stats.FastCacheMisses;
+  C.ChainedTransfers = Stats.ChainedTransfers;
+  C.Translations = Stats.Translations;
+  C.HotPromotions = Stats.HotPromotions;
+  C.TableLookups = TS.Lookups;
+  C.TableHits = TS.Hits;
+  C.ChainsFilled = TS.ChainsFilled;
+  C.Unchains = TS.Unchains;
+  C.EvictionRuns = TS.EvictionRuns;
+  C.Evicted = TS.Evicted;
+  C.Invalidated = TS.Invalidated;
+  Prof->report(Out, C);
 }
 
 Translation *Core::findOrTranslate(uint32_t PC) {
@@ -363,6 +426,9 @@ Translation *Core::findOrTranslate(uint32_t PC) {
   FastCacheEntry &E = FastCache[hashAddr(PC) & (FastCacheSize - 1)];
   if (E.Addr == PC && E.T) {
     ++Stats.FastCacheHits;
+    // The table was bypassed, but the lookup still logically happened:
+    // fold it into the table's statistics so hit rates stay honest.
+    TT.countFastHit();
     return E.T;
   }
   ++Stats.FastCacheMisses;
@@ -383,8 +449,26 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
   auto *T = static_cast<Translation *>(Cookie);
   if (Slot >= T->Chain.size() || !T->Chain[Slot])
     return nullptr;
+  Translation *Succ = T->Chain[Slot];
+  // Hotness accounting happens here too, or chained loops would never
+  // cross the threshold. A successor about to go hot bounces back to the
+  // dispatcher, which performs the promotion (retranslation must not run
+  // while the executor is inside the chain).
+  if (C->HotThreshold && Succ->Tier == 0 &&
+      Succ->ExecCount + 1 >= C->HotThreshold) {
+    // The successor is known — the bounce exists only to run the promotion
+    // from dispatcher context. Prefill its fast-cache line so the bounced
+    // dispatch doesn't pay a table lookup for a block we are holding.
+    if (C->FastCacheGen == C->TT.generation())
+      C->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
+          FastCacheEntry{Succ->Addr, Succ};
+    return nullptr;
+  }
+  ++Succ->ExecCount;
   ++C->Stats.ChainedTransfers;
-  return &T->Chain[Slot]->Blob;
+  if (C->Prof)
+    C->Prof->noteExec(Succ->Addr);
+  return &Succ->Blob;
 }
 
 //===----------------------------------------------------------------------===//
@@ -401,9 +485,13 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
   if (ChainingEnabled)
     Exec.setChaining(&chainResolveThunk, this);
 
-  // For lazy chain filling.
+  // Lazy chain-fill fallback (register-constant edges the eager linker
+  // could not resolve at insert time never reach here; this catches edges
+  // whose slot was parked and has since been cancelled). LastGen guards
+  // against the cookie dangling after an eviction.
   void *LastCookie = nullptr;
   uint32_t LastSlot = ~0u;
+  uint64_t LastGen = 0;
 
   while (Quantum > 0 && !ProcessExited && !FatalSignal &&
          TS.Status == ThreadStatus::Runnable && !YieldRequested) {
@@ -438,13 +526,35 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
     Translation *T = findOrTranslate(PC);
 
     // Fill the previous exit's chain slot now that the successor is known.
-    if (ChainingEnabled && LastCookie && LastSlot != ~0u) {
+    // Safe only if no eviction ran since the exit (the cookie would dangle).
+    if (ChainingEnabled && LastCookie && LastSlot != ~0u &&
+        TT.generation() == LastGen) {
       auto *Prev = static_cast<Translation *>(LastCookie);
-      if (TT.lookup(Prev->Addr) == Prev && LastSlot < Prev->Chain.size())
-        Prev->Chain[LastSlot] = T;
+      // Only link true fall-through edges: if the exit's recorded constant
+      // target is not the PC we dispatched (a guest redirect rewrote it),
+      // chaining would bypass the dispatcher's redirect check.
+      if (LastSlot < Prev->Blob.ChainTargets.size() &&
+          Prev->Blob.ChainTargets[LastSlot] == PC)
+        TT.chainTo(Prev, LastSlot, T);
     }
     LastCookie = nullptr;
     LastSlot = ~0u;
+
+    // Hotness tier: promote once a block has proven itself.
+    ++T->ExecCount;
+    if (Prof)
+      Prof->noteExec(PC);
+    if (HotThreshold && T->Tier == 0 && T->ExecCount >= HotThreshold) {
+      uint64_t GenBefore = TT.generation();
+      T = promoteHot(PC);
+      if (TT.generation() == GenBefore + 1) {
+        // Only the replaced translation died: repair its fast-cache line
+        // surgically instead of letting the generation check wipe the
+        // whole cache (every other entry still points at live memory).
+        FastCacheGen = TT.generation();
+        FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
+      }
+    }
 
     hvm::RunOutcome O = Exec.run(T->Blob, ChainingEnabled ? Quantum - 1 : 0);
     Stats.BlocksDispatched += O.BlocksExecuted;
@@ -459,6 +569,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
     case ir::JumpKind::Boring:
       LastCookie = O.ExitCookie;
       LastSlot = O.ExitSlot;
+      LastGen = TT.generation();
       continue;
     case ir::JumpKind::Call:
     case ir::JumpKind::Ret:
@@ -524,6 +635,7 @@ CoreExit Core::run(uint64_t MaxBlocks) {
 
   if (ToolPlugin)
     ToolPlugin->fini(ProcessExitCode);
+  dumpProfile();
 
   CoreExit E;
   if (FatalSignal) {
@@ -763,6 +875,10 @@ void Core::discardTranslations(uint32_t Addr, uint32_t Len) {
 
 void Core::redirectToHost(uint32_t Addr, HostReplacementFn Fn) {
   HostRedirects[Addr] = std::move(Fn);
+  // Drop any pre-redirect translation of Addr (and cancel chain waiters
+  // parked on it): a predecessor chained straight into the old code would
+  // bypass the dispatcher's redirect check.
+  TT.invalidateRange(Addr, 1);
 }
 
 void Core::redirectSymbolToHost(const std::string &Symbol,

@@ -66,6 +66,7 @@ struct CoreStats {
   uint64_t SmcRetranslations = 0;
   uint64_t ChainedTransfers = 0;
   uint64_t HostRedirectCalls = 0;
+  uint64_t HotPromotions = 0; ///< blocks retranslated as hot superblocks
 };
 
 /// Signal numbers used by the simulated kernel.
@@ -103,6 +104,10 @@ public:
 
   void setSmcMode(SmcMode M) { Smc = M; }
   void setChaining(bool On) { ChainingEnabled = On; }
+  /// Executions before a block is retranslated as a hot superblock with
+  /// branch chasing (0 disables the hotness tier).
+  void setHotThreshold(uint64_t N) { HotThreshold = N; }
+  Profiler *profiler() { return Prof.get(); }
 
   // --- start-up (Section 3.3) --------------------------------------------
   /// Loads the client image: maps text/data (firing new_mem_startup, R5),
@@ -179,7 +184,14 @@ private:
   static constexpr size_t FastCacheSize = 1u << 13; // direct-mapped
 
   Translation *findOrTranslate(uint32_t PC);
-  Translation *translateOne(uint32_t PC);
+  /// Translates the block at \p PC and inserts it into the table. \p Hot
+  /// retranslations chase branches aggressively (superblock formation);
+  /// cold blocks use the default frontend limits.
+  Translation *translateOne(uint32_t PC, bool Hot = false);
+  /// Hot-tier promotion: retranslate \p PC as a superblock. Replaces the
+  /// old translation (predecessor chain slots relink eagerly via TransTab).
+  Translation *promoteHot(uint32_t PC);
+  void dumpProfile();
   /// Dispatches blocks for \p TS until the quantum is spent, the process
   /// exits, a fatal signal lands, the thread stops being runnable, or the
   /// PC reaches \p StopPC (callGuest's sentinel).
@@ -219,10 +231,12 @@ private:
   std::array<uint32_t, 64> SigHandlers{}; // 0 = default action
   SmcMode Smc = SmcMode::Stack;
   bool ChainingEnabled = false;
+  uint64_t HotThreshold = 0; // 0 = hotness tier off
   uint32_t StackSwitchThreshold = 2u << 20; // 2MB (Section 3.12)
 
   std::vector<FastCacheEntry> FastCache;
   uint64_t FastCacheGen = 0;
+  std::unique_ptr<Profiler> Prof; // non-null under --profile
 
   std::map<uint32_t, HostReplacementFn> HostRedirects;
   std::map<std::string, HostReplacementFn> PendingSymbolRedirects;

@@ -2,9 +2,11 @@
 
 #include "core/TransTab.h"
 
+#include "support/Errors.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace vg;
 
@@ -17,57 +19,79 @@ TransTab::TransTab(size_t CapacityPow2) {
 size_t TransTab::probeFor(uint32_t Addr) const {
   size_t Mask = Slots.size() - 1;
   size_t Idx = hashAddr(Addr) & Mask;
-  size_t FirstTomb = SIZE_MAX;
+  size_t FirstTomb = NoSlot;
   for (size_t Step = 0; Step != Slots.size(); ++Step) {
     const Slot &S = Slots[Idx];
     if (S.St == Slot::State::Empty)
-      return FirstTomb != SIZE_MAX ? FirstTomb : Idx;
+      return FirstTomb != NoSlot ? FirstTomb : Idx;
     if (S.St == Slot::State::Tomb) {
-      if (FirstTomb == SIZE_MAX)
+      if (FirstTomb == NoSlot)
         FirstTomb = Idx;
     } else if (S.T->Addr == Addr) {
       return Idx;
     }
     Idx = (Idx + 1) & Mask;
   }
-  return FirstTomb != SIZE_MAX ? FirstTomb : 0;
+  // Wrapped the whole table: at best a tomb is reusable; NoSlot tells the
+  // caller there is no home at all (never hand back an unrelated slot).
+  return FirstTomb;
+}
+
+Translation *TransTab::find(uint32_t Addr) const {
+  size_t Idx = probeFor(Addr);
+  if (Idx == NoSlot)
+    return nullptr;
+  const Slot &Sl = Slots[Idx];
+  if (Sl.St == Slot::State::Full && Sl.T->Addr == Addr)
+    return Sl.T.get();
+  return nullptr;
 }
 
 Translation *TransTab::lookup(uint32_t Addr) {
   ++S.Lookups;
-  size_t Idx = probeFor(Addr);
-  Slot &Sl = Slots[Idx];
-  if (Sl.St == Slot::State::Full && Sl.T->Addr == Addr) {
+  Translation *T = find(Addr);
+  if (T)
     ++S.Hits;
-    return Sl.T.get();
-  }
-  return nullptr;
+  return T;
 }
 
 Translation *TransTab::insert(std::unique_ptr<Translation> T) {
-  if (Count * 10 >= Slots.size() * 8) // > 80% full
+  // Keep occupancy (counting the incoming translation) at or below 80% so
+  // the table can never fill completely and probes stay short.
+  if ((Count + 1) * 10 > Slots.size() * 8)
     evictChunk();
   T->Seq = NextSeq++;
   T->Blob.Cookie = T.get();
+
   size_t Idx = probeFor(T->Addr);
-  Slot &Sl = Slots[Idx];
-  if (Sl.St == Slot::State::Full) {
-    // Replacing an existing translation for the same address.
-    unchainAllTo(Sl.T.get());
-    --Count;
-    ++Gen;
+  if (Idx != NoSlot && Slots[Idx].St == Slot::State::Full) {
+    // Replacing an existing translation for the same address (probeFor
+    // only returns a full slot on an exact address match).
+    assert(Slots[Idx].T->Addr == T->Addr && "probe returned unrelated slot");
+    eraseSlot(Idx);
   }
+  if (Idx == NoSlot) {
+    // No free slot on the probe path: make room and try again rather than
+    // overwriting whatever lives at slot 0 (the seed's latent bug).
+    evictChunk();
+    Idx = probeFor(T->Addr);
+  }
+  if (Idx == NoSlot || Slots[Idx].St == Slot::State::Full)
+    fatalError("TransTab::insert: no free slot after eviction");
+
+  Slot &Sl = Slots[Idx];
   Sl.T = std::move(T);
   Sl.St = Slot::State::Full;
   ++Count;
   ++S.Inserts;
+  linkChains(Sl.T.get());
   return Sl.T.get();
 }
 
 void TransTab::eraseSlot(size_t Idx) {
   Slot &Sl = Slots[Idx];
   assert(Sl.St == Slot::State::Full && "erasing non-full slot");
-  unchainAllTo(Sl.T.get());
+  unlinkChains(Sl.T.get());
   Sl.T.reset();
   Sl.St = Slot::State::Tomb;
   --Count;
@@ -76,23 +100,50 @@ void TransTab::eraseSlot(size_t Idx) {
 
 void TransTab::evictChunk() {
   ++S.EvictionRuns;
-  // FIFO: find the sequence-number threshold below which 1/8 of the
-  // resident translations fall, then evict them.
-  std::vector<uint64_t> Seqs;
-  Seqs.reserve(Count);
-  for (const Slot &Sl : Slots)
-    if (Sl.St == Slot::State::Full)
-      Seqs.push_back(Sl.T->Seq);
-  if (Seqs.empty())
+  // FIFO: evict exactly the N oldest resident translations (N = 1/8th of
+  // the residents). The seed compared Seq <= threshold over the whole
+  // table, which over-evicts whenever the threshold partition is uneven.
+  struct Victim {
+    uint64_t Seq;
+    size_t Idx;
+  };
+  std::vector<Victim> Victims;
+  Victims.reserve(Count);
+  for (size_t I = 0; I != Slots.size(); ++I)
+    if (Slots[I].St == Slot::State::Full)
+      Victims.push_back({Slots[I].T->Seq, I});
+  if (Victims.empty())
     return;
-  size_t N = std::max<size_t>(1, Seqs.size() / 8);
-  std::nth_element(Seqs.begin(), Seqs.begin() + (N - 1), Seqs.end());
-  uint64_t Threshold = Seqs[N - 1];
-  for (size_t I = 0; I != Slots.size(); ++I) {
-    if (Slots[I].St == Slot::State::Full && Slots[I].T->Seq <= Threshold) {
-      eraseSlot(I);
-      ++S.Evicted;
-    }
+  size_t N = std::max<size_t>(1, Victims.size() / 8);
+  std::nth_element(Victims.begin(), Victims.begin() + (N - 1), Victims.end(),
+                   [](const Victim &A, const Victim &B) { return A.Seq < B.Seq; });
+  uint64_t Before = S.Evicted;
+  for (size_t I = 0; I != N; ++I)
+    eraseSlot(Victims[I].Idx);
+  S.Evicted += N;
+  assert(S.Evicted == Before + N && "eviction run must evict exactly N");
+  (void)Before;
+  rehash();
+}
+
+void TransTab::rehash() {
+  // Collect survivors, clear every slot (tombs included), and re-place.
+  // Translation pointers are stable across the move, so chain pointers,
+  // back-edges, and the dispatcher's fast cache stay valid.
+  std::vector<std::unique_ptr<Translation>> Live;
+  Live.reserve(Count);
+  for (Slot &Sl : Slots) {
+    if (Sl.St == Slot::State::Full)
+      Live.push_back(std::move(Sl.T));
+    Sl.T.reset();
+    Sl.St = Slot::State::Empty;
+  }
+  for (std::unique_ptr<Translation> &T : Live) {
+    size_t Idx = probeFor(T->Addr);
+    assert(Idx != NoSlot && Slots[Idx].St == Slot::State::Empty &&
+           "rehash of a non-full table must find an empty slot");
+    Slots[Idx].T = std::move(T);
+    Slots[Idx].St = Slot::State::Full;
   }
 }
 
@@ -118,14 +169,90 @@ void TransTab::invalidateAll() {
   for (size_t I = 0; I != Slots.size(); ++I)
     if (Slots[I].St == Slot::State::Full)
       eraseSlot(I);
+  rehash(); // purge the tombs
+  assert(Pending.empty() && "waiters must not outlive their translations");
 }
 
-void TransTab::unchainAllTo(const Translation *T) {
-  for (Slot &Sl : Slots) {
-    if (Sl.St != Slot::State::Full)
+//===----------------------------------------------------------------------===//
+// The chain graph (Section 3.9)
+//===----------------------------------------------------------------------===//
+
+void TransTab::removeWaiter(uint32_t Target, const Translation *From,
+                            uint32_t Slot) {
+  auto It = Pending.find(Target);
+  if (It == Pending.end())
+    return;
+  auto &W = It->second;
+  W.erase(std::remove_if(W.begin(), W.end(),
+                         [&](const std::pair<Translation *, uint32_t> &P) {
+                           return P.first == From && P.second == Slot;
+                         }),
+          W.end());
+  if (W.empty())
+    Pending.erase(It);
+}
+
+void TransTab::chainTo(Translation *From, uint32_t Slot, Translation *To) {
+  if (!From || !To || Slot >= From->Chain.size())
+    return;
+  if (From->Chain[Slot] == To)
+    return;
+  assert(!From->Chain[Slot] && "chain slot already linked elsewhere");
+  if (Slot < From->Blob.ChainTargets.size())
+    removeWaiter(From->Blob.ChainTargets[Slot], From, Slot);
+  From->Chain[Slot] = To;
+  To->ChainedFrom.push_back(From);
+  ++S.ChainsFilled;
+}
+
+void TransTab::linkChains(Translation *T) {
+  // Outgoing: link against resident successors, park waiters otherwise.
+  const std::vector<uint32_t> &Targets = T->Blob.ChainTargets;
+  for (uint32_t Slot = 0; Slot != T->Chain.size(); ++Slot) {
+    if (Slot >= Targets.size() || Targets[Slot] == hvm::NoChainTarget)
       continue;
-    for (Translation *&C : Sl.T->Chain)
-      if (C == T)
-        C = nullptr;
+    if (Translation *Succ = find(Targets[Slot]))
+      chainTo(T, Slot, Succ);
+    else
+      Pending[Targets[Slot]].push_back({T, Slot});
+  }
+  // Incoming: everything that was waiting for this address links up now.
+  auto It = Pending.find(T->Addr);
+  if (It == Pending.end())
+    return;
+  std::vector<std::pair<Translation *, uint32_t>> Waiters =
+      std::move(It->second);
+  Pending.erase(It);
+  for (auto &[From, Slot] : Waiters)
+    chainTo(From, Slot, T);
+}
+
+void TransTab::unlinkChains(Translation *T) {
+  // Incoming edges: null every predecessor slot pointing at T and re-park
+  // it, so a retranslation of T->Addr relinks the predecessors eagerly.
+  for (Translation *P : T->ChainedFrom) {
+    for (uint32_t Slot = 0; Slot != P->Chain.size(); ++Slot) {
+      if (P->Chain[Slot] == T) {
+        P->Chain[Slot] = nullptr;
+        ++S.Unchains;
+        Pending[T->Addr].push_back({P, Slot});
+      }
+    }
+  }
+  T->ChainedFrom.clear();
+  // Outgoing edges: drop our back-edges from successors; cancel waiters
+  // for slots that never linked.
+  const std::vector<uint32_t> &Targets = T->Blob.ChainTargets;
+  for (uint32_t Slot = 0; Slot != T->Chain.size(); ++Slot) {
+    if (Translation *Succ = T->Chain[Slot]) {
+      auto &BF = Succ->ChainedFrom;
+      auto It = std::find(BF.begin(), BF.end(), T);
+      if (It != BF.end())
+        BF.erase(It);
+      T->Chain[Slot] = nullptr;
+    } else if (Slot < Targets.size() &&
+               Targets[Slot] != hvm::NoChainTarget) {
+      removeWaiter(Targets[Slot], T, Slot);
+    }
   }
 }

@@ -9,12 +9,23 @@
 /// made obsolete by self-modifying code (Section 3.16), via
 /// invalidateRange().
 ///
+/// The table also owns the translation chain graph (Section 3.9): every
+/// filled chain slot (a constant Boring exit patched to jump straight into
+/// its successor) is recorded as a back-edge on the successor, so evicting
+/// a translation unlinks its predecessors in O(degree) rather than by
+/// scanning the whole table. Slots whose successor does not exist yet are
+/// parked in a pending-waiter map and filled eagerly the moment the
+/// successor is inserted — including re-insertion after SMC invalidation or
+/// hot-tier retranslation — so the dispatcher almost never has to fill a
+/// chain slot lazily.
+///
 //===----------------------------------------------------------------------===//
 #ifndef VG_CORE_TRANSTAB_H
 #define VG_CORE_TRANSTAB_H
 
 #include "hvm/Exec.h"
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -30,9 +41,19 @@ struct Translation {
   uint64_t CodeHash = 0; ///< FNV-1a over the original guest bytes
   uint32_t NumInsns = 0;
   uint64_t Seq = 0; ///< insertion order (FIFO eviction key)
-  /// Chain slots: successor translations for constant Boring exits,
-  /// filled lazily by the dispatcher when chaining is enabled.
+  /// Times the block was entered (dispatcher entries plus chained
+  /// transfers); drives hot-tier promotion.
+  uint64_t ExecCount = 0;
+  /// 0 = baseline block, 1 = hot superblock (branch-chasing retranslation).
+  uint8_t Tier = 0;
+  /// Chain slots: successor translations for constant Boring exits. Filled
+  /// eagerly by TransTab when the successor exists; otherwise parked as a
+  /// pending waiter and filled on the successor's insertion.
   std::vector<Translation *> Chain;
+  /// Back-edges: one entry per filled chain slot pointing at this
+  /// translation (duplicates allowed when a predecessor has several slots
+  /// targeting us). Maintained by TransTab; makes unchaining O(degree).
+  std::vector<Translation *> ChainedFrom;
 };
 
 /// The fixed-size, linear-probe translation table.
@@ -42,8 +63,15 @@ public:
 
   Translation *lookup(uint32_t Addr);
 
+  /// Stats-free lookup (internal plumbing and eager chain resolution; does
+  /// not perturb the Lookups/Hits counters the benches report).
+  Translation *find(uint32_t Addr) const;
+
   /// Takes ownership; may trigger a FIFO eviction run first. Returns the
-  /// stored translation.
+  /// stored translation. Re-inserting an address replaces (and properly
+  /// unchains) the previous translation. Outgoing chain slots are linked
+  /// eagerly against resident translations, and any waiters parked on this
+  /// address are linked to the new translation.
   Translation *insert(std::unique_ptr<Translation> T);
 
   /// Discards translations whose extents intersect [Addr, Addr+Len).
@@ -52,8 +80,19 @@ public:
 
   void invalidateAll();
 
-  /// Unlinks every chain pointer referring to \p T (called on eviction).
-  void unchainAllTo(const Translation *T);
+  /// Fills one chain slot (dispatcher's lazy fallback path). Records the
+  /// back-edge and removes any pending waiter for the slot. No-op if the
+  /// slot is out of range or already chained to \p To.
+  void chainTo(Translation *From, uint32_t Slot, Translation *To);
+
+  /// The dispatcher's fast cache resolved a block without consulting the
+  /// table; fold the hit into the same statistics view so reported hit
+  /// rates are honest.
+  void countFastHit() {
+    ++S.Lookups;
+    ++S.Hits;
+    ++S.FastHits;
+  }
 
   size_t size() const { return Count; }
   size_t capacity() const { return Slots.size(); }
@@ -61,11 +100,14 @@ public:
   // Statistics for bench/sec39_dispatch.
   struct Stats {
     uint64_t Inserts = 0;
-    uint64_t Lookups = 0;
-    uint64_t Hits = 0;
+    uint64_t Lookups = 0;  ///< includes fast-cache hits (see countFastHit)
+    uint64_t Hits = 0;     ///< includes fast-cache hits
+    uint64_t FastHits = 0; ///< the fast-cache share of Hits
     uint64_t EvictionRuns = 0;
     uint64_t Evicted = 0;
     uint64_t Invalidated = 0;
+    uint64_t ChainsFilled = 0; ///< chain slots linked (eager + lazy)
+    uint64_t Unchains = 0;     ///< chain slots nulled by eviction
   };
   const Stats &stats() const { return S; }
 
@@ -80,14 +122,34 @@ private:
     std::unique_ptr<Translation> T;
   };
 
+  /// No usable slot: the probe wrapped a table with no empty and no tomb.
+  /// (The seed returned slot 0 here, letting insert() silently destroy an
+  /// unrelated address's translation.)
+  static constexpr size_t NoSlot = SIZE_MAX;
+
   size_t probeFor(uint32_t Addr) const;
   void evictChunk();
   void eraseSlot(size_t Idx);
+  /// Rebuilds the table in place after an eviction run, turning tombs back
+  /// into empties (tombs otherwise accumulate forever and drive every
+  /// missed probe to a full-table scan). Translation pointers are stable.
+  void rehash();
+  /// Links \p T's outgoing slots against resident successors (or parks
+  /// waiters) and resolves waiters parked on T->Addr.
+  void linkChains(Translation *T);
+  /// Severs every chain edge touching \p T: predecessors' slots are nulled
+  /// and re-parked as waiters on T->Addr; successors drop their back-edges;
+  /// T's own unfilled waiters are cancelled. O(degree of T).
+  void unlinkChains(Translation *T);
+  void removeWaiter(uint32_t Target, const Translation *From, uint32_t Slot);
 
   std::vector<Slot> Slots;
   size_t Count = 0;
   uint64_t NextSeq = 0;
   uint64_t Gen = 0;
+  /// target guest address -> (translation, slot) pairs waiting for a
+  /// translation of that address to appear.
+  std::map<uint32_t, std::vector<std::pair<Translation *, uint32_t>>> Pending;
   Stats S;
 };
 

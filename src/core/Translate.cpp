@@ -35,18 +35,27 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
                                    const TranslationOptions &Opts,
                                    TranslationArtifacts *Art) {
   const ir::SpecFn Spec = Opts.Spec ? Opts.Spec : vg1SpecFn();
+  Profiler *Prof = Opts.Prof;
 
   // Phase 1: disassembly.
-  DisasmResult Dis = disassembleSB(Addr, Fetch, Opts.Frontend);
+  DisasmResult Dis;
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::Disasm);
+    Dis = disassembleSB(Addr, Fetch, Opts.Frontend);
+  }
   if (Opts.Verify)
     verifyIR(*Dis.SB, /*RequireFlat=*/false, "disassembly");
   if (Art)
     Art->TreeIR = ir::toString(*Dis.SB, ir::vg1OffsetName);
 
   // Phase 2: flatten + optimisation 1.
-  std::unique_ptr<ir::IRSB> SB = ir::flatten(*Dis.SB);
-  if (Opts.RunOptimise1)
-    ir::optimise1(*SB, Spec, Opts.Preserve);
+  std::unique_ptr<ir::IRSB> SB;
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::Optimise1);
+    SB = ir::flatten(*Dis.SB);
+    if (Opts.RunOptimise1)
+      ir::optimise1(*SB, Spec, Opts.Preserve);
+  }
   if (Opts.Verify)
     verifyIR(*SB, /*RequireFlat=*/true, "optimisation 1");
   if (Art)
@@ -54,7 +63,10 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
 
   // Phase 3: instrumentation (the tool plug-in).
   if (Opts.Instrument) {
-    Opts.Instrument(*SB);
+    {
+      Profiler::Timer Tm(Prof, ProfPhase::Instrument);
+      Opts.Instrument(*SB);
+    }
     if (Opts.Verify)
       verifyIR(*SB, /*RequireFlat=*/true, "instrumentation");
     if (Art) {
@@ -65,8 +77,10 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   }
 
   // Phase 4: optimisation 2.
-  if (Opts.RunOptimise2)
+  if (Opts.RunOptimise2) {
+    Profiler::Timer Tm(Prof, ProfPhase::Optimise2);
     ir::optimise2(*SB, Spec, Opts.Preserve);
+  }
   if (Opts.Verify)
     verifyIR(*SB, /*RequireFlat=*/true, "optimisation 2");
   if (Art) {
@@ -75,19 +89,30 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   }
 
   // Phase 5: tree building.
-  ir::buildTrees(*SB);
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::TreeBuild);
+    ir::buildTrees(*SB);
+  }
   if (Opts.Verify)
     verifyIR(*SB, /*RequireFlat=*/false, "tree building");
   if (Art)
     Art->RebuiltTreeIR = ir::toString(*SB, ir::vg1OffsetName);
 
   // Phase 6: instruction selection.
-  hvm::HostCode Host = hvm::selectInstructions(*SB);
+  hvm::HostCode Host;
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::ISel);
+    Host = hvm::selectInstructions(*SB);
+  }
   if (Art)
     Art->HostPreAlloc = renderHost(Host);
 
   // Phase 7: register allocation.
-  unsigned Coalesced = hvm::allocateRegisters(Host);
+  unsigned Coalesced;
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::RegAlloc);
+    Coalesced = hvm::allocateRegisters(Host);
+  }
   if (Art) {
     Art->HostPostAlloc = renderHost(Host);
     Art->CoalescedMoves = Coalesced;
@@ -97,9 +122,13 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
 
   // Phase 8: assembly.
   TranslatedBlock TB;
-  TB.Blob.Bytes = hvm::encode(Host);
+  {
+    Profiler::Timer Tm(Prof, ProfPhase::Encode);
+    TB.Blob.Bytes = hvm::encode(Host);
+  }
   TB.Blob.NumSpillSlots = Host.NumSpillSlots;
   TB.Blob.NumChainSlots = Host.NumChainSlots;
+  TB.Blob.ChainTargets = std::move(Host.ChainTargets);
   TB.Meta = std::move(Dis);
   TB.Meta.SB.reset(); // the IR is dead once code is emitted
   return TB;

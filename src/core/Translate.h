@@ -22,6 +22,7 @@
 
 #include "frontend/Vg1Frontend.h"
 #include "hvm/Exec.h"
+#include "support/Profile.h"
 
 #include <string>
 
@@ -41,6 +42,8 @@ struct TranslationOptions {
   /// Guest-state Puts in this range survive redundancy elimination (the
   /// SP offset when a tool wants stack events, R7).
   ir::PreservedPuts Preserve;
+  /// When set (--profile), each phase's wall time is recorded here.
+  Profiler *Prof = nullptr;
 };
 
 /// Optional capture of the intermediate representations of each phase.

@@ -16,6 +16,7 @@
 #define VG_HVM_EXEC_H
 
 #include "hvm/ExecContext.h"
+#include "hvm/HostVM.h"
 #include "ir/IR.h"
 
 #include <cstdint>
@@ -29,6 +30,11 @@ struct CodeBlob {
   std::vector<uint8_t> Bytes;
   uint32_t NumSpillSlots = 0;
   uint32_t NumChainSlots = 0;
+  /// Per chain slot: the constant guest target PC of the exit, or
+  /// NoChainTarget for exits chaining can never follow. Lets the
+  /// translation table link chain slots eagerly at insertion time instead
+  /// of waiting for the dispatcher to observe the edge.
+  std::vector<uint32_t> ChainTargets;
   /// Opaque cookie identifying the owning translation (used by chaining).
   void *Cookie = nullptr;
 };

@@ -93,11 +93,17 @@ struct HInstr {
 /// Renders one host instruction (Figure 3 demo and debugging).
 std::string toString(const HInstr &I);
 
+/// Chain-slot target sentinel: the exit is not chainable (non-Boring kind).
+constexpr uint32_t NoChainTarget = ~0u;
+
 /// A fully lowered block: allocated instructions plus frame metadata.
 struct HostCode {
   std::vector<HInstr> Instrs;
   uint32_t NumSpillSlots = 0;
   uint32_t NumChainSlots = 0;
+  /// Per chain slot: constant guest target PC (NoChainTarget when the exit
+  /// kind can never be chained). Parallel to the slot numbering.
+  std::vector<uint32_t> ChainTargets;
 };
 
 /// Phase 8: encodes an instruction list into code-cache bytes. JZ labels

@@ -220,6 +220,9 @@ private:
       X.Imm = S->DstPC;
       X.JKind = static_cast<uint8_t>(S->JK);
       X.ChainSlot = NextChainSlot++;
+      Code.ChainTargets.push_back(S->JK == ir::JumpKind::Boring
+                                      ? S->DstPC
+                                      : NoChainTarget);
       Code.Instrs[JZIdx].Label = static_cast<int32_t>(Code.Instrs.size());
       return;
     }
@@ -233,6 +236,9 @@ private:
       X.Imm = Next->ConstVal;
       X.JKind = static_cast<uint8_t>(SB.endJumpKind());
       X.ChainSlot = NextChainSlot++;
+      Code.ChainTargets.push_back(SB.endJumpKind() == ir::JumpKind::Boring
+                                      ? static_cast<uint32_t>(Next->ConstVal)
+                                      : NoChainTarget);
       return;
     }
     RegId R = sel(Next);

@@ -1,0 +1,131 @@
+//===-- support/Profile.cpp - Dispatcher/translation profiling ------------==//
+
+#include "support/Profile.h"
+
+#include "support/Output.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+using namespace vg;
+
+namespace {
+
+double now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+} // namespace
+
+const char *vg::profPhaseName(ProfPhase P) {
+  switch (P) {
+  case ProfPhase::Disasm:
+    return "1 disassembly";
+  case ProfPhase::Optimise1:
+    return "2 optimisation 1";
+  case ProfPhase::Instrument:
+    return "3 instrumentation";
+  case ProfPhase::Optimise2:
+    return "4 optimisation 2";
+  case ProfPhase::TreeBuild:
+    return "5 tree building";
+  case ProfPhase::ISel:
+    return "6 isel";
+  case ProfPhase::RegAlloc:
+    return "7 regalloc";
+  case ProfPhase::Encode:
+    return "8 assembly";
+  case ProfPhase::NumPhases:
+    break;
+  }
+  return "?";
+}
+
+Profiler::Timer::Timer(Profiler *P, ProfPhase Ph)
+    : P(P), Ph(Ph), T0(P ? now() : 0) {}
+
+Profiler::Timer::~Timer() {
+  if (P)
+    P->notePhaseSeconds(Ph, now() - T0);
+}
+
+void Profiler::notePhaseSeconds(ProfPhase Ph, double Seconds) {
+  unsigned I = static_cast<unsigned>(Ph);
+  PhaseSeconds[I] += Seconds;
+  ++PhaseCounts[I];
+}
+
+void Profiler::noteTranslation(uint32_t Addr, uint32_t NumInsns,
+                               unsigned Tier, double Seconds) {
+  BlockInfo &B = Blocks[Addr];
+  B.NumInsns = NumInsns;
+  ++B.Translations;
+  B.Tier = std::max(B.Tier, Tier);
+  B.TranslateSeconds += Seconds;
+}
+
+void Profiler::report(OutputSink &Out, const ProfCounters &C,
+                      unsigned TopN) const {
+  Out.printf("== profile: translation phases ==\n");
+  Out.printf("%-18s %10s %12s %12s\n", "phase", "runs", "total(us)",
+             "mean(us)");
+  double Total = 0;
+  for (unsigned I = 0; I != NPhases; ++I) {
+    Total += PhaseSeconds[I];
+    Out.printf("%-18s %10llu %12.1f %12.3f\n",
+               profPhaseName(static_cast<ProfPhase>(I)),
+               static_cast<unsigned long long>(PhaseCounts[I]),
+               PhaseSeconds[I] * 1e6,
+               PhaseCounts[I] ? PhaseSeconds[I] * 1e6 / PhaseCounts[I] : 0.0);
+  }
+  Out.printf("%-18s %10s %12.1f\n", "total", "", Total * 1e6);
+
+  Out.printf("\n== profile: dispatcher ==\n");
+  Out.printf("blocks=%llu dispatcher-entries=%llu chained=%llu\n",
+             static_cast<unsigned long long>(C.BlocksDispatched),
+             static_cast<unsigned long long>(C.DispatcherEntries),
+             static_cast<unsigned long long>(C.ChainedTransfers));
+  uint64_t FC = C.FastCacheHits + C.FastCacheMisses;
+  Out.printf("fast-cache hits=%llu misses=%llu (%.2f%%)\n",
+             static_cast<unsigned long long>(C.FastCacheHits),
+             static_cast<unsigned long long>(C.FastCacheMisses),
+             FC ? 100.0 * static_cast<double>(C.FastCacheHits) /
+                      static_cast<double>(FC)
+                : 0.0);
+  Out.printf("table lookups=%llu hits=%llu chains-filled=%llu "
+             "unchains=%llu\n",
+             static_cast<unsigned long long>(C.TableLookups),
+             static_cast<unsigned long long>(C.TableHits),
+             static_cast<unsigned long long>(C.ChainsFilled),
+             static_cast<unsigned long long>(C.Unchains));
+  Out.printf("translations=%llu hot-promotions=%llu eviction-runs=%llu "
+             "evicted=%llu invalidated=%llu\n",
+             static_cast<unsigned long long>(C.Translations),
+             static_cast<unsigned long long>(C.HotPromotions),
+             static_cast<unsigned long long>(C.EvictionRuns),
+             static_cast<unsigned long long>(C.Evicted),
+             static_cast<unsigned long long>(C.Invalidated));
+
+  Out.printf("\n== profile: hot blocks (top %u by executions) ==\n", TopN);
+  Out.printf("%4s %-10s %12s %6s %5s %6s %12s\n", "rank", "addr", "execs",
+             "insns", "tier", "xlate", "xlate(us)");
+  std::vector<std::pair<uint32_t, const BlockInfo *>> Ranked;
+  Ranked.reserve(Blocks.size());
+  for (const auto &[Addr, B] : Blocks)
+    Ranked.push_back({Addr, &B});
+  std::sort(Ranked.begin(), Ranked.end(),
+            [](const auto &A, const auto &B) {
+              return A.second->Execs > B.second->Execs;
+            });
+  unsigned N = std::min<unsigned>(TopN, static_cast<unsigned>(Ranked.size()));
+  for (unsigned I = 0; I != N; ++I) {
+    const BlockInfo &B = *Ranked[I].second;
+    Out.printf("%4u 0x%08X %12llu %6u %5u %6u %12.1f\n", I + 1,
+               Ranked[I].first, static_cast<unsigned long long>(B.Execs),
+               B.NumInsns, B.Tier, B.Translations, B.TranslateSeconds * 1e6);
+  }
+  Out.printf("(%zu blocks profiled)\n", Blocks.size());
+}

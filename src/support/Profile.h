@@ -1,0 +1,105 @@
+//===-- support/Profile.h - Dispatcher/translation profiling ---*- C++ -*-==//
+///
+/// \file
+/// The --profile observability layer: records per-phase translation time
+/// (Section 3.7's eight phases), per-translation execution counts, and the
+/// dispatcher/translation-table counters, then renders a ranked hot-block
+/// report at fini(). Everything here is off the hot path unless profiling
+/// was requested; the core only consults a null-checked pointer otherwise.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SUPPORT_PROFILE_H
+#define VG_SUPPORT_PROFILE_H
+
+#include <cstdint>
+#include <map>
+
+namespace vg {
+
+class OutputSink;
+
+/// The translation-pipeline phases timed under --profile (Section 3.7).
+enum class ProfPhase : unsigned {
+  Disasm,     ///< Phase 1: machine code -> tree IR
+  Optimise1,  ///< Phase 2: flatten + optimisation 1
+  Instrument, ///< Phase 3: the tool plug-in
+  Optimise2,  ///< Phase 4: optimisation 2
+  TreeBuild,  ///< Phase 5: tree reconstruction
+  ISel,       ///< Phase 6: instruction selection
+  RegAlloc,   ///< Phase 7: linear-scan allocation
+  Encode,     ///< Phase 8: assembly into code-cache bytes
+  NumPhases
+};
+
+const char *profPhaseName(ProfPhase P);
+
+/// Counters snapshotted by the core at report time (kept as a plain struct
+/// so support/ does not depend on core/ headers).
+struct ProfCounters {
+  uint64_t BlocksDispatched = 0;
+  uint64_t DispatcherEntries = 0; ///< blocks minus chained transfers
+  uint64_t FastCacheHits = 0;
+  uint64_t FastCacheMisses = 0;
+  uint64_t ChainedTransfers = 0;
+  uint64_t Translations = 0;
+  uint64_t HotPromotions = 0;
+  uint64_t TableLookups = 0;
+  uint64_t TableHits = 0;
+  uint64_t ChainsFilled = 0;
+  uint64_t Unchains = 0;
+  uint64_t EvictionRuns = 0;
+  uint64_t Evicted = 0;
+  uint64_t Invalidated = 0;
+};
+
+/// Accumulates profile data for one run.
+class Profiler {
+public:
+  /// RAII phase timer; a null profiler makes it a no-op, so call sites can
+  /// be written unconditionally.
+  class Timer {
+  public:
+    Timer(Profiler *P, ProfPhase Ph);
+    ~Timer();
+    Timer(const Timer &) = delete;
+    Timer &operator=(const Timer &) = delete;
+
+  private:
+    Profiler *P;
+    ProfPhase Ph;
+    double T0;
+  };
+
+  /// One block entry (dispatcher entry or chained transfer) at \p Addr.
+  void noteExec(uint32_t Addr) { ++Blocks[Addr].Execs; }
+
+  /// A translation of \p Addr finished (Tier 1 = hot superblock).
+  void noteTranslation(uint32_t Addr, uint32_t NumInsns, unsigned Tier,
+                       double Seconds);
+
+  /// Renders the report: per-phase translation timings, dispatcher and
+  /// table counters, and the TopN blocks ranked by execution count.
+  void report(OutputSink &Out, const ProfCounters &C,
+              unsigned TopN = 10) const;
+
+private:
+  void notePhaseSeconds(ProfPhase Ph, double Seconds);
+
+  struct BlockInfo {
+    uint64_t Execs = 0;
+    uint32_t NumInsns = 0;
+    uint32_t Translations = 0; ///< times (re)translated
+    unsigned Tier = 0;         ///< highest tier reached
+    double TranslateSeconds = 0;
+  };
+
+  static constexpr unsigned NPhases =
+      static_cast<unsigned>(ProfPhase::NumPhases);
+  double PhaseSeconds[NPhases] = {};
+  uint64_t PhaseCounts[NPhases] = {};
+  std::map<uint32_t, BlockInfo> Blocks; ///< survives eviction, keyed by PC
+};
+
+} // namespace vg
+
+#endif // VG_SUPPORT_PROFILE_H
