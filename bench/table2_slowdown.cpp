@@ -26,6 +26,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 
 using namespace vg;
@@ -134,6 +135,30 @@ int main() {
                 "ICntI 8.8x, ICntC 13.5x, Memcheck 22.1x;\n the expected "
                 "*shape* — Nulgrind < ICntI < ICntC << Memcheck — is the "
                 "reproduction target.)\n");
+  }
+
+  // Machine-readable copy of the table for regression tracking.
+  {
+    static const char *ToolNames[5] = {"nulgrind", "icnt_inline",
+                                       "icnt_ccall", "memcheck",
+                                       "nulgrind_hot"};
+    std::ofstream F("BENCH_table2.json");
+    F << "{\n  \"bench\": \"table2_slowdown\",\n  \"scale\": " << Scale
+      << ",\n  \"unit\": \"slowdown_factor_vs_native\",\n  \"rows\": [\n";
+    for (size_t I = 0; I != Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      F << "    {\"program\": \"" << R.Name
+        << "\", \"native_sec\": " << R.NativeSec;
+      for (int T = 0; T != 5; ++T)
+        F << ", \"" << ToolNames[T] << "\": " << R.Factor[T];
+      F << "}" << (I + 1 != Rows.size() ? "," : "") << "\n";
+    }
+    F << "  ],\n  \"geo_mean\": {";
+    for (int T = 0; T != 5; ++T)
+      F << (T ? ", " : "") << "\"" << ToolNames[T] << "\": "
+        << (GeoN ? std::exp(GeoSum[T] / GeoN) : -1.0);
+    F << "}\n}\n";
+    std::printf("(wrote BENCH_table2.json)\n");
   }
   return 0;
 }

@@ -16,4 +16,11 @@ echo "== smoke: sec39_dispatch =="
 echo "== smoke: table2_slowdown =="
 ./build/bench/table2_slowdown
 
+echo "== smoke: sec54_shadowmem (quick) =="
+# Quick mode: every layout x pattern cell runs and BENCH_shadowmem.json is
+# written, but the micro cells use fewer ops and the vortex macro
+# comparison is skipped.
+VG_SEC54_QUICK=1 ./build/bench/sec54_shadowmem \
+    --benchmark_min_time=0.05
+
 echo "verify: OK"

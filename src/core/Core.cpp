@@ -3,6 +3,7 @@
 #include "core/Core.h"
 
 #include "core/ClientRequests.h"
+#include "shadow/ShadowMemory.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
@@ -415,6 +416,20 @@ void Core::dumpProfile() {
   C.EvictionRuns = TS.EvictionRuns;
   C.Evicted = TS.Evicted;
   C.Invalidated = TS.Invalidated;
+  if (ShadowMap *SM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr) {
+    const ShadowStats &SS = SM->stats();
+    C.HasShadow = true;
+    C.ShadowFastLoads = SS.FastLoads;
+    C.ShadowSlowLoads = SS.SlowLoads;
+    C.ShadowFastStores = SS.FastStores;
+    C.ShadowSlowStores = SS.SlowStores;
+    C.ShadowSecCacheHits = SS.SecCacheHits;
+    C.ShadowSecCacheMisses = SS.SecCacheMisses;
+    C.ShadowChunksMaterialised = SS.Materialised;
+    C.ShadowChunksReclaimed = SS.Reclaimed;
+    C.ShadowChunksLive = SS.LiveChunks;
+    C.ShadowChunksHighWater = SS.HighWater;
+  }
   Prof->report(Out, C);
 }
 
@@ -481,6 +496,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
   Ctx.Mem = &Memory;
   Ctx.Core = this;
   Ctx.Tool = ToolPlugin;
+  Ctx.ShadowSM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr;
   hvm::Executor Exec(Ctx, gso::PC);
   if (ChainingEnabled)
     Exec.setChaining(&chainResolveThunk, this);

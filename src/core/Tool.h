@@ -21,6 +21,7 @@
 namespace vg {
 
 class Core;
+class ShadowMap;
 
 /// Base class for tool plug-ins.
 class Tool {
@@ -42,6 +43,11 @@ public:
 
   /// Called at client exit, before the core prints its summary.
   virtual void fini(int ExitCode) {}
+
+  /// The tool's shadow memory map, when it keeps one. The executor services
+  /// SHPROBE instructions (the JIT-inlined shadow fast path) against it
+  /// directly; returning null makes every probe punt to the helper call.
+  virtual ShadowMap *shadowMap() { return nullptr; }
 
   /// Tool client requests (codes >= 0x10000 are tool space). Returns true
   /// if the request was recognised.

@@ -12,6 +12,7 @@
 
 #include "guest/GuestMemory.h"
 #include "hvm/HostVM.h"
+#include "shadow/ShadowMemory.h"
 
 #include <cstring>
 
@@ -111,9 +112,10 @@ RunOutcome Executor::run(const CodeBlob &Blob, uint64_t ChainBudget) {
 
   // Label table indexed by HOp. Must match the enum order in HostVM.h.
   static const void *const Table[] = {
-      &&L_LI,    &&L_MOV,  &&L_ALU,   &&L_ALU1,  &&L_ALUI,  &&L_LDG,
-      &&L_STG,   &&L_LDM,  &&L_STM,   &&L_SEL,   &&L_CALL,  &&L_JZ,
-      &&L_EXITI, &&L_EXITR, &&L_IMARK, &&L_SPILL, &&L_RELOAD, &&L_ALUIS};
+      &&L_LI,    &&L_MOV,   &&L_ALU,   &&L_ALU1,  &&L_ALUI,   &&L_LDG,
+      &&L_STG,   &&L_LDM,   &&L_STM,   &&L_SEL,   &&L_CALL,   &&L_JZ,
+      &&L_EXITI, &&L_EXITR, &&L_IMARK, &&L_SPILL, &&L_RELOAD, &&L_ALUIS,
+      &&L_SHPROBE};
 
 #define DISPATCH() goto *Table[Code[Ip]]
 
@@ -361,6 +363,24 @@ L_RELOAD:
   R[Code[Ip + 1]] = Frame[rdU32(Code + Ip + 2)];
   Ip += 6;
   DISPATCH();
+
+L_SHPROBE: {
+  // Inline shadow-memory probe: runs in-line with no register save/restore
+  // or caller-saved poisoning — the defining cost difference from a CALL
+  // (Section 5.4, inline vs C-call analysis code).
+  uint32_t Addr = static_cast<uint32_t>(R[Code[Ip + 2]]);
+  ShadowMap *SM = Ctx.ShadowSM;
+  uint64_t Res;
+  if (Code[Ip + 4] & 1) {
+    uint32_t VWord = static_cast<uint32_t>(R[Code[Ip + 3]]);
+    Res = SM ? SM->probeStoreW32(Addr, VWord) : 1;
+  } else {
+    Res = SM ? SM->probeLoadW32(Addr) : ShadowMap::ProbeSlow;
+  }
+  R[Code[Ip + 1]] = Res;
+  Ip += 6;
+  DISPATCH();
+}
 
 #undef DISPATCH
 }

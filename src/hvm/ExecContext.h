@@ -15,6 +15,7 @@
 namespace vg {
 
 class GuestMemory;
+class ShadowMap;
 
 /// Per-run execution environment visible to IR helpers.
 struct ExecContext {
@@ -28,6 +29,10 @@ struct ExecContext {
   void *Core = nullptr;
   /// The running tool (tool helpers downcast this).
   void *Tool = nullptr;
+  /// The tool's shadow map, when it has one (Tool::shadowMap()). Services
+  /// SHPROBE instructions — the JIT-inlined Memcheck fast path — without a
+  /// helper call. Null makes every probe report "take the slow path".
+  ShadowMap *ShadowSM = nullptr;
 };
 
 } // namespace vg

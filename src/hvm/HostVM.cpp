@@ -45,6 +45,8 @@ unsigned encodedSize(const HInstr &I) {
     return 6;
   case HOp::ALUIS:
     return 6;
+  case HOp::SHPROBE:
+    return 6;
   }
   return 0;
 }
@@ -186,6 +188,13 @@ std::vector<uint8_t> hvm::encode(const HostCode &CodeIn) {
       B.push_back(r8(I.A));
       B.push_back(static_cast<uint8_t>(I.Imm));
       break;
+    case HOp::SHPROBE:
+      B.push_back(r8(I.Dst));
+      B.push_back(r8(I.A));
+      B.push_back(I.B == NoReg ? 0xFF : r8(I.B));
+      B.push_back(static_cast<uint8_t>(I.Imm)); // bit 0: store form
+      B.push_back(I.Size);
+      break;
     }
   }
   return B;
@@ -273,6 +282,14 @@ std::string hvm::toString(const HInstr &I) {
     break;
   case HOp::RELOAD:
     std::snprintf(Buf, sizeof(Buf), "reload %s, frame[%u]", RN(I.Dst), I.Off);
+    break;
+  case HOp::SHPROBE:
+    if (I.Imm & 1)
+      std::snprintf(Buf, sizeof(Buf), "shprobe.st%u %s, [%s], %s", I.Size,
+                    RN(I.Dst), RN(I.A), RN(I.B));
+    else
+      std::snprintf(Buf, sizeof(Buf), "shprobe.ld%u %s, [%s]", I.Size,
+                    RN(I.Dst), RN(I.A));
     break;
   }
   return Buf;

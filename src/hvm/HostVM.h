@@ -71,6 +71,9 @@ enum class HOp : uint8_t {
   SPILL,  ///< spill_frame[Off] = A
   RELOAD, ///< Dst = spill_frame[Off]
   ALUIS,  ///< Dst = IrOp(A, Imm) with Imm in [0,255] (compact encoding)
+  SHPROBE, ///< Dst = shadow probe at [A] (B = V-word for the store form);
+           ///< the tool's ShadowMap services it inline — no helper call,
+           ///< no caller-saved clobber. Imm bit 0: 1 = store, 0 = load.
 };
 
 /// One host instruction (pre- or post-register-allocation).

@@ -211,6 +211,17 @@ private:
             static_cast<int32_t>(Code.Instrs.size());
       return;
     }
+    case StmtKind::ShadowProbe: {
+      RegId A = sel(S->Addr);
+      RegId V = S->Data ? sel(S->Data) : NoReg;
+      HInstr &I = emit(HOp::SHPROBE);
+      I.Dst = vregOfTmp(S->Tmp);
+      I.A = A;
+      I.B = V;
+      I.Imm = S->Data ? 1 : 0;
+      I.Size = S->AccSize;
+      return;
+    }
     case StmtKind::Exit: {
       RegId G = sel(S->Guard);
       HInstr &JZ = emit(HOp::JZ);

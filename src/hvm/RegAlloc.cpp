@@ -96,6 +96,11 @@ UseDef operands(HInstr &I) {
   case HOp::RELOAD:
     U.add(I.Dst, true);
     break;
+  case HOp::SHPROBE:
+    U.add(I.A, false);
+    U.add(I.B, false); // NoReg for the load form; add() skips it
+    U.add(I.Dst, true);
+    break;
   case HOp::EXITI:
   case HOp::IMARK:
     break;

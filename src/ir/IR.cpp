@@ -523,6 +523,18 @@ void IRSB::dirty(const Callee *C, std::vector<Expr *> Args, TmpId Dst,
   Statements.push_back(S);
 }
 
+void IRSB::shadowProbe(Expr *Addr, Expr *Data, TmpId Dst, uint8_t Size) {
+  assert(Addr->T == Ty::I32 && "probe address must be I32 (guest pointers)");
+  assert(typeOfTmp(Dst) == Ty::I64 && "probe destination must be I64");
+  Stmt *S = allocStmt();
+  S->Kind = StmtKind::ShadowProbe;
+  S->Addr = Addr;
+  S->Data = Data;
+  S->Tmp = Dst;
+  S->AccSize = Size;
+  Statements.push_back(S);
+}
+
 void IRSB::exit(Expr *Guard, uint32_t DstPC, JumpKind K) {
   assert(Guard->T == Ty::I1 && "exit guard must be I1");
   Stmt *S = allocStmt();
@@ -686,6 +698,24 @@ struct Checker {
         return false;
       if (S->Guard->T != Ty::I1)
         return fail("Exit guard must be I1");
+      return true;
+    case StmtKind::ShadowProbe:
+      if (!checkExpr(S->Addr, RequireFlat))
+        return false;
+      if (S->Addr->T != Ty::I32)
+        return fail("ShadowProbe address must be I32");
+      if (S->Data) {
+        if (!checkExpr(S->Data, RequireFlat))
+          return false;
+        if (S->Data->T != Ty::I32)
+          return fail("ShadowProbe store data must be I32");
+      }
+      if (S->Tmp >= SB.numTmps())
+        return fail("ShadowProbe destination out of range");
+      if (SB.typeOfTmp(S->Tmp) != Ty::I64)
+        return fail("ShadowProbe destination must be I64");
+      if (S->AccSize != 4)
+        return fail("ShadowProbe only supports 4-byte accesses");
       return true;
     }
     return fail("corrupt statement kind");

@@ -260,7 +260,22 @@ enum class JumpKind : uint8_t {
 
 const char *jumpKindName(JumpKind K);
 
-enum class StmtKind : uint8_t { NoOp, IMark, Put, WrTmp, Store, Dirty, Exit };
+enum class StmtKind : uint8_t {
+  NoOp,
+  IMark,
+  Put,
+  WrTmp,
+  Store,
+  Dirty,
+  Exit,
+  /// Non-faulting shadow-memory probe (the JIT-inlined Memcheck fast
+  /// path). Load form (Data == null): Tmp:I64 receives the V-word
+  /// zero-extended on success, or a value with bit 32 set when the access
+  /// must take the helper slow path. Store form (Data != null): attempts
+  /// to store the V-word Data; Tmp:I64 receives 0 on success, 1 to punt.
+  /// Touches only tool shadow state — never guest registers or memory.
+  ShadowProbe,
+};
 
 /// Effect annotation on a Dirty call: a guest-state region the helper reads
 /// (RdFX) or writes (WrFX), so tools see through the call (Section 3.6's
@@ -290,6 +305,8 @@ struct Stmt {
   // Exit
   uint32_t DstPC = 0;
   JumpKind JK = JumpKind::Boring;
+  // ShadowProbe
+  uint8_t AccSize = 0; ///< access size in bytes (currently always 4)
 };
 
 //===----------------------------------------------------------------------===//
@@ -347,6 +364,9 @@ public:
   void dirty(const Callee *C, std::vector<Expr *> Args, TmpId Dst = NoTmp,
              Expr *Guard = nullptr, std::vector<GuestFx> Fx = {});
   void exit(Expr *Guard, uint32_t DstPC, JumpKind K = JumpKind::Boring);
+  /// Shadow probe (see StmtKind::ShadowProbe). \p Data is null for the
+  /// load form; \p Dst must be an I64 temporary.
+  void shadowProbe(Expr *Addr, Expr *Data, TmpId Dst, uint8_t Size);
 
   /// Appends an externally built statement (used by instrumenters that
   /// rebuild statement lists).

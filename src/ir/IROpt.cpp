@@ -104,6 +104,12 @@ private:
     case StmtKind::Exit:
       Out.exit(atomize(S->Guard), S->DstPC, S->JK);
       return;
+    case StmtKind::ShadowProbe: {
+      Expr *A = atomize(S->Addr);
+      Expr *D = S->Data ? atomize(S->Data) : nullptr;
+      Out.shadowProbe(A, D, mapTmp(S->Tmp), S->AccSize);
+      return;
+    }
     }
   }
 
@@ -419,6 +425,11 @@ private:
       if (S->Guard->isConst(0))
         return false; // never taken
       return true;
+    case StmtKind::ShadowProbe:
+      S->Addr = subst(S->Addr);
+      if (S->Data)
+        S->Data = subst(S->Data);
+      return true;
     }
     return true;
   }
@@ -723,6 +734,10 @@ private:
     case StmtKind::Exit:
       markExpr(S->Guard);
       break;
+    case StmtKind::ShadowProbe:
+      markExpr(S->Addr);
+      markExpr(S->Data);
+      break;
     default:
       break;
     }
@@ -824,6 +839,13 @@ public:
         flushConflicting(false, false, {}, false, /*OnExit=*/true);
         NewStmts.push_back(S);
         continue;
+      case StmtKind::ShadowProbe:
+        // Touches only shadow state, so held guest loads/gets may cross it.
+        S->Addr = substitute(S->Addr);
+        if (S->Data)
+          S->Data = substitute(S->Data);
+        NewStmts.push_back(S);
+        continue;
       }
     }
 
@@ -896,6 +918,10 @@ private:
         break;
       case StmtKind::Exit:
         countExpr(S->Guard);
+        break;
+      case StmtKind::ShadowProbe:
+        countExpr(S->Addr);
+        countExpr(S->Data);
         break;
       default:
         break;

@@ -111,6 +111,14 @@ std::string ir::toString(const Stmt *S, const OffsetNamer &Namer) {
                   toString(S->Guard).c_str(), jumpKindName(S->JK), S->DstPC);
     return Buf;
   }
+  case StmtKind::ShadowProbe: {
+    std::string Out = "t" + std::to_string(S->Tmp) + " = ShadowProbe";
+    Out += S->Data ? "St" : "Ld";
+    Out += std::to_string(8u * S->AccSize) + "(" + toString(S->Addr);
+    if (S->Data)
+      Out += "," + toString(S->Data);
+    return Out + ")";
+  }
   }
   return "<bad-stmt>";
 }

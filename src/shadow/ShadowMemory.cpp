@@ -2,6 +2,8 @@
 
 #include "shadow/ShadowMemory.h"
 
+#include <algorithm>
+
 using namespace vg;
 
 ShadowMap::Secondary ShadowMap::DsmNoAccess;
@@ -18,26 +20,45 @@ ShadowMap::ShadowMap() : OwnedIdx(NumChunks, -1) {
   }
 }
 
-const ShadowMap::Secondary *ShadowMap::readable(uint32_t ChunkIdx) const {
+ShadowMap::Secondary *ShadowMap::materialise(uint32_t ChunkIdx) {
   int32_t Idx = OwnedIdx[ChunkIdx];
-  if (Idx == -1)
-    return &DsmNoAccess;
-  if (Idx == -2)
-    return &DsmDefined;
-  return Owned[static_cast<uint32_t>(Idx)].get();
-}
-
-ShadowMap::Secondary *ShadowMap::writable(uint32_t ChunkIdx) {
-  int32_t Idx = OwnedIdx[ChunkIdx];
-  if (Idx >= 0)
-    return Owned[static_cast<uint32_t>(Idx)].get();
-  // Materialise a copy of the distinguished secondary (copy-on-write).
+  // Materialise a copy of the distinguished secondary (copy-on-write),
+  // reusing a reclaimed Owned slot when one is free.
   auto S = std::make_unique<Secondary>(Idx == -1 ? DsmNoAccess : DsmDefined);
   Secondary *Raw = S.get();
-  OwnedIdx[ChunkIdx] = static_cast<int32_t>(Owned.size());
-  Owned.push_back(std::move(S));
-  ++Materialised;
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+    Owned[Slot] = std::move(S);
+  } else {
+    Slot = static_cast<uint32_t>(Owned.size());
+    Owned.push_back(std::move(S));
+  }
+  OwnedIdx[ChunkIdx] = static_cast<int32_t>(Slot);
+  ++St.Materialised;
+  ++St.LiveChunks;
+  St.HighWater = std::max(St.HighWater, St.LiveChunks);
+  // Update (don't just drop) the cache: the caller is about to write here.
+  CacheChunk = ChunkIdx;
+  CacheSec = Raw;
+  CacheOwned = Raw;
   return Raw;
+}
+
+void ShadowMap::setWholeChunk(uint32_t ChunkIdx, int32_t NewDsm) {
+  int32_t Idx = OwnedIdx[ChunkIdx];
+  if (Idx >= 0) {
+    // Release the owned secondary back to the distinguished one; the slot
+    // goes on the free list for the next materialise.
+    Owned[static_cast<uint32_t>(Idx)].reset();
+    FreeSlots.push_back(static_cast<uint32_t>(Idx));
+    ++St.Reclaimed;
+    --St.LiveChunks;
+  }
+  OwnedIdx[ChunkIdx] = NewDsm;
+  if (ChunkIdx == CacheChunk)
+    invalidateCache();
 }
 
 namespace {
@@ -54,49 +75,140 @@ void forChunks(uint32_t Addr, uint32_t Len, Fn F) {
     Len -= N;
   }
 }
+
+/// Mask with bits [Lo, Hi) set, 0 <= Lo < Hi <= 8.
+inline uint8_t bitMask(uint32_t Lo, uint32_t Hi) {
+  return static_cast<uint8_t>(((1u << (Hi - Lo)) - 1u) << Lo);
+}
+
+/// Sets or clears A-bits [Off, Off+N) in \p A: memset over the whole
+/// bytes, masked read-modify-write on the (at most two) edge bytes.
+void setARange(uint8_t *A, uint32_t Off, uint32_t N, bool Set) {
+  if (!N)
+    return;
+  uint32_t End = Off + N;
+  auto Apply = [&](uint32_t Byte, uint8_t M) {
+    if (Set)
+      A[Byte] |= M;
+    else
+      A[Byte] &= static_cast<uint8_t>(~M);
+  };
+  uint32_t FullStart = (Off + 7) & ~7u;
+  uint32_t FullEnd = End & ~7u;
+  if (FullStart >= FullEnd) {
+    // No whole byte: one or two partial bytes.
+    if ((Off >> 3) == ((End - 1) >> 3)) {
+      Apply(Off >> 3, bitMask(Off & 7, ((End - 1) & 7) + 1));
+    } else {
+      Apply(Off >> 3, bitMask(Off & 7, 8));
+      Apply((End - 1) >> 3, bitMask(0, End & 7));
+    }
+    return;
+  }
+  if (Off & 7)
+    Apply(Off >> 3, bitMask(Off & 7, 8));
+  std::memset(A + (FullStart >> 3), Set ? 0xFF : 0x00,
+              (FullEnd - FullStart) >> 3);
+  if (End & 7)
+    Apply(End >> 3, bitMask(0, End & 7));
+}
+
+/// Copies N bits from SrcA (starting at bit SrcOff) to DstA (bit DstOff).
+/// When the bit phases match this is whole-byte copies with masked edges;
+/// otherwise it falls back to a per-bit loop.
+void copyABits(uint8_t *DstA, uint32_t DstOff, const uint8_t *SrcA,
+               uint32_t SrcOff, uint32_t N) {
+  if (!N)
+    return;
+  if (((DstOff ^ SrcOff) & 7) != 0) {
+    for (uint32_t J = 0; J != N; ++J) {
+      uint32_t S = SrcOff + J, D = DstOff + J;
+      if (SrcA[S >> 3] & (1u << (S & 7)))
+        DstA[D >> 3] |= static_cast<uint8_t>(1u << (D & 7));
+      else
+        DstA[D >> 3] &= static_cast<uint8_t>(~(1u << (D & 7)));
+    }
+    return;
+  }
+  uint32_t D = DstOff, S = SrcOff, Rem = N;
+  auto CopyPart = [&](uint32_t Count) { // within a single byte
+    uint8_t M = bitMask(D & 7, (D & 7) + Count);
+    DstA[D >> 3] =
+        static_cast<uint8_t>((DstA[D >> 3] & ~M) | (SrcA[S >> 3] & M));
+    D += Count;
+    S += Count;
+    Rem -= Count;
+  };
+  if (D & 7)
+    CopyPart(std::min(Rem, 8 - (D & 7)));
+  if (Rem >= 8) {
+    std::memcpy(DstA + (D >> 3), SrcA + (S >> 3), Rem >> 3);
+    D += Rem & ~7u;
+    S += Rem & ~7u;
+    Rem &= 7;
+  }
+  if (Rem)
+    CopyPart(Rem);
+}
 } // namespace
 
 void ShadowMap::makeNoAccess(uint32_t Addr, uint32_t Len) {
   forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
-    if (Off == 0 && N == ChunkSize && OwnedIdx[C] < 0) {
-      OwnedIdx[C] = -1; // whole chunk: swap in the distinguished secondary
+    if (Off == 0 && N == ChunkSize) {
+      setWholeChunk(C, -1); // reclaims any owned secondary
       return;
     }
     Secondary *S = writable(C);
     std::memset(S->V.data() + Off, 0xFF, N);
-    for (uint32_t I = Off; I != Off + N; ++I)
-      S->A[I >> 3] &= static_cast<uint8_t>(~(1u << (I & 7)));
+    setARange(S->A.data(), Off, N, false);
   });
 }
 
 void ShadowMap::makeDefined(uint32_t Addr, uint32_t Len) {
   forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
-    if (Off == 0 && N == ChunkSize && OwnedIdx[C] < 0) {
-      OwnedIdx[C] = -2;
+    if (Off == 0 && N == ChunkSize) {
+      setWholeChunk(C, -2);
       return;
     }
     Secondary *S = writable(C);
     std::memset(S->V.data() + Off, 0x00, N);
-    for (uint32_t I = Off; I != Off + N; ++I)
-      S->A[I >> 3] |= static_cast<uint8_t>(1u << (I & 7));
+    setARange(S->A.data(), Off, N, true);
   });
 }
 
 void ShadowMap::makeUndefined(uint32_t Addr, uint32_t Len) {
+  // No distinguished secondary for addressable-but-undefined: always owned.
   forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
     Secondary *S = writable(C);
     std::memset(S->V.data() + Off, 0xFF, N);
-    for (uint32_t I = Off; I != Off + N; ++I)
-      S->A[I >> 3] |= static_cast<uint8_t>(1u << (I & 7));
+    setARange(S->A.data(), Off, N, true);
   });
 }
 
 void ShadowMap::copyRange(uint32_t Src, uint32_t Dst, uint32_t Len) {
-  // Byte loop; ranges in this system are modest (mremap/realloc).
-  for (uint32_t I = 0; I != Len; ++I) {
-    uint32_t S = Src + I, D = Dst + I;
-    setByte(D, abit(S), vbyte(S));
-  }
+  if (!Len || Src == Dst)
+    return;
+  // Stage through temporaries: makes overlap behave like memmove and keeps
+  // the scatter at one writable() (i.e. at most one CoW) per chunk instead
+  // of per byte. A-bits are staged at Src's bit phase so the gather side is
+  // always whole-byte copies.
+  std::vector<uint8_t> VStage(Len);
+  uint32_t Phase = Src & 7;
+  std::vector<uint8_t> AStage((Phase + Len + 7) / 8, 0);
+  uint32_t I = 0;
+  forChunks(Src, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
+    const Secondary *S = readable(C);
+    std::memcpy(VStage.data() + I, S->V.data() + Off, N);
+    copyABits(AStage.data(), Phase + I, S->A.data(), Off, N);
+    I += N;
+  });
+  I = 0;
+  forChunks(Dst, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
+    Secondary *S = writable(C);
+    std::memcpy(S->V.data() + Off, VStage.data() + I, N);
+    copyABits(S->A.data(), Off, AStage.data(), Phase + I, N);
+    I += N;
+  });
 }
 
 uint8_t ShadowMap::vbyte(uint32_t Addr) const {
@@ -120,8 +232,8 @@ void ShadowMap::setByte(uint32_t Addr, bool Addressable, uint8_t V) {
     S->A[Off >> 3] &= static_cast<uint8_t>(~(1u << (Off & 7)));
 }
 
-uint64_t ShadowMap::loadV(uint32_t Addr, uint32_t Size,
-                          AddrCheck &Check) const {
+uint64_t ShadowMap::loadVSlow(uint32_t Addr, uint32_t Size,
+                              AddrCheck &Check) const {
   uint64_t V = 0;
   for (uint32_t I = 0; I != Size; ++I) {
     uint32_t A = Addr + I;
@@ -140,8 +252,8 @@ uint64_t ShadowMap::loadV(uint32_t Addr, uint32_t Size,
   return V;
 }
 
-void ShadowMap::storeV(uint32_t Addr, uint32_t Size, uint64_t Vbits,
-                       AddrCheck &Check) {
+void ShadowMap::storeVSlow(uint32_t Addr, uint32_t Size, uint64_t Vbits,
+                           AddrCheck &Check) {
   for (uint32_t I = 0; I != Size; ++I) {
     uint32_t A = Addr + I;
     if (!abit(A)) {

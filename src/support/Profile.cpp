@@ -109,6 +109,37 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
              static_cast<unsigned long long>(C.Evicted),
              static_cast<unsigned long long>(C.Invalidated));
 
+  if (C.HasShadow) {
+    Out.printf("\n== profile: shadow memory ==\n");
+    uint64_t Loads = C.ShadowFastLoads + C.ShadowSlowLoads;
+    uint64_t Stores = C.ShadowFastStores + C.ShadowSlowStores;
+    Out.printf("probe loads fast=%llu slow=%llu (%.2f%% fast)\n",
+               static_cast<unsigned long long>(C.ShadowFastLoads),
+               static_cast<unsigned long long>(C.ShadowSlowLoads),
+               Loads ? 100.0 * static_cast<double>(C.ShadowFastLoads) /
+                           static_cast<double>(Loads)
+                     : 0.0);
+    Out.printf("probe stores fast=%llu slow=%llu (%.2f%% fast)\n",
+               static_cast<unsigned long long>(C.ShadowFastStores),
+               static_cast<unsigned long long>(C.ShadowSlowStores),
+               Stores ? 100.0 * static_cast<double>(C.ShadowFastStores) /
+                            static_cast<double>(Stores)
+                      : 0.0);
+    uint64_t SC = C.ShadowSecCacheHits + C.ShadowSecCacheMisses;
+    Out.printf("secondary cache hits=%llu misses=%llu (%.2f%%)\n",
+               static_cast<unsigned long long>(C.ShadowSecCacheHits),
+               static_cast<unsigned long long>(C.ShadowSecCacheMisses),
+               SC ? 100.0 * static_cast<double>(C.ShadowSecCacheHits) /
+                        static_cast<double>(SC)
+                  : 0.0);
+    Out.printf("chunks materialised=%llu reclaimed=%llu live=%llu "
+               "high-water=%llu\n",
+               static_cast<unsigned long long>(C.ShadowChunksMaterialised),
+               static_cast<unsigned long long>(C.ShadowChunksReclaimed),
+               static_cast<unsigned long long>(C.ShadowChunksLive),
+               static_cast<unsigned long long>(C.ShadowChunksHighWater));
+  }
+
   Out.printf("\n== profile: hot blocks (top %u by executions) ==\n", TopN);
   Out.printf("%4s %-10s %12s %6s %5s %6s %12s\n", "rank", "addr", "execs",
              "insns", "tier", "xlate", "xlate(us)");

@@ -50,6 +50,18 @@ struct ProfCounters {
   uint64_t EvictionRuns = 0;
   uint64_t Evicted = 0;
   uint64_t Invalidated = 0;
+  // Shadow-memory fast-path counters (only when the tool has a ShadowMap).
+  bool HasShadow = false;
+  uint64_t ShadowFastLoads = 0;
+  uint64_t ShadowSlowLoads = 0;
+  uint64_t ShadowFastStores = 0;
+  uint64_t ShadowSlowStores = 0;
+  uint64_t ShadowSecCacheHits = 0;
+  uint64_t ShadowSecCacheMisses = 0;
+  uint64_t ShadowChunksMaterialised = 0;
+  uint64_t ShadowChunksReclaimed = 0;
+  uint64_t ShadowChunksLive = 0;
+  uint64_t ShadowChunksHighWater = 0;
 };
 
 /// Accumulates profile data for one run.

@@ -399,6 +399,28 @@ private:
         break;
       case ExprKind::Load: {
         emitAddrCheck(D->Arg[0], sizeOfTy(D->T));
+        if (D->T == Ty::I32) {
+          // JIT-inlined fast path (Section 5.4): a non-faulting probe
+          // resolves aligned, fully-addressable, fully-defined words
+          // without leaving generated code. The probe result has bit 32
+          // set when it punted; only then does the guarded mc_LOADV call
+          // run (errors, partial definedness, unaligned, chunk edges).
+          TmpId TP = SB.newTmp(Ty::I64);
+          SB.shadowProbe(D->Arg[0], nullptr, TP, 4);
+          Expr *Hi = atom(SB.unop(Op::T64HIto32, SB.rdTmp(TP)));
+          Expr *G = atom(SB.unop(Op::CmpNEZ32, Hi));
+          // TSlow is defined only by the guarded call; the SEL discards
+          // its (unwritten) value whenever the fast path was taken.
+          TmpId TSlow = SB.newTmp(Ty::I64);
+          SB.dirty(&LoadVCallee,
+                   {D->Arg[0], SB.constI64(4), SB.constI64(CurPC)}, TSlow,
+                   G);
+          // Select in I64 and truncate once (one op fewer than truncating
+          // both arms).
+          Expr *Sel = atom(SB.ite(G, SB.rdTmp(TSlow), SB.rdTmp(TP)));
+          VShadow = atom(SB.unop(Op::T64to32, Sel));
+          break;
+        }
         TmpId TV = SB.newTmp(shTy(D->T));
         SB.dirty(&LoadVCallee,
                  {D->Arg[0], SB.constI64(sizeOfTy(D->T)),
@@ -436,6 +458,20 @@ private:
     case StmtKind::Store: {
       uint32_t Size = sizeOfTy(S->Data->T);
       emitAddrCheck(S->Addr, Size);
+      if (S->Data->T == Ty::I32) {
+        // Store-form probe: writes the V-word inline when the chunk is
+        // fully addressable and writable without CoW (or the store is a
+        // no-op on the Defined DSM); returns nonzero to punt.
+        Expr *VD = vAtom(S->Data);
+        TmpId TP = SB.newTmp(Ty::I64);
+        SB.shadowProbe(S->Addr, VD, TP, 4);
+        Expr *G = atom(SB.unop(Op::CmpNEZ64, SB.rdTmp(TP)));
+        SB.dirty(&StoreVCallee,
+                 {S->Addr, VD, SB.constI64(4), SB.constI64(CurPC)}, NoTmp,
+                 G);
+        SB.append(S);
+        return;
+      }
       SB.dirty(&StoreVCallee,
                {S->Addr, vAtom(S->Data), SB.constI64(Size),
                 SB.constI64(CurPC)});

@@ -72,6 +72,7 @@ public:
   void onFree(int Tid, uint32_t Addr, uint32_t Size) override;
   void onBadFree(int Tid, uint32_t Addr) override;
 
+  ShadowMap *shadowMap() override { return &SM; }
   ShadowMap &shadow() { return SM; }
   uint64_t uniqueErrors() const;
 

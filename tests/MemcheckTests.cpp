@@ -493,6 +493,73 @@ TEST(Memcheck, ClientRequestsManipulateShadowState) {
 }
 
 //===----------------------------------------------------------------------===//
+// JIT-inlined shadow fast path
+//===----------------------------------------------------------------------===//
+
+TEST(Memcheck, InlineFastPathServicesAlignedWordTraffic) {
+  // A loop of aligned, defined 4-byte loads and stores: the SHPROBE fast
+  // path should absorb almost all of the shadow traffic, with identical
+  // results (no errors, correct data flow).
+  Memcheck T;
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &Data,
+                                   GuestLibLabels &) {
+    Label Buf = Data.boundLabel();
+    Data.emitZeros(64); // defined data
+    Code.movi(Reg::R6, Data.labelAddr(Buf));
+    Code.movi(Reg::R7, 0); // i
+    Code.movi(Reg::R8, 0); // sum
+    Label Loop = Code.boundLabel();
+    Code.ld(Reg::R1, Reg::R6, 0);       // aligned defined load
+    Code.add(Reg::R8, Reg::R8, Reg::R1);
+    Code.addi(Reg::R1, Reg::R1, 1);
+    Code.st(Reg::R6, 0, Reg::R1);       // aligned defined store
+    Code.addi(Reg::R7, Reg::R7, 1);
+    Code.cmpi(Reg::R7, 100);
+    Code.blt(Loop);
+    // sum = 0+1+...+99 = 4950; exit 0 if correct.
+    Code.cmpi(Reg::R8, 4950);
+    Label Ok = Code.newLabel();
+    Code.beq(Ok);
+    Code.movi(Reg::R0, 1);
+    Code.ret();
+    Code.bind(Ok);
+    Code.movi(Reg::R0, 0);
+    Code.ret();
+  });
+  RunReport R = runUnderCore(Img, &T, {});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 0) << R.ToolOutput;
+  EXPECT_NE(R.ToolOutput.find("ERROR SUMMARY: 0 errors"), std::string::npos)
+      << R.ToolOutput;
+  const ShadowStats &St = T.shadow().stats();
+  EXPECT_GE(St.FastLoads, 100u) << "probe loads did not take the fast path";
+  EXPECT_GE(St.FastStores, 100u) << "probe stores did not take the fast path";
+}
+
+TEST(Memcheck, FastPathDoesNotSwallowUndefinedLoads) {
+  // The probe must punt on partially/fully undefined words so the helper
+  // still returns exact V-bits and the eventual use still errors.
+  Memcheck T;
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &,
+                                   GuestLibLabels &) {
+    Code.addi(Reg::SP, Reg::SP, -16);
+    Code.ld(Reg::R1, Reg::SP, 0); // aligned but undefined: probe punts
+    Code.cmpi(Reg::R1, 0);
+    Label L = Code.newLabel();
+    Code.beq(L); // ERROR: branch on uninit
+    Code.bind(L);
+    Code.addi(Reg::SP, Reg::SP, 16);
+    Code.movi(Reg::R0, 0);
+    Code.ret();
+  });
+  RunReport R = runUnderCore(Img, &T, {});
+  EXPECT_TRUE(R.Completed);
+  EXPECT_NE(R.ToolOutput.find("Conditional jump or move"), std::string::npos)
+      << R.ToolOutput;
+  EXPECT_GE(T.shadow().stats().SlowLoads, 1u);
+}
+
+//===----------------------------------------------------------------------===//
 // Error management
 //===----------------------------------------------------------------------===//
 
