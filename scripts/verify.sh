@@ -16,6 +16,11 @@ echo "== smoke: sec39_dispatch =="
 echo "== smoke: table2_slowdown =="
 ./build/bench/table2_slowdown
 
+echo "== smoke: sec314_sched (quick soak) =="
+# 5 seeds instead of 50; still checks clean exits, zero Memcheck errors,
+# and byte-identical trace replay per seed.
+VG_SOAK_QUICK=1 ./build/bench/sec314_sched
+
 echo "== smoke: sec54_shadowmem (quick) =="
 # Quick mode: every layout x pattern cell runs and BENCH_shadowmem.json is
 # written, but the micro cells use fewer ops and the vortex macro

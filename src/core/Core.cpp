@@ -4,11 +4,14 @@
 
 #include "core/ClientRequests.h"
 #include "shadow/ShadowMemory.h"
+#include "support/Errors.h"
 #include "support/Hashing.h"
 
 #include <algorithm>
 #include <chrono>
 #include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace vg;
 using namespace vg::vg1;
@@ -42,6 +45,16 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("suppressions", "",
                  "inline suppression spec (Kind or Kind:0xLO-0xHI; ';' "
                  "separates entries)");
+  Opts.addOption("fault-inject", "",
+                 "deterministic fault plan: kind[:rate],...,seed=N — kinds "
+                 "are syscall, shortio, mempressure, wakeup, sigstorm, "
+                 "preempt, ttflush, or 'all'");
+  Opts.addOption("trace-events", "no",
+                 "record Table-1 events, syscalls, signals, and thread "
+                 "switches in a ring buffer: no|yes|<capacity>");
+  Opts.addOption("trace-dump", "no",
+                 "dump the event trace at exit (a fatal signal always "
+                 "dumps it)");
   if (ToolPlugin)
     ToolPlugin->registerOptions(Opts);
   Kernel = std::make_unique<SimKernel>(AS, &Events, this);
@@ -71,6 +84,25 @@ void Core::applyOptions() {
     std::replace(Text.begin(), Text.end(), ';', '\n');
     Errors.parseSuppressions(Text);
   }
+  if (std::string FI = Opts.getString("fault-inject"); !FI.empty()) {
+    auto Plan = std::make_unique<FaultPlan>();
+    std::string Err;
+    if (!Plan->parse(FI, Err))
+      fatalError(("--fault-inject: " + Err).c_str());
+    Faults = std::move(Plan);
+    Kernel->setFaultPlan(Faults.get());
+  }
+  if (std::string TE = Opts.getString("trace-events");
+      !TE.empty() && TE != "no") {
+    size_t Cap = 4096;
+    if (TE != "yes")
+      Cap = static_cast<size_t>(std::strtoull(TE.c_str(), nullptr, 0));
+    if (Cap == 0)
+      Cap = 4096;
+    Tracer = std::make_unique<EventTracer>(Cap);
+    Tracer->setClock(&Stats.BlocksDispatched);
+  }
+  TraceDumpAtExit = Opts.getBool("trace-dump");
 }
 
 int Core::liveThreads() const {
@@ -107,6 +139,10 @@ void Core::loadImage(const GuestImage &Img) {
         ToolBrk(Addr, Len);
     };
   }
+
+  // --trace-events sees everything from here on, including the start-up
+  // mappings below.
+  installTracerHooks();
 
   // The sigreturn trampoline lives in the core's own region: a handler
   // returning normally lands here, which re-enters the core via the
@@ -193,6 +229,132 @@ void Core::loadImage(const GuestImage &Img) {
     if (uint32_t Addr = Img.symbol(Sym))
       HostRedirects[Addr] = Fn;
   }
+}
+
+void Core::installTracerHooks() {
+  if (!Tracer)
+    return;
+  // Layer the tracer over every EventHub callback, keeping whatever the
+  // tool (or the core itself) registered. Note this makes
+  // wantsStackEvents() true even for tools that ignore stacks — traced
+  // runs deliberately instrument SP changes so the trace is complete.
+  EventTracer *Tr = Tracer.get();
+
+  auto P1 = Events.PreRegRead;
+  Events.PreRegRead = [Tr, P1](int Tid, uint32_t Off, uint32_t Size,
+                               const char *Name) {
+    Tr->record(Tid, TraceEvent::PreRegRead, Off, Size);
+    if (P1)
+      P1(Tid, Off, Size, Name);
+  };
+  auto P2 = Events.PostRegWrite;
+  Events.PostRegWrite = [Tr, P2](int Tid, uint32_t Off, uint32_t Size) {
+    Tr->record(Tid, TraceEvent::PostRegWrite, Off, Size);
+    if (P2)
+      P2(Tid, Off, Size);
+  };
+  auto P3 = Events.PreMemRead;
+  Events.PreMemRead = [Tr, P3](int Tid, uint32_t Addr, uint32_t Len,
+                               const char *Name) {
+    Tr->record(Tid, TraceEvent::PreMemRead, Addr, Len);
+    if (P3)
+      P3(Tid, Addr, Len, Name);
+  };
+  auto P4 = Events.PreMemReadAsciiz;
+  Events.PreMemReadAsciiz = [Tr, P4](int Tid, uint32_t Addr,
+                                     const char *Name) {
+    Tr->record(Tid, TraceEvent::PreMemReadAsciiz, Addr);
+    if (P4)
+      P4(Tid, Addr, Name);
+  };
+  auto P5 = Events.PreMemWrite;
+  Events.PreMemWrite = [Tr, P5](int Tid, uint32_t Addr, uint32_t Len,
+                                const char *Name) {
+    Tr->record(Tid, TraceEvent::PreMemWrite, Addr, Len);
+    if (P5)
+      P5(Tid, Addr, Len, Name);
+  };
+  auto P6 = Events.PostMemWrite;
+  Events.PostMemWrite = [Tr, P6](int Tid, uint32_t Addr, uint32_t Len) {
+    Tr->record(Tid, TraceEvent::PostMemWrite, Addr, Len);
+    if (P6)
+      P6(Tid, Addr, Len);
+  };
+  auto P7 = Events.NewMemStartup;
+  Events.NewMemStartup = [Tr, P7](uint32_t Addr, uint32_t Len,
+                                  uint8_t Perms) {
+    Tr->record(0, TraceEvent::NewMemStartup, Addr, Len, Perms);
+    if (P7)
+      P7(Addr, Len, Perms);
+  };
+  auto P8 = Events.NewMemMmap;
+  Events.NewMemMmap = [Tr, P8](uint32_t Addr, uint32_t Len, uint8_t Perms) {
+    Tr->record(0, TraceEvent::NewMemMmap, Addr, Len, Perms);
+    if (P8)
+      P8(Addr, Len, Perms);
+  };
+  auto P9 = Events.DieMemMunmap;
+  Events.DieMemMunmap = [Tr, P9](uint32_t Addr, uint32_t Len) {
+    Tr->record(0, TraceEvent::DieMemMunmap, Addr, Len);
+    if (P9)
+      P9(Addr, Len);
+  };
+  auto P10 = Events.NewMemBrk;
+  Events.NewMemBrk = [Tr, P10](uint32_t Addr, uint32_t Len) {
+    Tr->record(0, TraceEvent::NewMemBrk, Addr, Len);
+    if (P10)
+      P10(Addr, Len);
+  };
+  auto P11 = Events.DieMemBrk;
+  Events.DieMemBrk = [Tr, P11](uint32_t Addr, uint32_t Len) {
+    Tr->record(0, TraceEvent::DieMemBrk, Addr, Len);
+    if (P11)
+      P11(Addr, Len);
+  };
+  auto P12 = Events.CopyMemMremap;
+  Events.CopyMemMremap = [Tr, P12](uint32_t Src, uint32_t Dst,
+                                   uint32_t Len) {
+    Tr->record(0, TraceEvent::CopyMemMremap, Src, Dst, Len);
+    if (P12)
+      P12(Src, Dst, Len);
+  };
+  auto P13 = Events.NewMemStack;
+  Events.NewMemStack = [Tr, P13](uint32_t Addr, uint32_t Len) {
+    Tr->record(0, TraceEvent::NewMemStack, Addr, Len);
+    if (P13)
+      P13(Addr, Len);
+  };
+  auto P14 = Events.DieMemStack;
+  Events.DieMemStack = [Tr, P14](uint32_t Addr, uint32_t Len) {
+    Tr->record(0, TraceEvent::DieMemStack, Addr, Len);
+    if (P14)
+      P14(Addr, Len);
+  };
+  auto P15 = Events.PostFileRead;
+  Events.PostFileRead = [Tr, P15](int Tid, uint32_t Fd, uint32_t Addr,
+                                  uint32_t Len, const char *Source) {
+    Tr->record(Tid, TraceEvent::PostFileRead, Fd, Addr, Len);
+    if (P15)
+      P15(Tid, Fd, Addr, Len, Source);
+  };
+  auto P16 = Events.PreSyscall;
+  Events.PreSyscall = [Tr, P16](int Tid, uint32_t Num) {
+    Tr->record(Tid, TraceEvent::SyscallEnter, Num);
+    if (P16)
+      P16(Tid, Num);
+  };
+  auto P17 = Events.PostSyscall;
+  Events.PostSyscall = [Tr, P17](int Tid, uint32_t Num, uint32_t Result) {
+    Tr->record(Tid, TraceEvent::SyscallExit, Num, Result);
+    if (P17)
+      P17(Tid, Num, Result);
+  };
+  auto P18 = Events.FaultInjected;
+  Events.FaultInjected = [Tr, P18](int Tid, uint32_t Kind, uint32_t Arg) {
+    Tr->record(Tid, TraceEvent::FaultInjected, Kind, Arg);
+    if (P18)
+      P18(Tid, Kind, Arg);
+  };
 }
 
 //===----------------------------------------------------------------------===//
@@ -430,6 +592,27 @@ void Core::dumpProfile() {
     C.ShadowChunksLive = SS.LiveChunks;
     C.ShadowChunksHighWater = SS.HighWater;
   }
+  C.ThreadSwitches = Stats.ThreadSwitches;
+  C.SignalsDelivered = Stats.SignalsDelivered;
+  C.SignalsDropped = Stats.SignalsDropped;
+  if (Faults) {
+    C.HasFaults = true;
+    C.FaultRolls = Faults->rolls();
+    for (unsigned I = 0; I != NumFaultKinds; ++I) {
+      C.FaultsInjected[I] = Faults->injected(static_cast<FaultKind>(I));
+      C.FaultNames[I] = faultKindName(static_cast<FaultKind>(I));
+    }
+  }
+  if (Tracer) {
+    C.HasTrace = true;
+    C.TraceRecorded = Tracer->recorded();
+    C.TraceDropped = Tracer->dropped();
+    C.TraceSyscalls = Tracer->count(TraceEvent::SyscallEnter);
+    C.TraceSignals = Tracer->count(TraceEvent::SigQueue) +
+                     Tracer->count(TraceEvent::SigDeliver) +
+                     Tracer->count(TraceEvent::SigReturn) +
+                     Tracer->count(TraceEvent::SigDrop);
+  }
   Prof->report(Out, C);
 }
 
@@ -511,8 +694,15 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
 
   while (Quantum > 0 && !ProcessExited && !FatalSignal &&
          TS.Status == ThreadStatus::Runnable && !YieldRequested) {
-    if (deliverPendingSignals(TS))
+    if (Faults)
+      injectBoundaryFaults(TS);
+    if (deliverPendingSignals(TS)) {
+      // A delivery consumes one slice of the quantum on top of the
+      // handler's own blocks (counted by Exec.run like any others), so a
+      // signal storm cannot starve the other threads.
+      Quantum -= std::min<uint64_t>(Quantum, 1);
       continue; // PC changed; redispatch
+    }
 
     uint32_t PC = TS.getPC();
     if (PC == StopPC)
@@ -572,7 +762,13 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       }
     }
 
-    hvm::RunOutcome O = Exec.run(T->Blob, ChainingEnabled ? Quantum - 1 : 0);
+    // The chain budget is Quantum - 1 (this dispatch itself is one block);
+    // guard the subtraction — delivery charges above can leave the quantum
+    // at 0 exactly when a continue re-entered the loop through a path that
+    // does not re-test it.
+    uint64_t ChainBudget =
+        (ChainingEnabled && Quantum > 0) ? Quantum - 1 : 0;
+    hvm::RunOutcome O = Exec.run(T->Blob, ChainBudget);
     Stats.BlocksDispatched += O.BlocksExecuted;
     Quantum -= std::min<uint64_t>(Quantum, O.BlocksExecuted);
 
@@ -625,6 +821,32 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
   }
 }
 
+void Core::injectBoundaryFaults(ThreadState &TS) {
+  // Signal storm: queue one of the signals the client installed a handler
+  // for, as if another process had just kill()ed us at this block boundary.
+  if (Faults->roll(FaultKind::SigStorm)) {
+    int Installed[64];
+    int Count = 0;
+    for (int S = 1; S < 64; ++S)
+      if (SigHandlers[S])
+        Installed[Count++] = S;
+    if (Count) {
+      int Sig = Installed[Faults->pick(static_cast<uint32_t>(Count))];
+      if (Events.FaultInjected)
+        Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::SigStorm),
+                             static_cast<uint32_t>(Sig));
+      raiseSignal(TS.Tid, Sig);
+    }
+  }
+  // Translation-table flush pressure: everything retranslates from here.
+  if (Faults->roll(FaultKind::TTFlush)) {
+    if (Events.FaultInjected)
+      Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::TTFlush),
+                           0);
+    TT.invalidateRange(0, 0xFFFFFFFFu);
+  }
+}
+
 CoreExit Core::run(uint64_t MaxBlocks) {
   while (!ProcessExited && !FatalSignal && liveThreads() > 0 &&
          Stats.BlocksDispatched < MaxBlocks) {
@@ -640,18 +862,33 @@ CoreExit Core::run(uint64_t MaxBlocks) {
     }
     if (Next < 0)
       break;
-    if (Next != CurTid)
+    if (Next != CurTid) {
       ++Stats.ThreadSwitches;
+      if (Tracer)
+        Tracer->record(Next, TraceEvent::ThreadSwitch,
+                       static_cast<uint32_t>(CurTid),
+                       static_cast<uint32_t>(Next));
+    }
     CurTid = Next;
     YieldRequested = false;
     uint64_t Quantum =
         std::min<uint64_t>(ThreadQuantum, MaxBlocks - Stats.BlocksDispatched);
+    // Forced preemption: shrink this slice to a single block, shaking out
+    // scheduling assumptions the 100k-block quantum normally hides.
+    if (Faults && Quantum > 1 && Faults->roll(FaultKind::Preempt)) {
+      if (Events.FaultInjected)
+        Events.FaultInjected(CurTid, static_cast<uint32_t>(FaultKind::Preempt),
+                             1);
+      Quantum = 1;
+    }
     dispatchLoop(Threads[CurTid], Quantum, /*StopPC=*/0xFFFFFFFF);
   }
 
   if (ToolPlugin)
     ToolPlugin->fini(ProcessExitCode);
   dumpProfile();
+  if (Tracer && (TraceDumpAtExit || FatalSignal))
+    Tracer->dump(Out);
 
   CoreExit E;
   if (FatalSignal) {
@@ -683,6 +920,13 @@ uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
   TS.setGpr(RegSP, SP);
   for (size_t I = 0; I != Args.size() && I < 5; ++I)
     TS.setGpr(static_cast<unsigned>(1 + I), Args[I]);
+  // As in deliverSignal: the core set SP and the argument registers, so
+  // definedness tools must see them as written.
+  if (Events.PostRegWrite) {
+    Events.PostRegWrite(TS.Tid, gso::gpr(RegSP), 4);
+    for (size_t I = 0; I != Args.size() && I < 5; ++I)
+      Events.PostRegWrite(TS.Tid, gso::gpr(static_cast<unsigned>(1 + I)), 4);
+  }
   TS.setPCVal(Addr);
 
   uint64_t Quantum = ~0ull >> 1;
@@ -702,34 +946,55 @@ uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
 void Core::handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
                        bool Write, int Sig) {
   TS.setPCVal(FaultPC);
-  if (Sig >= 0 && Sig < 64 && SigHandlers[Sig]) {
+  // A handler whose signal is masked (it is itself running) does not get
+  // re-entered: a handler that faults the same way it was invoked for
+  // terminates instead of recursing forever.
+  if (Sig >= 0 && Sig < 64 && SigHandlers[Sig] && !TS.signalMasked(Sig)) {
     deliverSignal(TS, Sig);
     return;
   }
   Out.printf("vg: fatal signal %d at pc=0x%08X (%s address 0x%08X)\n", Sig,
              FaultPC, Write ? "writing" : "reading", FaultAddr);
+  if (Tracer)
+    Tracer->record(TS.Tid, TraceEvent::SigFatal, static_cast<uint32_t>(Sig));
   FatalSignal = Sig;
 }
 
 bool Core::deliverPendingSignals(ThreadState &TS) {
   if (TS.PendingSignals.empty())
     return false;
-  int Sig = TS.PendingSignals.front();
-  TS.PendingSignals.erase(TS.PendingSignals.begin());
-  if (SigHandlers[Sig] == 0) {
-    FatalSignal = Sig; // default action: terminate
+  // Deliver the first *unmasked* pending signal. A signal whose handler is
+  // already on the frame stack stays queued until that handler's sigreturn
+  // clears the mask bit — handlers are never re-entered.
+  for (size_t I = 0; I != TS.PendingSignals.size(); ++I) {
+    int Sig = TS.PendingSignals[I];
+    if (TS.signalMasked(Sig))
+      continue;
+    TS.PendingSignals.erase(TS.PendingSignals.begin() +
+                            static_cast<long>(I));
+    if (SigHandlers[Sig] == 0) {
+      if (Tracer)
+        Tracer->record(TS.Tid, TraceEvent::SigFatal,
+                       static_cast<uint32_t>(Sig));
+      FatalSignal = Sig; // default action: terminate
+      return true;
+    }
+    deliverSignal(TS, Sig);
     return true;
   }
-  deliverSignal(TS, Sig);
-  return true;
+  return false;
 }
 
 void Core::deliverSignal(ThreadState &TS, int Sig) {
   ++Stats.SignalsDelivered;
-  // Save the full guest context; sigreturn restores it. Delivery happens
+  // Save the full guest context; sigreturn restores it. gso::TotalSize
+  // spans the guest registers, the shadow registers, and the CC thunk, so
+  // a tool's shadow state survives the handler unchanged. Delivery happens
   // only between code blocks, so loads/stores are never separated from
   // their shadow counterparts (Section 3.15).
-  TS.SignalFrames.emplace_back(TS.Guest, TS.Guest + gso::TotalSize);
+  TS.SignalFrames.push_back(
+      {std::vector<uint8_t>(TS.Guest, TS.Guest + gso::TotalSize), Sig});
+  TS.SigMask |= 1ull << Sig;
   uint32_t SP = TS.gpr(RegSP) - 4;
   uint32_t Tramp = AddressSpace::CoreBase;
   Memory.write(SP, &Tramp, 4, /*IgnorePerms=*/true);
@@ -742,7 +1007,16 @@ void Core::deliverSignal(ThreadState &TS, int Sig) {
   TS.TrackedSP = SP;
   TS.setGpr(RegSP, SP);
   TS.setGpr(1, static_cast<uint32_t>(Sig));
+  // The core wrote SP and r1 behind the client's back; without these a
+  // definedness tool sees the handler read an undefined signal number.
+  if (Events.PostRegWrite) {
+    Events.PostRegWrite(TS.Tid, gso::gpr(RegSP), 4);
+    Events.PostRegWrite(TS.Tid, gso::gpr(1), 4);
+  }
   TS.setPCVal(SigHandlers[Sig]);
+  if (Tracer)
+    Tracer->record(TS.Tid, TraceEvent::SigDeliver, static_cast<uint32_t>(Sig),
+                   SigHandlers[Sig]);
 }
 
 void Core::setSignalHandler(int Sig, uint32_t Handler) {
@@ -755,20 +1029,57 @@ uint32_t Core::signalHandler(int Sig) const {
 }
 
 bool Core::raiseSignal(int Tid, int Sig) {
-  if (Tid < 0 || Tid >= MaxThreads ||
-      Threads[Tid].Status != ThreadStatus::Runnable || Sig <= 0 || Sig >= 64)
+  if (Sig <= 0 || Sig >= 64)
     return false;
-  Threads[Tid].PendingSignals.push_back(Sig);
+  if (Tid < 0 || Tid >= MaxThreads ||
+      Threads[Tid].Status != ThreadStatus::Runnable) {
+    // Exited/empty target: the signal has nowhere to go. Reject it rather
+    // than queueing into a dead slot a future thread would inherit.
+    ++Stats.SignalsDropped;
+    if (Tracer)
+      Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
+                     static_cast<uint32_t>(Tid), SigDropBadTarget);
+    return false;
+  }
+  ThreadState &TS = Threads[Tid];
+  // Coalesce duplicates, like non-queued POSIX signals: a signal already
+  // pending absorbs the new raise (which still succeeds).
+  for (int P : TS.PendingSignals) {
+    if (P == Sig) {
+      ++Stats.SignalsDropped;
+      if (Tracer)
+        Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
+                       static_cast<uint32_t>(Tid), SigDropCoalesced);
+      return true;
+    }
+  }
+  TS.PendingSignals.push_back(Sig);
+  if (Tracer)
+    Tracer->record(Tid, TraceEvent::SigQueue, static_cast<uint32_t>(Sig),
+                   static_cast<uint32_t>(Tid));
   return true;
 }
 
 void Core::sigreturn(int Tid) {
   ThreadState &TS = Threads[Tid];
-  if (TS.SignalFrames.empty())
-    return; // stray sigreturn: ignore
-  std::copy(TS.SignalFrames.back().begin(), TS.SignalFrames.back().end(),
-            TS.Guest);
+  if (TS.SignalFrames.empty()) {
+    // Stray sigreturn: the client re-entered the core's trampoline (or
+    // issued the raw syscall) with no delivery in flight. With signals
+    // still pending this is a real delivery bug, so report it instead of
+    // silently ignoring it.
+    char Msg[96];
+    std::snprintf(Msg, sizeof(Msg),
+                  "sigreturn with no signal frame (%u signal(s) pending)",
+                  static_cast<unsigned>(TS.PendingSignals.size()));
+    Errors.record("StraySigreturn", Msg, TS.getPC(), captureStackTrace(TS));
+    return;
+  }
+  ThreadState::SignalFrame &F = TS.SignalFrames.back();
+  TS.SigMask &= ~(1ull << F.Sig);
+  std::copy(F.Guest.begin(), F.Guest.end(), TS.Guest);
   TS.SignalFrames.pop_back();
+  if (Tracer)
+    Tracer->record(Tid, TraceEvent::SigReturn, TS.getPC());
 }
 
 //===----------------------------------------------------------------------===//
@@ -798,7 +1109,22 @@ int Core::spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) {
 void Core::exitThread(int Tid, int Code) {
   if (Tid < 0 || Tid >= MaxThreads)
     return;
-  Threads[Tid].Status = ThreadStatus::Exited;
+  ThreadState &TS = Threads[Tid];
+  // Signals queued at a dying thread die with it (they were addressed to
+  // this thread, and the slot may be reused by a future spawn).
+  if (!TS.PendingSignals.empty()) {
+    Stats.SignalsDropped += TS.PendingSignals.size();
+    if (Tracer)
+      for (int Sig : TS.PendingSignals)
+        Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
+                       static_cast<uint32_t>(Tid), SigDropThreadExit);
+  }
+  TS.PendingSignals.clear();
+  TS.SignalFrames.clear();
+  TS.SigMask = 0;
+  TS.Status = ThreadStatus::Exited;
+  if (Tracer)
+    Tracer->record(Tid, TraceEvent::ThreadExit, static_cast<uint32_t>(Code));
   if (liveThreads() == 0) {
     ProcessExited = true;
     ProcessExitCode = Code;

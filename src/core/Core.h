@@ -23,6 +23,8 @@
 #include "core/TransTab.h"
 #include "core/Translate.h"
 #include "kernel/SimKernel.h"
+#include "support/EventTrace.h"
+#include "support/FaultInject.h"
 #include "support/Options.h"
 #include "support/Output.h"
 
@@ -63,6 +65,7 @@ struct CoreStats {
   uint64_t GuestInsnsTranslated = 0;
   uint64_t ThreadSwitches = 0;
   uint64_t SignalsDelivered = 0;
+  uint64_t SignalsDropped = 0; ///< bad target / coalesced / thread exit
   uint64_t SmcRetranslations = 0;
   uint64_t ChainedTransfers = 0;
   uint64_t HostRedirectCalls = 0;
@@ -108,6 +111,9 @@ public:
   /// branch chasing (0 disables the hotness tier).
   void setHotThreshold(uint64_t N) { HotThreshold = N; }
   Profiler *profiler() { return Prof.get(); }
+  /// Non-null under --fault-inject / --trace-events.
+  FaultPlan *faultPlan() { return Faults.get(); }
+  EventTracer *tracer() { return Tracer.get(); }
 
   // --- start-up (Section 3.3) --------------------------------------------
   /// Loads the client image: maps text/data (firing new_mem_startup, R5),
@@ -201,6 +207,12 @@ private:
                    bool Write, int Sig);
   bool deliverPendingSignals(ThreadState &TS);
   void deliverSignal(ThreadState &TS, int Sig);
+  /// Wraps every EventHub callback so the --trace-events buffer sees the
+  /// event stream (tool callbacks still run). Called from loadImage.
+  void installTracerHooks();
+  /// Block-boundary fault injection (sigstorm / ttflush). Called at the
+  /// top of the dispatch loop.
+  void injectBoundaryFaults(ThreadState &TS);
   [[noreturn]] void internalError(const char *Msg);
 
   /// The core's own instrumentation layered around the tool's: SMC check
@@ -237,6 +249,9 @@ private:
   std::vector<FastCacheEntry> FastCache;
   uint64_t FastCacheGen = 0;
   std::unique_ptr<Profiler> Prof; // non-null under --profile
+  std::unique_ptr<FaultPlan> Faults;   // non-null under --fault-inject
+  std::unique_ptr<EventTracer> Tracer; // non-null under --trace-events
+  bool TraceDumpAtExit = false;        // --trace-dump (fatal always dumps)
 
   std::map<uint32_t, HostReplacementFn> HostRedirects;
   std::map<std::string, HostReplacementFn> PendingSymbolRedirects;

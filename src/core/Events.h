@@ -79,6 +79,16 @@ struct EventHub {
                      const char *Source)>
       PostFileRead;
 
+  /// A system call is about to be dispatched to its wrapper.
+  std::function<void(int Tid, uint32_t Num)> PreSyscall;
+  /// A system call's wrapper finished with \p Result in r0. Not fired for
+  /// control transfers that never return a result to the caller
+  /// (exit/exit_thread/sigreturn).
+  std::function<void(int Tid, uint32_t Num, uint32_t Result)> PostSyscall;
+  /// The --fault-inject plan fired: \p Kind is a FaultKind value, \p Arg a
+  /// site-specific detail (syscall number, shortened length, signal, ...).
+  std::function<void(int Tid, uint32_t Kind, uint32_t Arg)> FaultInjected;
+
   /// True when a tool wants stack events: the core only instruments SP
   /// changes in that case (they are frequent and therefore costly,
   /// Section 2 R7).

@@ -54,9 +54,26 @@ public:
   /// blocks (Section 3.15).
   std::vector<int> PendingSignals;
 
-  /// Saved guest areas for nested signal deliveries (restored by
+  /// One in-progress signal delivery: the saved guest+shadow area that
+  /// sigreturn restores, tagged with which signal it belongs to so
+  /// delivery can mask that signal for the handler's duration.
+  struct SignalFrame {
+    std::vector<uint8_t> Guest;
+    int Sig = 0;
+  };
+
+  /// Saved contexts for nested signal deliveries (restored LIFO by
   /// sigreturn).
-  std::vector<std::vector<uint8_t>> SignalFrames;
+  std::vector<SignalFrame> SignalFrames;
+
+  /// Bitmask of signals currently masked because their handler is on the
+  /// frame stack: a handler is never re-entered while it runs (per-signal
+  /// masking, as sigaction without SA_NODEFER).
+  uint64_t SigMask = 0;
+
+  bool signalMasked(int Sig) const {
+    return Sig >= 0 && Sig < 64 && (SigMask & (1ull << Sig));
+  }
 
   // --- typed accessors ---------------------------------------------------
   uint32_t gpr(unsigned I) const {

@@ -44,6 +44,11 @@ void SimKernel::postMemWrite(int Tid, uint32_t Addr, uint32_t Len) {
     Events->PostMemWrite(Tid, Addr, Len);
 }
 
+void SimKernel::faultInjected(int Tid, FaultKind K, uint32_t Arg) {
+  if (Events && Events->FaultInjected)
+    Events->FaultInjected(Tid, static_cast<uint32_t>(K), Arg);
+}
+
 std::string SimKernel::readGuestString(CpuView &Cpu, uint32_t Addr) {
   std::string S;
   for (uint32_t I = 0; I != 4096; ++I) {
@@ -60,13 +65,59 @@ std::string SimKernel::readGuestString(CpuView &Cpu, uint32_t Addr) {
 // Dispatch
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+/// Syscalls the --fault-inject plan may fail outright with SysErr. Control
+/// transfers (exit/exit_thread/sigreturn) and the scheduling calls (which
+/// have their own Wakeup fault kind) are excluded: a client cannot
+/// meaningfully retry them, and failing sigreturn would wedge the signal
+/// machinery rather than exercise it.
+bool isFallibleSyscall(uint32_t Num) {
+  switch (Num) {
+  case SysWrite:
+  case SysRead:
+  case SysOpen:
+  case SysClose:
+  case SysBrk:
+  case SysMmap:
+  case SysMunmap:
+  case SysMremap:
+  case SysMprotect:
+  case SysGettimeofday:
+  case SysSettimeofday:
+  case SysKill:
+  case SysSigaction:
+  case SysClone:
+  case SysFsize:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
 SimKernel::Action SimKernel::onSyscall(CpuView &Cpu) {
   ++NumSyscalls;
   ClockUsec += 5; // syscalls take time on the virtual clock
   int Tid = Cpu.threadId();
   preRegRead(Tid, 0, "syscall");
   uint32_t Num = Cpu.readReg(0);
+  if (Events && Events->PreSyscall)
+    Events->PreSyscall(Tid, Num);
   uint32_t Result = SysErr;
+
+  // Injected failure: the call errors before its wrapper runs, so no
+  // argument reads happen and no post_mem_write/post_reg_write can fire
+  // for work that was never done (only the result register is written).
+  if (Faults && isFallibleSyscall(Num) && Faults->roll(FaultKind::Syscall)) {
+    faultInjected(Tid, FaultKind::Syscall, Num);
+    Cpu.writeReg(0, SysErr);
+    postRegWrite(Tid, 0);
+    if (Events && Events->PostSyscall)
+      Events->PostSyscall(Tid, Num, SysErr);
+    return Action::Continue;
+  }
 
   switch (Num) {
   case SysExit:
@@ -135,15 +186,29 @@ SimKernel::Action SimKernel::onSyscall(CpuView &Cpu) {
     TheExitCode = static_cast<int>(Cpu.readReg(1));
     return Action::Exit;
   case SysYield:
-    if (Host)
+    if (Faults && Faults->roll(FaultKind::Wakeup)) {
+      // Spurious return: the caller resumes without the scheduler having
+      // been asked to switch away.
+      faultInjected(Tid, FaultKind::Wakeup, 0);
+    } else if (Host) {
       Host->requestYield(Tid);
+    }
     Result = 0;
     break;
-  case SysNanosleep:
+  case SysNanosleep: {
     preRegRead(Tid, 1, "nanosleep(usec)");
-    ClockUsec += Cpu.readReg(1);
+    uint32_t Usec = Cpu.readReg(1);
+    if (Faults && Usec > 0 && Faults->roll(FaultKind::Wakeup)) {
+      // Spurious early wakeup: only part of the interval elapses.
+      uint32_t Slept = Faults->pick(Usec);
+      ClockUsec += Slept;
+      faultInjected(Tid, FaultKind::Wakeup, Usec - Slept);
+    } else {
+      ClockUsec += Usec;
+    }
     Result = 0;
     break;
+  }
   case SysTime:
     Result = static_cast<uint32_t>(ClockUsec / 1'000'000);
     break;
@@ -157,6 +222,8 @@ SimKernel::Action SimKernel::onSyscall(CpuView &Cpu) {
 
   Cpu.writeReg(0, Result);
   postRegWrite(Tid, 0);
+  if (Events && Events->PostSyscall)
+    Events->PostSyscall(Tid, Num, Result);
   return Action::Continue;
 }
 
@@ -173,26 +240,34 @@ uint32_t SimKernel::doWrite(CpuView &Cpu) {
   if (Fd >= Fds.size() || !Fds[Fd].Open)
     return SysErr;
   preMemRead(Tid, Buf, Len, "write(buf)");
-  std::vector<uint8_t> Data(Len);
-  if (Cpu.mem().read(Buf, Data.data(), Len, /*IgnorePerms=*/true).Faulted)
+  // Short write: the kernel consumes only the first N bytes. The pre event
+  // still covers the whole buffer (the client asked for all of it to be
+  // readable), exactly as real wrappers do.
+  uint32_t N = Len;
+  if (Faults && Len > 1 && Faults->roll(FaultKind::ShortIO)) {
+    N = 1 + Faults->pick(Len - 1);
+    faultInjected(Tid, FaultKind::ShortIO, N);
+  }
+  std::vector<uint8_t> Data(N);
+  if (Cpu.mem().read(Buf, Data.data(), N, /*IgnorePerms=*/true).Faulted)
     return SysErr; // EFAULT
   OpenFd &F = Fds[Fd];
   switch (F.Kind) {
   case FdKind::Stdout:
     StdoutBuf.append(Data.begin(), Data.end());
-    return Len;
+    return N;
   case FdKind::Stderr:
     StderrBuf.append(Data.begin(), Data.end());
-    return Len;
+    return N;
   case FdKind::File: {
     if (!F.Writable)
       return SysErr;
     auto &Bytes = Files[F.Name];
-    if (Bytes.size() < F.Pos + Len)
-      Bytes.resize(F.Pos + Len);
+    if (Bytes.size() < F.Pos + N)
+      Bytes.resize(F.Pos + N);
     std::copy(Data.begin(), Data.end(), Bytes.begin() + F.Pos);
-    F.Pos += Len;
-    return Len;
+    F.Pos += N;
+    return N;
   }
   default:
     return SysErr;
@@ -224,6 +299,11 @@ uint32_t SimKernel::doRead(CpuView &Cpu) {
     return SysErr;
   }
   uint32_t N = std::min(Len, Avail);
+  // Short read: deliver only the first N' bytes of what is available.
+  if (Faults && N > 1 && Faults->roll(FaultKind::ShortIO)) {
+    N = 1 + Faults->pick(N - 1);
+    faultInjected(Tid, FaultKind::ShortIO, N);
+  }
   if (N &&
       Cpu.mem().write(Buf, Src, N, /*IgnorePerms=*/true).Faulted)
     return SysErr;
@@ -231,10 +311,15 @@ uint32_t SimKernel::doRead(CpuView &Cpu) {
     StdinPos += N;
   else
     F.Pos += N;
-  postMemWrite(Tid, Buf, N);
-  if (Events && Events->PostFileRead)
-    Events->PostFileRead(Tid, Fd, Buf, N,
-                         F.Kind == FdKind::Stdin ? "<stdin>" : F.Name.c_str());
+  // post_mem_write covers exactly the transferred length — and therefore
+  // does not fire at all for a zero-byte (EOF) read.
+  if (N) {
+    postMemWrite(Tid, Buf, N);
+    if (Events && Events->PostFileRead)
+      Events->PostFileRead(Tid, Fd, Buf, N,
+                           F.Kind == FdKind::Stdin ? "<stdin>"
+                                                   : F.Name.c_str());
+  }
   return N;
 }
 
@@ -296,6 +381,11 @@ uint32_t SimKernel::doBrk(CpuView &Cpu) {
   NewEnd = AddressSpace::pageUp(NewEnd);
   if (NewEnd == OldEnd)
     return OldEnd;
+  // Injected exhaustion only applies to actual resizes, never queries.
+  if (Faults && Faults->roll(FaultKind::MemPressure)) {
+    faultInjected(Tid, FaultKind::MemPressure, NewEnd);
+    return SysErr;
+  }
   if (!AS.resize(Heap->Start, NewEnd))
     return SysErr;
   if (NewEnd > OldEnd) {
@@ -321,6 +411,10 @@ uint32_t SimKernel::doMmap(CpuView &Cpu) {
   if (Len == 0)
     return SysErr;
   Len = AddressSpace::pageUp(Len);
+  if (Faults && Faults->roll(FaultKind::MemPressure)) {
+    faultInjected(Tid, FaultKind::MemPressure, Len);
+    return SysErr;
+  }
   bool Fixed = Flags & 1;
   if (Fixed) {
     // Pre-check: never allow the client to take the core's region
@@ -368,6 +462,10 @@ uint32_t SimKernel::doMremap(CpuView &Cpu) {
   const Segment *S = AS.segmentAt(Old);
   if (!S || S->Start != Old || OldLen == 0 || NewLen == 0)
     return SysErr;
+  if (Faults && Faults->roll(FaultKind::MemPressure)) {
+    faultInjected(Tid, FaultKind::MemPressure, NewLen);
+    return SysErr;
+  }
   uint8_t Perms = S->Perms;
 
   if (NewLen <= OldLen) {
@@ -390,8 +488,14 @@ uint32_t SimKernel::doMremap(CpuView &Cpu) {
   Cpu.mem().map(NewAddr, NewLen, Perms);
   std::vector<uint8_t> Tmp(OldLen);
   if (Cpu.mem().read(Old, Tmp.data(), OldLen, true).Faulted ||
-      Cpu.mem().write(NewAddr, Tmp.data(), OldLen, true).Faulted)
+      Cpu.mem().write(NewAddr, Tmp.data(), OldLen, true).Faulted) {
+    // Back out the new range. It was never announced (no new_mem_mmap
+    // fired), so it must not stay mapped — and its removal needs no
+    // die_mem_munmap either.
+    for (auto [Lo, Hi] : AS.release(NewAddr, NewLen))
+      Cpu.mem().unmap(Lo, Hi - Lo);
     return SysErr;
+  }
   if (Events && Events->NewMemMmap)
     Events->NewMemMmap(NewAddr, NewLen, Perms);
   if (Events && Events->CopyMemMremap)
@@ -430,9 +534,12 @@ uint32_t SimKernel::doGettimeofday(CpuView &Cpu) {
   preMemWrite(Tid, Tv, 8, "gettimeofday(tv)");
   uint32_t Sec = static_cast<uint32_t>(ClockUsec / 1'000'000);
   uint32_t Usec = static_cast<uint32_t>(ClockUsec % 1'000'000);
-  if (Cpu.mem().writeU32(Tv, Sec).Faulted ||
-      Cpu.mem().writeU32(Tv + 4, Usec).Faulted)
+  if (Cpu.mem().writeU32(Tv, Sec).Faulted)
+    return SysErr; // nothing landed, nothing to announce
+  if (Cpu.mem().writeU32(Tv + 4, Usec).Faulted) {
+    postMemWrite(Tid, Tv, 4); // only the seconds word landed
     return SysErr;
+  }
   postMemWrite(Tid, Tv, 8);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include "core/Events.h"
 #include "guest/RefInterp.h"
 #include "kernel/AddressSpace.h"
+#include "support/FaultInject.h"
 
 #include <map>
 #include <string>
@@ -89,6 +90,12 @@ public:
   /// Handles one SYS instruction. Returns Exit for SysExit.
   Action onSyscall(CpuView &Cpu) override;
 
+  /// Installs (or clears) the --fault-inject plan. The kernel consults it
+  /// at its decision points: fallible-syscall entry (error return without
+  /// running the wrapper), read/write lengths (short transfers),
+  /// brk/mmap/mremap (exhaustion), and nanosleep/yield (spurious wakeups).
+  void setFaultPlan(FaultPlan *P) { Faults = P; }
+
   // --- host-visible state (tests, harnesses) -----------------------------
   std::string stdoutText() const { return StdoutBuf; }
   std::string stderrText() const { return StderrBuf; }
@@ -140,12 +147,14 @@ private:
   void preMemReadAsciiz(int Tid, uint32_t Addr, const char *Name);
   void preMemWrite(int Tid, uint32_t Addr, uint32_t Len, const char *Name);
   void postMemWrite(int Tid, uint32_t Addr, uint32_t Len);
+  void faultInjected(int Tid, FaultKind K, uint32_t Arg);
 
   std::string readGuestString(CpuView &Cpu, uint32_t Addr);
 
   AddressSpace &AS;
   EventHub *Events;
   KernelHost *Host;
+  FaultPlan *Faults = nullptr;
 
   std::map<std::string, std::vector<uint8_t>> Files;
   std::vector<OpenFd> Fds;

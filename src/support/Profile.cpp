@@ -140,6 +140,35 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                static_cast<unsigned long long>(C.ShadowChunksHighWater));
   }
 
+  Out.printf("\n== profile: scheduler/signals ==\n");
+  Out.printf("thread-switches=%llu signals delivered=%llu dropped=%llu\n",
+             static_cast<unsigned long long>(C.ThreadSwitches),
+             static_cast<unsigned long long>(C.SignalsDelivered),
+             static_cast<unsigned long long>(C.SignalsDropped));
+
+  if (C.HasFaults) {
+    Out.printf("\n== profile: fault injection ==\n");
+    uint64_t Injected = 0;
+    for (unsigned I = 0; I != 8; ++I)
+      Injected += C.FaultsInjected[I];
+    Out.printf("rolls=%llu injected=%llu\n",
+               static_cast<unsigned long long>(C.FaultRolls),
+               static_cast<unsigned long long>(Injected));
+    for (unsigned I = 0; I != 8 && C.FaultNames[I]; ++I)
+      Out.printf("  %-12s %llu\n", C.FaultNames[I],
+                 static_cast<unsigned long long>(C.FaultsInjected[I]));
+  }
+
+  if (C.HasTrace) {
+    Out.printf("\n== profile: event trace ==\n");
+    Out.printf("recorded=%llu dropped=%llu syscalls=%llu signal-records="
+               "%llu\n",
+               static_cast<unsigned long long>(C.TraceRecorded),
+               static_cast<unsigned long long>(C.TraceDropped),
+               static_cast<unsigned long long>(C.TraceSyscalls),
+               static_cast<unsigned long long>(C.TraceSignals));
+  }
+
   Out.printf("\n== profile: hot blocks (top %u by executions) ==\n", TopN);
   Out.printf("%4s %-10s %12s %6s %5s %6s %12s\n", "rank", "addr", "execs",
              "insns", "tier", "xlate", "xlate(us)");

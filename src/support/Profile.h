@@ -62,6 +62,21 @@ struct ProfCounters {
   uint64_t ShadowChunksReclaimed = 0;
   uint64_t ShadowChunksLive = 0;
   uint64_t ShadowChunksHighWater = 0;
+  // Scheduler/signal counters (PR 3).
+  uint64_t ThreadSwitches = 0;
+  uint64_t SignalsDelivered = 0;
+  uint64_t SignalsDropped = 0;
+  // Fault-injection counters (only when --fault-inject is active).
+  bool HasFaults = false;
+  uint64_t FaultRolls = 0;
+  uint64_t FaultsInjected[8] = {};  ///< indexed by FaultKind
+  const char *FaultNames[8] = {};   ///< parallel names, null-terminated set
+  // Event-tracer counters (only when --trace-events is active).
+  bool HasTrace = false;
+  uint64_t TraceRecorded = 0;
+  uint64_t TraceDropped = 0;
+  uint64_t TraceSyscalls = 0;
+  uint64_t TraceSignals = 0; ///< queue+deliver+return+drop records
 };
 
 /// Accumulates profile data for one run.

@@ -2,7 +2,9 @@
 
 #include "workloads/Workloads.h"
 
+#include "core/Core.h"
 #include "guestlib/GuestLib.h"
+#include "kernel/SimKernel.h"
 #include "support/Errors.h"
 
 #include <algorithm>
@@ -790,6 +792,209 @@ void wlSwim(Assembler &C, Assembler &D, GuestLibLabels &Lib,
   fpEpilogue(C, Lib);
 }
 
+//===----------------------------------------------------------------------===//
+// Scheduler/signal soak workload (not part of the Table 2 set)
+//===----------------------------------------------------------------------===//
+
+/// sigmt: two cloned children storm each other and the main thread with
+/// SIGUSR1/SIGUSR2 while interleaving compute, yields, nanosleeps and the
+/// occasional write. Every fallible syscall either retries on SysErr
+/// (sigaction/mmap/clone are load-bearing) or ignores failure (kill), so
+/// the program exits 0 under any --fault-inject plan. Built by name only;
+/// deliberately absent from allWorkloads() so it never perturbs the
+/// Table 2 benchmark set.
+void wlSigMt(Assembler &C, Assembler &D, GuestLibLabels &Lib,
+             uint32_t Scale) {
+  Label Handler1 = C.newLabel();
+  Label Handler2 = C.newLabel();
+  Label Child = C.newLabel();
+  Label Over = C.newLabel();
+
+  Label HC1 = D.boundLabel();
+  D.emitZeros(4); // SIGUSR1 deliveries (all threads)
+  Label HC2 = D.boundLabel();
+  D.emitZeros(4); // SIGUSR2 deliveries (all threads)
+  Label Done = D.boundLabel();
+  D.emitZeros(8); // per-child done flags
+  Label Sums = D.boundLabel();
+  D.emitZeros(8); // per-child hash results
+  Label Tids = D.boundLabel();
+  D.emitZeros(8); // child tids, written before Go
+  Label Go = D.boundLabel();
+  D.emitZeros(4); // children may start
+  uint32_t HC1A = D.labelAddr(HC1), HC2A = D.labelAddr(HC2);
+  uint32_t DoneA = D.labelAddr(Done), SumsA = D.labelAddr(Sums);
+  uint32_t TidsA = D.labelAddr(Tids), GoA = D.labelAddr(Go);
+  uint32_t Iters = 48 * Scale;
+
+  // Install both handlers; injection can fail sigaction, so retry.
+  auto installHandler = [&](int Sig, Label H) {
+    Label Retry = C.boundLabel();
+    C.movi(Reg::R0, SysSigaction);
+    C.movi(Reg::R1, static_cast<uint32_t>(Sig));
+    C.leai(Reg::R2, H);
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(Retry);
+  };
+  installHandler(SigUSR1, Handler1);
+  installHandler(SigUSR2, Handler2);
+
+  // Spawn two children: mmap a stack then clone, both with retry loops.
+  for (uint32_t Idx = 0; Idx != 2; ++Idx) {
+    Label MapRetry = C.boundLabel();
+    C.movi(Reg::R0, SysMmap);
+    C.movi(Reg::R1, 0);
+    C.movi(Reg::R2, 65536);
+    C.movi(Reg::R3, 3);
+    C.movi(Reg::R4, 0);
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(MapRetry);
+    C.addi(Reg::R9, Reg::R0, 65536); // child SP = top of mapping
+    Label CloneRetry = C.boundLabel();
+    C.movi(Reg::R0, SysClone);
+    C.leai(Reg::R1, Child);
+    C.mov(Reg::R2, Reg::R9);
+    C.movi(Reg::R3, Idx); // child arg = its index
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(CloneRetry);
+    C.movi(Reg::R3, TidsA);
+    C.st(Reg::R3, static_cast<int16_t>(4 * Idx), Reg::R0);
+  }
+  // Release the children only once both tids are published.
+  C.movi(Reg::R2, 1);
+  C.movi(Reg::R3, GoA);
+  C.st(Reg::R3, 0, Reg::R2);
+
+  // Main joins the storm: signal both children while they run.
+  C.movi(Reg::R7, 0);
+  {
+    Label MLoop = C.boundLabel();
+    C.movi(Reg::R3, TidsA);
+    C.ld(Reg::R1, Reg::R3, 0);
+    C.movi(Reg::R0, SysKill);
+    C.movi(Reg::R2, SigUSR1);
+    C.sys(); // failure/late-exit tolerated
+    C.movi(Reg::R3, TidsA);
+    C.ld(Reg::R1, Reg::R3, 4);
+    C.movi(Reg::R0, SysKill);
+    C.movi(Reg::R2, SigUSR2);
+    C.sys();
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.addi(Reg::R7, Reg::R7, 1);
+    C.cmpi(Reg::R7, 16 * Scale);
+    C.blt(MLoop);
+  }
+
+  // Wait for both children, yielding; spurious wakeups just re-loop.
+  {
+    Label Wait = C.boundLabel();
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.movi(Reg::R3, DoneA);
+    C.ld(Reg::R2, Reg::R3, 0);
+    C.ld(Reg::R4, Reg::R3, 4);
+    C.add(Reg::R2, Reg::R2, Reg::R4);
+    C.cmpi(Reg::R2, 2);
+    C.bne(Wait);
+  }
+
+  // Checksum only the compute results: they are signal-independent, so
+  // stdout is stable across fault plans (modulo short writes).
+  C.movi(Reg::R3, SumsA);
+  C.ld(Reg::R11, Reg::R3, 0);
+  C.ld(Reg::R4, Reg::R3, 4);
+  C.movi(Reg::R5, 5);
+  C.mul(Reg::R4, Reg::R4, Reg::R5);
+  C.xor_(Reg::R11, Reg::R11, Reg::R4);
+  C.jmp(Over);
+
+  // handler(USR1): ++HC1. Leaf; sigreturn restores any clobbers.
+  C.bind(Handler1);
+  C.movi(Reg::R3, HC1A);
+  C.ld(Reg::R4, Reg::R3, 0);
+  C.addi(Reg::R4, Reg::R4, 1);
+  C.st(Reg::R3, 0, Reg::R4);
+  C.ret();
+
+  // handler(USR2): ++HC2.
+  C.bind(Handler2);
+  C.movi(Reg::R3, HC2A);
+  C.ld(Reg::R4, Reg::R3, 0);
+  C.addi(Reg::R4, Reg::R4, 1);
+  C.st(Reg::R3, 0, Reg::R4);
+  C.ret();
+
+  // child(idx in r1): wait for Go, then hash-mix while signalling the
+  // sibling and main; finish by publishing the hash and a done flag.
+  C.bind(Child);
+  C.mov(Reg::R6, Reg::R1); // idx
+  {
+    Label Spin = C.boundLabel();
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.movi(Reg::R3, GoA);
+    C.ld(Reg::R2, Reg::R3, 0);
+    C.cmpi(Reg::R2, 0);
+    C.beq(Spin);
+  }
+  C.movi(Reg::R7, 0);                 // i
+  C.movi(Reg::R8, 0x9E37);            // hash
+  C.add(Reg::R8, Reg::R8, Reg::R6);
+  {
+    Label CLoop = C.boundLabel();
+    C.movi(Reg::R2, 33);
+    C.mul(Reg::R8, Reg::R8, Reg::R2);
+    C.xor_(Reg::R8, Reg::R8, Reg::R7);
+    // kill(main, USR1) -- ignore failures.
+    C.movi(Reg::R0, SysKill);
+    C.movi(Reg::R1, 0);
+    C.movi(Reg::R2, SigUSR1);
+    C.sys();
+    // kill(sibling, USR2) -- sibling may already have exited.
+    C.movi(Reg::R2, 1);
+    C.sub(Reg::R2, Reg::R2, Reg::R6);
+    C.movi(Reg::R4, TidsA);
+    C.ldx(Reg::R1, Reg::R4, Reg::R2, 2, 0);
+    C.movi(Reg::R0, SysKill);
+    C.movi(Reg::R2, SigUSR2);
+    C.sys();
+    // every 4th iteration: yield; every 16th: nanosleep(30us).
+    Label NoYield = C.newLabel();
+    C.andi(Reg::R2, Reg::R7, 3);
+    C.cmpi(Reg::R2, 0);
+    C.bne(NoYield);
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.bind(NoYield);
+    Label NoSleep = C.newLabel();
+    C.andi(Reg::R2, Reg::R7, 15);
+    C.cmpi(Reg::R2, 0);
+    C.bne(NoSleep);
+    C.movi(Reg::R0, SysNanosleep);
+    C.movi(Reg::R1, 30);
+    C.sys();
+    C.bind(NoSleep);
+    C.addi(Reg::R7, Reg::R7, 1);
+    C.cmpi(Reg::R7, Iters);
+    C.blt(CLoop);
+  }
+  C.movi(Reg::R3, SumsA);
+  C.stx(Reg::R3, Reg::R6, 2, 0, Reg::R8);
+  C.movi(Reg::R2, 1);
+  C.movi(Reg::R3, DoneA);
+  C.stx(Reg::R3, Reg::R6, 2, 0, Reg::R2);
+  C.movi(Reg::R0, SysExitThread);
+  C.movi(Reg::R1, 0);
+  C.sys();
+
+  C.bind(Over);
+  epilogue(C, Lib);
+}
+
 } // namespace
 
 const std::vector<WorkloadInfo> &vg::allWorkloads() {
@@ -834,5 +1039,7 @@ GuestImage vg::buildWorkload(const std::string &Name, uint32_t Scale) {
     return build(wlMesa, Scale);
   if (Name == "swim")
     return build(wlSwim, Scale);
+  if (Name == "sigmt")
+    return build(wlSigMt, Scale);
   fatalError(("unknown workload: " + Name).c_str());
 }

@@ -7,11 +7,17 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "core/Events.h"
 #include "guest/Assembler.h"
 #include "guest/RefInterp.h"
 #include "kernel/SimKernel.h"
+#include "support/FaultInject.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
 
 using namespace vg;
 using namespace vg::vg1;
@@ -267,6 +273,143 @@ TEST(SimKernel, UnknownSyscallReturnsError) {
   Machine M(A);
   ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
   EXPECT_EQ(M.Cpu.R[0], SysErr);
+}
+
+//===----------------------------------------------------------------------===//
+// Wrapper error paths under fault injection: events must describe exactly
+// what the kernel touched — nothing for failed syscalls, the transferred
+// length for partial ones.
+//===----------------------------------------------------------------------===//
+
+/// A Machine with an events recorder and a fault plan attached.
+struct EventMachine {
+  GuestMemory Mem;
+  AddressSpace AS;
+  EventHub Hub;
+  FaultPlan Faults;
+  SimKernel Kernel{AS, &Hub, nullptr};
+  RefInterp Cpu{Mem, &Kernel};
+
+  // Recorded event stream.
+  std::vector<std::tuple<uint32_t, uint32_t>> PostMemWrites; ///< addr,len
+  std::vector<std::tuple<uint32_t, uint32_t>> PostFileReads; ///< addr,len
+  unsigned FaultEvents = 0;
+
+  EventMachine(Assembler &A, const std::string &FaultSpec) {
+    if (!FaultSpec.empty()) {
+      std::string Err;
+      if (!Faults.parse(FaultSpec, Err))
+        ADD_FAILURE() << "bad fault spec: " << Err;
+      Kernel.setFaultPlan(&Faults);
+    }
+    Hub.PostMemWrite = [this](int, uint32_t Addr, uint32_t Len) {
+      PostMemWrites.push_back({Addr, Len});
+    };
+    Hub.PostFileRead = [this](int, uint32_t, uint32_t Addr, uint32_t Len,
+                              const char *) {
+      PostFileReads.push_back({Addr, Len});
+    };
+    Hub.FaultInjected = [this](int, uint32_t, uint32_t) { ++FaultEvents; };
+    AS.reserveCoreRegion();
+    std::vector<uint8_t> Img = A.finalize();
+    Mem.map(0x1000, static_cast<uint32_t>(Img.size()), PermRX);
+    Mem.write(0x1000, Img.data(), static_cast<uint32_t>(Img.size()), true);
+    Mem.map(0x8000, 0x1000, PermRW);
+    AS.add(0x8000, 0x1000, PermRW, SegKind::ClientData, "data");
+    Cpu.PC = 0x1000;
+    Cpu.R[RegSP] = 0x8F00;
+  }
+};
+
+/// read(stdin, buf, 4) with every fallible syscall failing: the wrapper
+/// must not announce writes to a buffer the kernel never touched.
+TEST(FaultPaths, FailedSyscallFiresNoBufferEvents) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysRead);
+  A.movi(Reg::R1, 0);
+  A.movi(Reg::R2, 0x8000);
+  A.movi(Reg::R3, 4);
+  A.sys();
+  A.hlt();
+  EventMachine M(A, "syscall:1,seed=7");
+  M.Kernel.provideStdin("abcd");
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[0], SysErr);
+  EXPECT_EQ(M.FaultEvents, 1u);
+  EXPECT_TRUE(M.PostMemWrites.empty());
+  EXPECT_TRUE(M.PostFileReads.empty());
+}
+
+/// A short read must fire post_mem_write (and post_file_read) for exactly
+/// the delivered length, not the requested one.
+TEST(FaultPaths, ShortReadAnnouncesExactLength) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysRead);
+  A.movi(Reg::R1, 0);
+  A.movi(Reg::R2, 0x8000);
+  A.movi(Reg::R3, 6);
+  A.sys();
+  A.hlt();
+  EventMachine M(A, "shortio:1,seed=11");
+  M.Kernel.provideStdin("abcdef");
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  uint32_t N = M.Cpu.R[0];
+  ASSERT_GE(N, 1u);
+  ASSERT_LT(N, 6u); // rate-1 plan always truncates
+  ASSERT_EQ(M.PostMemWrites.size(), 1u);
+  EXPECT_EQ(M.PostMemWrites[0], std::make_tuple(0x8000u, N));
+  ASSERT_EQ(M.PostFileReads.size(), 1u);
+  EXPECT_EQ(M.PostFileReads[0], std::make_tuple(0x8000u, N));
+}
+
+/// A short write consumes — and reports — only the transferred prefix.
+TEST(FaultPaths, ShortWriteConsumesExactLength) {
+  Assembler A(0x1000);
+  A.movi(Reg::R2, 0x8000);
+  A.movi(Reg::R3, 0x64636261); // "abcd"
+  A.st(Reg::R2, 0, Reg::R3);
+  A.movi(Reg::R0, SysWrite);
+  A.movi(Reg::R1, 1);
+  A.movi(Reg::R3, 4);
+  A.sys();
+  A.hlt();
+  EventMachine M(A, "shortio:1,seed=3");
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  uint32_t N = M.Cpu.R[0];
+  ASSERT_GE(N, 1u);
+  ASSERT_LT(N, 4u);
+  EXPECT_EQ(M.Kernel.stdoutText(), std::string("abcd").substr(0, N));
+}
+
+/// A zero-byte (EOF) read returns 0 and fires no events at all.
+TEST(FaultPaths, ZeroByteReadFiresNoEvents) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysRead);
+  A.movi(Reg::R1, 0);
+  A.movi(Reg::R2, 0x8000);
+  A.movi(Reg::R3, 4);
+  A.sys();
+  A.hlt();
+  EventMachine M(A, ""); // no faults: plain EOF semantics
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[0], 0u);
+  EXPECT_TRUE(M.PostMemWrites.empty());
+  EXPECT_TRUE(M.PostFileReads.empty());
+}
+
+/// gettimeofday whose usec word faults announces only the seconds word
+/// that actually landed.
+TEST(FaultPaths, GettimeofdayPartialWriteAnnouncesPrefix) {
+  Assembler A(0x1000);
+  A.movi(Reg::R0, SysGettimeofday);
+  A.movi(Reg::R1, 0x8FFC); // tv straddles the end of the data page
+  A.sys();
+  A.hlt();
+  EventMachine M(A, "");
+  ASSERT_EQ(M.Cpu.run(100).Status, RunStatus::Halted);
+  EXPECT_EQ(M.Cpu.R[0], SysErr);
+  ASSERT_EQ(M.PostMemWrites.size(), 1u);
+  EXPECT_EQ(M.PostMemWrites[0], std::make_tuple(0x8FFCu, 4u));
 }
 
 } // namespace

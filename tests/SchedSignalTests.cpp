@@ -1,0 +1,500 @@
+//===-- tests/SchedSignalTests.cpp - Scheduler/signal hardening tests -----==//
+///
+/// \file
+/// Tests for the Sections 3.14/3.15 hardening pass: deterministic fault
+/// injection and event tracing, per-signal masking (no handler
+/// re-entry), signal delivery around syscalls, SP-moving handlers under
+/// stack instrumentation, pending-signal disposal at thread exit, and
+/// stray-sigreturn reporting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "guestlib/GuestLib.h"
+#include "kernel/SimKernel.h"
+#include "tools/Memcheck.h"
+#include "tools/Nulgrind.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+constexpr uint32_t CodeBase = 0x1000;
+constexpr uint32_t DataBase = 0x100000;
+
+GuestImage buildProgram(
+    const std::function<void(Assembler &, Assembler &, GuestLibLabels &)>
+        &Body) {
+  Assembler Code(CodeBase);
+  Assembler Data(DataBase);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  Code.symbol("main");
+  Body(Code, Data, Lib);
+  return GuestImageBuilder()
+      .addCode(Code)
+      .addData(Data)
+      .entry(Entry)
+      .build();
+}
+
+/// The "=== event trace ... ===" block of a run's tool output.
+std::string extractTrace(const std::string &Output) {
+  size_t Begin = Output.find("=== event trace");
+  if (Begin == std::string::npos)
+    return "";
+  const char *EndMark = "=== end event trace ===";
+  size_t End = Output.find(EndMark, Begin);
+  if (End == std::string::npos)
+    return "";
+  return Output.substr(Begin, End + std::string(EndMark).size() - Begin);
+}
+
+/// True if some line of \p Trace contains both \p A and \p B.
+bool hasRecordWith(const std::string &Trace, const std::string &A,
+                   const std::string &B) {
+  size_t Pos = 0;
+  while (Pos < Trace.size()) {
+    size_t Eol = Trace.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Trace.size();
+    std::string Line = Trace.substr(Pos, Eol - Pos);
+    if (Line.find(A) != std::string::npos &&
+        Line.find(B) != std::string::npos)
+      return true;
+    Pos = Eol + 1;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Deterministic replay (the tentpole's headline property)
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, SameSeedReplaysByteIdenticalTrace) {
+  GuestImage Img = buildWorkload("sigmt", 1);
+  std::vector<std::string> Opts = {"--fault-inject=all,seed=5",
+                                   "--trace-events=yes", "--trace-dump=yes"};
+  Nulgrind T1, T2, T3;
+  RunReport A = runUnderCore(Img, &T1, Opts);
+  RunReport B = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(A.ExitCode, 0);
+  std::string TA = extractTrace(A.ToolOutput);
+  std::string TB = extractTrace(B.ToolOutput);
+  ASSERT_FALSE(TA.empty());
+  EXPECT_EQ(TA, TB) << "same seed must replay byte-identically";
+
+  RunReport C = runUnderCore(Img, &T3,
+                             {"--fault-inject=all,seed=6",
+                              "--trace-events=yes", "--trace-dump=yes"});
+  ASSERT_TRUE(C.Completed);
+  EXPECT_NE(TA, extractTrace(C.ToolOutput))
+      << "different seeds should take different paths";
+}
+
+//===----------------------------------------------------------------------===//
+// Per-signal masking: a handler is never re-entered for its own signal,
+// but a different signal may nest inside it.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, MaskedSignalQueuesInsteadOfReentering) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &Data,
+                                   GuestLibLabels &) {
+    Label H1 = Code.newLabel(), H2 = Code.newLabel();
+    Label D1 = Data.boundLabel();
+    Data.emitZeros(4); // depth inside H1
+    Label MaxD1 = Data.boundLabel();
+    Data.emitZeros(4);
+    Label DAll = Data.boundLabel();
+    Data.emitZeros(4); // depth inside any handler
+    Label MaxAll = Data.boundLabel();
+    Data.emitZeros(4);
+    Label Runs1 = Data.boundLabel();
+    Data.emitZeros(4);
+    Label Runs2 = Data.boundLabel();
+    Data.emitZeros(4);
+    Label H2Done = Data.boundLabel();
+    Data.emitZeros(4);
+    uint32_t D1A = Data.labelAddr(D1), MaxD1A = Data.labelAddr(MaxD1);
+    uint32_t DAllA = Data.labelAddr(DAll), MaxAllA = Data.labelAddr(MaxAll);
+    uint32_t Runs1A = Data.labelAddr(Runs1), Runs2A = Data.labelAddr(Runs2);
+    uint32_t H2DoneA = Data.labelAddr(H2Done);
+
+    // counter++ at Addr; optionally track the max in MaxAddr.
+    auto bump = [&](uint32_t Addr, int Delta, uint32_t MaxAddr = 0) {
+      Code.movi(Reg::R3, Addr);
+      Code.ld(Reg::R4, Reg::R3, 0);
+      Code.addi(Reg::R4, Reg::R4, Delta);
+      Code.st(Reg::R3, 0, Reg::R4);
+      if (MaxAddr) {
+        Label NoMax = Code.newLabel();
+        Code.movi(Reg::R3, MaxAddr);
+        Code.ld(Reg::R5, Reg::R3, 0);
+        Code.cmp(Reg::R4, Reg::R5);
+        Code.ble(NoMax);
+        Code.st(Reg::R3, 0, Reg::R4);
+        Code.bind(NoMax);
+      }
+    };
+    auto kill = [&](int Sig) {
+      Code.movi(Reg::R0, SysKill);
+      Code.movi(Reg::R1, 0); // main thread
+      Code.movi(Reg::R2, static_cast<uint32_t>(Sig));
+      Code.sys();
+    };
+
+    // main: install both handlers, raise USR1, wait for three H1 runs.
+    Code.movi(Reg::R0, SysSigaction);
+    Code.movi(Reg::R1, SigUSR1);
+    Code.leai(Reg::R2, H1);
+    Code.sys();
+    Code.movi(Reg::R0, SysSigaction);
+    Code.movi(Reg::R1, SigUSR2);
+    Code.leai(Reg::R2, H2);
+    Code.sys();
+    kill(SigUSR1);
+    Label Wait = Code.boundLabel();
+    Code.movi(Reg::R3, Runs1A);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 3);
+    Code.blt(Wait);
+    // exit code = MaxD1*1000 + MaxAll*100 + Runs1*10 + Runs2
+    Code.movi(Reg::R3, MaxD1A);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.movi(Reg::R5, 1000);
+    Code.mul(Reg::R0, Reg::R4, Reg::R5);
+    Code.movi(Reg::R3, MaxAllA);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.movi(Reg::R5, 100);
+    Code.mul(Reg::R4, Reg::R4, Reg::R5);
+    Code.add(Reg::R0, Reg::R0, Reg::R4);
+    Code.movi(Reg::R3, Runs1A);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.movi(Reg::R5, 10);
+    Code.mul(Reg::R4, Reg::R4, Reg::R5);
+    Code.add(Reg::R0, Reg::R0, Reg::R4);
+    Code.movi(Reg::R3, Runs2A);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.add(Reg::R0, Reg::R0, Reg::R4);
+    Code.ret();
+
+    // H1 (SIGUSR1): while it runs, USR1 is masked; USR2 may nest.
+    Code.bind(H1);
+    bump(D1A, 1, MaxD1A);
+    bump(DAllA, 1, MaxAllA);
+    bump(Runs1A, 1);
+    Code.movi(Reg::R3, H2DoneA);
+    Code.movi(Reg::R4, 0);
+    Code.st(Reg::R3, 0, Reg::R4);
+    kill(SigUSR2); // nests into H2 while H1 is live
+    Label WaitH2 = Code.boundLabel();
+    Code.movi(Reg::R3, H2DoneA);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 0);
+    Code.beq(WaitH2);
+    // Re-raise our own (masked) signal while under 3 runs: it must queue,
+    // not re-enter -- MaxD1 stays 1.
+    Code.movi(Reg::R3, Runs1A);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 3);
+    Label NoReraise = Code.newLabel();
+    Code.bge(NoReraise);
+    kill(SigUSR1);
+    Code.bind(NoReraise);
+    bump(D1A, -1);
+    bump(DAllA, -1);
+    Code.ret();
+
+    // H2 (SIGUSR2): proves different-signal nesting still works.
+    Code.bind(H2);
+    bump(DAllA, 1, MaxAllA);
+    bump(Runs2A, 1);
+    Code.movi(Reg::R3, H2DoneA);
+    Code.movi(Reg::R4, 1);
+    Code.st(Reg::R3, 0, Reg::R4);
+    bump(DAllA, -1);
+    Code.ret();
+  });
+  Nulgrind T;
+  RunReport R = runUnderCore(Img, &T);
+  ASSERT_TRUE(R.Completed);
+  // MaxD1=1 (never re-entered), MaxAll=2 (H2 nested in H1), 3 runs each.
+  EXPECT_EQ(R.ExitCode, 1233);
+  EXPECT_EQ(R.Stats.SignalsDelivered, 6u);
+}
+
+//===----------------------------------------------------------------------===//
+// Signal queued while the target is off-CPU (in/around syscalls) is
+// delivered when it next reaches a block boundary.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, SignalRaisedByPeerInterruptsSleepLoop) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &Data,
+                                   GuestLibLabels &) {
+    Label Handler = Code.newLabel(), Child = Code.newLabel();
+    Label Flag = Data.boundLabel();
+    Data.emitZeros(4);
+    uint32_t FlagA = Data.labelAddr(Flag);
+    // install handler
+    Code.movi(Reg::R0, SysSigaction);
+    Code.movi(Reg::R1, SigUSR1);
+    Code.leai(Reg::R2, Handler);
+    Code.sys();
+    // spawn the child
+    Code.movi(Reg::R0, SysMmap);
+    Code.movi(Reg::R1, 0);
+    Code.movi(Reg::R2, 65536);
+    Code.movi(Reg::R3, 3);
+    Code.movi(Reg::R4, 0);
+    Code.sys();
+    Code.addi(Reg::R2, Reg::R0, 65536);
+    Code.movi(Reg::R0, SysClone);
+    Code.leai(Reg::R1, Child);
+    Code.movi(Reg::R3, 0);
+    Code.sys();
+    // sleep in a loop until the handler sets the flag
+    Label Sleep = Code.boundLabel();
+    Code.movi(Reg::R3, FlagA);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 0);
+    Label Done = Code.newLabel();
+    Code.bne(Done);
+    Code.movi(Reg::R0, SysNanosleep);
+    Code.movi(Reg::R1, 5);
+    Code.sys();
+    Code.jmp(Sleep);
+    Code.bind(Done);
+    Code.movi(Reg::R0, 0);
+    Code.ret();
+    // handler: flag = 1
+    Code.bind(Handler);
+    Code.movi(Reg::R3, FlagA);
+    Code.movi(Reg::R4, 1);
+    Code.st(Reg::R3, 0, Reg::R4);
+    Code.ret();
+    // child: signal the sleeping main thread, then exit
+    Code.bind(Child);
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R1, 0);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Code.movi(Reg::R0, SysExitThread);
+    Code.movi(Reg::R1, 0);
+    Code.sys();
+  });
+  Nulgrind T;
+  RunReport R = runUnderCore(Img, &T);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_GE(R.Stats.SignalsDelivered, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// A handler that moves SP must behave under stack instrumentation (the
+// R7 events forced on by --trace-events, and Memcheck's own).
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, HandlerMovesSPUnderStackEventsAndMemcheck) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &Data,
+                                   GuestLibLabels &) {
+    Label Handler = Code.newLabel();
+    Label Result = Data.boundLabel();
+    Data.emitZeros(4);
+    uint32_t ResultA = Data.labelAddr(Result);
+    Code.movi(Reg::R0, SysSigaction);
+    Code.movi(Reg::R1, SigUSR1);
+    Code.leai(Reg::R2, Handler);
+    Code.sys();
+    Code.movi(Reg::R6, 23130); // 0x5A5A, round-trips via handler stack
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R1, 0);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Label Wait = Code.boundLabel();
+    Code.movi(Reg::R3, ResultA);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 0);
+    Code.beq(Wait);
+    Code.mov(Reg::R0, Reg::R4);
+    Code.ret();
+    // handler: carve a 64-byte frame, bounce the value through it.
+    Code.bind(Handler);
+    Code.addi(Reg::R14, Reg::R14, -64);
+    Code.st(Reg::R14, 0, Reg::R6);
+    Code.ld(Reg::R4, Reg::R14, 0);
+    Code.movi(Reg::R3, ResultA);
+    Code.st(Reg::R3, 0, Reg::R4);
+    Code.addi(Reg::R14, Reg::R14, 64);
+    Code.ret();
+  });
+  Memcheck T;
+  RunReport R = runUnderCore(Img, &T, {"--trace-events=yes"});
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 23130);
+  EXPECT_NE(R.ToolOutput.find("ERROR SUMMARY: 0 error"), std::string::npos)
+      << R.ToolOutput;
+}
+
+//===----------------------------------------------------------------------===//
+// Thread exit with pending signals: they are dropped (and traced), never
+// delivered to a dead thread.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, ThreadExitDropsPendingSignals) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &Data,
+                                   GuestLibLabels &) {
+    Label Handler = Code.newLabel(), Child = Code.newLabel();
+    Label CTid = Data.boundLabel();
+    Data.emitZeros(4);
+    uint32_t CTidA = Data.labelAddr(CTid);
+    Code.movi(Reg::R0, SysSigaction);
+    Code.movi(Reg::R1, SigUSR1);
+    Code.leai(Reg::R2, Handler);
+    Code.sys();
+    Code.movi(Reg::R0, SysMmap);
+    Code.movi(Reg::R1, 0);
+    Code.movi(Reg::R2, 65536);
+    Code.movi(Reg::R3, 3);
+    Code.movi(Reg::R4, 0);
+    Code.sys();
+    Code.addi(Reg::R2, Reg::R0, 65536);
+    Code.movi(Reg::R0, SysClone);
+    Code.leai(Reg::R1, Child);
+    Code.movi(Reg::R3, 0);
+    Code.sys();
+    Code.movi(Reg::R3, CTidA);
+    Code.st(Reg::R3, 0, Reg::R0); // publish the child's tid
+    // keep signalling the child until the kernel says it is gone
+    Label MLoop = Code.boundLabel();
+    Code.movi(Reg::R3, CTidA);
+    Code.ld(Reg::R1, Reg::R3, 0);
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Code.cmpi(Reg::R0, -1);
+    Label Done = Code.newLabel();
+    Code.beq(Done); // exited/empty target is rejected, not queued
+    Code.movi(Reg::R0, SysYield);
+    Code.sys();
+    Code.jmp(MLoop);
+    Code.bind(Done);
+    Code.movi(Reg::R0, 0);
+    Code.ret();
+    // handler (runs on the child): queue another USR1 at ourselves while
+    // it is masked, then exit the thread with it still pending.
+    Code.bind(Handler);
+    Code.movi(Reg::R3, CTidA);
+    Code.ld(Reg::R1, Reg::R3, 0);
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Code.movi(Reg::R0, SysExitThread);
+    Code.movi(Reg::R1, 0);
+    Code.sys();
+    // child: wait for our tid, poke ourselves once, then spin until the
+    // handler fires and exits us.
+    Code.bind(Child);
+    Label WaitTid = Code.boundLabel();
+    Code.movi(Reg::R3, CTidA);
+    Code.ld(Reg::R4, Reg::R3, 0);
+    Code.cmpi(Reg::R4, 0);
+    Code.beq(WaitTid);
+    Code.mov(Reg::R1, Reg::R4);
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Label Spin = Code.boundLabel();
+    Code.movi(Reg::R0, SysYield);
+    Code.sys();
+    Code.jmp(Spin);
+  });
+  Nulgrind T;
+  RunReport R = runUnderCore(Img, &T, {"--trace-events=yes",
+                                       "--trace-dump=yes"});
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 0);
+  EXPECT_GE(R.Stats.SignalsDropped, 2u); // >=1 at exit, >=1 bad target
+  std::string Trace = extractTrace(R.ToolOutput);
+  ASSERT_FALSE(Trace.empty());
+  // reason codes: c=0x2 thread-exit, c=0x0 bad target
+  EXPECT_TRUE(hasRecordWith(Trace, "sig-drop", "c=0x2")) << Trace;
+  EXPECT_TRUE(hasRecordWith(Trace, "sig-drop", "c=0x0")) << Trace;
+}
+
+//===----------------------------------------------------------------------===//
+// S2: kill() rejects bad targets and bad signal numbers.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, KillRejectsBadTargetAndBadSignal) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &,
+                                   GuestLibLabels &) {
+    Code.movi(Reg::R6, 0);
+    // kill(57, USR1): no such thread
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R1, 57);
+    Code.movi(Reg::R2, SigUSR1);
+    Code.sys();
+    Code.cmpi(Reg::R0, -1);
+    Label N1 = Code.newLabel();
+    Code.bne(N1);
+    Code.addi(Reg::R6, Reg::R6, 1);
+    Code.bind(N1);
+    // kill(0, 99): signal number out of range
+    Code.movi(Reg::R0, SysKill);
+    Code.movi(Reg::R1, 0);
+    Code.movi(Reg::R2, 99);
+    Code.sys();
+    Code.cmpi(Reg::R0, -1);
+    Label N2 = Code.newLabel();
+    Code.bne(N2);
+    Code.addi(Reg::R6, Reg::R6, 1);
+    Code.bind(N2);
+    Code.mov(Reg::R0, Reg::R6);
+    Code.ret();
+  });
+  Nulgrind T;
+  RunReport R = runUnderCore(Img, &T);
+  ASSERT_TRUE(R.Completed);
+  EXPECT_EQ(R.ExitCode, 2);
+  EXPECT_EQ(R.Stats.SignalsDelivered, 0u);
+  EXPECT_GE(R.Stats.SignalsDropped, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// S2: sigreturn with no live signal frame is a reported error, not a
+// silent no-op or a crash.
+//===----------------------------------------------------------------------===//
+
+TEST(SchedSignal, StraySigreturnIsReported) {
+  GuestImage Img = buildProgram([](Assembler &Code, Assembler &,
+                                   GuestLibLabels &) {
+    Code.movi(Reg::R0, SysSigreturn);
+    Code.sys(); // no frame: recorded and ignored
+    Code.movi(Reg::R0, 3);
+    Code.ret();
+  });
+  Nulgrind T;
+  Core C(&T);
+  C.output().useBuffer();
+  C.applyOptions();
+  C.loadImage(Img);
+  CoreExit E = C.run(~0ull);
+  EXPECT_EQ(E.K, CoreExit::Kind::Exited);
+  EXPECT_EQ(E.Code, 3);
+  bool Found = false;
+  for (const auto &Rec : C.errors().records())
+    Found |= Rec.Kind == "StraySigreturn";
+  EXPECT_TRUE(Found) << "stray sigreturn must go through ErrorManager";
+}
+
+} // namespace

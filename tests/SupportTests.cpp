@@ -9,6 +9,8 @@
 #include "core/ErrorManager.h"
 #include "core/GuestImage.h"
 #include "guest/GuestMemory.h"
+#include "support/EventTrace.h"
+#include "support/FaultInject.h"
 #include "support/Hashing.h"
 #include "support/Options.h"
 #include "support/Output.h"
@@ -173,6 +175,118 @@ TEST(GuestImage, BuilderCollectsSegmentsAndSymbols) {
   EXPECT_EQ(Img.symbol("glob"), 0x8000u);
   EXPECT_EQ(Img.symbol("nope"), 0u);
   EXPECT_EQ(Img.StackSize, 64u * 1024);
+}
+
+//===----------------------------------------------------------------------===//
+// FaultPlan (--fault-inject)
+//===----------------------------------------------------------------------===//
+
+TEST(FaultPlan, ParsesKindsRatesAndSeed) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(P.parse("syscall:8,sigstorm,seed=42", Err)) << Err;
+  EXPECT_EQ(P.seed(), 42u);
+  EXPECT_TRUE(P.enabled(FaultKind::Syscall));
+  EXPECT_TRUE(P.enabled(FaultKind::SigStorm));
+  EXPECT_FALSE(P.enabled(FaultKind::ShortIO));
+  EXPECT_FALSE(P.enabled(FaultKind::Preempt));
+}
+
+TEST(FaultPlan, AllEnablesEveryKind) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(P.parse("all,seed=1", Err)) << Err;
+  for (unsigned I = 0; I != NumFaultKinds; ++I)
+    EXPECT_TRUE(P.enabled(static_cast<FaultKind>(I)))
+        << faultKindName(static_cast<FaultKind>(I));
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  std::string Err;
+  EXPECT_FALSE(FaultPlan().parse("bogus", Err));
+  EXPECT_FALSE(FaultPlan().parse("syscall:0", Err)); // rate 0 is not a rate
+  EXPECT_FALSE(FaultPlan().parse("syscall:8x", Err));
+  EXPECT_FALSE(FaultPlan().parse("seed=42", Err)); // no kinds enabled
+  EXPECT_FALSE(FaultPlan().parse("", Err));
+}
+
+TEST(FaultPlan, SameSeedSameDecisionSequence) {
+  FaultPlan A, B;
+  std::string Err;
+  ASSERT_TRUE(A.parse("all,seed=99", Err));
+  ASSERT_TRUE(B.parse("all,seed=99", Err));
+  for (int I = 0; I != 1000; ++I) {
+    FaultKind K = static_cast<FaultKind>(I % NumFaultKinds);
+    ASSERT_EQ(A.roll(K), B.roll(K)) << "diverged at decision " << I;
+    ASSERT_EQ(A.pick(17), B.pick(17)) << "diverged at decision " << I;
+  }
+  EXPECT_EQ(A.rolls(), B.rolls());
+  EXPECT_EQ(A.injectedTotal(), B.injectedTotal());
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan A, B;
+  std::string Err;
+  ASSERT_TRUE(A.parse("all:2,seed=1", Err));
+  ASSERT_TRUE(B.parse("all:2,seed=2", Err));
+  bool Diverged = false;
+  for (int I = 0; I != 256 && !Diverged; ++I)
+    Diverged = A.roll(FaultKind::Syscall) != B.roll(FaultKind::Syscall);
+  EXPECT_TRUE(Diverged);
+}
+
+TEST(FaultPlan, DisabledKindNeverFiresOrAdvances) {
+  FaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(P.parse("syscall:1,seed=5", Err));
+  for (int I = 0; I != 64; ++I)
+    EXPECT_FALSE(P.roll(FaultKind::SigStorm));
+  EXPECT_EQ(P.rolls(), 0u); // disabled rolls are not decisions
+  EXPECT_TRUE(P.roll(FaultKind::Syscall)); // rate 1 always fires
+  EXPECT_EQ(P.injected(FaultKind::Syscall), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// EventTracer (--trace-events)
+//===----------------------------------------------------------------------===//
+
+TEST(EventTracer, RecordsAndCounts) {
+  EventTracer T(16);
+  uint64_t Clock = 7;
+  T.setClock(&Clock);
+  T.record(0, TraceEvent::SyscallEnter, 2);
+  Clock = 9;
+  T.record(1, TraceEvent::SigDeliver, 10, 0x2000);
+  EXPECT_EQ(T.recorded(), 2u);
+  EXPECT_EQ(T.dropped(), 0u);
+  EXPECT_EQ(T.count(TraceEvent::SyscallEnter), 1u);
+  EXPECT_EQ(T.count(TraceEvent::SigDeliver), 1u);
+  std::string S = T.serialize();
+  EXPECT_NE(S.find("=== event trace (records=2 dropped=0) ==="),
+            std::string::npos);
+  EXPECT_NE(S.find("=== end event trace ==="), std::string::npos);
+  EXPECT_NE(S.find("@0000000007 t0 syscall-enter"), std::string::npos);
+  EXPECT_NE(S.find("@0000000009 t1 sig-deliver"), std::string::npos);
+}
+
+TEST(EventTracer, RingWrapKeepsNewestAndCountsDropped) {
+  EventTracer T(4);
+  for (int I = 0; I != 10; ++I)
+    T.record(0, TraceEvent::SyscallEnter, static_cast<uint32_t>(I));
+  EXPECT_EQ(T.recorded(), 10u);
+  EXPECT_EQ(T.dropped(), 6u);
+  std::string S = T.serialize();
+  EXPECT_EQ(S.find("a=0x5"), std::string::npos);  // oldest overwritten
+  EXPECT_NE(S.find("a=0x6"), std::string::npos);  // four newest retained
+  EXPECT_NE(S.find("a=0x9"), std::string::npos);
+  EXPECT_EQ(T.count(TraceEvent::SyscallEnter), 10u); // counts are total
+}
+
+TEST(EventTracer, ZeroCapacityClampsToOne) {
+  EventTracer T(0);
+  EXPECT_EQ(T.capacity(), 1u);
+  T.record(0, TraceEvent::ThreadExit);
+  EXPECT_EQ(T.recorded(), 1u);
 }
 
 } // namespace
