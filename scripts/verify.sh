@@ -2,9 +2,21 @@
 # Tier-1 verification: configure, build, run the full test suite, then
 # smoke-run the dispatcher and slow-down benches (a crash or a hang here
 # is a regression even when the unit tests pass).
+#
+#   --fuzz-soak   additionally run the full differential-fuzzing soak
+#                 (the 2000-iteration acceptance campaign plus forced
+#                 signal/SMC variants); minutes, not seconds.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+FUZZ_SOAK=0
+for arg in "$@"; do
+  case "$arg" in
+    --fuzz-soak) FUZZ_SOAK=1 ;;
+    *) echo "verify.sh: unknown option '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
@@ -27,5 +39,22 @@ echo "== smoke: sec54_shadowmem (quick) =="
 # comparison is skipped.
 VG_SEC54_QUICK=1 ./build/bench/sec54_shadowmem \
     --benchmark_min_time=0.05
+
+echo "== smoke: vgfuzz (differential fuzzing) =="
+# Short deterministic campaign + the planted-bug self-test. Honours
+# VG_SOAK_QUICK like the scheduler soak: quick mode trims the campaign.
+FUZZ_ITERS=200
+[ "${VG_SOAK_QUICK:-0}" = "1" ] && FUZZ_ITERS=50
+./build/src/vgfuzz --iters="$FUZZ_ITERS" --seed=1 --quiet
+./build/src/vgfuzz --self-test --seed=1 --quiet
+
+if [ "$FUZZ_SOAK" = "1" ]; then
+  echo "== fuzz soak: 2000-iteration acceptance campaign =="
+  ./build/src/vgfuzz --iters=2000 --seed=1 --quiet
+  echo "== fuzz soak: forced signals =="
+  ./build/src/vgfuzz --iters=300 --seed=77 --signals=always --quiet
+  echo "== fuzz soak: forced self-modifying code =="
+  ./build/src/vgfuzz --iters=300 --seed=99 --smc=always --quiet
+fi
 
 echo "verify: OK"

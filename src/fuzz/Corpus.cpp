@@ -1,0 +1,43 @@
+//===-- fuzz/Corpus.cpp - .vg1 repro corpus management --------------------==//
+
+#include "fuzz/Corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace vg;
+using namespace vg::fuzz;
+namespace fs = std::filesystem;
+
+std::vector<std::string> vg::fuzz::listCases(const std::string &Dir) {
+  std::vector<std::string> Out;
+  std::error_code EC;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC)) {
+    if (Entry.is_regular_file() && Entry.path().extension() == ".vg1")
+      Out.push_back(Entry.path().string());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+bool vg::fuzz::loadCase(const std::string &Path, FuzzProgram &Out,
+                        std::string &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parse(SS.str(), Out, Err);
+}
+
+bool vg::fuzz::saveCase(const std::string &Path, const FuzzProgram &P) {
+  std::ofstream OutF(Path);
+  if (!OutF)
+    return false;
+  OutF << serialize(P, /*WithDisasm=*/true);
+  return static_cast<bool>(OutF);
+}

@@ -1,0 +1,33 @@
+//===-- fuzz/Corpus.h - .vg1 repro corpus management ------------*- C++ -*-==//
+///
+/// \file
+/// Load/save/list for the on-disk corpus of minimized repro cases
+/// (fuzz/corpus/*.vg1 in the repository; every divergence fixed during
+/// development leaves one behind, and a regression test replays them all).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_FUZZ_CORPUS_H
+#define VG_FUZZ_CORPUS_H
+
+#include "fuzz/ProgramGen.h"
+
+#include <string>
+#include <vector>
+
+namespace vg {
+namespace fuzz {
+
+/// Sorted paths of every *.vg1 under \p Dir (empty if the directory does
+/// not exist).
+std::vector<std::string> listCases(const std::string &Dir);
+
+bool loadCase(const std::string &Path, FuzzProgram &Out, std::string &Err);
+
+/// Writes serialize(P) (with disassembly comments). Returns false on I/O
+/// failure.
+bool saveCase(const std::string &Path, const FuzzProgram &P);
+
+} // namespace fuzz
+} // namespace vg
+
+#endif // VG_FUZZ_CORPUS_H

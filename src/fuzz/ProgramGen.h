@@ -1,0 +1,158 @@
+//===-- fuzz/ProgramGen.h - Seeded VG1 program generator --------*- C++ -*-==//
+///
+/// \file
+/// Generates well-formed, terminating, encodable VG1 guest programs for
+/// differential fuzzing (RefInterp oracle vs. the D&R JIT pipeline). A
+/// program is a list of *atoms* — small instruction templates with enforced
+/// hygiene — wrapped in a fixed scaffold (buffer allocation, a bounded
+/// loop, and an observation epilogue that prints registers, flag probes,
+/// an FP dump and a memory checksum to stdout).
+///
+/// The hygiene rules exist because the two engines run the same program at
+/// *different heap addresses* (a heap-tracking tool redirects malloc to the
+/// core's replacement allocator, Section 3.13). Hence:
+///
+///  - r1..r9 are data registers: observed in the epilogue, never hold an
+///    address. Atoms that must route an address through one (syscall args)
+///    re-materialise it with a constant afterwards.
+///  - r10 is the loop counter, r11 the address temporary, r12 the
+///    checksummed buffer base, r13 the scratch base (never checksummed) —
+///    none of them observed.
+///  - All generated loads/stores mask their offset into the buffer, so no
+///    atom can fault or touch an absolute address.
+///  - Syscall results that are legitimately nondeterministic across
+///    engines (pids, clocks, kill/sigaction status with no KernelHost) are
+///    overwritten with seeded constants immediately after the SYS.
+///  - Signal handlers only write to scratch: natively (no KernelHost) they
+///    never run, so their effects must be invisible to the observation.
+///  - Self-modifying code (behind a flag) patches a block and then runs a
+///    NOP sled at a decode-cache-aliasing address (+64 KiB) before
+///    re-executing it — the VG1 "icache flush" idiom that makes native
+///    semantics well-defined (RefInterp's predecode cache is not coherent
+///    with stores, like real hardware; guest/RefInterp.h).
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_FUZZ_PROGRAMGEN_H
+#define VG_FUZZ_PROGRAMGEN_H
+
+#include "core/GuestImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vg {
+namespace fuzz {
+
+/// Atom kinds. Each expands to 1..6 concrete instructions with the hygiene
+/// rules above baked in. Operand fields are reduced modulo the legal range
+/// at render time, so every (Kind, A, B, C, D, Imm) tuple is valid — the
+/// shrinker can mutate freely.
+enum class AtomKind : uint8_t {
+  Alu3,      ///< A=subop(14: add..divs,vadd8..vcmpgt8) B=rd C=rs D=rt
+  AluImm,    ///< A=subop(5: addi,andi,shli,shri,sari) B=rd C=rs Imm
+  MovImm,    ///< B=rd, Imm
+  MovReg,    ///< B=rd, C=rs
+  CmpRR,     ///< C=rs, D=rt
+  CmpImm,    ///< C=rs, Imm
+  Load,      ///< A=width(0=ld 1=ldb 2=ldsb 3=ldh 4=ldsh) B=rd C=src Imm=disp
+  Store,     ///< A=width(0=st 1=stb 2=sth) C=src D=rv Imm=disp
+  LoadX,     ///< A=scale B=rd C=idxsrc Imm=disp (4-aligned)
+  StoreX,    ///< A=scale C=idxsrc D=rv Imm=disp (4-aligned)
+  PushPop,   ///< push C; pop B
+  SkipInc,   ///< cmp C,D; b<A> over; addi B,B,1
+  FlagProbe, ///< movi r11,Imm(tag); b<A> over; st [r12+slot], r11
+  FAlu3,     ///< A=subop(4: fadd,fsub,fmul,fdiv) B=fd C=fs D=ft
+  FUnary,    ///< A=subop(0=fneg 1=fmov) B=fd C=fs
+  FMovImm,   ///< B=fd, Imm=raw IEEE754 bits
+  FConvI2D,  ///< fitod: B=fd C=rs
+  FConvD2I,  ///< fdtoi: B=rd C=fs (saturating)
+  FCmp,      ///< C=fs D=ft
+  FLoad,     ///< B=fd C=src Imm=disp (8-aligned)
+  FStore,    ///< C=src D=fs Imm=disp (8-aligned)
+  CpuInfo,   ///< cpuinfo (r0/r1 get the architectural constants)
+  ClReq,     ///< movi r0,0; clreq (unknown request: returns 0 everywhere)
+  SysWrite,  ///< write(1, buf+off, len): A=len Imm=off
+  SysRead,   ///< read(0, scratch+io+off, len): A=len Imm=off
+  LoadIo,    ///< ld B, [r13 + io + Imm] (deterministic stdin-backed bytes)
+  SysTime,   ///< gettimeofday into scratch; r0/r1 renormalised
+  SysGetpid, ///< getpid; r0 renormalised
+  SysYield,  ///< yield; r0 renormalised
+  SysKill,   ///< kill(0, USR1/USR2): A=sig-select; r0..r2 renormalised
+  CallFn,    ///< call leaf function A
+  CallrFn,   ///< leai r11, leaf A; callr r11
+  JmprSkip,  ///< leai r11,L; jmpr r11; movi B,Imm(poison); L:
+};
+constexpr unsigned NumAtomKinds = static_cast<unsigned>(AtomKind::JmprSkip) + 1;
+
+/// One generated atom. All fields are free-form; render() maps them into
+/// the legal ranges.
+struct Atom {
+  AtomKind K = AtomKind::MovImm;
+  uint8_t A = 0, B = 0, C = 0, D = 0;
+  int64_t Imm = 0;
+};
+
+/// A complete generated program (plus its input). Rendering is a pure
+/// function of this struct, so serialising it reproduces the run exactly.
+struct FuzzProgram {
+  uint64_t Seed = 0;      ///< seeds register/FPR init constants
+  uint32_t LoopCount = 1; ///< body loop iterations (kept small)
+  bool Signals = false;   ///< install handlers; SysKill atoms get targets
+  bool Smc = false;       ///< append the self-modifying epilogue section
+  std::vector<Atom> Body;
+  std::vector<std::vector<Atom>> Leaves; ///< callable leaf functions
+  std::string StdinData;
+
+  unsigned totalAtoms() const {
+    size_t N = Body.size();
+    for (const auto &L : Leaves)
+      N += L.size();
+    return static_cast<unsigned>(N);
+  }
+};
+
+/// Generation knobs.
+struct GenOptions {
+  unsigned MinBodyAtoms = 4;
+  unsigned MaxBodyAtoms = 40;
+  unsigned MaxLeaves = 2;
+  unsigned MaxLoop = 12;
+  /// 0 = never, 1 = seed-dependent (~1 in 5), 2 = always.
+  int Signals = 1;
+  int Smc = 1;
+};
+
+/// Deterministic generator: same (Seed, Opts) -> same program.
+FuzzProgram generate(uint64_t Seed, const GenOptions &Opts = GenOptions());
+
+/// Renders the program to a loadable image (pure function of \p P).
+GuestImage render(const FuzzProgram &P);
+
+/// Number of concrete instructions the body atoms expand to (the repro
+/// size metric quoted by the shrinker).
+unsigned bodyInstrCount(const FuzzProgram &P);
+
+/// Textual .vg1 case format: header, atoms, and (on save) a disassembly
+/// appended as comments. parse() ignores comments/blank lines.
+std::string serialize(const FuzzProgram &P, bool WithDisasm = true);
+bool parse(const std::string &Text, FuzzProgram &Out, std::string &Err);
+
+/// splitmix64 — the shared PRNG of the fuzz subsystem.
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    uint64_t Z = (State += 0x9E3779B97F4A7C15ull);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+  /// Uniform in [0, N).
+  uint64_t below(uint64_t N) { return N ? next() % N : 0; }
+};
+
+} // namespace fuzz
+} // namespace vg
+
+#endif // VG_FUZZ_PROGRAMGEN_H

@@ -1,0 +1,38 @@
+//===-- fuzz/Shrinker.h - ddmin repro minimisation --------------*- C++ -*-==//
+///
+/// \file
+/// Shrinks a diverging program to a minimal repro: the predicate is "still
+/// diverges on the config that originally failed" (any field — divergences
+/// often change shape while shrinking), evaluated by re-running oracle +
+/// that one config. Reduction passes, to fixpoint or an eval budget:
+/// loop-count reduction, wholesale leaf removal, delta-debugging (ddmin)
+/// over the body and each leaf's atom list, flag simplification
+/// (signals/SMC off), and stdin truncation.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_FUZZ_SHRINKER_H
+#define VG_FUZZ_SHRINKER_H
+
+#include "fuzz/DiffRunner.h"
+
+namespace vg {
+namespace fuzz {
+
+struct ShrinkOutcome {
+  FuzzProgram Minimal;
+  Divergence Div;         ///< first divergence of the minimal repro
+  unsigned Evals = 0;     ///< predicate evaluations spent
+  unsigned AtomsBefore = 0, AtomsAfter = 0;
+  unsigned InstrsAfter = 0; ///< bodyInstrCount of the minimal repro
+};
+
+/// Minimises \p P against \p FailingConfig. \p P must diverge on that
+/// config (the returned outcome reproduces the check either way).
+ShrinkOutcome shrinkProgram(const FuzzProgram &P,
+                            const FuzzConfig &FailingConfig,
+                            unsigned MaxEvals = 600);
+
+} // namespace fuzz
+} // namespace vg
+
+#endif // VG_FUZZ_SHRINKER_H

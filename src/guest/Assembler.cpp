@@ -295,3 +295,138 @@ std::vector<uint8_t> Assembler::finalize() {
   Fixups.clear();
   return Code;
 }
+
+//===----------------------------------------------------------------------===//
+// encodeInstr — the inverse of decode()
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void putU32(uint8_t *P, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    P[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+void putU64(uint8_t *P, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    P[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+} // namespace
+
+unsigned vg1::encodeInstr(const Instr &I, uint8_t *Out) {
+  if (I.Rd > 15 || I.Rs > 15 || I.Rt > 15 || I.Scale > 3)
+    return 0;
+  uint8_t RdRs = static_cast<uint8_t>((I.Rd << 4) | I.Rs);
+
+  if (I.Op == Opcode::BCC) {
+    if (static_cast<uint8_t>(I.BCond) >= NumConds)
+      return 0;
+    Out[0] = static_cast<uint8_t>(static_cast<uint8_t>(Opcode::BCC) +
+                                  static_cast<uint8_t>(I.BCond));
+    putU32(Out + 1, static_cast<uint32_t>(I.Imm));
+    return 5;
+  }
+
+  Out[0] = static_cast<uint8_t>(I.Op);
+  switch (I.Op) {
+  case Opcode::NOP:
+  case Opcode::HLT:
+  case Opcode::RET:
+  case Opcode::SYS:
+  case Opcode::CPUINFO:
+  case Opcode::CLREQ:
+    return 1;
+
+  case Opcode::MOV:
+  case Opcode::CMP:
+  case Opcode::JMPR:
+  case Opcode::CALLR:
+  case Opcode::PUSH:
+  case Opcode::POP:
+  case Opcode::FNEG:
+  case Opcode::FITOD:
+  case Opcode::FDTOI:
+  case Opcode::FCMP:
+  case Opcode::FMOV:
+    Out[1] = RdRs;
+    return 2;
+
+  case Opcode::ADD:
+  case Opcode::SUB:
+  case Opcode::AND:
+  case Opcode::OR:
+  case Opcode::XOR:
+  case Opcode::SHL:
+  case Opcode::SHR:
+  case Opcode::SAR:
+  case Opcode::MUL:
+  case Opcode::DIVU:
+  case Opcode::DIVS:
+  case Opcode::FADD:
+  case Opcode::FSUB:
+  case Opcode::FMUL:
+  case Opcode::FDIV:
+  case Opcode::VADD8:
+  case Opcode::VSUB8:
+  case Opcode::VCMPGT8:
+    Out[1] = RdRs;
+    Out[2] = static_cast<uint8_t>(I.Rt << 4);
+    return 3;
+
+  case Opcode::SHLI:
+  case Opcode::SHRI:
+  case Opcode::SARI:
+    if (I.Imm < 0 || I.Imm > 0xFF)
+      return 0;
+    Out[1] = RdRs;
+    Out[2] = static_cast<uint8_t>(I.Imm);
+    return 3;
+
+  case Opcode::LD:
+  case Opcode::ST:
+  case Opcode::LDB:
+  case Opcode::LDSB:
+  case Opcode::STB:
+  case Opcode::LDH:
+  case Opcode::LDSH:
+  case Opcode::STH:
+  case Opcode::FLD:
+  case Opcode::FST:
+    if (I.Imm < INT16_MIN || I.Imm > INT16_MAX)
+      return 0;
+    Out[1] = RdRs;
+    Out[2] = static_cast<uint8_t>(static_cast<uint16_t>(I.Imm) & 0xFF);
+    Out[3] = static_cast<uint8_t>(static_cast<uint16_t>(I.Imm) >> 8);
+    return 4;
+
+  case Opcode::JMP:
+  case Opcode::CALL:
+    putU32(Out + 1, static_cast<uint32_t>(I.Imm));
+    return 5;
+
+  case Opcode::MOVI:
+  case Opcode::CMPI:
+  case Opcode::ADDI:
+  case Opcode::ANDI:
+    Out[1] = RdRs;
+    putU32(Out + 2, static_cast<uint32_t>(I.Imm));
+    return 6;
+
+  case Opcode::LDX:
+  case Opcode::STX:
+    Out[1] = RdRs;
+    Out[2] = static_cast<uint8_t>((I.Rt << 4) | I.Scale);
+    putU32(Out + 3, static_cast<uint32_t>(I.Imm));
+    return 7;
+
+  case Opcode::FMOVI:
+    Out[1] = static_cast<uint8_t>(I.Rd << 4);
+    putU64(Out + 2, I.Imm64);
+    return 10;
+
+  case Opcode::BCC: // handled above
+    return 0;
+  }
+  return 0;
+}

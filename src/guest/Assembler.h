@@ -183,6 +183,19 @@ private:
   std::map<std::string, uint32_t> Symbols;
 };
 
+/// Re-encodes a decoded instruction back into machine code. \p Out must
+/// have room for MaxInstrLen (10) bytes. Returns the encoded length, or 0
+/// if \p I is not encodable (field out of range: register > 15, LDX scale
+/// > 3, memory displacement outside int16, shift imm8 outside 0..255).
+///
+/// This is the inverse of decode(): for every decodable byte sequence B,
+/// encodeInstr(decode(B)) reproduces B exactly, up to the don't-care
+/// nibbles the decoder ignores (ALU3 byte 2 low nibble, FMOVI byte 1 low
+/// nibble), which are re-emitted as 0 — the assembler's canonical form.
+/// The round-trip property is enforced over the whole opcode table by
+/// tests/RoundTripTests.cpp.
+unsigned encodeInstr(const Instr &I, uint8_t *Out);
+
 } // namespace vg1
 } // namespace vg
 

@@ -3,6 +3,7 @@
 #include "guest/RefInterp.h"
 
 #include "guest/Decoder.h"
+#include "support/FpCanon.h"
 
 #include <cmath>
 #include <cstring>
@@ -376,17 +377,19 @@ RunResult RefInterp::run(uint64_t MaxInsns) {
       R[0] = 0;
       break;
 
+    // Arithmetic results are NaN-canonicalised to match the JIT's ALU
+    // evaluator exactly (see support/FpCanon.h for why).
     case Opcode::FADD:
-      F[I.Rd] = F[I.Rs] + F[I.Rt];
+      F[I.Rd] = canonF64(F[I.Rs] + F[I.Rt]);
       break;
     case Opcode::FSUB:
-      F[I.Rd] = F[I.Rs] - F[I.Rt];
+      F[I.Rd] = canonF64(F[I.Rs] - F[I.Rt]);
       break;
     case Opcode::FMUL:
-      F[I.Rd] = F[I.Rs] * F[I.Rt];
+      F[I.Rd] = canonF64(F[I.Rs] * F[I.Rt]);
       break;
     case Opcode::FDIV:
-      F[I.Rd] = F[I.Rs] / F[I.Rt];
+      F[I.Rd] = canonF64(F[I.Rs] / F[I.Rt]);
       break;
     case Opcode::FNEG:
       F[I.Rd] = -F[I.Rs];

@@ -2,6 +2,8 @@
 
 #include "ir/IR.h"
 
+#include "support/FpCanon.h"
+
 #include <cmath>
 #include <cstring>
 
@@ -325,20 +327,23 @@ uint64_t ir::evalOp(Op O, uint64_t A, uint64_t B) {
     return A & 1;
   case Op::Concat32HLto64:
     return (A << 32) | (B & 0xFFFFFFFFull);
+  // Arithmetic results are NaN-canonicalised (support/FpCanon.h): which
+  // input payload propagates is IEEE-unspecified, so without this the JIT
+  // and the reference interpreter can legally disagree bit-for-bit.
   case Op::AddF64:
-    return fromF64(asF64(A) + asF64(B));
+    return fromF64(canonF64(asF64(A) + asF64(B)));
   case Op::SubF64:
-    return fromF64(asF64(A) - asF64(B));
+    return fromF64(canonF64(asF64(A) - asF64(B)));
   case Op::MulF64:
-    return fromF64(asF64(A) * asF64(B));
+    return fromF64(canonF64(asF64(A) * asF64(B)));
   case Op::DivF64:
-    return fromF64(asF64(A) / asF64(B));
-  case Op::NegF64:
+    return fromF64(canonF64(asF64(A) / asF64(B)));
+  case Op::NegF64: // sign-bit op: fully determined, never canonicalised
     return fromF64(-asF64(A));
-  case Op::AbsF64:
+  case Op::AbsF64: // sign-bit op, as above
     return fromF64(std::fabs(asF64(A)));
   case Op::SqrtF64:
-    return fromF64(std::sqrt(asF64(A)));
+    return fromF64(canonF64(std::sqrt(asF64(A))));
   case Op::I32StoF64:
     return fromF64(static_cast<double>(static_cast<int32_t>(A)));
   case Op::F64toI32S: {

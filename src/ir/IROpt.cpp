@@ -10,6 +10,15 @@ using namespace vg;
 using namespace vg::ir;
 
 //===----------------------------------------------------------------------===//
+// Fuzz self-test plant
+//===----------------------------------------------------------------------===//
+
+static int FuzzPlantKind = 0;
+
+void vg::ir::setFuzzPlant(int Kind) { FuzzPlantKind = Kind; }
+int vg::ir::fuzzPlant() { return FuzzPlantKind; }
+
+//===----------------------------------------------------------------------===//
 // Flattening: tree IR -> flat IR
 //===----------------------------------------------------------------------===//
 
@@ -256,6 +265,10 @@ private:
           return A;
         if (A->isConst(0))
           return B;
+        // Deliberately-planted miscompile for vgfuzz --self-test (off in
+        // normal operation; see setFuzzPlant in IROpt.h).
+        if (fuzzPlant() == 1 && E->Opc == Op::Add32 && B->isConst(1))
+          return A;
         break;
       case Op::Sub8:
       case Op::Sub16:

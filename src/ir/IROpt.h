@@ -60,6 +60,13 @@ void optimise2(IRSB &SB, const SpecFn &Spec,
 /// Flat IR -> tree IR, in place (Phase 5).
 void buildTrees(IRSB &SB);
 
+/// Self-test hook for the differential fuzzer (vgfuzz --self-test): plants
+/// a deliberate miscompile in simplify() so the harness can prove it
+/// catches real optimiser bugs. 0 = off (the default; release behaviour).
+/// Kind 1: folds Add32(x, 1) to x — loop increments silently vanish.
+void setFuzzPlant(int Kind);
+int fuzzPlant();
+
 } // namespace ir
 } // namespace vg
 

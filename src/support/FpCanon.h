@@ -1,0 +1,44 @@
+//===-- support/FpCanon.h - Deterministic NaN canonicalisation --*- C++ -*-==//
+///
+/// \file
+/// When an FP arithmetic operation produces a NaN from NaN operands, IEEE
+/// 754 leaves *which* input payload propagates unspecified, and C++
+/// compilers exploit that freedom: a commutative `a + b` may be emitted as
+/// `addsd a, b` at one call site and `addsd b, a` at another. The
+/// reference interpreter and the JIT's ALU evaluator both compute FP in
+/// C++, so without canonicalisation the same guest instruction can retire
+/// different NaN bit patterns in the two engines — found by the
+/// differential fuzzer as a memory-checksum divergence on
+/// `fneg f0, f7; fadd f2, f7, f0` with f7 = NaN (the two operands are the
+/// same payload with opposite signs, so the operand order is observable).
+///
+/// Every engine that retires an FP arithmetic result must pass it through
+/// canonF64(): any NaN becomes the positive quiet NaN. Sign-manipulation
+/// ops (FNEG, FABS) are exempt — IEEE defines them as bit operations with
+/// fully determined results, and canonicalising them would destroy the
+/// sign flip the guest asked for.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SUPPORT_FPCANON_H
+#define VG_SUPPORT_FPCANON_H
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace vg {
+
+/// The canonical quiet NaN (positive, no payload).
+constexpr uint64_t CanonicalNaNBits = 0x7FF8000000000000ull;
+
+inline double canonF64(double D) {
+  if (std::isnan(D)) {
+    std::memcpy(&D, &CanonicalNaNBits, 8);
+    return D;
+  }
+  return D;
+}
+
+} // namespace vg
+
+#endif // VG_SUPPORT_FPCANON_H

@@ -1,0 +1,219 @@
+//===-- tests/IRGoldenTests.cpp - Golden-file tests for the IR printer ----==//
+///
+/// \file
+/// Pins the textual IR of representative translation-pipeline runs against
+/// golden files in tests/goldens/. Any change to the front end, optimiser,
+/// instrumentation, or printer that alters the rendered IR shows up as a
+/// readable diff here.
+///
+/// To regenerate after an intentional change:
+///
+///   UPDATE_GOLDENS=1 ./build/tests/test_irgolden
+///
+/// which rewrites the files in the source tree (VG_TEST_GOLDEN_DIR).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Translate.h"
+#include "guest/Assembler.h"
+#include "ir/IRPrinter.h"
+#include "tools/ICnt.h"
+#include "tools/Memcheck.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace vg;
+using namespace vg::vg1;
+
+#ifndef VG_TEST_GOLDEN_DIR
+#error "VG_TEST_GOLDEN_DIR must point at tests/goldens"
+#endif
+
+namespace {
+
+bool updating() { return std::getenv("UPDATE_GOLDENS") != nullptr; }
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(VG_TEST_GOLDEN_DIR) + "/" + Name + ".txt";
+}
+
+/// Compares \p Actual against the named golden (or rewrites it under
+/// UPDATE_GOLDENS=1). On mismatch the full actual text is printed so the
+/// diff is inspectable from the test log.
+void checkGolden(const std::string &Name, const std::string &Actual) {
+  std::string Path = goldenPath(Name);
+  if (updating()) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out) << "cannot write " << Path;
+    Out << Actual;
+    return;
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In) << "missing golden " << Path
+                  << " (run with UPDATE_GOLDENS=1 to create)";
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  std::string Expect = SS.str();
+  if (Expect != Actual) {
+    // Locate the first differing line for a readable failure.
+    std::istringstream EL(Expect), AL(Actual);
+    std::string E, A;
+    unsigned Line = 1;
+    while (std::getline(EL, E) && std::getline(AL, A) && E == A)
+      ++Line;
+    FAIL() << Name << ": IR text diverges from golden at line " << Line
+           << "\n  golden: " << E << "\n  actual: " << A
+           << "\nFull actual output:\n" << Actual
+           << "\n(UPDATE_GOLDENS=1 regenerates " << Path << ")";
+  }
+}
+
+FetchFn fetchOf(uint32_t Base, const std::vector<uint8_t> &Img) {
+  return [Base, &Img](uint32_t Addr, uint8_t *Buf,
+                      uint32_t MaxLen) -> uint32_t {
+    if (Addr < Base || Addr >= Base + Img.size())
+      return 0;
+    uint32_t N = std::min<uint32_t>(
+        MaxLen, static_cast<uint32_t>(Base + Img.size() - Addr));
+    std::memcpy(Buf, Img.data() + (Addr - Base), N);
+    return N;
+  };
+}
+
+/// One concatenated artifact dump: stable section headers + phase output.
+std::string renderSections(
+    const std::vector<std::pair<const char *, const std::string *>> &Secs) {
+  std::string Out;
+  for (const auto &[Title, Text] : Secs) {
+    Out += std::string("== ") + Title + " ==\n";
+    Out += *Text;
+    if (!Text->empty() && Text->back() != '\n')
+      Out += '\n';
+  }
+  return Out;
+}
+
+// The Figure-1 block: scaled-index load, ALU with flags, indirect jump.
+std::vector<uint8_t> figureOneBlock() {
+  Assembler A(0x24F275);
+  A.ldx(Reg::R0, Reg::R3, Reg::R0, 2, -16180);
+  A.add(Reg::R0, Reg::R0, Reg::R3);
+  A.jmpr(Reg::R0);
+  return A.finalize();
+}
+
+TEST(IRGolden, AluCcBranch) {
+  // CMP feeding Bcc: the CC thunk is written, then the branch's calcCond
+  // helper call is partially evaluated by the spec hook (constant CC_OP).
+  Assembler B(0x2000);
+  Label L = B.newLabel();
+  B.movi(Reg::R1, 5);
+  B.addi(Reg::R2, Reg::R1, -3);
+  B.cmp(Reg::R1, Reg::R2);
+  B.bcc(Cond::LES, L);
+  B.hlt();
+  B.bind(L);
+  B.hlt();
+  std::vector<uint8_t> Img = B.finalize();
+  FetchFn F = fetchOf(0x2000, Img);
+  TranslationOptions TO;
+  TO.Verify = true;
+  TranslationArtifacts Art;
+  translateBlock(0x2000, F, TO, &Art);
+  checkGolden("alu_cc_branch",
+              renderSections({{"tree IR (phase 1)", &Art.TreeIR},
+                              {"flat IR (phase 2)", &Art.FlatIR},
+                              {"tree IR rebuilt (phase 5)",
+                               &Art.RebuiltTreeIR}}));
+}
+
+TEST(IRGolden, LdxNulgrind) {
+  std::vector<uint8_t> Img = figureOneBlock();
+  FetchFn F = fetchOf(0x24F275, Img);
+  TranslationOptions TO;
+  TO.Verify = true;
+  TranslationArtifacts Art;
+  translateBlock(0x24F275, F, TO, &Art);
+  checkGolden("ldx_nulgrind",
+              renderSections({{"tree IR (phase 1)", &Art.TreeIR},
+                              {"flat IR (phase 2)", &Art.FlatIR},
+                              {"host code, virtual regs (phase 6)",
+                               &Art.HostPreAlloc},
+                              {"host code, allocated (phase 7)",
+                               &Art.HostPostAlloc}}));
+}
+
+TEST(IRGolden, LdxMemcheck) {
+  std::vector<uint8_t> Img = figureOneBlock();
+  FetchFn F = fetchOf(0x24F275, Img);
+  Memcheck MC;
+  TranslationOptions TO;
+  TO.Verify = true;
+  TO.Instrument = [&](ir::IRSB &SB) { MC.instrument(SB); };
+  TranslationArtifacts Art;
+  translateBlock(0x24F275, F, TO, &Art);
+  checkGolden("ldx_memcheck",
+              renderSections({{"instrumented flat IR (phase 3)",
+                               &Art.InstrumentedIR},
+                              {"optimised flat IR (phase 4)",
+                               &Art.OptimisedIR}}));
+}
+
+TEST(IRGolden, LdxIcntInline) {
+  std::vector<uint8_t> Img = figureOneBlock();
+  FetchFn F = fetchOf(0x24F275, Img);
+  ICnt IC(ICnt::Mode::Inline);
+  TranslationOptions TO;
+  TO.Verify = true;
+  TO.Instrument = [&](ir::IRSB &SB) { IC.instrument(SB); };
+  TranslationArtifacts Art;
+  translateBlock(0x24F275, F, TO, &Art);
+  checkGolden("ldx_icnt_inline",
+              renderSections({{"instrumented flat IR (phase 3)",
+                               &Art.InstrumentedIR},
+                              {"optimised flat IR (phase 4)",
+                               &Art.OptimisedIR}}));
+}
+
+TEST(IRGolden, FpSimdCpuinfo) {
+  // FP moves/conversions/compare, packed SIMD, and the CPUINFO dirty
+  // helper with its register-effect annotations.
+  Assembler A(0x3000);
+  A.fmovi(FReg::F0, 1.5);
+  A.fitod(FReg::F1, Reg::R2);
+  A.fadd(FReg::F2, FReg::F0, FReg::F1);
+  A.fcmp(FReg::F2, FReg::F0);
+  A.vadd8(Reg::R4, Reg::R5, Reg::R6);
+  A.cpuinfo();
+  A.ret();
+  std::vector<uint8_t> Img = A.finalize();
+  FetchFn F = fetchOf(0x3000, Img);
+  TranslationOptions TO;
+  TO.Verify = true;
+  TranslationArtifacts Art;
+  translateBlock(0x3000, F, TO, &Art);
+  checkGolden("fp_simd_cpuinfo",
+              renderSections({{"tree IR (phase 1)", &Art.TreeIR},
+                              {"flat IR (phase 2)", &Art.FlatIR}}));
+}
+
+TEST(IRGolden, PrinterPrimitives) {
+  // The printer itself: offsets resolved via vg1OffsetName, including
+  // shadow offsets, plus expression rendering.
+  using namespace vg::ir;
+  IRSB SB;
+  TmpId T0 = SB.wrTmp(SB.get(vg1::gso::gpr(3), Ty::I32));
+  TmpId T1 = SB.wrTmp(SB.binop(Op::Add32, SB.rdTmp(T0), SB.constI32(0x10)));
+  SB.put(vg1::gso::gpr(3) + vg1::gso::ShadowOffset, SB.rdTmp(T1));
+  SB.put(vg1::gso::PC, SB.constI32(0x1234));
+  checkGolden("printer_primitives", toString(SB, vg1OffsetName));
+}
+
+} // namespace
