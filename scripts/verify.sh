@@ -25,6 +25,9 @@ ctest --test-dir build --output-on-failure -j
 echo "== smoke: sec39_dispatch =="
 ./build/bench/sec39_dispatch
 
+echo "== smoke: sec32_asyncjit (background promotion) =="
+./build/bench/sec32_asyncjit
+
 echo "== smoke: table2_slowdown =="
 ./build/bench/table2_slowdown
 
@@ -47,6 +50,14 @@ FUZZ_ITERS=200
 [ "${VG_SOAK_QUICK:-0}" = "1" ] && FUZZ_ITERS=50
 ./build/src/vgfuzz --iters="$FUZZ_ITERS" --seed=1 --quiet
 ./build/src/vgfuzz --self-test --seed=1 --quiet
+
+echo "== smoke: ThreadSanitizer (concurrency label) =="
+# The TranslationService worker/guest-thread protocol under TSan: the
+# service unit tests plus the sigmt soak with --jit-threads=2 (all tests
+# carrying the `concurrency` ctest label, via the tsan preset).
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j --target test_translationservice >/dev/null
+ctest --preset tsan
 
 if [ "$FUZZ_SOAK" = "1" ]; then
   echo "== fuzz soak: 2000-iteration acceptance campaign =="

@@ -23,7 +23,9 @@ using namespace vg::vg1;
 Tool::~Tool() = default;
 
 Core::Core(Tool *ToolPlugin)
-    : TT(1u << 14), ToolPlugin(ToolPlugin), FastCache(FastCacheSize),
+    : XS(std::make_unique<TranslationService>(
+          static_cast<TranslationHost &>(*this), Memory, 1u << 14)),
+      TT(XS->transTab()), ToolPlugin(ToolPlugin), FastCache(FastCacheSize),
       Spec(vg1SpecFn()) {
   Opts.addOption("smc-check", "stack",
                  "when to check for self-modifying code: none|stack|all");
@@ -55,6 +57,12 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("trace-dump", "no",
                  "dump the event trace at exit (a fatal signal always "
                  "dumps it)");
+  Opts.addOption("jit-threads", "0",
+                 "background translation workers for hot-block promotion "
+                 "(0 = fully synchronous, deterministic)");
+  Opts.addOption("jit-queue-depth", "8",
+                 "bounded promotion-queue depth; a full queue falls back "
+                 "to inline translation");
   if (ToolPlugin)
     ToolPlugin->registerOptions(Opts);
   Kernel = std::make_unique<SimKernel>(AS, &Events, this);
@@ -103,6 +111,12 @@ void Core::applyOptions() {
     Tracer->setClock(&Stats.BlocksDispatched);
   }
   TraceDumpAtExit = Opts.getBool("trace-dump");
+  unsigned JT = static_cast<unsigned>(
+      Opts.getIntClamped("jit-threads", 0, 16));
+  unsigned QD = static_cast<unsigned>(
+      Opts.getIntClamped("jit-queue-depth", 1, 1024));
+  if (JT)
+    XS->configure(JT, QD);
 }
 
 int Core::liveThreads() const {
@@ -422,7 +436,8 @@ const ir::Callee TrackSpCallee = {"vg_track_sp", &Core::helperTrackSp, 0};
 // Translation (including the core's own instrumentation)
 //===----------------------------------------------------------------------===//
 
-void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans) {
+void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
+                           bool WantSmc) {
   // Phase 3 proper: the tool's analysis code.
   if (ToolPlugin)
     ToolPlugin->instrument(SB);
@@ -443,8 +458,6 @@ void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans) {
 
   // Self-modifying-code check (Section 3.16): prepended so a stale block
   // aborts before running any guest work.
-  bool WantSmc = Smc == SmcMode::All ||
-                 (Smc == SmcMode::Stack && addrOnAnyStack(Addr));
   if (WantSmc) {
     std::vector<ir::Stmt *> Old;
     Old.swap(SB.stmts());
@@ -471,11 +484,8 @@ bool Core::addrOnAnyStack(uint32_t Addr) const {
   return false;
 }
 
-Translation *Core::translateOne(uint32_t PC, bool Hot) {
-  auto TPtr = std::make_unique<Translation>();
-  Translation *Raw = TPtr.get();
-
-  TranslationOptions TO;
+void Core::setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
+                            Translation *Raw) {
   TO.Spec = Spec;
   TO.Verify = Opts.getBool("verify-ir");
   TO.Prof = Prof.get();
@@ -500,54 +510,40 @@ Translation *Core::translateOne(uint32_t PC, bool Hot) {
     TO.Preserve.Lo = gso::gpr(RegSP);
     TO.Preserve.Hi = gso::gpr(RegSP) + 4;
   }
-  TO.Instrument = [this, PC, Raw](ir::IRSB &SB) {
-    instrumentBlock(SB, PC, Raw);
+  // The SMC policy consults live stack geometry, so it is sampled here on
+  // the guest thread; a worker running this hook later must not recompute
+  // it.
+  bool WantSmc = Smc == SmcMode::All ||
+                 (Smc == SmcMode::Stack && addrOnAnyStack(PC));
+  TO.Instrument = [this, PC, Raw, WantSmc](ir::IRSB &SB) {
+    instrumentBlock(SB, PC, Raw, WantSmc);
   };
-  FetchFn Fetch = [this](uint32_t Addr, uint8_t *Buf,
-                         uint32_t MaxLen) -> uint32_t {
-    uint32_t N = 0;
-    while (N < MaxLen && !Memory.fetch(Addr + N, Buf + N, 1).Faulted)
-      ++N;
-    return N;
-  };
+}
 
-  double T0 = 0;
-  if (Prof) {
-    using Clock = std::chrono::steady_clock;
-    T0 = std::chrono::duration<double>(Clock::now().time_since_epoch())
-             .count();
-  }
-  TranslatedBlock TB = translateBlock(PC, Fetch, TO);
-  Raw->Addr = PC;
-  Raw->Tier = Hot ? 1 : 0;
-  Raw->Blob = std::move(TB.Blob);
-  Raw->Extents = TB.Meta.Extents;
-  if (Raw->Extents.empty())
-    Raw->Extents.push_back({PC, PC + 1}); // NoDecode-at-entry blocks
-  Raw->NumInsns = TB.Meta.NumInsns;
-  Raw->Chain.assign(Raw->Blob.NumChainSlots, nullptr);
-
-  // Hash the original bytes for SMC checks.
-  uint64_t H = 0xcbf29ce484222325ULL;
-  for (auto [Lo, Hi] : Raw->Extents) {
-    for (uint32_t A = Lo; A != Hi; ++A) {
-      uint8_t B = 0;
-      Memory.read(A, &B, 1, /*IgnorePerms=*/true);
-      H ^= B;
-      H *= 0x100000001b3ULL;
-    }
-  }
-  Raw->CodeHash = H;
-
+void Core::noteTranslation(uint32_t PC, const Translation &T,
+                           double Seconds) {
   ++Stats.Translations;
-  Stats.GuestInsnsTranslated += Raw->NumInsns;
-  if (Prof) {
-    using Clock = std::chrono::steady_clock;
-    double T1 = std::chrono::duration<double>(Clock::now().time_since_epoch())
-                    .count();
-    Prof->noteTranslation(PC, Raw->NumInsns, Raw->Tier, T1 - T0);
+  Stats.GuestInsnsTranslated += T.NumInsns;
+  if (Prof)
+    Prof->noteTranslation(PC, T.NumInsns, T.Tier, Seconds);
+}
+
+void Core::mergePhaseTimes(const PhaseTimes &PT) {
+  if (Prof)
+    Prof->mergePhases(PT);
+}
+
+void Core::promotionInstalled(Translation *T, uint64_t GenBefore) {
+  ++Stats.HotPromotions;
+  if (TT.generation() == GenBefore + 1) {
+    // Only the replaced tier-1 block died in the insert: repair its
+    // fast-cache line surgically, exactly as the inline promotion path
+    // does. Any bigger generation jump (an eviction run) lets the
+    // generation check wipe the cache wholesale on the next dispatch.
+    FastCacheGen = TT.generation();
+    FastCache[hashAddr(T->Addr) & (FastCacheSize - 1)] =
+        FastCacheEntry{T->Addr, T};
   }
-  return TT.insert(std::move(TPtr));
 }
 
 Translation *Core::promoteHot(uint32_t PC) {
@@ -556,7 +552,14 @@ Translation *Core::promoteHot(uint32_t PC) {
   // are re-parked and relink to the superblock immediately (TransTab's
   // eager waiter resolution), so the hot path re-forms without further
   // dispatcher round-trips.
-  return translateOne(PC, /*Hot=*/true);
+  using Clock = std::chrono::steady_clock;
+  double T0 =
+      std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+  Translation *T = XS->translateSync(PC, /*Hot=*/true);
+  double T1 =
+      std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
+  XS->noteSyncPromotion(T1 - T0);
+  return T;
 }
 
 void Core::dumpProfile() {
@@ -603,6 +606,25 @@ void Core::dumpProfile() {
       C.FaultNames[I] = faultKindName(static_cast<FaultKind>(I));
     }
   }
+  if (XS->jitThreads() > 0) {
+    const JitStats &J = XS->jitStats();
+    C.HasJit = true;
+    C.JitThreads = XS->jitThreads();
+    C.JitQueueDepth = XS->queueDepth();
+    C.AsyncRequests = J.AsyncRequests;
+    C.AsyncCompleted = J.AsyncCompleted;
+    C.AsyncInstalled = J.AsyncInstalled;
+    C.AsyncDiscardedEpoch = J.AsyncDiscardedEpoch;
+    C.AsyncDiscardedStale = J.AsyncDiscardedStale;
+    C.AsyncAbandoned = J.AsyncAbandoned;
+    C.QueueFullFallbacks = J.QueueFullFallbacks;
+    C.WorkerFailures = J.WorkerFailures;
+    C.QueueHighWater = J.QueueHighWater;
+    C.SyncPromotions = J.SyncPromotions;
+    C.InstallLatencySeconds = J.InstallLatencySeconds;
+    C.SyncPromoStallSeconds = J.SyncPromoStallSeconds;
+    C.EnqueueSeconds = J.EnqueueSeconds;
+  }
   if (Tracer) {
     C.HasTrace = true;
     C.TraceRecorded = Tracer->recorded();
@@ -632,7 +654,7 @@ Translation *Core::findOrTranslate(uint32_t PC) {
   ++Stats.FastCacheMisses;
   Translation *T = TT.lookup(PC);
   if (!T)
-    T = translateOne(PC);
+    T = XS->translateSync(PC, /*Hot=*/false);
   if (FastCacheGen != TT.generation()) {
     std::fill(FastCache.begin(), FastCache.end(), FastCacheEntry{});
     FastCacheGen = TT.generation();
@@ -647,12 +669,20 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
   auto *T = static_cast<Translation *>(Cookie);
   if (Slot >= T->Chain.size() || !T->Chain[Slot])
     return nullptr;
+  // A worker published a superblock: bounce to the dispatcher so it can
+  // install at a boundary where nothing is executing inside the code
+  // cache (an install may evict translations this very chain is standing
+  // on). Always false at --jit-threads=0.
+  if (C->XS->hasCompleted())
+    return nullptr;
   Translation *Succ = T->Chain[Slot];
   // Hotness accounting happens here too, or chained loops would never
   // cross the threshold. A successor about to go hot bounces back to the
   // dispatcher, which performs the promotion (retranslation must not run
-  // while the executor is inside the chain).
-  if (C->HotThreshold && Succ->Tier == 0 &&
+  // while the executor is inside the chain). A block whose promotion is
+  // already queued keeps chaining at tier 1 — bouncing every transfer
+  // until the worker finishes would cost more than the stall we avoided.
+  if (C->HotThreshold && Succ->Tier == 0 && !Succ->PromoPending &&
       Succ->ExecCount + 1 >= C->HotThreshold) {
     // The successor is known — the bounce exists only to run the promotion
     // from dispatcher context. Prefill its fast-cache line so the bounced
@@ -694,6 +724,12 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
 
   while (Quantum > 0 && !ProcessExited && !FatalSignal &&
          TS.Status == ThreadStatus::Runnable && !YieldRequested) {
+    // Publish finished background promotions. Safe exactly here: nothing
+    // is executing inside the code cache between Exec.run calls, so the
+    // install may evict/replace translations freely. A no-op single
+    // atomic load at --jit-threads=0.
+    if (XS->hasCompleted())
+      XS->drainCompleted();
     if (Faults)
       injectBoundaryFaults(TS);
     if (deliverPendingSignals(TS)) {
@@ -750,15 +786,23 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
     ++T->ExecCount;
     if (Prof)
       Prof->noteExec(PC);
-    if (HotThreshold && T->Tier == 0 && T->ExecCount >= HotThreshold) {
-      uint64_t GenBefore = TT.generation();
-      T = promoteHot(PC);
-      if (TT.generation() == GenBefore + 1) {
-        // Only the replaced translation died: repair its fast-cache line
-        // surgically instead of letting the generation check wipe the
-        // whole cache (every other entry still points at live memory).
-        FastCacheGen = TT.generation();
-        FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
+    if (HotThreshold && T->Tier == 0 && !T->PromoPending &&
+        T->ExecCount >= HotThreshold) {
+      if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
+        // The promotion compiles in the background; keep executing the
+        // tier-1 translation and install the superblock at a later
+        // boundary. No stall taken here — that is the whole point.
+      } else {
+        uint64_t GenBefore = TT.generation();
+        T = promoteHot(PC);
+        if (TT.generation() == GenBefore + 1) {
+          // Only the replaced translation died: repair its fast-cache line
+          // surgically instead of letting the generation check wipe the
+          // whole cache (every other entry still points at live memory).
+          FastCacheGen = TT.generation();
+          FastCache[hashAddr(PC) & (FastCacheSize - 1)] =
+              FastCacheEntry{PC, T};
+        }
       }
     }
 
@@ -883,6 +927,11 @@ CoreExit Core::run(uint64_t MaxBlocks) {
     }
     dispatchLoop(Threads[CurTid], Quantum, /*StopPC=*/0xFFFFFFFF);
   }
+
+  // Stop the translation workers before reporting: unpublished jobs are
+  // abandoned (counted), and the counters below must be final. Any
+  // callGuest from a tool's fini degrades to inline promotion.
+  XS->shutdown();
 
   if (ToolPlugin)
     ToolPlugin->fini(ProcessExitCode);

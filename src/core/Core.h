@@ -22,6 +22,7 @@
 #include "core/Tool.h"
 #include "core/TransTab.h"
 #include "core/Translate.h"
+#include "core/TranslationService.h"
 #include "kernel/SimKernel.h"
 #include "support/EventTrace.h"
 #include "support/FaultInject.h"
@@ -81,7 +82,10 @@ enum Signals : int {
 };
 
 /// The core. Construct, configure (setTool/options), loadImage, run.
-class Core : public KernelHost {
+/// The TranslationHost side is the seam to the extracted
+/// TranslationService: the service calls back for pipeline options and
+/// guest-thread accounting, the core calls down for translations.
+class Core : public KernelHost, public TranslationHost {
 public:
   static constexpr int MaxThreads = 32;
   static constexpr uint64_t ThreadQuantum = 100'000; // blocks (Section 3.14)
@@ -104,6 +108,7 @@ public:
   Tool *tool() { return ToolPlugin; }
   const CoreStats &stats() const { return Stats; }
   TransTab &transTab() { return TT; }
+  TranslationService &translationService() { return *XS; }
 
   void setSmcMode(SmcMode M) { Smc = M; }
   void setChaining(bool On) { ChainingEnabled = On; }
@@ -172,6 +177,14 @@ public:
   /// DISCARD_TRANSLATIONS client request and munmap both land here.
   void discardTranslations(uint32_t Addr, uint32_t Len);
 
+  // --- TranslationHost (called by the TranslationService) -----------------
+  void setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
+                        Translation *Raw) override;
+  void noteTranslation(uint32_t PC, const Translation &T,
+                       double Seconds) override;
+  void mergePhaseTimes(const PhaseTimes &PT) override;
+  void promotionInstalled(Translation *T, uint64_t GenBefore) override;
+
   // Helper callees referenced from generated code (public because the
   // Callee descriptors binding them are defined at namespace scope).
   static uint64_t helperSmcCheck(void *Env, uint64_t TransPtr, uint64_t,
@@ -190,12 +203,10 @@ private:
   static constexpr size_t FastCacheSize = 1u << 13; // direct-mapped
 
   Translation *findOrTranslate(uint32_t PC);
-  /// Translates the block at \p PC and inserts it into the table. \p Hot
-  /// retranslations chase branches aggressively (superblock formation);
-  /// cold blocks use the default frontend limits.
-  Translation *translateOne(uint32_t PC, bool Hot = false);
-  /// Hot-tier promotion: retranslate \p PC as a superblock. Replaces the
-  /// old translation (predecessor chain slots relink eagerly via TransTab).
+  /// Inline hot-tier promotion: retranslate \p PC as a superblock,
+  /// stalling the guest (the only mode at --jit-threads=0, and the
+  /// fallback rung when the async queue is full). Replaces the old
+  /// translation (predecessor chain slots relink eagerly via TransTab).
   Translation *promoteHot(uint32_t PC);
   void dumpProfile();
   /// Dispatches blocks for \p TS until the quantum is spent, the process
@@ -216,8 +227,11 @@ private:
   [[noreturn]] void internalError(const char *Msg);
 
   /// The core's own instrumentation layered around the tool's: SMC check
-  /// prelude and SP-change tracking (R7).
-  void instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans);
+  /// prelude (when \p WantSmc — sampled on the guest thread at options-
+  /// build time, since stack geometry must not be read from a worker) and
+  /// SP-change tracking (R7).
+  void instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
+                       bool WantSmc);
   bool addrOnAnyStack(uint32_t Addr) const;
 
   static const hvm::CodeBlob *chainResolveThunk(void *User, void *Cookie,
@@ -230,7 +244,10 @@ private:
   GuestMemory Memory;
   AddressSpace AS;
   std::unique_ptr<SimKernel> Kernel;
-  TransTab TT;
+  /// The extracted translation layer; owns the TransTab and, under
+  /// --jit-threads=N, the promotion queue and workers.
+  std::unique_ptr<TranslationService> XS;
+  TransTab &TT; ///< alias into XS (guest-thread access only)
   Tool *ToolPlugin;
 
   std::array<ThreadState, MaxThreads> Threads;

@@ -93,6 +93,7 @@ RunReport vg::runUnderCoreWith(const GuestImage &Img, Tool *ToolPlugin,
   R.ToolOutput = C.output().takeBuffer();
   R.Stats = C.stats();
   R.TTStats = C.transTab().stats();
+  R.Jit = C.translationService().jitStats();
   R.Syscalls = C.kernel().syscallCount();
   return R;
 }

@@ -31,6 +31,7 @@ struct RunReport {
   std::string ToolOutput; ///< core/tool side channel (R9), buffer mode
   CoreStats Stats;        ///< core runs only
   TransTab::Stats TTStats; ///< translation-table statistics (core runs)
+  JitStats Jit;            ///< translation-service counters (core runs)
   uint64_t NativeInsns = 0;
   uint64_t Syscalls = 0;
   double Seconds = 0; ///< wall time of guest execution only

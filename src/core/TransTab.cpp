@@ -148,6 +148,7 @@ void TransTab::rehash() {
 }
 
 unsigned TransTab::invalidateRange(uint32_t Addr, uint32_t Len) {
+  ++FlushEpoch;
   uint32_t End = Addr + Len;
   unsigned N = 0;
   for (size_t I = 0; I != Slots.size(); ++I) {
@@ -166,6 +167,7 @@ unsigned TransTab::invalidateRange(uint32_t Addr, uint32_t Len) {
 }
 
 void TransTab::invalidateAll() {
+  ++FlushEpoch;
   for (size_t I = 0; I != Slots.size(); ++I)
     if (Slots[I].St == Slot::State::Full)
       eraseSlot(I);

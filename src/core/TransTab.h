@@ -46,6 +46,11 @@ struct Translation {
   uint64_t ExecCount = 0;
   /// 0 = baseline block, 1 = hot superblock (branch-chasing retranslation).
   uint8_t Tier = 0;
+  /// An asynchronous hot promotion of this address is in flight (queued or
+  /// being translated). Guest thread only; stops the dispatcher and the
+  /// chain thunk from re-requesting promotion on every execution while the
+  /// worker runs. Always false when --jit-threads=0.
+  bool PromoPending = false;
   /// Chain slots: successor translations for constant Boring exits. Filled
   /// eagerly by TransTab when the successor exists; otherwise parked as a
   /// pending waiter and filled on the successor's insertion.
@@ -115,6 +120,13 @@ public:
   /// dispatcher's fast cache can drop stale pointers.
   uint64_t generation() const { return Gen; }
 
+  /// Flush-epoch counter: bumped only by invalidateRange/invalidateAll
+  /// (never by capacity eviction). The translation service stamps each
+  /// async job with the epoch at enqueue time and discards the result if
+  /// the epoch moved — the guest code the job translated from may have
+  /// been redirected or unmapped even when the bytes still hash equal.
+  uint64_t flushEpoch() const { return FlushEpoch; }
+
 private:
   struct Slot {
     enum class State : uint8_t { Empty, Full, Tomb };
@@ -147,6 +159,7 @@ private:
   size_t Count = 0;
   uint64_t NextSeq = 0;
   uint64_t Gen = 0;
+  uint64_t FlushEpoch = 0;
   /// target guest address -> (translation, slot) pairs waiting for a
   /// translation of that address to appear.
   std::map<uint32_t, std::vector<std::pair<Translation *, uint32_t>>> Pending;

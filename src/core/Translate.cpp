@@ -7,9 +7,43 @@
 #include "ir/IRPrinter.h"
 #include "support/Errors.h"
 
+#include <chrono>
+
 using namespace vg;
 
 namespace {
+
+/// RAII phase timer with two optional sinks: the (guest-thread-only)
+/// Profiler and a thread-private PhaseTimes. Background workers pass only
+/// the latter; the guest thread merges it at install time.
+class PhaseTimer {
+public:
+  PhaseTimer(Profiler *Prof, PhaseTimes *Out, ProfPhase Ph)
+      : Prof(Prof), Out(Out), Ph(Ph),
+        T0((Prof || Out) ? now() : 0) {}
+  ~PhaseTimer() {
+    if (!Prof && !Out)
+      return;
+    double S = now() - T0;
+    if (Prof)
+      Prof->notePhase(Ph, S);
+    if (Out)
+      Out->add(Ph, S);
+  }
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  static double now() {
+    using Clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(Clock::now().time_since_epoch())
+        .count();
+  }
+  Profiler *Prof;
+  PhaseTimes *Out;
+  ProfPhase Ph;
+  double T0;
+};
 
 void verifyIR(const ir::IRSB &SB, bool Flat, const char *Phase) {
   std::string Diag = SB.typecheck(Flat);
@@ -36,11 +70,12 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
                                    TranslationArtifacts *Art) {
   const ir::SpecFn Spec = Opts.Spec ? Opts.Spec : vg1SpecFn();
   Profiler *Prof = Opts.Prof;
+  PhaseTimes *Out = Opts.PhaseOut;
 
   // Phase 1: disassembly.
   DisasmResult Dis;
   {
-    Profiler::Timer Tm(Prof, ProfPhase::Disasm);
+    PhaseTimer Tm(Prof, Out, ProfPhase::Disasm);
     Dis = disassembleSB(Addr, Fetch, Opts.Frontend);
   }
   if (Opts.Verify)
@@ -51,7 +86,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   // Phase 2: flatten + optimisation 1.
   std::unique_ptr<ir::IRSB> SB;
   {
-    Profiler::Timer Tm(Prof, ProfPhase::Optimise1);
+    PhaseTimer Tm(Prof, Out, ProfPhase::Optimise1);
     SB = ir::flatten(*Dis.SB);
     if (Opts.RunOptimise1)
       ir::optimise1(*SB, Spec, Opts.Preserve);
@@ -61,10 +96,14 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   if (Art)
     Art->FlatIR = ir::toString(*SB, ir::vg1OffsetName);
 
-  // Phase 3: instrumentation (the tool plug-in).
+  // Phase 3: instrumentation (the tool plug-in). Tools are stateful, so
+  // concurrent pipelines for the same tool serialise here.
   if (Opts.Instrument) {
     {
-      Profiler::Timer Tm(Prof, ProfPhase::Instrument);
+      std::unique_lock<std::mutex> ToolLock;
+      if (Opts.InstrumentLock)
+        ToolLock = std::unique_lock<std::mutex>(*Opts.InstrumentLock);
+      PhaseTimer Tm(Prof, Out, ProfPhase::Instrument);
       Opts.Instrument(*SB);
     }
     if (Opts.Verify)
@@ -78,7 +117,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
 
   // Phase 4: optimisation 2.
   if (Opts.RunOptimise2) {
-    Profiler::Timer Tm(Prof, ProfPhase::Optimise2);
+    PhaseTimer Tm(Prof, Out, ProfPhase::Optimise2);
     ir::optimise2(*SB, Spec, Opts.Preserve);
   }
   if (Opts.Verify)
@@ -90,7 +129,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
 
   // Phase 5: tree building.
   {
-    Profiler::Timer Tm(Prof, ProfPhase::TreeBuild);
+    PhaseTimer Tm(Prof, Out, ProfPhase::TreeBuild);
     ir::buildTrees(*SB);
   }
   if (Opts.Verify)
@@ -101,7 +140,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   // Phase 6: instruction selection.
   hvm::HostCode Host;
   {
-    Profiler::Timer Tm(Prof, ProfPhase::ISel);
+    PhaseTimer Tm(Prof, Out, ProfPhase::ISel);
     Host = hvm::selectInstructions(*SB);
   }
   if (Art)
@@ -110,7 +149,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   // Phase 7: register allocation.
   unsigned Coalesced;
   {
-    Profiler::Timer Tm(Prof, ProfPhase::RegAlloc);
+    PhaseTimer Tm(Prof, Out, ProfPhase::RegAlloc);
     Coalesced = hvm::allocateRegisters(Host);
   }
   if (Art) {
@@ -123,7 +162,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   // Phase 8: assembly.
   TranslatedBlock TB;
   {
-    Profiler::Timer Tm(Prof, ProfPhase::Encode);
+    PhaseTimer Tm(Prof, Out, ProfPhase::Encode);
     TB.Blob.Bytes = hvm::encode(Host);
   }
   TB.Blob.NumSpillSlots = Host.NumSpillSlots;

@@ -1,0 +1,285 @@
+//===-- core/TranslationService.cpp - Tiered translation service ----------==//
+
+#include "core/TranslationService.h"
+
+#include <chrono>
+
+using namespace vg;
+
+TranslationHost::~TranslationHost() = default;
+
+TranslationService::TranslationService(TranslationHost &Host,
+                                       GuestMemory &Memory,
+                                       size_t TTCapacityPow2)
+    : Host(Host), Memory(Memory), TT(TTCapacityPow2) {}
+
+TranslationService::~TranslationService() { shutdown(); }
+
+double TranslationService::now() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// The synchronous pipeline (the only pipeline when --jit-threads=0)
+//===----------------------------------------------------------------------===//
+
+void TranslationService::fillTranslation(Translation &T, uint32_t PC,
+                                         bool Hot, TranslatedBlock TB) {
+  T.Addr = PC;
+  T.Tier = Hot ? 1 : 0;
+  T.Blob = std::move(TB.Blob);
+  T.Extents = TB.Meta.Extents;
+  if (T.Extents.empty())
+    T.Extents.push_back({PC, PC + 1}); // NoDecode-at-entry blocks
+  T.NumInsns = TB.Meta.NumInsns;
+  T.Chain.assign(T.Blob.NumChainSlots, nullptr);
+}
+
+uint64_t TranslationService::hashLive(
+    const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (auto [Lo, Hi] : Extents) {
+    for (uint32_t A = Lo; A != Hi; ++A) {
+      uint8_t B = 0;
+      Memory.read(A, &B, 1, /*IgnorePerms=*/true);
+      H ^= B;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  return H;
+}
+
+uint64_t TranslationService::hashSnapshot(
+    const GuestMemory::ExecSnapshot &Snap,
+    const std::vector<std::pair<uint32_t, uint32_t>> &Extents, bool &Ok) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (auto [Lo, Hi] : Extents) {
+    for (uint32_t A = Lo; A != Hi; ++A) {
+      uint8_t B = 0;
+      if (!Snap.fetch(A, &B, 1)) {
+        Ok = false;
+        return 0;
+      }
+      H ^= B;
+      H *= 0x100000001b3ULL;
+    }
+  }
+  Ok = true;
+  return H;
+}
+
+Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
+  auto TPtr = std::make_unique<Translation>();
+  Translation *Raw = TPtr.get();
+
+  TranslationOptions TO;
+  Host.setupTranslation(TO, PC, Hot, Raw);
+  FetchFn Fetch = [this](uint32_t Addr, uint8_t *Buf,
+                         uint32_t MaxLen) -> uint32_t {
+    uint32_t N = 0;
+    while (N < MaxLen && !Memory.fetch(Addr + N, Buf + N, 1).Faulted)
+      ++N;
+    return N;
+  };
+
+  double T0 = TO.Prof ? now() : 0;
+  TranslatedBlock TB = translateBlock(PC, Fetch, TO);
+  fillTranslation(*Raw, PC, Hot, std::move(TB));
+  Raw->CodeHash = hashLive(Raw->Extents);
+  Host.noteTranslation(PC, *Raw, TO.Prof ? now() - T0 : 0);
+  return TT.insert(std::move(TPtr));
+}
+
+//===----------------------------------------------------------------------===//
+// The asynchronous promotion pipeline
+//===----------------------------------------------------------------------===//
+
+void TranslationService::configure(unsigned Threads, unsigned Depth) {
+  if (Threads == 0 || !Workers.empty())
+    return;
+  QueueDepth = Depth ? Depth : 1;
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I != Threads; ++I) {
+    try {
+      Workers.emplace_back([this] { workerMain(); });
+    } catch (...) {
+      break; // keep whatever workers did start
+    }
+  }
+  NumThreads = static_cast<unsigned>(Workers.size());
+}
+
+void TranslationService::shutdown() {
+  if (Stopped)
+    return;
+  Stopped = true;
+  if (Workers.empty())
+    return;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Stop = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+  // Whatever never made it into the table is abandoned: jobs still queued,
+  // plus completed jobs nobody will drain. (Workers pushed their final
+  // jobs to the done list before joining, so the two buckets are exact.)
+  JS.AsyncAbandoned += Queue.size();
+  Queue.clear();
+  {
+    std::lock_guard<std::mutex> L(DoneMu);
+    JS.AsyncAbandoned += Done.size();
+    Done.clear();
+    DoneCount.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool TranslationService::enqueuePromotion(Translation *Cur) {
+  if (!asyncEnabled())
+    return false;
+  double T0 = now();
+
+  auto J = std::make_unique<Job>();
+  J->Addr = Cur->Addr;
+  J->EnqueueTime = T0;
+  J->EpochAtEnqueue = TT.flushEpoch();
+  // Rebuild when the epoch moved or the block lives in exec pages mapped
+  // after the cached snapshot was taken (same epoch — a plain mmap
+  // invalidates nothing).
+  uint8_t Probe = 0;
+  if (!SnapCache || SnapCacheEpoch != J->EpochAtEnqueue ||
+      !SnapCache->fetch(Cur->Addr, &Probe, 1)) {
+    SnapCache = std::make_shared<GuestMemory::ExecSnapshot>(
+        Memory.snapshotExecRanges());
+    SnapCacheEpoch = J->EpochAtEnqueue;
+  }
+  J->Snap = SnapCache;
+  J->Result = std::make_unique<Translation>();
+  // Pin everything guest-thread-dependent now: options, the SMC policy
+  // sampled inside the instrument hook, the per-tool lock.
+  Host.setupTranslation(J->TO, Cur->Addr, /*Hot=*/true, J->Result.get());
+  J->TO.Prof = nullptr; // the Profiler is guest-thread-only
+  J->TO.PhaseOut = &J->Phases;
+  J->TO.InstrumentLock = &InstrLock;
+
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    if (Stop)
+      return false;
+    if (Queue.size() >= QueueDepth) {
+      ++JS.QueueFullFallbacks;
+      return false; // backpressure: caller promotes inline
+    }
+    Queue.push_back(std::move(J));
+    JS.QueueHighWater =
+        std::max<uint64_t>(JS.QueueHighWater, Queue.size());
+  }
+  QueueCV.notify_one();
+  Cur->PromoPending = true;
+  ++JS.AsyncRequests;
+  JS.EnqueueSeconds += now() - T0;
+  return true;
+}
+
+void TranslationService::workerMain() {
+  for (;;) {
+    std::unique_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      QueueCV.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Stop)
+        return; // remaining jobs are counted abandoned by shutdown()
+      J = std::move(Queue.front());
+      Queue.pop_front();
+      ++InFlight;
+    }
+    runJob(*J);
+    {
+      std::lock_guard<std::mutex> L(DoneMu);
+      Done.push_back(std::move(J));
+    }
+    DoneCount.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(QueueMu);
+      --InFlight;
+    }
+    QueueCV.notify_all(); // waitIdle watches InFlight
+  }
+}
+
+void TranslationService::runJob(Job &J) {
+  try {
+    const GuestMemory::ExecSnapshot &Snap = *J.Snap;
+    FetchFn Fetch = [&Snap](uint32_t Addr, uint8_t *Buf,
+                            uint32_t MaxLen) -> uint32_t {
+      uint32_t N = 0;
+      while (N < MaxLen && Snap.fetch(Addr + N, Buf + N, 1))
+        ++N;
+      return N;
+    };
+    double T0 = now();
+    TranslatedBlock TB = translateBlock(J.Addr, Fetch, J.TO);
+    J.TranslateSeconds = now() - T0;
+    fillTranslation(*J.Result, J.Addr, /*Hot=*/true, std::move(TB));
+    bool Ok = false;
+    J.Result->CodeHash = hashSnapshot(Snap, J.Result->Extents, Ok);
+    J.Failed = !Ok;
+  } catch (...) {
+    J.Failed = true;
+  }
+}
+
+unsigned TranslationService::drainCompleted() {
+  std::vector<std::unique_ptr<Job>> Batch;
+  {
+    std::lock_guard<std::mutex> L(DoneMu);
+    Batch.swap(Done);
+    DoneCount.store(0, std::memory_order_relaxed);
+  }
+
+  unsigned Installed = 0;
+  for (std::unique_ptr<Job> &J : Batch) {
+    // The promotion request is settled either way: let the block become
+    // hot again if this job dies below.
+    if (Translation *Cur = TT.find(J->Addr))
+      Cur->PromoPending = false;
+    Host.mergePhaseTimes(J->Phases);
+    if (J->Failed) {
+      ++JS.WorkerFailures;
+      continue;
+    }
+    ++JS.AsyncCompleted;
+    if (J->EpochAtEnqueue != TT.flushEpoch()) {
+      // A flush/invalidation ran since enqueue. The bytes might still
+      // hash equal (redirects rewrite meaning, not memory), so the hash
+      // check below would be insufficient: discard outright.
+      ++JS.AsyncDiscardedEpoch;
+      continue;
+    }
+    if (hashLive(J->Result->Extents) != J->Result->CodeHash) {
+      ++JS.AsyncDiscardedStale; // SMC since the snapshot
+      continue;
+    }
+    uint64_t GenBefore = TT.generation();
+    double T1 = now();
+    Translation *NT = TT.insert(std::move(J->Result));
+    NT->PromoPending = false;
+    ++JS.AsyncInstalled;
+    JS.InstallLatencySeconds += T1 - J->EnqueueTime;
+    Host.noteTranslation(NT->Addr, *NT, J->TranslateSeconds);
+    Host.promotionInstalled(NT, GenBefore);
+    ++Installed;
+  }
+  return Installed;
+}
+
+void TranslationService::waitIdle() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> L(QueueMu);
+  QueueCV.wait(L, [this] { return Queue.empty() && InFlight == 0; });
+}

@@ -1,0 +1,226 @@
+//===-- core/TranslationService.h - Tiered translation service -*- C++ -*-==//
+///
+/// \file
+/// The translation layer extracted from the Core monolith: owns the
+/// translation table, the eight-phase pipeline entry points, and (under
+/// --jit-threads=N) a bounded promotion queue drained by background
+/// workers. The design keeps one invariant above all others: the TransTab
+/// and every guest-visible structure are touched by the guest thread ONLY.
+///
+/// Publication protocol for an asynchronous hot promotion:
+///
+///   1. Guest thread (dispatcher): the tier-1 block crosses the hot
+///      threshold. Instead of stalling on an inline retranslation it
+///      snapshots the executable pages, stamps the current TT flush epoch,
+///      marks the block PromoPending, and enqueues a job. Execution
+///      continues in the tier-1 code.
+///   2. Worker: runs the full pipeline against the snapshot (never against
+///      live GuestMemory — even const reads refresh its TLB). Phase 3
+///      serialises behind a per-tool lock since tools are stateful. All
+///      counters/timings accumulate in job-local storage.
+///   3. Guest thread (next dispatch boundary): drains finished jobs. A job
+///      is discarded if the flush epoch moved (redirect/munmap/SMC flush —
+///      the bytes may hash equal yet mean something else now) or if the
+///      live code no longer hashes to what was translated. Survivors are
+///      installed with a plain TT.insert(), which atomically-from-the-
+///      guest's-view replaces the tier-1 block and eagerly re-patches
+///      chain back-edges through the chain graph.
+///
+/// Degradation ladder: --jit-threads=0 (default) never constructs a
+/// worker, never takes a lock, and preserves byte-identical behaviour; a
+/// full queue or an all-dead worker pool falls back to today's inline
+/// synchronous promotion; a worker failure discards only that job.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_TRANSLATIONSERVICE_H
+#define VG_CORE_TRANSLATIONSERVICE_H
+
+#include "core/TransTab.h"
+#include "core/Translate.h"
+#include "guest/GuestMemory.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vg {
+
+/// Translation-service counters. Guest thread only: workers report through
+/// job-local fields that the guest thread folds in at drain time, so the
+/// numbers can never tear or double-count.
+struct JitStats {
+  uint64_t AsyncRequests = 0;       ///< promotions enqueued
+  uint64_t AsyncCompleted = 0;      ///< pipelines finished by workers
+  uint64_t AsyncInstalled = 0;      ///< superblocks published into the TT
+  uint64_t AsyncDiscardedEpoch = 0; ///< lost to a TT flush/invalidation
+  uint64_t AsyncDiscardedStale = 0; ///< guest code changed under the job
+  uint64_t AsyncAbandoned = 0;      ///< still queued/unpublished at exit
+  uint64_t QueueFullFallbacks = 0;  ///< backpressure -> inline translation
+  uint64_t WorkerFailures = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t SyncPromotions = 0;      ///< promotions run inline (stalls)
+  double InstallLatencySeconds = 0; ///< enqueue -> publication, summed
+  double SyncPromoStallSeconds = 0; ///< guest time lost to inline promotion
+  double EnqueueSeconds = 0;        ///< guest time spent snapshotting/queueing
+};
+
+/// The hooks the service needs from its host (the Core). Small enough that
+/// tests can drive the service with a stub host and no full Core.
+class TranslationHost {
+public:
+  virtual ~TranslationHost();
+
+  /// Fills the pipeline options for translating the block at \p PC,
+  /// binding the instrument hook against \p Raw (the Translation under
+  /// construction — the SMC prelude embeds its address). Guest thread
+  /// only: for async jobs the service calls this at enqueue time, so
+  /// anything sampled here (SMC policy, option values) is pinned before
+  /// the job leaves the guest thread.
+  virtual void setupTranslation(TranslationOptions &TO, uint32_t PC,
+                                bool Hot, Translation *Raw) = 0;
+
+  /// Guest-thread accounting for one finished pipeline — called by the
+  /// sync path right after translation and by the drain loop at install
+  /// time (never by a worker).
+  virtual void noteTranslation(uint32_t PC, const Translation &T,
+                               double Seconds) = 0;
+
+  /// A worker's phase times, folded in on the guest thread at drain time.
+  virtual void mergePhaseTimes(const PhaseTimes &PT) = 0;
+
+  /// An async superblock was just published over the tier-1 block.
+  /// \p GenBefore is the TT generation sampled immediately before the
+  /// insert (the host repairs its fast cache the same way the inline
+  /// promotion path does).
+  virtual void promotionInstalled(Translation *T, uint64_t GenBefore) = 0;
+};
+
+/// The tiered translation service. One instance per Core; owns the
+/// TransTab for its whole lifetime.
+class TranslationService {
+public:
+  TranslationService(TranslationHost &Host, GuestMemory &Memory,
+                     size_t TTCapacityPow2 = 1u << 14);
+  ~TranslationService();
+
+  TranslationService(const TranslationService &) = delete;
+  TranslationService &operator=(const TranslationService &) = delete;
+
+  /// Starts \p Threads background workers over a queue of at most
+  /// \p QueueDepth jobs. No-op when \p Threads is 0 (the deterministic
+  /// default). Call once, before execution starts.
+  void configure(unsigned Threads, unsigned QueueDepth);
+
+  /// Stops the workers and counts every unpublished job as abandoned.
+  /// Idempotent; the destructor calls it too.
+  void shutdown();
+
+  TransTab &transTab() { return TT; }
+  unsigned jitThreads() const { return NumThreads; }
+  unsigned queueDepth() const { return QueueDepth; }
+  bool asyncEnabled() const { return NumThreads != 0 && !Stopped; }
+  const JitStats &jitStats() const { return JS; }
+
+  /// The synchronous pipeline: translate the block at \p PC (hot = chase
+  /// branches into a superblock), hash its bytes, account it through the
+  /// host, and insert it into the table. Guest thread only.
+  Translation *translateSync(uint32_t PC, bool Hot);
+
+  /// Queues an asynchronous hot promotion of \p Cur (a resident tier-1
+  /// block). Returns false — fall back to the inline path — when async
+  /// mode is off, the queue is full, or the service is shut down. On
+  /// success marks \p Cur PromoPending so the dispatcher and chain thunk
+  /// stop re-requesting it.
+  bool enqueuePromotion(Translation *Cur);
+
+  /// True when at least one worker job awaits installation. A relaxed
+  /// atomic load — cheap enough for the dispatch loop and the chain
+  /// thunk; always false when --jit-threads=0.
+  bool hasCompleted() const {
+    return DoneCount.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Guest thread, dispatch-loop boundary only (nothing may be executing
+  /// inside the code cache): installs every finished job that survives
+  /// the epoch and liveness checks. Returns the number installed.
+  unsigned drainCompleted();
+
+  /// Accounts one inline (stalling) promotion — the fallback rung of the
+  /// degradation ladder, and the entire promotion story at
+  /// --jit-threads=0.
+  void noteSyncPromotion(double Seconds) {
+    ++JS.SyncPromotions;
+    JS.SyncPromoStallSeconds += Seconds;
+  }
+
+  /// Blocks until the queue and all in-flight jobs have drained into the
+  /// done list (test/bench support; guest thread).
+  void waitIdle();
+
+private:
+  struct Job {
+    uint32_t Addr = 0;
+    uint64_t EpochAtEnqueue = 0;
+    double EnqueueTime = 0;
+    std::shared_ptr<const GuestMemory::ExecSnapshot> Snap;
+    TranslationOptions TO;             ///< built on the guest thread
+    std::unique_ptr<Translation> Result;
+    // Worker-owned results, read by the guest thread only after the job
+    // moves to the done list (the mutex hand-off orders the accesses).
+    PhaseTimes Phases;
+    double TranslateSeconds = 0;
+    bool Failed = false;
+  };
+
+  static double now();
+  uint64_t hashLive(
+      const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const;
+  static uint64_t
+  hashSnapshot(const GuestMemory::ExecSnapshot &Snap,
+               const std::vector<std::pair<uint32_t, uint32_t>> &Extents,
+               bool &Ok);
+  static void fillTranslation(Translation &T, uint32_t PC, bool Hot,
+                              TranslatedBlock TB);
+  void workerMain();
+  void runJob(Job &J);
+
+  TranslationHost &Host;
+  GuestMemory &Memory;
+  TransTab TT;
+
+  unsigned NumThreads = 0;
+  unsigned QueueDepth = 8;
+  bool Stopped = false; ///< guest-thread view; Stop below is the shared flag
+
+  std::mutex QueueMu;
+  std::condition_variable QueueCV;
+  std::deque<std::unique_ptr<Job>> Queue; ///< guarded by QueueMu
+  bool Stop = false;                      ///< guarded by QueueMu
+  unsigned InFlight = 0;                  ///< jobs inside workers (QueueMu)
+
+  std::mutex DoneMu;
+  std::vector<std::unique_ptr<Job>> Done; ///< guarded by DoneMu
+  std::atomic<unsigned> DoneCount{0};
+
+  std::mutex InstrLock; ///< serialises Phase 3 (tools are stateful)
+  std::vector<std::thread> Workers;
+
+  /// Exec-page snapshot shared by every job enqueued within one flush
+  /// epoch (guest thread only; workers hold const refs). Rebuilding per
+  /// job would put a full page-copy on the guest thread's enqueue path —
+  /// the very stall async mode exists to avoid. Reuse is safe even across
+  /// SMC writes (which bump no epoch): a job translated from stale bytes
+  /// fails the install-time hash check and is discarded.
+  std::shared_ptr<const GuestMemory::ExecSnapshot> SnapCache;
+  uint64_t SnapCacheEpoch = 0;
+
+  JitStats JS; ///< guest thread only
+};
+
+} // namespace vg
+
+#endif // VG_CORE_TRANSLATIONSERVICE_H

@@ -107,11 +107,28 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
     M.push_back({"nulgrind-fault", "nulgrind", {Spec.str()}, false, false,
                  /*CheckSmcRetrans=*/false});
   }
+  // Asynchronous tiered translation: two workers racing the guest thread.
+  // Guest-visible behaviour must still match the oracle exactly — only
+  // timing (which tier runs when) may differ, so the SMC-retranslation
+  // invariant is waived (an async superblock installed from fresh bytes
+  // legitimately swallows the SmcFail, just like the hot cell above).
+  M.push_back({"nulgrind-async",
+               "nulgrind",
+               {"--chaining=yes", "--hot-threshold=2", "--jit-threads=2"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false});
   M.push_back({"icnt", "icnt", {}, true, false});
   M.push_back({"icntc", "icntc", {"--chaining=yes"}, true, false});
   M.push_back({"memcheck",
                "memcheck",
                {"--chaining=yes", "--hot-threshold=3"},
+               false,
+               true,
+               /*CheckSmcRetrans=*/false});
+  M.push_back({"memcheck-async",
+               "memcheck",
+               {"--chaining=yes", "--hot-threshold=3", "--jit-threads=2"},
                false,
                true,
                /*CheckSmcRetrans=*/false});

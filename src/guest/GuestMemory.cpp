@@ -2,7 +2,52 @@
 
 #include "guest/GuestMemory.h"
 
+#include <algorithm>
+
 using namespace vg;
+
+bool GuestMemory::ExecSnapshot::fetch(uint32_t Addr, void *Out,
+                                      uint32_t Len) const {
+  if (Len == 0)
+    return true;
+  // Binary search for the last range with Base <= Addr; a fetch never
+  // straddles two ranges (coalescing merged adjacent pages, so a gap means
+  // non-executable memory anyway).
+  auto It = std::upper_bound(
+      Ranges.begin(), Ranges.end(), Addr,
+      [](uint32_t A, const Range &R) { return A < R.Base; });
+  if (It == Ranges.begin())
+    return false;
+  const Range &R = *--It;
+  uint64_t Off = static_cast<uint64_t>(Addr) - R.Base;
+  if (Off + Len > R.Bytes.size())
+    return false;
+  std::memcpy(Out, R.Bytes.data() + Off, Len);
+  return true;
+}
+
+GuestMemory::ExecSnapshot GuestMemory::snapshotExecRanges() const {
+  std::vector<uint32_t> ExecPages;
+  ExecPages.reserve(Pages.size());
+  for (const auto &[Idx, P] : Pages)
+    if (P->Perms & PermExec)
+      ExecPages.push_back(Idx);
+  std::sort(ExecPages.begin(), ExecPages.end());
+
+  ExecSnapshot Snap;
+  for (size_t I = 0; I != ExecPages.size(); ++I) {
+    uint32_t Idx = ExecPages[I];
+    if (Snap.Ranges.empty() ||
+        ExecPages[I - 1] + 1 != Idx) {
+      Snap.Ranges.push_back({Idx << PageShift, {}});
+      Snap.Ranges.back().Bytes.reserve(PageSize);
+    }
+    const Page *P = Pages.find(Idx)->second.get();
+    ExecSnapshot::Range &R = Snap.Ranges.back();
+    R.Bytes.insert(R.Bytes.end(), P->Data.begin(), P->Data.end());
+  }
+  return Snap;
+}
 
 void GuestMemory::map(uint32_t Addr, uint32_t Len, uint8_t Perms) {
   if (Len == 0)

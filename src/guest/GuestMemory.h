@@ -16,6 +16,7 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace vg {
 
@@ -111,6 +112,27 @@ public:
   MemFault writeU64(uint32_t A, uint64_t V) { return writeT(A, V); }
 
   uint64_t pagesAllocated() const { return Pages.size(); }
+
+  /// One coalesced run of executable pages, copied out of the address
+  /// space. Background translation workers fetch guest code from these
+  /// snapshots: GuestMemory itself is not safe to share (even const reads
+  /// refresh the one-entry TLB), and a snapshot pins the code bytes as
+  /// they were when the promotion was requested.
+  struct ExecSnapshot {
+    struct Range {
+      uint32_t Base = 0;
+      std::vector<uint8_t> Bytes;
+    };
+    std::vector<Range> Ranges; ///< sorted by Base, non-overlapping
+
+    /// Fetch \p Len bytes at \p Addr; false if any byte falls outside the
+    /// snapshotted executable ranges (the worker then abandons the job).
+    bool fetch(uint32_t Addr, void *Out, uint32_t Len) const;
+  };
+
+  /// Copies every executable page into a snapshot, coalescing adjacent
+  /// pages into runs. Guest thread only.
+  ExecSnapshot snapshotExecRanges() const;
 
 private:
   struct Page {

@@ -57,6 +57,12 @@ int64_t OptionRegistry::getInt(const std::string &Name) const {
   return std::strtoll(getString(Name).c_str(), nullptr, 0);
 }
 
+int64_t OptionRegistry::getIntClamped(const std::string &Name, int64_t Lo,
+                                      int64_t Hi) const {
+  int64_t V = getInt(Name);
+  return V < Lo ? Lo : (V > Hi ? Hi : V);
+}
+
 bool OptionRegistry::getBool(const std::string &Name) const {
   std::string V = getString(Name);
   return V == "yes" || V == "true" || V == "1" || V == "on";

@@ -33,6 +33,9 @@ public:
   bool has(const std::string &Name) const;
   std::string getString(const std::string &Name) const;
   int64_t getInt(const std::string &Name) const;
+  /// getInt clamped into [Lo, Hi] — for options where an out-of-range
+  /// value (e.g. --jit-threads=9999) should degrade, not misbehave.
+  int64_t getIntClamped(const std::string &Name, int64_t Lo, int64_t Hi) const;
   bool getBool(const std::string &Name) const;
 
   /// Renders the registered options and help strings (for --help output).

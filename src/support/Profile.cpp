@@ -159,6 +159,34 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                  static_cast<unsigned long long>(C.FaultsInjected[I]));
   }
 
+  if (C.HasJit) {
+    Out.printf("\n== profile: translation service ==\n");
+    Out.printf("jit-threads=%llu queue-depth=%llu high-water=%llu\n",
+               static_cast<unsigned long long>(C.JitThreads),
+               static_cast<unsigned long long>(C.JitQueueDepth),
+               static_cast<unsigned long long>(C.QueueHighWater));
+    Out.printf("async requests=%llu completed=%llu installed=%llu\n",
+               static_cast<unsigned long long>(C.AsyncRequests),
+               static_cast<unsigned long long>(C.AsyncCompleted),
+               static_cast<unsigned long long>(C.AsyncInstalled));
+    Out.printf("discarded epoch=%llu stale=%llu abandoned=%llu\n",
+               static_cast<unsigned long long>(C.AsyncDiscardedEpoch),
+               static_cast<unsigned long long>(C.AsyncDiscardedStale),
+               static_cast<unsigned long long>(C.AsyncAbandoned));
+    Out.printf("sync promotions=%llu queue-full-fallbacks=%llu "
+               "worker-failures=%llu\n",
+               static_cast<unsigned long long>(C.SyncPromotions),
+               static_cast<unsigned long long>(C.QueueFullFallbacks),
+               static_cast<unsigned long long>(C.WorkerFailures));
+    Out.printf("install latency total=%.1fus mean=%.1fus\n",
+               C.InstallLatencySeconds * 1e6,
+               C.AsyncInstalled ? C.InstallLatencySeconds * 1e6 /
+                                      static_cast<double>(C.AsyncInstalled)
+                                : 0.0);
+    Out.printf("guest stall: inline-promotion=%.1fus enqueue=%.1fus\n",
+               C.SyncPromoStallSeconds * 1e6, C.EnqueueSeconds * 1e6);
+  }
+
   if (C.HasTrace) {
     Out.printf("\n== profile: event trace ==\n");
     Out.printf("recorded=%llu dropped=%llu syscalls=%llu signal-records="

@@ -33,6 +33,30 @@ enum class ProfPhase : unsigned {
 
 const char *profPhaseName(ProfPhase P);
 
+/// Per-phase wall time accumulated by ONE thread. Each translation worker
+/// owns its own instance and the guest thread merges them at install time,
+/// so the asynchronous pipeline never shares a counter (the pre-service
+/// code mutated the Profiler's plain fields straight from the translation
+/// path, which a background worker would race).
+struct PhaseTimes {
+  static constexpr unsigned NPhases =
+      static_cast<unsigned>(ProfPhase::NumPhases);
+  double Seconds[NPhases] = {};
+  uint64_t Counts[NPhases] = {};
+
+  void add(ProfPhase Ph, double S) {
+    unsigned I = static_cast<unsigned>(Ph);
+    Seconds[I] += S;
+    ++Counts[I];
+  }
+  void merge(const PhaseTimes &O) {
+    for (unsigned I = 0; I != NPhases; ++I) {
+      Seconds[I] += O.Seconds[I];
+      Counts[I] += O.Counts[I];
+    }
+  }
+};
+
 /// Counters snapshotted by the core at report time (kept as a plain struct
 /// so support/ does not depend on core/ headers).
 struct ProfCounters {
@@ -77,6 +101,23 @@ struct ProfCounters {
   uint64_t TraceDropped = 0;
   uint64_t TraceSyscalls = 0;
   uint64_t TraceSignals = 0; ///< queue+deliver+return+drop records
+  // Translation-service counters (only when --jit-threads > 0).
+  bool HasJit = false;
+  uint64_t JitThreads = 0;
+  uint64_t JitQueueDepth = 0;
+  uint64_t AsyncRequests = 0;       ///< promotions enqueued
+  uint64_t AsyncCompleted = 0;      ///< pipelines finished by workers
+  uint64_t AsyncInstalled = 0;      ///< superblocks published into the TT
+  uint64_t AsyncDiscardedEpoch = 0; ///< lost to a TT flush/invalidation
+  uint64_t AsyncDiscardedStale = 0; ///< guest code changed under the job
+  uint64_t AsyncAbandoned = 0;      ///< still queued/unpublished at exit
+  uint64_t QueueFullFallbacks = 0;  ///< backpressure -> inline translation
+  uint64_t WorkerFailures = 0;
+  uint64_t QueueHighWater = 0;
+  uint64_t SyncPromotions = 0;      ///< promotions run inline (stalls)
+  double InstallLatencySeconds = 0; ///< enqueue -> publication, summed
+  double SyncPromoStallSeconds = 0; ///< guest time lost to inline promotion
+  double EnqueueSeconds = 0;        ///< guest time spent snapshotting/queueing
 };
 
 /// Accumulates profile data for one run.
@@ -99,6 +140,20 @@ public:
 
   /// One block entry (dispatcher entry or chained transfer) at \p Addr.
   void noteExec(uint32_t Addr) { ++Blocks[Addr].Execs; }
+
+  /// One phase sample (the sync pipeline's RAII timer lands here).
+  void notePhase(ProfPhase Ph, double Seconds) {
+    notePhaseSeconds(Ph, Seconds);
+  }
+
+  /// Folds a worker's privately-accumulated phase times in. Guest thread
+  /// only; workers never touch the Profiler directly.
+  void mergePhases(const PhaseTimes &PT) {
+    for (unsigned I = 0; I != NPhases; ++I) {
+      PhaseSeconds[I] += PT.Seconds[I];
+      PhaseCounts[I] += PT.Counts[I];
+    }
+  }
 
   /// A translation of \p Addr finished (Tier 1 = hot superblock).
   void noteTranslation(uint32_t Addr, uint32_t NumInsns, unsigned Tier,

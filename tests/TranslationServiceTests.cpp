@@ -1,0 +1,467 @@
+//===-- tests/TranslationServiceTests.cpp - Tiered translation tests ------==//
+///
+/// \file
+/// Tests for the TranslationService: the synchronous pipeline, the
+/// asynchronous promotion queue (publication, epoch/stale discards,
+/// backpressure, shutdown abandonment, the accounting invariant), a
+/// concurrent enqueue/lookup/flush hammer (the ThreadSanitizer target of
+/// the `concurrency` ctest label), and the end-to-end determinism of the
+/// --jit-threads=0 default under a full Core.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "core/TranslationService.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Nulgrind.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Service-level harness: a stub host and a bank of tiny guest blocks
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t CodeBase = 0x1000;
+
+/// Minimal host: counts the callbacks and lets a test inject a Phase 3
+/// hook (all counters are guest-thread-only by the service's contract, so
+/// plain fields are correct here — TSan would catch a violation).
+struct StubHost : TranslationHost {
+  InstrumentFn Instrument; ///< copied into TO at setup time (guest thread)
+  unsigned Notes = 0;
+  unsigned Merges = 0;
+  unsigned Installs = 0;
+  Translation *LastInstalled = nullptr;
+
+  void setupTranslation(TranslationOptions &TO, uint32_t, bool,
+                        Translation *) override {
+    TO.Instrument = Instrument;
+  }
+  void noteTranslation(uint32_t, const Translation &, double) override {
+    ++Notes;
+  }
+  void mergePhaseTimes(const PhaseTimes &) override { ++Merges; }
+  void promotionInstalled(Translation *T, uint64_t) override {
+    ++Installs;
+    LastInstalled = T;
+  }
+};
+
+/// GuestMemory pre-loaded with \p NBlocks independent blocks
+/// ("movi r0, i; ret"), each a complete translation unit.
+struct ServiceFixture {
+  GuestMemory Mem;
+  StubHost Host;
+  TranslationService XS;
+  std::vector<uint32_t> Blocks;
+
+  explicit ServiceFixture(unsigned NBlocks = 8, size_t TTCap = 1u << 8)
+      : XS(Host, Mem, TTCap) {
+    Assembler Code(CodeBase);
+    for (unsigned I = 0; I != NBlocks; ++I) {
+      Blocks.push_back(Code.here());
+      Code.movi(Reg::R0, I);
+      Code.ret();
+    }
+    GuestImage Img = GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+    for (const ImageSegment &S : Img.Segments) {
+      Mem.map(S.Base, static_cast<uint32_t>(S.Bytes.size()), S.Perms);
+      Mem.write(S.Base, S.Bytes.data(), static_cast<uint32_t>(S.Bytes.size()),
+                /*IgnorePerms=*/true);
+    }
+  }
+
+  /// The invariant every test ends on: each request is settled exactly
+  /// once — installed, discarded, failed, or abandoned at shutdown.
+  void expectRequestsSettled() {
+    const JitStats &J = XS.jitStats();
+    EXPECT_EQ(J.AsyncRequests, J.AsyncInstalled + J.AsyncDiscardedEpoch +
+                                   J.AsyncDiscardedStale + J.WorkerFailures +
+                                   J.AsyncAbandoned);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// The synchronous pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(TranslationService, SyncTranslateInsertsAndAccounts) {
+  ServiceFixture F;
+  Translation *T = F.XS.translateSync(F.Blocks[0], /*Hot=*/false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(F.XS.transTab().find(F.Blocks[0]), T);
+  EXPECT_EQ(T->Tier, 0u);
+  EXPECT_EQ(F.Host.Notes, 1u);
+
+  // A hot retranslation replaces the cold block in place.
+  Translation *T2 = F.XS.translateSync(F.Blocks[0], /*Hot=*/true);
+  EXPECT_EQ(F.XS.transTab().find(F.Blocks[0]), T2);
+  EXPECT_EQ(T2->Tier, 1u);
+  EXPECT_EQ(F.Host.Notes, 2u);
+  EXPECT_EQ(F.XS.jitStats().AsyncRequests, 0u);
+}
+
+TEST(TranslationService, AsyncDisabledByDefault) {
+  ServiceFixture F;
+  EXPECT_FALSE(F.XS.asyncEnabled());
+  EXPECT_FALSE(F.XS.hasCompleted());
+  Translation *T = F.XS.translateSync(F.Blocks[0], false);
+  EXPECT_FALSE(F.XS.enqueuePromotion(T));
+  // The refused enqueue is not a request and not a backpressure event —
+  // at --jit-threads=0 the counters stay untouched.
+  EXPECT_EQ(F.XS.jitStats().AsyncRequests, 0u);
+  EXPECT_EQ(F.XS.jitStats().QueueFullFallbacks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Asynchronous publication
+//===----------------------------------------------------------------------===//
+
+TEST(TranslationService, AsyncPromotionInstallsSuperblock) {
+  ServiceFixture F;
+  F.XS.configure(/*Threads=*/2, /*QueueDepth=*/8);
+  ASSERT_TRUE(F.XS.asyncEnabled());
+
+  Translation *Cold = F.XS.translateSync(F.Blocks[0], false);
+  ASSERT_TRUE(F.XS.enqueuePromotion(Cold));
+  EXPECT_TRUE(Cold->PromoPending);
+
+  F.XS.waitIdle();
+  EXPECT_TRUE(F.XS.hasCompleted());
+  EXPECT_EQ(F.XS.drainCompleted(), 1u);
+  EXPECT_FALSE(F.XS.hasCompleted());
+
+  Translation *Hot = F.XS.transTab().find(F.Blocks[0]);
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_NE(Hot, Cold);
+  EXPECT_EQ(Hot->Tier, 1u);
+  EXPECT_FALSE(Hot->PromoPending);
+  EXPECT_EQ(F.Host.Installs, 1u);
+  EXPECT_EQ(F.Host.LastInstalled, Hot);
+  EXPECT_EQ(F.Host.Merges, 1u);
+  EXPECT_EQ(F.Host.Notes, 2u); // cold sync + async install
+
+  const JitStats &J = F.XS.jitStats();
+  EXPECT_EQ(J.AsyncRequests, 1u);
+  EXPECT_EQ(J.AsyncCompleted, 1u);
+  EXPECT_EQ(J.AsyncInstalled, 1u);
+  EXPECT_GE(J.InstallLatencySeconds, 0.0);
+  F.expectRequestsSettled();
+}
+
+// The promotion-install vs TT-flush race: a flush between enqueue and
+// drain must kill the job even though the guest bytes still hash equal
+// (a redirect rewrites meaning, not memory).
+TEST(TranslationService, FlushBetweenEnqueueAndDrainDiscardsJob) {
+  ServiceFixture F;
+  F.XS.configure(1, 8);
+  Translation *Cold = F.XS.translateSync(F.Blocks[0], false);
+  ASSERT_TRUE(F.XS.enqueuePromotion(Cold));
+
+  F.XS.transTab().invalidateAll(); // bumps the flush epoch
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 0u);
+  EXPECT_EQ(F.XS.jitStats().AsyncDiscardedEpoch, 1u);
+  EXPECT_EQ(F.Host.Installs, 0u);
+  EXPECT_EQ(F.XS.transTab().find(F.Blocks[0]), nullptr);
+  F.expectRequestsSettled();
+}
+
+TEST(TranslationService, RangeInvalidationAlsoDiscards) {
+  ServiceFixture F;
+  F.XS.configure(1, 8);
+  Translation *Cold = F.XS.translateSync(F.Blocks[0], false);
+  ASSERT_TRUE(F.XS.enqueuePromotion(Cold));
+  // Invalidate an unrelated block: the epoch is global by design (cheap
+  // and safe beats precise here — a discarded job just re-promotes).
+  F.XS.transTab().invalidateRange(F.Blocks[1], 4);
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 0u);
+  EXPECT_EQ(F.XS.jitStats().AsyncDiscardedEpoch, 1u);
+  F.expectRequestsSettled();
+}
+
+// SMC after the snapshot: the worker translated pristine bytes, the live
+// code changed, and no flush ran (the write came from outside the
+// SMC-detection paths). The install-time hash check must catch it.
+TEST(TranslationService, StaleCodeDiscardedAtInstallTime) {
+  ServiceFixture F;
+  F.XS.configure(1, 8);
+  Translation *Cold = F.XS.translateSync(F.Blocks[0], false);
+  ASSERT_TRUE(F.XS.enqueuePromotion(Cold));
+  F.XS.waitIdle(); // job finished against the pristine snapshot
+
+  uint32_t Clobber = 0xDEADBEEF;
+  F.Mem.write(F.Blocks[0], &Clobber, 4, /*IgnorePerms=*/true);
+
+  EXPECT_EQ(F.XS.drainCompleted(), 0u);
+  EXPECT_EQ(F.XS.jitStats().AsyncDiscardedStale, 1u);
+  EXPECT_EQ(F.Host.Installs, 0u);
+  // The request is settled: the block may become hot (and re-enqueue)
+  // again.
+  EXPECT_FALSE(Cold->PromoPending);
+  F.expectRequestsSettled();
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure and shutdown
+//===----------------------------------------------------------------------===//
+
+TEST(TranslationService, FullQueueFallsBackToInline) {
+  ServiceFixture F;
+
+  // Cold-translate three blocks before arming the gate (the stub copies
+  // the hook at setup time, so these stay un-gated).
+  Translation *A = F.XS.translateSync(F.Blocks[0], false);
+  Translation *B = F.XS.translateSync(F.Blocks[1], false);
+  Translation *C = F.XS.translateSync(F.Blocks[2], false);
+
+  // A Phase 3 gate the test controls: the single worker blocks inside job
+  // A until released, making the queue occupancy deterministic.
+  std::mutex GateMu;
+  std::condition_variable GateCV;
+  bool GateOpen = false;
+  std::atomic<unsigned> Entered{0};
+  F.Host.Instrument = [&](ir::IRSB &) {
+    Entered.fetch_add(1);
+    std::unique_lock<std::mutex> L(GateMu);
+    GateCV.wait(L, [&] { return GateOpen; });
+  };
+
+  F.XS.configure(/*Threads=*/1, /*QueueDepth=*/1);
+  ASSERT_TRUE(F.XS.enqueuePromotion(A));
+  // Wait until the worker holds A so the queue is empty again.
+  while (Entered.load() == 0)
+    std::this_thread::yield();
+  ASSERT_TRUE(F.XS.enqueuePromotion(B)); // fills the depth-1 queue
+  EXPECT_FALSE(F.XS.enqueuePromotion(C)); // backpressure
+  EXPECT_FALSE(C->PromoPending);
+  EXPECT_EQ(F.XS.jitStats().QueueFullFallbacks, 1u);
+  EXPECT_EQ(F.XS.jitStats().QueueHighWater, 1u);
+
+  {
+    std::lock_guard<std::mutex> L(GateMu);
+    GateOpen = true;
+  }
+  GateCV.notify_all();
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 2u);
+  EXPECT_EQ(F.XS.jitStats().AsyncInstalled, 2u);
+
+  // The fallback rung is accounted separately, by the caller.
+  F.XS.noteSyncPromotion(0.001);
+  EXPECT_EQ(F.XS.jitStats().SyncPromotions, 1u);
+  F.expectRequestsSettled();
+}
+
+TEST(TranslationService, ShutdownAbandonsUndrainedJobs) {
+  ServiceFixture F;
+  F.XS.configure(1, 8);
+  ASSERT_TRUE(
+      F.XS.enqueuePromotion(F.XS.translateSync(F.Blocks[0], false)));
+  ASSERT_TRUE(
+      F.XS.enqueuePromotion(F.XS.translateSync(F.Blocks[1], false)));
+  F.XS.waitIdle();
+  F.XS.shutdown(); // nobody drained: both jobs are abandoned
+  EXPECT_FALSE(F.XS.asyncEnabled());
+  EXPECT_EQ(F.XS.jitStats().AsyncAbandoned, 2u);
+  EXPECT_EQ(F.Host.Installs, 0u);
+  F.expectRequestsSettled();
+
+  // Idempotent, and enqueue after shutdown refuses cleanly.
+  F.XS.shutdown();
+  EXPECT_FALSE(F.XS.enqueuePromotion(F.XS.transTab().find(F.Blocks[0])
+                                         ? F.XS.transTab().find(F.Blocks[0])
+                                         : F.XS.translateSync(F.Blocks[2],
+                                                              false)));
+}
+
+//===----------------------------------------------------------------------===//
+// The concurrency hammer (run under ThreadSanitizer via the tsan preset)
+//===----------------------------------------------------------------------===//
+
+// Guest thread churns translate/enqueue/lookup/flush/drain while two
+// workers translate concurrently. A small table forces eviction runs
+// underneath pending promotions; periodic invalidations race the epoch
+// check. TSan must see no data race, and the books must balance exactly.
+TEST(TranslationService, ConcurrentEnqueueLookupFlushHammer) {
+  ServiceFixture F(/*NBlocks=*/16, /*TTCap=*/1u << 4);
+  F.XS.configure(/*Threads=*/2, /*QueueDepth=*/4);
+  TransTab &TT = F.XS.transTab();
+
+  for (unsigned I = 0; I != 600; ++I) {
+    uint32_t PC = F.Blocks[I % F.Blocks.size()];
+    Translation *T = TT.find(PC);
+    if (!T)
+      T = F.XS.translateSync(PC, false);
+    if (T->Tier == 0 && !T->PromoPending)
+      F.XS.enqueuePromotion(T); // full queue => refused, counted
+    if (F.XS.hasCompleted())
+      F.XS.drainCompleted();
+    if (I % 17 == 0)
+      TT.invalidateRange(F.Blocks[(I / 17) % F.Blocks.size()], 4);
+    if (I % 97 == 0)
+      TT.invalidateAll();
+  }
+
+  F.XS.waitIdle();
+  F.XS.drainCompleted();
+  F.XS.shutdown();
+
+  const JitStats &J = F.XS.jitStats();
+  EXPECT_GT(J.AsyncRequests, 0u);
+  EXPECT_EQ(J.WorkerFailures, 0u);
+  F.expectRequestsSettled();
+  // Every install went through the host exactly once.
+  EXPECT_EQ(F.Host.Installs, J.AsyncInstalled);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end determinism under a full Core
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t ProgCodeBase = 0x1000;
+constexpr uint32_t ProgDataBase = 0x100000;
+
+GuestImage loopProgram() {
+  Assembler Code(ProgCodeBase);
+  Assembler Data(ProgDataBase);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  Code.symbol("main");
+  Label Str = Data.boundLabel();
+  Data.emitString("done\n");
+  // Nested loops: the inner body and the outer body both cross any small
+  // hot threshold, producing several promotion requests.
+  Code.movi(Reg::R1, 0);
+  Label Outer = Code.boundLabel();
+  Code.movi(Reg::R2, 0);
+  Label Inner = Code.boundLabel();
+  Code.addi(Reg::R2, Reg::R2, 1);
+  Code.cmpi(Reg::R2, 50);
+  Code.blt(Inner);
+  Code.addi(Reg::R1, Reg::R1, 1);
+  Code.cmpi(Reg::R1, 400);
+  Code.blt(Outer);
+  Code.movi(Reg::R1, Data.labelAddr(Str));
+  Code.call(Lib.Print);
+  Code.movi(Reg::R0, 5);
+  Code.ret();
+  return GuestImageBuilder()
+      .addCode(Code)
+      .addData(Data)
+      .entry(Entry)
+      .build();
+}
+
+std::string extractTrace(const std::string &Output) {
+  size_t Begin = Output.find("=== event trace");
+  if (Begin == std::string::npos)
+    return "";
+  const char *EndMark = "=== end event trace ===";
+  size_t End = Output.find(EndMark, Begin);
+  if (End == std::string::npos)
+    return "";
+  return Output.substr(Begin, End + std::string(EndMark).size() - Begin);
+}
+
+// --jit-threads=0 (the default) must stay byte-identical: same stdout,
+// same recorded event trace, run after run, with and without the flag.
+TEST(TranslationService, JitThreadsZeroIsDeterministic) {
+  GuestImage Img = loopProgram();
+  std::vector<std::string> Base = {"--chaining=yes", "--hot-threshold=3",
+                                   "--trace-events=yes", "--trace-dump=yes"};
+  std::vector<std::string> Explicit = Base;
+  Explicit.push_back("--jit-threads=0");
+
+  Nulgrind T1, T2, T3;
+  RunReport A = runUnderCore(Img, &T1, Base);
+  RunReport B = runUnderCore(Img, &T2, Base);
+  RunReport C = runUnderCore(Img, &T3, Explicit);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  ASSERT_TRUE(C.Completed);
+  EXPECT_EQ(A.ExitCode, 5);
+  EXPECT_EQ(A.Stdout, "done\n");
+
+  std::string TA = extractTrace(A.ToolOutput);
+  ASSERT_FALSE(TA.empty());
+  EXPECT_EQ(TA, extractTrace(B.ToolOutput)) << "replay must be identical";
+  EXPECT_EQ(TA, extractTrace(C.ToolOutput))
+      << "--jit-threads=0 must not change behaviour";
+  EXPECT_EQ(A.Stdout, C.Stdout);
+
+  // The sync path did all the promoting; the async books are empty.
+  EXPECT_EQ(C.Jit.AsyncRequests, 0u);
+  EXPECT_GT(C.Jit.SyncPromotions, 0u);
+  EXPECT_GT(C.Jit.SyncPromoStallSeconds, 0.0);
+}
+
+// Background promotion may change *timing* (which tier runs when) but
+// never guest-visible behaviour, and its books must balance after the
+// end-of-run shutdown.
+TEST(TranslationService, AsyncRunMatchesGuestVisibleBehaviour) {
+  GuestImage Img = loopProgram();
+  Nulgrind T1, T2, T3;
+  RunReport Sync = runUnderCore(Img, &T1,
+                                {"--chaining=yes", "--hot-threshold=2"});
+  RunReport AsyncChained =
+      runUnderCore(Img, &T2,
+                   {"--chaining=yes", "--hot-threshold=2",
+                    "--jit-threads=2"});
+  RunReport AsyncPlain =
+      runUnderCore(Img, &T3,
+                   {"--chaining=no", "--hot-threshold=2",
+                    "--jit-threads=2"});
+  ASSERT_TRUE(Sync.Completed);
+  ASSERT_TRUE(AsyncChained.Completed);
+  ASSERT_TRUE(AsyncPlain.Completed);
+  EXPECT_EQ(Sync.ExitCode, AsyncChained.ExitCode);
+  EXPECT_EQ(Sync.Stdout, AsyncChained.Stdout);
+  EXPECT_EQ(Sync.ExitCode, AsyncPlain.ExitCode);
+  EXPECT_EQ(Sync.Stdout, AsyncPlain.Stdout);
+
+  for (const RunReport *R : {&AsyncChained, &AsyncPlain}) {
+    const JitStats &J = R->Jit;
+    EXPECT_GT(J.AsyncRequests, 0u) << "hot blocks must enqueue";
+    EXPECT_EQ(J.AsyncRequests, J.AsyncInstalled + J.AsyncDiscardedEpoch +
+                                   J.AsyncDiscardedStale + J.WorkerFailures +
+                                   J.AsyncAbandoned);
+  }
+}
+
+// The scheduler/signal workload with background workers on: threads,
+// preemption, signal delivery, and async installs all interleave. This is
+// the short soak the ThreadSanitizer preset runs (verify.sh tsan smoke).
+TEST(TranslationService, SigmtSoakWithBackgroundWorkers) {
+  GuestImage Img = buildWorkload("sigmt", 1);
+  for (uint32_t Seed = 1; Seed <= 3; ++Seed) {
+    Nulgrind T;
+    RunReport R = runUnderCore(
+        Img, &T,
+        {"--chaining=yes", "--hot-threshold=2", "--jit-threads=2",
+         "--fault-inject=preempt:20,sigstorm:30,seed=" +
+             std::to_string(Seed)});
+    ASSERT_TRUE(R.Completed) << "seed " << Seed;
+    EXPECT_EQ(R.ExitCode, 0) << "seed " << Seed;
+    const JitStats &J = R.Jit;
+    EXPECT_EQ(J.AsyncRequests, J.AsyncInstalled + J.AsyncDiscardedEpoch +
+                                   J.AsyncDiscardedStale + J.WorkerFailures +
+                                   J.AsyncAbandoned)
+        << "seed " << Seed;
+  }
+}
+
+} // namespace
