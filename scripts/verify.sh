@@ -31,6 +31,12 @@ echo "== smoke: sec32_asyncjit (background promotion) =="
 echo "== smoke: table2_slowdown =="
 ./build/bench/table2_slowdown
 
+echo "== smoke: sec33_warmstart (persistent translation cache) =="
+# Cold-then-warm runs of the table2 trio against one --tt-cache directory.
+# The bench itself enforces the contract: warm hit rate >= 70%, zero
+# rejects, and byte-identical stdout between cold and warm.
+./build/bench/sec33_warmstart
+
 echo "== smoke: sec314_sched (quick soak) =="
 # 5 seeds instead of 50; still checks clean exits, zero Memcheck errors,
 # and byte-identical trace replay per seed.
@@ -53,10 +59,12 @@ FUZZ_ITERS=200
 
 echo "== smoke: ThreadSanitizer (concurrency label) =="
 # The TranslationService worker/guest-thread protocol under TSan: the
-# service unit tests plus the sigmt soak with --jit-threads=2 (all tests
-# carrying the `concurrency` ctest label, via the tsan preset).
+# service and persistent-cache unit tests plus the sigmt soak with
+# --jit-threads=2 (all tests carrying the `concurrency` ctest label, via
+# the tsan preset).
 cmake --preset tsan >/dev/null
-cmake --build --preset tsan -j --target test_translationservice >/dev/null
+cmake --build --preset tsan -j \
+    --target test_translationservice --target test_transcache >/dev/null
 ctest --preset tsan
 
 if [ "$FUZZ_SOAK" = "1" ]; then

@@ -63,6 +63,13 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("jit-queue-depth", "8",
                  "bounded promotion-queue depth; a full queue falls back "
                  "to inline translation");
+  Opts.addOption("tt-cache", "",
+                 "directory for the persistent translation cache: warm "
+                 "runs install serialized translations instead of "
+                 "re-running the pipeline (empty = off)");
+  Opts.addOption("tt-cache-max-mb", "256",
+                 "size budget for the --tt-cache directory in MiB; oldest "
+                 "entries are evicted to fit (0 = unbounded)");
   if (ToolPlugin)
     ToolPlugin->registerOptions(Opts);
   Kernel = std::make_unique<SimKernel>(AS, &Events, this);
@@ -112,11 +119,31 @@ void Core::applyOptions() {
   }
   TraceDumpAtExit = Opts.getBool("trace-dump");
   unsigned JT = static_cast<unsigned>(
-      Opts.getIntClamped("jit-threads", 0, 16));
+      Opts.getIntChecked("jit-threads", 0, 16));
   unsigned QD = static_cast<unsigned>(
-      Opts.getIntClamped("jit-queue-depth", 1, 1024));
+      Opts.getIntChecked("jit-queue-depth", 1, 1024));
   if (JT)
     XS->configure(JT, QD);
+  if (std::string CacheDir = Opts.getString("tt-cache"); !CacheDir.empty()) {
+    uint64_t MaxMb = static_cast<uint64_t>(
+        Opts.getIntChecked("tt-cache-max-mb", 0, 1 << 20));
+    // The fingerprint covers everything that can change generated code:
+    // the tool (its options too — tools register into this same registry)
+    // and every core option except the handful that only affect where
+    // output/cache files go or what gets *reported* (never what gets
+    // *emitted*). --trace-events stays in: it turns on SP-tracking
+    // instrumentation.
+    auto Items = Opts.items();
+    std::erase_if(Items, [](const auto &It) {
+      return It.first == "tt-cache" || It.first == "tt-cache-max-mb" ||
+             It.first == "log-file" || It.first == "profile" ||
+             It.first == "trace-dump";
+    });
+    uint64_t CH = TransCache::configHash(
+        ToolPlugin ? ToolPlugin->name() : "none", Items);
+    XS->attachCache(std::make_unique<TransCache>(
+        CacheDir, MaxMb * (1ull << 20), CH));
+  }
 }
 
 int Core::liveThreads() const {
@@ -430,6 +457,7 @@ uint64_t Core::helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
 namespace {
 const ir::Callee SmcCheckCallee = {"vg_smc_check", &Core::helperSmcCheck, 0};
 const ir::Callee TrackSpCallee = {"vg_track_sp", &Core::helperTrackSp, 0};
+const ir::CalleeRegistrar RegisterCallees{&SmcCheckCallee, &TrackSpCallee};
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -515,6 +543,11 @@ void Core::setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
   // it.
   bool WantSmc = Smc == SmcMode::All ||
                  (Smc == SmcMode::Stack && addrOnAnyStack(PC));
+  // An SMC prelude embeds this run's Translation* in the blob, and under
+  // --smc-check=stack the decision itself depends on live stack geometry,
+  // so such blocks must never be served from (or written to) the
+  // persistent cache.
+  Raw->Cacheable = !WantSmc;
   TO.Instrument = [this, PC, Raw, WantSmc](ir::IRSB &SB) {
     instrumentBlock(SB, PC, Raw, WantSmc);
   };
@@ -524,6 +557,7 @@ void Core::noteTranslation(uint32_t PC, const Translation &T,
                            double Seconds) {
   ++Stats.Translations;
   Stats.GuestInsnsTranslated += T.NumInsns;
+  Stats.TranslateSeconds += Seconds;
   if (Prof)
     Prof->noteTranslation(PC, T.NumInsns, T.Tier, Seconds);
 }
@@ -624,6 +658,18 @@ void Core::dumpProfile() {
     C.InstallLatencySeconds = J.InstallLatencySeconds;
     C.SyncPromoStallSeconds = J.SyncPromoStallSeconds;
     C.EnqueueSeconds = J.EnqueueSeconds;
+  }
+  if (const TransCache *TC = XS->cache()) {
+    const JitStats &J = XS->jitStats();
+    C.HasTransCache = true;
+    C.CacheHits = J.CacheHits;
+    C.CacheMisses = J.CacheMisses;
+    C.CacheRejects = J.CacheRejects;
+    C.CacheWrites = J.CacheWrites;
+    C.CacheEvictedFiles = TC->evictedFiles();
+    C.CacheDirBytes = TC->totalBytes();
+    C.CacheLoadSeconds = J.CacheLoadSeconds;
+    C.CacheStoreSeconds = J.CacheStoreSeconds;
   }
   if (Tracer) {
     C.HasTrace = true;
@@ -788,7 +834,15 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       Prof->noteExec(PC);
     if (HotThreshold && T->Tier == 0 && !T->PromoPending &&
         T->ExecCount >= HotThreshold) {
-      if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
+      if (Translation *CT = XS->asyncEnabled() ? XS->promoteFromCache(PC)
+                                               : nullptr) {
+        // Persistent-cache hit: the superblock was installed synchronously,
+        // replacing the tier-1 translation we were about to execute — the
+        // old T is dead memory now, so continue with the replacement.
+        // (At --jit-threads=0 the inline promoteHot path below consults
+        // the cache itself inside translateSync.)
+        T = CT;
+      } else if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
         // The promotion compiles in the background; keep executing the
         // tier-1 translation and install the superblock at a later
         // boundary. No stall taken here — that is the whole point.
@@ -855,7 +909,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       // away and retranslate. PC is unchanged.
       ++Stats.SmcRetranslations;
       for (auto [Lo, Hi] : T->Extents)
-        TT.invalidateRange(Lo, Hi - Lo);
+        XS->invalidate(Lo, Hi - Lo);
       continue;
     }
     case ir::JumpKind::SigSEGV:
@@ -887,7 +941,7 @@ void Core::injectBoundaryFaults(ThreadState &TS) {
     if (Events.FaultInjected)
       Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::TTFlush),
                            0);
-    TT.invalidateRange(0, 0xFFFFFFFFu);
+    XS->invalidate(0, 0xFFFFFFFFu);
   }
 }
 
@@ -1257,7 +1311,7 @@ void Core::handleClientRequest(ThreadState &TS) {
 }
 
 void Core::discardTranslations(uint32_t Addr, uint32_t Len) {
-  TT.invalidateRange(Addr, Len);
+  XS->invalidate(Addr, Len);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1269,14 +1323,14 @@ void Core::redirectToHost(uint32_t Addr, HostReplacementFn Fn) {
   // Drop any pre-redirect translation of Addr (and cancel chain waiters
   // parked on it): a predecessor chained straight into the old code would
   // bypass the dispatcher's redirect check.
-  TT.invalidateRange(Addr, 1);
+  XS->invalidate(Addr, 1);
 }
 
 void Core::redirectSymbolToHost(const std::string &Symbol,
                                 HostReplacementFn Fn) {
   if (auto It = ImageSymbols.find(Symbol); It != ImageSymbols.end()) {
     HostRedirects[It->second] = std::move(Fn);
-    TT.invalidateRange(It->second, 1); // drop any pre-redirect translation
+    XS->invalidate(It->second, 1); // drop any pre-redirect translation
     return;
   }
   PendingSymbolRedirects[Symbol] = std::move(Fn);
@@ -1286,7 +1340,7 @@ void Core::redirectGuest(uint32_t From, uint32_t To) {
   GuestRedirects[From] = To;
   // Any existing translation entered at From must go (and chasing through
   // From could have inlined it elsewhere, so scrub the byte too).
-  TT.invalidateRange(From, 1);
+  XS->invalidate(From, 1);
 }
 
 //===----------------------------------------------------------------------===//

@@ -71,6 +71,10 @@ struct CoreStats {
   uint64_t ChainedTransfers = 0;
   uint64_t HostRedirectCalls = 0;
   uint64_t HotPromotions = 0; ///< blocks retranslated as hot superblocks
+  /// Guest-thread seconds producing installed translations: pipeline time
+  /// for fresh ones, load+validate time for --tt-cache hits. The warm-start
+  /// bench compares this across cold/warm runs.
+  double TranslateSeconds = 0;
 };
 
 /// Signal numbers used by the simulated kernel.

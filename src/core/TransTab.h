@@ -51,6 +51,11 @@ struct Translation {
   /// chain thunk from re-requesting promotion on every execution while the
   /// worker runs. Always false when --jit-threads=0.
   bool PromoPending = false;
+  /// The blob is position-independent (no SMC-check prelude, which embeds
+  /// this Translation's own address as an immediate), so it may be served
+  /// from or written to the persistent translation cache. Decided by the
+  /// host in setupTranslation; false is always the safe default.
+  bool Cacheable = false;
   /// Chain slots: successor translations for constant Boring exits. Filled
   /// eagerly by TransTab when the successor exists; otherwise parked as a
   /// pending waiter and filled on the successor's insertion.

@@ -70,12 +70,103 @@ uint64_t TranslationService::hashSnapshot(
   return H;
 }
 
+uint64_t TranslationService::cachePrefixHash(uint32_t PC) const {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (uint32_t I = 0; I != 64; ++I) {
+    uint8_t B = 0;
+    if (Memory.read(PC + I, &B, 1, /*IgnorePerms=*/true).Faulted)
+      break;
+    H ^= B;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+Translation *
+TranslationService::installFromCache(std::unique_ptr<Translation> &TPtr,
+                                     uint64_t Key, uint32_t PC, bool Hot,
+                                     bool Promotion) {
+  double T0 = now();
+  TransCacheEntry E;
+  TransCache::LoadResult R = Cache->load(Key, E);
+  if (R == TransCache::LoadResult::NotFound) {
+    ++JS.CacheMisses;
+    JS.CacheLoadSeconds += now() - T0;
+    return nullptr;
+  }
+  // Found entries still run the gauntlet the async install path defined:
+  // the live guest bytes must hash to what the entry was translated from,
+  // and no same-run invalidation (redirect/unmap/flush) may have poisoned
+  // the range. Anything else is a reject — fall through to the pipeline.
+  if (R == TransCache::LoadResult::Malformed || E.Addr != PC ||
+      E.Tier != (Hot ? 1 : 0) || E.Extents.empty() ||
+      hashLive(E.Extents) != E.CodeHash || Cache->poisoned(E.Extents)) {
+    ++JS.CacheRejects;
+    JS.CacheLoadSeconds += now() - T0;
+    return nullptr;
+  }
+
+  Translation *Raw = TPtr.get();
+  Raw->Addr = PC;
+  Raw->Tier = Hot ? 1 : 0;
+  Raw->Extents = std::move(E.Extents);
+  Raw->CodeHash = E.CodeHash;
+  Raw->NumInsns = E.NumInsns;
+  Raw->Blob.Bytes = std::move(E.Bytes);
+  Raw->Blob.NumSpillSlots = E.NumSpillSlots;
+  Raw->Blob.NumChainSlots = E.NumChainSlots;
+  Raw->Blob.ChainTargets = std::move(E.ChainTargets);
+  Raw->Chain.assign(Raw->Blob.NumChainSlots, nullptr);
+
+  ++JS.CacheHits;
+  double Seconds = now() - T0;
+  JS.CacheLoadSeconds += Seconds;
+  uint64_t GenBefore = TT.generation();
+  Host.noteTranslation(PC, *Raw, Seconds);
+  Translation *NT = TT.insert(std::move(TPtr));
+  if (Promotion) {
+    NT->PromoPending = false;
+    Host.promotionInstalled(NT, GenBefore);
+  }
+  return NT;
+}
+
+void TranslationService::writeBackToCache(uint64_t Key, const Translation &T) {
+  double T0 = now();
+  TransCacheEntry E;
+  E.Addr = T.Addr;
+  E.Tier = T.Tier;
+  E.NumInsns = T.NumInsns;
+  E.CodeHash = T.CodeHash;
+  E.Extents = T.Extents;
+  E.NumSpillSlots = T.Blob.NumSpillSlots;
+  E.NumChainSlots = T.Blob.NumChainSlots;
+  E.ChainTargets = T.Blob.ChainTargets;
+  E.Bytes = T.Blob.Bytes;
+  if (Cache->store(Key, E))
+    ++JS.CacheWrites;
+  JS.CacheStoreSeconds += now() - T0;
+}
+
 Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
   auto TPtr = std::make_unique<Translation>();
   Translation *Raw = TPtr.get();
 
   TranslationOptions TO;
   Host.setupTranslation(TO, PC, Hot, Raw);
+
+  // The persistent cache sits in front of the pipeline. Eligibility
+  // (Raw->Cacheable) was just decided by setupTranslation on this thread,
+  // so position-dependent blobs (SMC prelude) never consult the disk.
+  uint64_t Key = 0;
+  bool UseCache = Cache && Raw->Cacheable;
+  if (UseCache) {
+    Key = TransCache::entryKey(PC, Hot, cachePrefixHash(PC));
+    if (Translation *T = installFromCache(TPtr, Key, PC, Hot,
+                                          /*Promotion=*/false))
+      return T;
+  }
+
   FetchFn Fetch = [this](uint32_t Addr, uint8_t *Buf,
                          uint32_t MaxLen) -> uint32_t {
     uint32_t N = 0;
@@ -84,12 +175,31 @@ Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
     return N;
   };
 
-  double T0 = TO.Prof ? now() : 0;
+  // Timed unconditionally (not just under --profile): CoreStats carries
+  // the total so the warm-start bench can compare pipeline time against
+  // cache-load time. Two clock reads per translation is noise next to the
+  // eight-phase pipeline they bracket.
+  double T0 = now();
   TranslatedBlock TB = translateBlock(PC, Fetch, TO);
   fillTranslation(*Raw, PC, Hot, std::move(TB));
   Raw->CodeHash = hashLive(Raw->Extents);
-  Host.noteTranslation(PC, *Raw, TO.Prof ? now() - T0 : 0);
-  return TT.insert(std::move(TPtr));
+  Host.noteTranslation(PC, *Raw, now() - T0);
+  Translation *Res = TT.insert(std::move(TPtr));
+  if (UseCache && !Cache->poisoned(Res->Extents))
+    writeBackToCache(Key, *Res);
+  return Res;
+}
+
+Translation *TranslationService::promoteFromCache(uint32_t PC) {
+  if (!Cache)
+    return nullptr;
+  auto TPtr = std::make_unique<Translation>();
+  TranslationOptions TO;
+  Host.setupTranslation(TO, PC, /*Hot=*/true, TPtr.get());
+  if (!TPtr->Cacheable)
+    return nullptr;
+  uint64_t Key = TransCache::entryKey(PC, /*Hot=*/true, cachePrefixHash(PC));
+  return installFromCache(TPtr, Key, PC, /*Hot=*/true, /*Promotion=*/true);
 }
 
 //===----------------------------------------------------------------------===//
@@ -273,6 +383,13 @@ unsigned TranslationService::drainCompleted() {
     Host.noteTranslation(NT->Addr, *NT, J->TranslateSeconds);
     Host.promotionInstalled(NT, GenBefore);
     ++Installed;
+    // Persist the freshly-installed superblock. The live-hash check just
+    // passed, so a key derived from live bytes matches what a future
+    // lookup (which also reads live bytes) will compute.
+    if (Cache && NT->Cacheable && !Cache->poisoned(NT->Extents))
+      writeBackToCache(
+          TransCache::entryKey(NT->Addr, /*Hot=*/true, cachePrefixHash(NT->Addr)),
+          *NT);
   }
   return Installed;
 }

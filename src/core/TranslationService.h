@@ -35,6 +35,7 @@
 #ifndef VG_CORE_TRANSLATIONSERVICE_H
 #define VG_CORE_TRANSLATIONSERVICE_H
 
+#include "core/TransCache.h"
 #include "core/TransTab.h"
 #include "core/Translate.h"
 #include "guest/GuestMemory.h"
@@ -66,6 +67,18 @@ struct JitStats {
   double InstallLatencySeconds = 0; ///< enqueue -> publication, summed
   double SyncPromoStallSeconds = 0; ///< guest time lost to inline promotion
   double EnqueueSeconds = 0;        ///< guest time spent snapshotting/queueing
+  // Persistent translation cache (--tt-cache). Every lookup settles into
+  // exactly one bucket: CacheHits + CacheMisses + CacheRejects equals the
+  // number of lookups, and a hit was *installed* — there is no "hit but
+  // not used" state. Hits never touch the async counters above, so the
+  // accounting identity (AsyncRequests == Installed + DiscardedEpoch +
+  // DiscardedStale + WorkerFailures + Abandoned) is unaffected by caching.
+  uint64_t CacheHits = 0;    ///< validated entries installed from disk
+  uint64_t CacheMisses = 0;  ///< no entry on disk; pipeline ran
+  uint64_t CacheRejects = 0; ///< entry malformed/stale/poisoned; pipeline ran
+  uint64_t CacheWrites = 0;  ///< translations persisted after install
+  double CacheLoadSeconds = 0;  ///< guest time in lookup+validate+install
+  double CacheStoreSeconds = 0; ///< guest time serializing write-backs
 };
 
 /// The hooks the service needs from its host (the Core). Small enough that
@@ -125,10 +138,37 @@ public:
   bool asyncEnabled() const { return NumThreads != 0 && !Stopped; }
   const JitStats &jitStats() const { return JS; }
 
+  /// Attaches the persistent translation cache (--tt-cache). Call before
+  /// execution starts. The cache is guest-thread-only: lookups happen in
+  /// translateSync/promoteFromCache, write-backs right after an install —
+  /// workers never see it.
+  void attachCache(std::unique_ptr<TransCache> C) { Cache = std::move(C); }
+  TransCache *cache() { return Cache.get(); }
+
+  /// Invalidation entry point hosts use instead of raw TT.invalidateRange:
+  /// bumps the flush epoch exactly as before AND poisons the cache, so a
+  /// redirected/unmapped address can't be re-served from disk this run.
+  unsigned invalidate(uint32_t Addr, uint32_t Len) {
+    if (Cache)
+      Cache->poison(Addr, Len);
+    return TT.invalidateRange(Addr, Len);
+  }
+
   /// The synchronous pipeline: translate the block at \p PC (hot = chase
   /// branches into a superblock), hash its bytes, account it through the
-  /// host, and insert it into the table. Guest thread only.
+  /// host, and insert it into the table. Guest thread only. With a cache
+  /// attached, an eligible PC is first looked up on disk (a validated hit
+  /// skips the pipeline entirely) and a fresh translation is written back
+  /// after install.
   Translation *translateSync(uint32_t PC, bool Hot);
+
+  /// Attempts to serve a hot promotion of \p PC straight from the
+  /// persistent cache, skipping both the promotion queue and the inline
+  /// pipeline. Returns the installed superblock, or null on miss/reject/
+  /// ineligibility (caller falls through to enqueuePromotion/promoteHot).
+  /// Guest thread, dispatch-boundary only: a hit replaces the resident
+  /// tier-1 translation, which the caller must treat as dangling.
+  Translation *promoteFromCache(uint32_t PC);
 
   /// Queues an asynchronous hot promotion of \p Cur (a resident tier-1
   /// block). Returns false — fall back to the inline path — when async
@@ -177,6 +217,20 @@ private:
   };
 
   static double now();
+  /// FNV-1a over the first (up to) 64 live guest bytes at \p PC — the
+  /// content component of the cache key. Short reads (unmapped tail) just
+  /// shorten the window; see TransCache::entryKey for why any window is
+  /// correct.
+  uint64_t cachePrefixHash(uint32_t PC) const;
+  /// On Found+validated: fills \p TPtr (an already-set-up shell), accounts
+  /// the hit, installs, and returns the resident translation; \p Promotion
+  /// adds the promotionInstalled bookkeeping. Null on miss/reject (the
+  /// shell stays reusable by the pipeline).
+  Translation *installFromCache(std::unique_ptr<Translation> &TPtr,
+                                uint64_t Key, uint32_t PC, bool Hot,
+                                bool Promotion);
+  /// Serializes an installed translation under \p Key (counts CacheWrites).
+  void writeBackToCache(uint64_t Key, const Translation &T);
   uint64_t hashLive(
       const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const;
   static uint64_t
@@ -217,6 +271,9 @@ private:
   /// fails the install-time hash check and is discarded.
   std::shared_ptr<const GuestMemory::ExecSnapshot> SnapCache;
   uint64_t SnapCacheEpoch = 0;
+
+  /// Persistent translation cache, or null. Guest thread only.
+  std::unique_ptr<TransCache> Cache;
 
   JitStats JS; ///< guest thread only
 };

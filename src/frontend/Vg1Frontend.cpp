@@ -37,6 +37,7 @@ constexpr uint32_t SpecKeyCalcCond = 1;
 const Callee CalcCondCallee = {"vg1_calc_cond", helperCalcCond,
                                SpecKeyCalcCond};
 const Callee CpuInfoCallee = {"vg1_cpuinfo", helperCpuInfo, 0};
+const ir::CalleeRegistrar RegisterCallees{&CalcCondCallee, &CpuInfoCallee};
 
 } // namespace
 

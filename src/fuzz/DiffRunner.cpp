@@ -8,8 +8,12 @@
 #include "tools/Nulgrind.h"
 #include "tools/TaintGrind.h"
 
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <sstream>
+
+#include <unistd.h>
 
 using namespace vg;
 using namespace vg::fuzz;
@@ -134,25 +138,73 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                /*CheckSmcRetrans=*/false});
   M.push_back({"cachegrind", "cachegrind", {}, false, false});
   M.push_back({"taintgrind", "taintgrind", {}, false, false});
+  // Persistent translation cache: cold run writes, warm run installs the
+  // deserialized translations — both must match the oracle bit for bit.
+  // (SMC programs get --smc-check=all below, which marks every block
+  // non-cacheable; the cells then degenerate to plain double runs, still
+  // divergence-checked.)
+  M.push_back({"nulgrind-cache",
+               "nulgrind",
+               {"--chaining=yes", "--hot-threshold=2"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false,
+               /*CacheTwice=*/true});
+  M.push_back({"memcheck-cache",
+               "memcheck",
+               {"--chaining=yes", "--hot-threshold=3"},
+               false,
+               true,
+               /*CheckSmcRetrans=*/false,
+               /*CacheTwice=*/true});
   if (P.Smc)
     for (FuzzConfig &C : M)
       C.Opts.push_back("--smc-check=all");
   return M;
 }
 
+/// A unique scratch directory per cache cell: fuzz processes run in
+/// parallel under ctest, so the name carries the pid, and diffRun is
+/// re-entered per iteration, so it also carries a process-wide counter.
+static std::string freshCacheDir() {
+  static std::atomic<uint64_t> Counter{0};
+  std::filesystem::path P =
+      std::filesystem::temp_directory_path() /
+      ("vgfuzz-ttc-" + std::to_string(getpid()) + "-" +
+       std::to_string(Counter.fetch_add(1)));
+  return P.string();
+}
+
 static void runOne(const FuzzProgram &P, const GuestImage &Img,
                    const RunReport &Oracle, const FuzzConfig &C,
                    std::vector<Divergence> &Out) {
-  std::unique_ptr<Tool> T = makeTool(C.ToolName);
-  if (!T) {
-    Out.push_back({C.Name, "config", "known tool", C.ToolName});
+  std::string CacheDir;
+  auto runAs = [&](const FuzzConfig &Cell) {
+    std::unique_ptr<Tool> T = makeTool(Cell.ToolName);
+    if (!T) {
+      Out.push_back({Cell.Name, "config", "known tool", Cell.ToolName});
+      return;
+    }
+    std::vector<std::string> Opts = Cell.Opts;
+    if (!CacheDir.empty())
+      Opts.push_back("--tt-cache=" + CacheDir);
+    RunReport Got =
+        runUnderCore(Img, T.get(), Opts, P.StdinData, CoreMaxBlocks);
+    const ICnt *Counter = dynamic_cast<const ICnt *>(T.get());
+    const Memcheck *Mc = dynamic_cast<const Memcheck *>(T.get());
+    compareReports(Oracle, Got, Cell, Counter, Mc, P.Smc, P.Signals, Out);
+  };
+  if (!C.CacheTwice) {
+    runAs(C);
     return;
   }
-  RunReport Got =
-      runUnderCore(Img, T.get(), C.Opts, P.StdinData, CoreMaxBlocks);
-  const ICnt *Counter = dynamic_cast<const ICnt *>(T.get());
-  const Memcheck *Mc = dynamic_cast<const Memcheck *>(T.get());
-  compareReports(Oracle, Got, C, Counter, Mc, P.Smc, P.Signals, Out);
+  CacheDir = freshCacheDir();
+  runAs(C); // cold: populates the cache
+  FuzzConfig Warm = C;
+  Warm.Name += "-warm";
+  runAs(Warm); // warm: installs from it
+  std::error_code EC;
+  std::filesystem::remove_all(CacheDir, EC);
 }
 
 DiffResult vg::fuzz::diffRun(const FuzzProgram &P,

@@ -36,6 +36,12 @@ struct FuzzConfig {
   /// takes the SmcFail path. Data transparency is still checked everywhere
   /// via the stdout comparison.
   bool CheckSmcRetrans = true;
+  /// Run the program twice against one fresh --tt-cache directory: the
+  /// first (cold) run populates it, the second (warm) run installs from it.
+  /// Both runs are diffed against the oracle; warm divergences are reported
+  /// under "<name>-warm". Exercises serialize -> deserialize -> install for
+  /// every translation the program produces.
+  bool CacheTwice = false;
 };
 
 /// One observed disagreement between the oracle and a config.

@@ -10,8 +10,8 @@ using namespace vg::hvm;
 
 namespace {
 
-unsigned encodedSize(const HInstr &I) {
-  switch (I.Op) {
+unsigned encodedSizeFor(HOp Op) {
+  switch (Op) {
   case HOp::LI:
     return 10;
   case HOp::MOV:
@@ -50,6 +50,8 @@ unsigned encodedSize(const HInstr &I) {
   }
   return 0;
 }
+
+unsigned encodedSize(const HInstr &I) { return encodedSizeFor(I.Op); }
 
 void putU16(std::vector<uint8_t> &B, uint16_t V) {
   B.push_back(static_cast<uint8_t>(V));
@@ -198,6 +200,24 @@ std::vector<uint8_t> hvm::encode(const HostCode &CodeIn) {
     }
   }
   return B;
+}
+
+bool hvm::findCalleeSlots(const std::vector<uint8_t> &Bytes,
+                          std::vector<uint32_t> &Slots) {
+  Slots.clear();
+  size_t Off = 0;
+  while (Off < Bytes.size()) {
+    uint8_t Op = Bytes[Off];
+    if (Op > static_cast<uint8_t>(HOp::SHPROBE))
+      return false;
+    unsigned Sz = encodedSizeFor(static_cast<HOp>(Op));
+    if (Sz == 0 || Off + Sz > Bytes.size())
+      return false;
+    if (static_cast<HOp>(Op) == HOp::CALL)
+      Slots.push_back(static_cast<uint32_t>(Off + 1)); // field follows opcode
+    Off += Sz;
+  }
+  return true;
 }
 
 std::string hvm::toString(const HInstr &I) {

@@ -113,6 +113,17 @@ struct HostCode {
 /// are resolved to byte offsets.
 std::vector<uint8_t> encode(const HostCode &Code);
 
+/// Decodes the opcode stream of an encoded blob and reports the byte
+/// offset of every CALL instruction's 8-byte callee field — the only
+/// host-pointer-sized immediate encode() ever emits, and the reason a raw
+/// blob is meaningless outside the process that produced it. The
+/// persistent translation cache rewrites these fields (pointer <-> callee
+/// name index) when serializing. Returns false when the bytes do not
+/// decode cleanly (unknown opcode or truncated tail), which load paths
+/// must treat as a malformed entry.
+bool findCalleeSlots(const std::vector<uint8_t> &Bytes,
+                     std::vector<uint32_t> &Slots);
+
 } // namespace hvm
 } // namespace vg
 

@@ -6,9 +6,55 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
+#include <mutex>
 
 using namespace vg;
 using namespace vg::ir;
+
+//===----------------------------------------------------------------------===//
+// Helper-callee registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct CalleeRegistry {
+  std::mutex Mu;
+  std::map<std::string, const Callee *> ByName;
+  std::map<const Callee *, const char *> ByPtr;
+};
+
+CalleeRegistry &calleeRegistry() {
+  static CalleeRegistry R; // never destroyed before the registrar statics
+  return R;
+}
+
+} // namespace
+
+void ir::registerCallee(const Callee *C) {
+  if (!C || !C->Name)
+    return;
+  CalleeRegistry &R = calleeRegistry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto [It, Inserted] = R.ByName.emplace(C->Name, C);
+  if (!Inserted && It->second != C)
+    unreachable("two helper callees registered under one name");
+  R.ByPtr.emplace(C, C->Name);
+}
+
+const Callee *ir::findCalleeByName(const std::string &Name) {
+  CalleeRegistry &R = calleeRegistry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto It = R.ByName.find(Name);
+  return It == R.ByName.end() ? nullptr : It->second;
+}
+
+const char *ir::registeredCalleeName(const Callee *C) {
+  CalleeRegistry &R = calleeRegistry();
+  std::lock_guard<std::mutex> L(R.Mu);
+  auto It = R.ByPtr.find(C);
+  return It == R.ByPtr.end() ? nullptr : It->second;
+}
 
 //===----------------------------------------------------------------------===//
 // Types and op metadata

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -207,6 +208,31 @@ struct Callee {
   /// Identifier used by the optimiser's platform-specific partial
   /// evaluation hook (Section 3.7 Phase 2's %eflags specialisation).
   uint32_t SpecKey = 0;
+};
+
+/// Process-wide registry of helper-callee descriptors, keyed by name.
+/// Encoded host code embeds raw Callee pointers (HOp::CALL), which makes a
+/// blob meaningless outside the process that emitted it; the persistent
+/// translation cache serializes CALL targets as registered names and
+/// resolves them back through this table at load time. Every Callee that
+/// can appear in cacheable code must therefore be registered (via a
+/// CalleeRegistrar static next to its definition). Thread-safe.
+void registerCallee(const Callee *C);
+/// Null when no callee of that name was registered.
+const Callee *findCalleeByName(const std::string &Name);
+/// The registered name for \p C, or null when \p C was never registered
+/// (a translation calling it can then not be serialized).
+const char *registeredCalleeName(const Callee *C);
+
+/// Registers a set of Callee descriptors at static-initialisation time.
+/// Place one of these in an anonymous namespace next to the descriptors:
+///
+///   const ir::CalleeRegistrar Reg{&LoadVCallee, &StoreVCallee};
+struct CalleeRegistrar {
+  CalleeRegistrar(std::initializer_list<const Callee *> Cs) {
+    for (const Callee *C : Cs)
+      registerCallee(C);
+  }
 };
 
 //===----------------------------------------------------------------------===//

@@ -4,6 +4,8 @@
 
 #include "support/Errors.h"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace vg;
@@ -57,10 +59,32 @@ int64_t OptionRegistry::getInt(const std::string &Name) const {
   return std::strtoll(getString(Name).c_str(), nullptr, 0);
 }
 
-int64_t OptionRegistry::getIntClamped(const std::string &Name, int64_t Lo,
+int64_t OptionRegistry::getIntChecked(const std::string &Name, int64_t Lo,
                                       int64_t Hi) const {
-  int64_t V = getInt(Name);
-  return V < Lo ? Lo : (V > Hi ? Hi : V);
+  std::string S = getString(Name);
+  const char *C = S.c_str();
+  char *End = nullptr;
+  errno = 0;
+  long long V = std::strtoll(C, &End, 0);
+  if (S.empty() || End == C || *End != '\0' || errno == ERANGE || V < Lo ||
+      V > Hi) {
+    char Msg[256];
+    std::snprintf(Msg, sizeof(Msg),
+                  "--%s=%s: expected an integer in [%lld, %lld]",
+                  Name.c_str(), S.c_str(), static_cast<long long>(Lo),
+                  static_cast<long long>(Hi));
+    fatalError(Msg);
+  }
+  return V;
+}
+
+std::vector<std::pair<std::string, std::string>>
+OptionRegistry::items() const {
+  std::vector<std::pair<std::string, std::string>> Out;
+  Out.reserve(Entries.size());
+  for (const auto &[Name, E] : Entries)
+    Out.push_back({Name, E.Value});
+  return Out;
 }
 
 bool OptionRegistry::getBool(const std::string &Name) const {

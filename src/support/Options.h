@@ -33,10 +33,18 @@ public:
   bool has(const std::string &Name) const;
   std::string getString(const std::string &Name) const;
   int64_t getInt(const std::string &Name) const;
-  /// getInt clamped into [Lo, Hi] — for options where an out-of-range
-  /// value (e.g. --jit-threads=9999) should degrade, not misbehave.
-  int64_t getIntClamped(const std::string &Name, int64_t Lo, int64_t Hi) const;
+  /// getInt with hard validation: the value must parse completely as an
+  /// integer and lie in [Lo, Hi]; anything else (--jit-threads=abc,
+  /// --jit-queue-depth=-1) is a usage error naming the option, the
+  /// offending value, and the accepted range. The predecessor of this API
+  /// silently clamped, which turned typos into surprising-but-running
+  /// configurations.
+  int64_t getIntChecked(const std::string &Name, int64_t Lo, int64_t Hi) const;
   bool getBool(const std::string &Name) const;
+
+  /// Every registered option as (name, value) pairs, in name order. The
+  /// persistent translation cache fingerprints these.
+  std::vector<std::pair<std::string, std::string>> items() const;
 
   /// Renders the registered options and help strings (for --help output).
   std::string helpText() const;

@@ -187,6 +187,34 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                C.SyncPromoStallSeconds * 1e6, C.EnqueueSeconds * 1e6);
   }
 
+  if (C.HasTransCache) {
+    Out.printf("\n== profile: translation cache ==\n");
+    uint64_t Lookups = C.CacheHits + C.CacheMisses + C.CacheRejects;
+    Out.printf("lookups=%llu hits=%llu misses=%llu rejects=%llu "
+               "(%.2f%% hit)\n",
+               static_cast<unsigned long long>(Lookups),
+               static_cast<unsigned long long>(C.CacheHits),
+               static_cast<unsigned long long>(C.CacheMisses),
+               static_cast<unsigned long long>(C.CacheRejects),
+               Lookups ? 100.0 * static_cast<double>(C.CacheHits) /
+                             static_cast<double>(Lookups)
+                       : 0.0);
+    Out.printf("writes=%llu evicted-files=%llu dir-bytes=%llu\n",
+               static_cast<unsigned long long>(C.CacheWrites),
+               static_cast<unsigned long long>(C.CacheEvictedFiles),
+               static_cast<unsigned long long>(C.CacheDirBytes));
+    Out.printf("load total=%.1fus mean=%.1fus store total=%.1fus "
+               "mean=%.1fus\n",
+               C.CacheLoadSeconds * 1e6,
+               C.CacheHits ? C.CacheLoadSeconds * 1e6 /
+                                 static_cast<double>(C.CacheHits)
+                           : 0.0,
+               C.CacheStoreSeconds * 1e6,
+               C.CacheWrites ? C.CacheStoreSeconds * 1e6 /
+                                   static_cast<double>(C.CacheWrites)
+                             : 0.0);
+  }
+
   if (C.HasTrace) {
     Out.printf("\n== profile: event trace ==\n");
     Out.printf("recorded=%llu dropped=%llu syscalls=%llu signal-records="

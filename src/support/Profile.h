@@ -118,6 +118,16 @@ struct ProfCounters {
   double InstallLatencySeconds = 0; ///< enqueue -> publication, summed
   double SyncPromoStallSeconds = 0; ///< guest time lost to inline promotion
   double EnqueueSeconds = 0;        ///< guest time spent snapshotting/queueing
+  // Persistent translation-cache counters (only when --tt-cache is set).
+  bool HasTransCache = false;
+  uint64_t CacheHits = 0;    ///< entries validated and installed
+  uint64_t CacheMisses = 0;  ///< key not present on disk
+  uint64_t CacheRejects = 0; ///< present but malformed/stale/poisoned
+  uint64_t CacheWrites = 0;  ///< entries written back after a pipeline run
+  uint64_t CacheEvictedFiles = 0; ///< files removed to honour the budget
+  uint64_t CacheDirBytes = 0;     ///< on-disk footprint at exit
+  double CacheLoadSeconds = 0;    ///< read+validate+install, summed
+  double CacheStoreSeconds = 0;   ///< serialize+write-back, summed
 };
 
 /// Accumulates profile data for one run.

@@ -81,6 +81,8 @@ namespace {
 const Callee InstrCallee = {"cg_instr", &Cachegrind::helperInstr, 0};
 const Callee ReadCallee = {"cg_read", &Cachegrind::helperRead, 0};
 const Callee WriteCallee = {"cg_write", &Cachegrind::helperWrite, 0};
+const ir::CalleeRegistrar RegisterCallees{&InstrCallee, &ReadCallee,
+                                         &WriteCallee};
 } // namespace
 
 Cachegrind::Cachegrind() = default;

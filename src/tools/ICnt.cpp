@@ -16,6 +16,7 @@ uint64_t ICnt::helperIncrement(void *Env, uint64_t, uint64_t, uint64_t,
 
 namespace {
 const Callee IncrementCallee = {"icnt_increment", &ICnt::helperIncrement, 0};
+const ir::CalleeRegistrar RegisterCallees{&IncrementCallee};
 } // namespace
 
 void ICnt::instrument(IRSB &SB) {

@@ -98,6 +98,9 @@ const Callee CondUndefCallee = {"mc_cond_undef", &Memcheck::helperCondUndef,
                                 0};
 const Callee JumpUndefCallee = {"mc_jump_undef", &Memcheck::helperJumpUndef,
                                 0};
+const ir::CalleeRegistrar RegisterCallees{
+    &LoadVCallee, &StoreVCallee, &ValueCheckFailCallee, &CondUndefCallee,
+    &JumpUndefCallee};
 } // namespace
 
 //===----------------------------------------------------------------------===//

@@ -104,6 +104,9 @@ const Callee TaintedJumpCallee = {"tg_tainted_jump",
                                   &TaintGrind::helperTaintedJump, 0};
 const Callee TaintedBranchCallee = {"tg_tainted_branch",
                                     &TaintGrind::helperTaintedBranch, 0};
+const ir::CalleeRegistrar RegisterCallees{&LoadTCallee, &StoreTCallee,
+                                          &TaintedJumpCallee,
+                                          &TaintedBranchCallee};
 } // namespace
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,504 @@
+//===-- tests/TransCacheTests.cpp - Persistent translation cache ----------==//
+///
+/// \file
+/// Tests for the --tt-cache subsystem: key/fingerprint derivation, the
+/// serialize -> deserialize -> install round trip at the service level,
+/// rejection of stale/poisoned/corrupt entries (truncations and bit flips
+/// must be misses, never crashes, never garbage installs), size-budget
+/// eviction, the hard option-validation errors, and end-to-end cold/warm
+/// equivalence under a full Core — including with background workers on
+/// (the ThreadSanitizer target of the `concurrency` ctest label).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Launcher.h"
+#include "core/TransCache.h"
+#include "core/TranslationService.h"
+#include "guestlib/GuestLib.h"
+#include "tools/Memcheck.h"
+#include "tools/Nulgrind.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+using namespace vg;
+using namespace vg::vg1;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test cache directory, removed on scope exit.
+struct ScratchDir {
+  fs::path Path;
+  ScratchDir() {
+    static int Counter = 0;
+    Path = fs::temp_directory_path() /
+           ("vgttc-test-" + std::to_string(getpid()) + "-" +
+            std::to_string(Counter++));
+    fs::remove_all(Path);
+  }
+  ~ScratchDir() {
+    std::error_code EC;
+    fs::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Keys and fingerprints
+//===----------------------------------------------------------------------===//
+
+TEST(TransCache, EntryKeyIsContentSensitive) {
+  uint64_t K = TransCache::entryKey(0x1000, false, 0xABCD);
+  EXPECT_EQ(K, TransCache::entryKey(0x1000, false, 0xABCD));
+  EXPECT_NE(K, TransCache::entryKey(0x1004, false, 0xABCD));
+  EXPECT_NE(K, TransCache::entryKey(0x1000, true, 0xABCD));
+  EXPECT_NE(K, TransCache::entryKey(0x1000, false, 0xABCE));
+}
+
+TEST(TransCache, ConfigHashCoversToolAndOptions) {
+  std::vector<std::pair<std::string, std::string>> A = {{"chaining", "yes"}};
+  std::vector<std::pair<std::string, std::string>> B = {{"chaining", "no"}};
+  uint64_t HA = TransCache::configHash("nulgrind", A);
+  EXPECT_EQ(HA, TransCache::configHash("nulgrind", A));
+  EXPECT_NE(HA, TransCache::configHash("memcheck", A));
+  EXPECT_NE(HA, TransCache::configHash("nulgrind", B));
+}
+
+//===----------------------------------------------------------------------===//
+// Service-level round trip (no full Core)
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t CodeBase = 0x1000;
+
+/// Stub host that marks every translation cacheable (the real Core does
+/// this for all blocks without an SMC prelude).
+struct CacheStubHost : TranslationHost {
+  unsigned Notes = 0;
+  unsigned Installs = 0;
+  void setupTranslation(TranslationOptions &, uint32_t, bool,
+                        Translation *Raw) override {
+    Raw->Cacheable = true;
+  }
+  void noteTranslation(uint32_t, const Translation &, double) override {
+    ++Notes;
+  }
+  void mergePhaseTimes(const PhaseTimes &) override {}
+  void promotionInstalled(Translation *, uint64_t) override { ++Installs; }
+};
+
+/// A bank of tiny blocks plus a service with a cache attached to \p Dir.
+struct CacheFixture {
+  GuestMemory Mem;
+  CacheStubHost Host;
+  TranslationService XS;
+  std::vector<uint32_t> Blocks;
+
+  explicit CacheFixture(const std::string &Dir, uint64_t MaxBytes = 0,
+                        unsigned NBlocks = 4)
+      : XS(Host, Mem) {
+    Assembler Code(CodeBase);
+    for (unsigned I = 0; I != NBlocks; ++I) {
+      Blocks.push_back(Code.here());
+      Code.movi(Reg::R0, I);
+      Code.ret();
+    }
+    GuestImage Img = GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+    for (const ImageSegment &S : Img.Segments) {
+      Mem.map(S.Base, static_cast<uint32_t>(S.Bytes.size()), S.Perms);
+      Mem.write(S.Base, S.Bytes.data(), static_cast<uint32_t>(S.Bytes.size()),
+                /*IgnorePerms=*/true);
+    }
+    XS.attachCache(std::make_unique<TransCache>(Dir, MaxBytes, /*CH=*/1));
+  }
+};
+
+TEST(TransCache, StoreThenLoadRoundTripInstalls) {
+  ScratchDir Dir;
+  uint64_t CodeHash, NumInsns;
+  {
+    CacheFixture Cold(Dir.str());
+    Translation *T = Cold.XS.translateSync(Cold.Blocks[0], /*Hot=*/false);
+    ASSERT_NE(T, nullptr);
+    CodeHash = T->CodeHash;
+    NumInsns = T->NumInsns;
+    EXPECT_EQ(Cold.XS.jitStats().CacheMisses, 1u);
+    EXPECT_EQ(Cold.XS.jitStats().CacheWrites, 1u);
+    EXPECT_EQ(Cold.XS.jitStats().CacheHits, 0u);
+  }
+  CacheFixture Warm(Dir.str());
+  Translation *T = Warm.XS.translateSync(Warm.Blocks[0], /*Hot=*/false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 1u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheMisses, 0u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheWrites, 0u); // hits are not re-written
+  // The deserialized translation is the real thing, installed and
+  // accounted like a pipeline product.
+  EXPECT_EQ(T->CodeHash, CodeHash);
+  EXPECT_EQ(T->NumInsns, NumInsns);
+  EXPECT_EQ(Warm.XS.transTab().find(Warm.Blocks[0]), T);
+  EXPECT_EQ(Warm.Host.Notes, 1u);
+}
+
+TEST(TransCache, ChangedGuestBytesRejectEntry) {
+  ScratchDir Dir;
+  {
+    CacheFixture Cold(Dir.str());
+    Cold.XS.translateSync(Cold.Blocks[0], false);
+  }
+  CacheFixture Warm(Dir.str());
+  // Same addresses, different code: patch the first block's immediate.
+  // The key's prefix hash changes with the bytes, so this is a plain miss;
+  // the stale entry must never be installed.
+  uint32_t Clobber = 0x00FFu;
+  Warm.Mem.write(Warm.Blocks[0] + 1, &Clobber, 2, /*IgnorePerms=*/true);
+  Translation *T = Warm.XS.translateSync(Warm.Blocks[0], false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 0u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheMisses +
+                Warm.XS.jitStats().CacheRejects,
+            1u);
+}
+
+TEST(TransCache, PoisonedRangeBlocksLoadAndStore) {
+  ScratchDir Dir;
+  {
+    CacheFixture Cold(Dir.str());
+    Cold.XS.translateSync(Cold.Blocks[0], false);
+    EXPECT_EQ(Cold.XS.jitStats().CacheWrites, 1u);
+  }
+  CacheFixture Warm(Dir.str());
+  // A redirect-style invalidation changes what the address *means* without
+  // changing its bytes: the on-disk entry must be refused for the rest of
+  // this run, and the retranslation must not be written back over it.
+  Warm.XS.invalidate(Warm.Blocks[0], 4);
+  Translation *T = Warm.XS.translateSync(Warm.Blocks[0], false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 0u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheRejects, 1u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheWrites, 0u);
+  // A non-overlapping block is unaffected.
+  Warm.XS.translateSync(Warm.Blocks[1], false);
+  EXPECT_EQ(Warm.XS.jitStats().CacheWrites, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption: truncations and bit flips are misses, never crashes
+//===----------------------------------------------------------------------===//
+
+TEST(TransCache, TruncatedEntryIsRejectedNotCrash) {
+  ScratchDir Dir;
+  uint64_t Key;
+  {
+    CacheFixture Cold(Dir.str());
+    Cold.XS.translateSync(Cold.Blocks[0], false);
+    Key = TransCache::entryKey(
+        Cold.Blocks[0], false,
+        [&] {
+          // Recompute the prefix hash the way the service does: FNV-1a over
+          // the live bytes (both blocks fit comfortably in the window).
+          uint64_t H = 0xcbf29ce484222325ull;
+          for (uint32_t I = 0; I != 64; ++I) {
+            uint8_t B = 0;
+            if (Cold.Mem.read(Cold.Blocks[0] + I, &B, 1,
+                              /*IgnorePerms=*/true)
+                    .Faulted)
+              break;
+            H = (H ^ B) * 0x100000001b3ull;
+          }
+          return H;
+        }());
+    std::string Path = Cold.XS.cache()->entryPath(Key);
+    ASSERT_TRUE(fs::exists(Path));
+    // Chop the file mid-payload.
+    fs::resize_file(Path, fs::file_size(Path) / 2);
+  }
+  CacheFixture Warm(Dir.str());
+  Translation *T = Warm.XS.translateSync(Warm.Blocks[0], false);
+  ASSERT_NE(T, nullptr); // pipeline fallback, correct translation
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 0u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheRejects, 1u);
+}
+
+TEST(TransCache, BitFlippedEntriesAreRejectedNotCrash) {
+  ScratchDir Dir;
+  {
+    CacheFixture Cold(Dir.str(), 0, /*NBlocks=*/4);
+    for (uint32_t PC : Cold.Blocks)
+      Cold.XS.translateSync(PC, false);
+    EXPECT_EQ(Cold.XS.jitStats().CacheWrites, 4u);
+  }
+  // Flip one byte at a different offset in every cached file: header,
+  // payload, and checksum corruption are all covered across the set.
+  unsigned N = 0;
+  for (const auto &DE : fs::directory_iterator(Dir.Path)) {
+    std::fstream F(DE.path(),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(F.good());
+    uint64_t Size = fs::file_size(DE.path());
+    uint64_t Off = (N * 13 + 3) % Size;
+    F.seekg(static_cast<std::streamoff>(Off));
+    char C = 0;
+    F.get(C);
+    F.seekp(static_cast<std::streamoff>(Off));
+    F.put(static_cast<char>(C ^ 0x40));
+    ++N;
+  }
+  ASSERT_EQ(N, 4u);
+  CacheFixture Warm(Dir.str());
+  for (uint32_t PC : Warm.Blocks)
+    ASSERT_NE(Warm.XS.translateSync(PC, false), nullptr);
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 0u);
+  // Every corrupted entry was detected (reject) or its key no longer
+  // matched its filename (miss); either way nothing installed from disk.
+  EXPECT_EQ(Warm.XS.jitStats().CacheMisses +
+                Warm.XS.jitStats().CacheRejects,
+            4u);
+  EXPECT_GT(Warm.XS.jitStats().CacheRejects, 0u);
+}
+
+TEST(TransCache, GarbageFilesInDirAreIgnored) {
+  ScratchDir Dir;
+  fs::create_directories(Dir.Path);
+  std::ofstream(Dir.Path / "junk.vgtc") << "not a cache entry";
+  std::ofstream(Dir.Path / "README.txt") << "hello";
+  CacheFixture F(Dir.str());
+  Translation *T = F.XS.translateSync(F.Blocks[0], false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(F.XS.jitStats().CacheHits, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Size budget
+//===----------------------------------------------------------------------===//
+
+TEST(TransCache, EvictionHonoursByteBudget) {
+  ScratchDir Dir;
+  uint64_t OneEntry;
+  {
+    CacheFixture Probe(Dir.str());
+    Probe.XS.translateSync(Probe.Blocks[0], false);
+    OneEntry = Probe.XS.cache()->totalBytes();
+    ASSERT_GT(OneEntry, 0u);
+  }
+  fs::remove_all(Dir.Path);
+  // Budget for two entries; store four. The oldest files must go.
+  CacheFixture F(Dir.str(), /*MaxBytes=*/2 * OneEntry + OneEntry / 2);
+  for (uint32_t PC : F.Blocks)
+    F.XS.translateSync(PC, false);
+  EXPECT_EQ(F.XS.jitStats().CacheWrites, 4u);
+  EXPECT_GT(F.XS.cache()->evictedFiles(), 0u);
+  EXPECT_LE(F.XS.cache()->totalBytes(), 2 * OneEntry + OneEntry / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Hard option validation (the getIntClamped bugfix)
+//===----------------------------------------------------------------------===//
+
+GuestImage trivialProgram() {
+  Assembler Code(CodeBase);
+  Code.movi(Reg::R0, 0);
+  Code.ret();
+  return GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+}
+
+using OptionDeathTest = ::testing::Test;
+
+TEST(OptionDeathTest, NonNumericJitThreadsIsFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--jit-threads=abc"}),
+              ::testing::ExitedWithCode(1),
+              "--jit-threads=abc: expected an integer in \\[0, 16\\]");
+}
+
+TEST(OptionDeathTest, NegativeQueueDepthIsFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--jit-queue-depth=-1"}),
+              ::testing::ExitedWithCode(1),
+              "--jit-queue-depth=-1: expected an integer in \\[1, 1024\\]");
+}
+
+TEST(OptionDeathTest, NonNumericCacheBudgetIsFatal) {
+  ScratchDir Dir;
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T,
+                           {"--tt-cache=" + Dir.str(),
+                            "--tt-cache-max-mb=xyz"}),
+              ::testing::ExitedWithCode(1),
+              "--tt-cache-max-mb=xyz: expected an integer");
+}
+
+TEST(OptionDeathTest, TrailingJunkAndRangeViolationsAreFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--jit-threads=2x"}),
+              ::testing::ExitedWithCode(1), "expected an integer");
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--jit-threads=17"}),
+              ::testing::ExitedWithCode(1), "expected an integer");
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: cold/warm equivalence under a full Core
+//===----------------------------------------------------------------------===//
+
+constexpr uint32_t ProgCodeBase = 0x1000;
+constexpr uint32_t ProgDataBase = 0x100000;
+
+GuestImage loopProgram() {
+  Assembler Code(ProgCodeBase);
+  Assembler Data(ProgDataBase);
+  GuestLibLabels Lib = emitGuestLib(Code, Data);
+  Label Main = Code.newLabel();
+  uint32_t Entry = emitStart(Code, Main);
+  Code.bind(Main);
+  Code.symbol("main");
+  Label Str = Data.boundLabel();
+  Data.emitString("done\n");
+  Code.movi(Reg::R1, 0);
+  Label Outer = Code.boundLabel();
+  Code.movi(Reg::R2, 0);
+  Label Inner = Code.boundLabel();
+  Code.addi(Reg::R2, Reg::R2, 1);
+  Code.cmpi(Reg::R2, 50);
+  Code.blt(Inner);
+  Code.addi(Reg::R1, Reg::R1, 1);
+  Code.cmpi(Reg::R1, 200);
+  Code.blt(Outer);
+  Code.movi(Reg::R1, Data.labelAddr(Str));
+  Code.call(Lib.Print);
+  Code.movi(Reg::R0, 5);
+  Code.ret();
+  return GuestImageBuilder()
+      .addCode(Code)
+      .addData(Data)
+      .entry(Entry)
+      .build();
+}
+
+// Valid values at the range edges still work (the check is not
+// over-eager): hex syntax parses and the run behaves like --jit-threads=2.
+TEST(TransCacheEndToEnd, ValidOptionValuesStillParse) {
+  GuestImage Img = loopProgram();
+  Nulgrind T;
+  RunReport R = runUnderCore(Img, &T, {"--jit-threads=0x2"});
+  EXPECT_TRUE(R.Completed);
+}
+
+TEST(TransCacheEndToEnd, WarmRunSkipsPipelineAndMatchesCold) {
+  ScratchDir Dir;
+  GuestImage Img = loopProgram();
+  std::vector<std::string> Opts = {"--chaining=yes", "--hot-threshold=2",
+                                   "--tt-cache=" + Dir.str()};
+  Nulgrind T1, T2;
+  RunReport Cold = runUnderCore(Img, &T1, Opts);
+  ASSERT_TRUE(Cold.Completed);
+  EXPECT_GT(Cold.Jit.CacheWrites, 0u);
+  EXPECT_EQ(Cold.Jit.CacheHits, 0u);
+
+  RunReport Warm = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(Warm.Completed);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+  EXPECT_EQ(Warm.ExitCode, Cold.ExitCode);
+  EXPECT_EQ(Warm.Jit.CacheMisses, 0u);
+  EXPECT_EQ(Warm.Jit.CacheRejects, 0u);
+  EXPECT_GT(Warm.Jit.CacheHits, 0u);
+  EXPECT_EQ(Warm.Jit.CacheHits, Cold.Jit.CacheWrites);
+  // Nothing new to persist on a fully warm run.
+  EXPECT_EQ(Warm.Jit.CacheWrites, 0u);
+}
+
+TEST(TransCacheEndToEnd, MemcheckWarmRunIsEquivalent) {
+  ScratchDir Dir;
+  GuestImage Img = loopProgram();
+  std::vector<std::string> Opts = {"--chaining=yes", "--hot-threshold=3",
+                                   "--tt-cache=" + Dir.str()};
+  Memcheck T1, T2;
+  RunReport Cold = runUnderCore(Img, &T1, Opts);
+  RunReport Warm = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(Cold.Completed);
+  ASSERT_TRUE(Warm.Completed);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+  EXPECT_EQ(Warm.ExitCode, Cold.ExitCode);
+  EXPECT_GT(Warm.Jit.CacheHits, 0u);
+  EXPECT_EQ(T1.uniqueErrors(), T2.uniqueErrors());
+}
+
+// Different tools must not share entries: the config fingerprint keys the
+// filenames, so a Memcheck run against a Nulgrind-written directory sees
+// only misses (not rejects, not garbage installs).
+TEST(TransCacheEndToEnd, ToolsDoNotShareEntries) {
+  ScratchDir Dir;
+  GuestImage Img = loopProgram();
+  std::vector<std::string> Opts = {"--tt-cache=" + Dir.str()};
+  Nulgrind TN;
+  Memcheck TM;
+  RunReport A = runUnderCore(Img, &TN, Opts);
+  RunReport B = runUnderCore(Img, &TM, Opts);
+  ASSERT_TRUE(A.Completed);
+  ASSERT_TRUE(B.Completed);
+  EXPECT_EQ(B.Jit.CacheHits, 0u);
+  EXPECT_EQ(B.Jit.CacheRejects, 0u);
+  EXPECT_GT(B.Jit.CacheWrites, 0u);
+}
+
+// SMC: with --smc-check=all every block carries a position-dependent
+// prelude and must bypass the cache entirely — and self-modified code must
+// still retranslate correctly on a warm run.
+TEST(TransCacheEndToEnd, SmcCheckedBlocksBypassCache) {
+  ScratchDir Dir;
+  GuestImage Img = loopProgram();
+  std::vector<std::string> Opts = {"--smc-check=all",
+                                   "--tt-cache=" + Dir.str()};
+  Nulgrind T1, T2;
+  RunReport Cold = runUnderCore(Img, &T1, Opts);
+  RunReport Warm = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(Cold.Completed);
+  ASSERT_TRUE(Warm.Completed);
+  EXPECT_EQ(Cold.Jit.CacheWrites, 0u);
+  EXPECT_EQ(Warm.Jit.CacheHits + Warm.Jit.CacheMisses +
+                Warm.Jit.CacheRejects,
+            0u);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrency: cache + background workers (TSan target)
+//===----------------------------------------------------------------------===//
+
+// All cache traffic stays on the guest thread by construction; this runs
+// the full cold/warm cycle with two workers racing the guest thread so the
+// tsan preset can prove it. The async accounting identity must also hold
+// on both runs.
+TEST(TransCacheConcurrency, ColdWarmWithBackgroundWorkers) {
+  ScratchDir Dir;
+  GuestImage Img = buildWorkload("crafty", 1);
+  std::vector<std::string> Opts = {"--chaining=yes", "--hot-threshold=2",
+                                   "--jit-threads=2",
+                                   "--tt-cache=" + Dir.str()};
+  Nulgrind T1, T2;
+  RunReport Cold = runUnderCore(Img, &T1, Opts);
+  RunReport Warm = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(Cold.Completed);
+  ASSERT_TRUE(Warm.Completed);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+  EXPECT_GT(Cold.Jit.CacheWrites, 0u);
+  EXPECT_GT(Warm.Jit.CacheHits, 0u);
+  for (const RunReport *R : {&Cold, &Warm}) {
+    const JitStats &J = R->Jit;
+    EXPECT_EQ(J.AsyncRequests, J.AsyncInstalled + J.AsyncDiscardedEpoch +
+                                   J.AsyncDiscardedStale + J.WorkerFailures +
+                                   J.AsyncAbandoned);
+  }
+}
+
+} // namespace

@@ -20,7 +20,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <filesystem>
+#include <memory>
 #include <mutex>
+
+#include <unistd.h>
 
 using namespace vg;
 using namespace vg::vg1;
@@ -38,14 +42,16 @@ constexpr uint32_t CodeBase = 0x1000;
 /// plain fields are correct here — TSan would catch a violation).
 struct StubHost : TranslationHost {
   InstrumentFn Instrument; ///< copied into TO at setup time (guest thread)
+  bool MarkCacheable = false; ///< mimic the Core's no-SMC-prelude decision
   unsigned Notes = 0;
   unsigned Merges = 0;
   unsigned Installs = 0;
   Translation *LastInstalled = nullptr;
 
   void setupTranslation(TranslationOptions &TO, uint32_t, bool,
-                        Translation *) override {
+                        Translation *Raw) override {
     TO.Instrument = Instrument;
+    Raw->Cacheable = MarkCacheable;
   }
   void noteTranslation(uint32_t, const Translation &, double) override {
     ++Notes;
@@ -440,6 +446,130 @@ TEST(TranslationService, AsyncRunMatchesGuestVisibleBehaviour) {
                                    J.AsyncDiscardedStale + J.WorkerFailures +
                                    J.AsyncAbandoned);
   }
+}
+
+//===----------------------------------------------------------------------===//
+// The persistent cache on the service's paths (accounting audit)
+//===----------------------------------------------------------------------===//
+
+/// Scratch --tt-cache directory, removed on scope exit.
+struct CacheDir {
+  std::filesystem::path Path;
+  CacheDir() {
+    static int Counter = 0;
+    Path = std::filesystem::temp_directory_path() /
+           ("vgxs-cache-" + std::to_string(getpid()) + "-" +
+            std::to_string(Counter++));
+    std::filesystem::remove_all(Path);
+  }
+  ~CacheDir() {
+    std::error_code EC;
+    std::filesystem::remove_all(Path, EC);
+  }
+  std::string str() const { return Path.string(); }
+};
+
+// A cache hit for a promotion must install without ever touching the async
+// books: no request, no queue traffic, identity trivially intact.
+TEST(TranslationService, PromoteFromCacheBypassesAsyncAccounting) {
+  CacheDir Dir;
+  {
+    ServiceFixture A;
+    A.Host.MarkCacheable = true;
+    A.XS.attachCache(std::make_unique<TransCache>(Dir.str(), 0, /*CH=*/1));
+    A.XS.translateSync(A.Blocks[0], /*Hot=*/true); // seeds the hot entry
+    EXPECT_EQ(A.XS.jitStats().CacheWrites, 1u);
+  }
+  ServiceFixture B;
+  B.Host.MarkCacheable = true;
+  B.XS.attachCache(std::make_unique<TransCache>(Dir.str(), 0, /*CH=*/1));
+  Translation *Cold = B.XS.translateSync(B.Blocks[0], false);
+  ASSERT_NE(Cold, nullptr);
+  B.XS.configure(1, 8);
+
+  Translation *Hot = B.XS.promoteFromCache(B.Blocks[0]);
+  ASSERT_NE(Hot, nullptr);
+  EXPECT_NE(Hot, Cold); // replaced the resident tier-1 block
+  EXPECT_EQ(Hot->Tier, 1u);
+  EXPECT_EQ(B.XS.transTab().find(B.Blocks[0]), Hot);
+  EXPECT_EQ(B.Host.Installs, 1u); // promotionInstalled bookkeeping ran
+  EXPECT_EQ(B.XS.jitStats().CacheHits, 1u);
+  const JitStats &J = B.XS.jitStats();
+  EXPECT_EQ(J.AsyncRequests, 0u);
+  EXPECT_EQ(J.SyncPromotions, 0u);
+  B.expectRequestsSettled();
+
+  // A PC with no hot entry on disk is a miss and stays on the normal
+  // promotion path.
+  Translation *T1 = B.XS.translateSync(B.Blocks[1], false);
+  ASSERT_NE(T1, nullptr);
+  EXPECT_EQ(B.XS.promoteFromCache(B.Blocks[1]), nullptr);
+  EXPECT_EQ(B.XS.transTab().find(B.Blocks[1]), T1); // untouched
+  B.expectRequestsSettled();
+}
+
+// The audit the issue asks for: with the cache attached, every async path
+// — publication, backpressure refusal, inline fallback, drain write-back —
+// must keep AsyncRequests == Installed + DiscardedEpoch + DiscardedStale +
+// WorkerFailures + Abandoned, and every cache lookup must settle into
+// exactly one of hit/miss/reject.
+TEST(TranslationService, CacheOnAsyncAndFallbackPathsKeepsBooksBalanced) {
+  CacheDir Dir;
+  ServiceFixture F;
+  F.Host.MarkCacheable = true;
+  F.XS.attachCache(std::make_unique<TransCache>(Dir.str(), 0, /*CH=*/1));
+
+  Translation *A = F.XS.translateSync(F.Blocks[0], false);
+  Translation *B = F.XS.translateSync(F.Blocks[1], false);
+  Translation *C = F.XS.translateSync(F.Blocks[2], false);
+  EXPECT_EQ(F.XS.jitStats().CacheMisses, 3u);
+  EXPECT_EQ(F.XS.jitStats().CacheWrites, 3u);
+
+  std::mutex GateMu;
+  std::condition_variable GateCV;
+  bool GateOpen = false;
+  std::atomic<unsigned> Entered{0};
+  F.Host.Instrument = [&](ir::IRSB &) {
+    Entered.fetch_add(1);
+    std::unique_lock<std::mutex> L(GateMu);
+    GateCV.wait(L, [&] { return GateOpen; });
+  };
+
+  F.XS.configure(/*Threads=*/1, /*QueueDepth=*/1);
+  ASSERT_TRUE(F.XS.enqueuePromotion(A));
+  while (Entered.load() == 0)
+    std::this_thread::yield();
+  ASSERT_TRUE(F.XS.enqueuePromotion(B));
+  EXPECT_FALSE(F.XS.enqueuePromotion(C)); // backpressure
+  EXPECT_EQ(F.XS.jitStats().QueueFullFallbacks, 1u);
+
+  {
+    std::lock_guard<std::mutex> L(GateMu);
+    GateOpen = true;
+  }
+  GateCV.notify_all();
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 2u);
+
+  // The refused promotion runs inline — through the cache-aware sync path
+  // (the gate is open now, so the copied instrument hook sails through).
+  Translation *CHot = F.XS.translateSync(F.Blocks[2], /*Hot=*/true);
+  ASSERT_NE(CHot, nullptr);
+  F.XS.noteSyncPromotion(0.001);
+  F.XS.shutdown();
+
+  const JitStats &J = F.XS.jitStats();
+  // Async books: 2 requests, both installed (the refusal never became a
+  // request).
+  EXPECT_EQ(J.AsyncRequests, 2u);
+  EXPECT_EQ(J.AsyncInstalled, 2u);
+  F.expectRequestsSettled();
+  // Cache books: 3 cold misses + 1 hot miss, every one written back, plus
+  // a write-back per drained install; no lookup left unsettled.
+  EXPECT_EQ(J.CacheMisses, 4u);
+  EXPECT_EQ(J.CacheHits, 0u);
+  EXPECT_EQ(J.CacheRejects, 0u);
+  EXPECT_EQ(J.CacheWrites, 6u);
 }
 
 // The scheduler/signal workload with background workers on: threads,
