@@ -7,7 +7,9 @@
 /// relative to native execution, on the SPEC-like workload suite, with
 /// per-column geometric means. A fifth column runs Nulgrind with the
 /// dispatcher hot path on (--chaining=yes --hot-threshold=50) to show the
-/// two-tier JIT's effect on the headline slow-down.
+/// two-tier JIT's effect on the headline slow-down, and two more run
+/// Nulgrind and Memcheck with the trace tier stacked on top of that
+/// (--trace-tier=yes) to show the third tier's effect.
 ///
 /// "Native" is the reference interpreter (see DESIGN.md: the substitution
 /// for direct hardware execution). Expected shape, as in the paper:
@@ -42,8 +44,9 @@ uint32_t benchScale() {
 struct Row {
   std::string Name;
   double NativeSec = 0;
-  // nulgrind, icnt-i, icnt-c, memcheck, nulgrind+chaining+hotness
-  double Factor[5] = {0, 0, 0, 0, 0};
+  // nulgrind, icnt-i, icnt-c, memcheck, nulgrind+chaining+hotness,
+  // nulgrind+traces, memcheck+traces
+  double Factor[7] = {0, 0, 0, 0, 0, 0, 0};
 };
 
 } // namespace
@@ -52,11 +55,12 @@ int main() {
   uint32_t Scale = benchScale();
   std::printf("== Table 2: tool slow-down factors vs native (scale %u) ==\n",
               Scale);
-  std::printf("%-10s %10s %9s %9s %9s %9s %9s\n", "Program", "Nat.(s)",
-              "Nulg.", "ICntI", "ICntC", "Memc.", "Nulg.+h");
+  std::printf("%-10s %10s %9s %9s %9s %9s %9s %9s %9s\n", "Program",
+              "Nat.(s)", "Nulg.", "ICntI", "ICntC", "Memc.", "Nulg.+h",
+              "Nulg.+t", "Memc.+t");
 
   std::vector<Row> Rows;
-  double GeoSum[5] = {0, 0, 0, 0, 0};
+  double GeoSum[7] = {0, 0, 0, 0, 0, 0, 0};
   int GeoN = 0;
 
   for (const WorkloadInfo &W : allWorkloads()) {
@@ -77,7 +81,7 @@ int main() {
     R.Name = W.Name;
     R.NativeSec = Native.Seconds;
 
-    for (int T = 0; T != 5; ++T) {
+    for (int T = 0; T != 7; ++T) {
       std::unique_ptr<Tool> Tool;
       std::vector<std::string> Opts = {"--smc-check=none"};
       switch (T) {
@@ -99,6 +103,19 @@ int main() {
         Opts.push_back("--chaining=yes");
         Opts.push_back("--hot-threshold=50");
         break;
+      case 5:
+        Tool = std::make_unique<Nulgrind>();
+        Opts.push_back("--chaining=yes");
+        Opts.push_back("--hot-threshold=50");
+        Opts.push_back("--trace-tier=yes");
+        break;
+      case 6:
+        Tool = std::make_unique<Memcheck>();
+        Opts.push_back("--leak-check=no");
+        Opts.push_back("--chaining=yes");
+        Opts.push_back("--hot-threshold=50");
+        Opts.push_back("--trace-tier=yes");
+        break;
       }
       RunReport Rep = runUnderCore(Img, Tool.get(), Opts);
       {
@@ -112,14 +129,15 @@ int main() {
                         ? Rep.Seconds / Native.Seconds
                         : -1;
     }
-    std::printf("%-10s %10.3f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
+    std::printf("%-10s %10.3f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f %9.1f\n",
                 R.Name.c_str(), R.NativeSec, R.Factor[0], R.Factor[1],
-                R.Factor[2], R.Factor[3], R.Factor[4]);
+                R.Factor[2], R.Factor[3], R.Factor[4], R.Factor[5],
+                R.Factor[6]);
     bool AllOk = true;
     for (double F : R.Factor)
       AllOk = AllOk && F > 0;
     if (AllOk) {
-      for (int T = 0; T != 5; ++T)
+      for (int T = 0; T != 7; ++T)
         GeoSum[T] += std::log(R.Factor[T]);
       ++GeoN;
     }
@@ -128,7 +146,7 @@ int main() {
 
   if (GeoN) {
     std::printf("%-10s %10s", "geo. mean", "");
-    for (int T = 0; T != 5; ++T)
+    for (int T = 0; T != 7; ++T)
       std::printf(" %9.1f", std::exp(GeoSum[T] / GeoN));
     std::printf("\n");
     std::printf("\n(paper, SPEC CPU2000 on real hardware: Nulgrind 4.3x, "
@@ -139,9 +157,10 @@ int main() {
 
   // Machine-readable copy of the table for regression tracking.
   {
-    static const char *ToolNames[5] = {"nulgrind", "icnt_inline",
-                                       "icnt_ccall", "memcheck",
-                                       "nulgrind_hot"};
+    static const char *ToolNames[7] = {"nulgrind",     "icnt_inline",
+                                       "icnt_ccall",   "memcheck",
+                                       "nulgrind_hot", "nulgrind_traces",
+                                       "memcheck_traces"};
     std::ofstream F("BENCH_table2.json");
     F << "{\n  \"bench\": \"table2_slowdown\",\n  \"scale\": " << Scale
       << ",\n  \"unit\": \"slowdown_factor_vs_native\",\n  \"rows\": [\n";
@@ -149,12 +168,12 @@ int main() {
       const Row &R = Rows[I];
       F << "    {\"program\": \"" << R.Name
         << "\", \"native_sec\": " << R.NativeSec;
-      for (int T = 0; T != 5; ++T)
+      for (int T = 0; T != 7; ++T)
         F << ", \"" << ToolNames[T] << "\": " << R.Factor[T];
       F << "}" << (I + 1 != Rows.size() ? "," : "") << "\n";
     }
     F << "  ],\n  \"geo_mean\": {";
-    for (int T = 0; T != 5; ++T)
+    for (int T = 0; T != 7; ++T)
       F << (T ? ", " : "") << "\"" << ToolNames[T] << "\": "
         << (GeoN ? std::exp(GeoSum[T] / GeoN) : -1.0);
     F << "}\n}\n";

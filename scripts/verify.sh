@@ -28,6 +28,18 @@ echo "== smoke: sec39_dispatch =="
 echo "== smoke: sec32_asyncjit (background promotion) =="
 ./build/bench/sec32_asyncjit
 
+echo "== smoke: trace tier (third-tier JIT) =="
+# A hot multi-block workload with the trace tier on must actually stitch
+# traces: the --profile report's trace section is the contract.
+TF=$(./build/examples/vgrun --tool=nulgrind --chaining=yes \
+    --hot-threshold=50 --trace-tier=yes --profile=yes vortex 2>&1 \
+    | sed -n 's/.*traces-formed=\([0-9]*\).*/\1/p')
+[ "${TF:-0}" -gt 0 ] || {
+  echo "trace smoke: expected traces-formed > 0, got '${TF:-none}'" >&2
+  exit 1
+}
+echo "traces formed: $TF"
+
 echo "== smoke: table2_slowdown =="
 ./build/bench/table2_slowdown
 

@@ -34,6 +34,14 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("hot-threshold", "0",
                  "executions before a block is retranslated as a "
                  "branch-chased superblock (0 = off)");
+  Opts.addOption("trace-tier", "no",
+                 "stitch hot superblock chains into optimised traces "
+                 "(tier 2; needs --chaining and --hot-threshold)");
+  Opts.addOption("trace-threshold", "0",
+                 "executions before a hot superblock is considered for "
+                 "trace formation (0 = 4x hot-threshold)");
+  Opts.addOption("trace-max-blocks", "8",
+                 "maximum superblocks stitched into one trace (2-8)");
   Opts.addOption("profile", "no",
                  "record per-phase translation time and per-block execution "
                  "counts; dump a ranked hot-block report at exit");
@@ -87,7 +95,13 @@ void Core::applyOptions() {
   else
     Smc = SmcMode::Stack;
   ChainingEnabled = Opts.getBool("chaining");
-  HotThreshold = static_cast<uint64_t>(Opts.getInt("hot-threshold"));
+  HotThreshold = static_cast<uint64_t>(
+      Opts.getIntChecked("hot-threshold", 0, INT64_MAX));
+  TraceTier = Opts.getBool("trace-tier");
+  TraceThreshold = static_cast<uint64_t>(
+      Opts.getIntChecked("trace-threshold", 0, INT64_MAX));
+  setTraceMaxBlocks(static_cast<unsigned>(
+      Opts.getIntChecked("trace-max-blocks", 2, 8)));
   if (Opts.getBool("profile") && !Prof)
     Prof = std::make_unique<Profiler>();
   StackSwitchThreshold =
@@ -109,11 +123,14 @@ void Core::applyOptions() {
   }
   if (std::string TE = Opts.getString("trace-events");
       !TE.empty() && TE != "no") {
-    size_t Cap = 4096;
-    if (TE != "yes")
-      Cap = static_cast<size_t>(std::strtoull(TE.c_str(), nullptr, 0));
-    if (Cap == 0)
-      Cap = 4096;
+    // "yes" takes the default capacity; anything else must parse cleanly
+    // as a positive integer ("--trace-events=4o96" used to silently become
+    // capacity 4, truncating the very trace being asked for).
+    size_t Cap =
+        TE == "yes"
+            ? 4096
+            : static_cast<size_t>(
+                  Opts.getIntChecked("trace-events", 1, INT64_MAX));
     Tracer = std::make_unique<EventTracer>(Cap);
     Tracer->setClock(&Stats.BlocksDispatched);
   }
@@ -455,8 +472,14 @@ uint64_t Core::helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
 }
 
 namespace {
-const ir::Callee SmcCheckCallee = {"vg_smc_check", &Core::helperSmcCheck, 0};
-const ir::Callee TrackSpCallee = {"vg_track_sp", &Core::helperTrackSp, 0};
+// The SMC check hashes guest *memory* only; SP tracking fires stack events
+// that mark shadow memory, so it must not preserve cached probe results.
+const ir::Callee SmcCheckCallee = {"vg_smc_check", &Core::helperSmcCheck, 0,
+                                   /*PreservesShadow=*/true,
+                                   /*StateFxComplete=*/true};
+const ir::Callee TrackSpCallee = {"vg_track_sp", &Core::helperTrackSp, 0,
+                                  /*PreservesShadow=*/false,
+                                  /*StateFxComplete=*/true};
 const ir::CalleeRegistrar RegisterCallees{&SmcCheckCallee, &TrackSpCallee};
 } // namespace
 
@@ -465,7 +488,8 @@ const ir::CalleeRegistrar RegisterCallees{&SmcCheckCallee, &TrackSpCallee};
 //===----------------------------------------------------------------------===//
 
 void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
-                           bool WantSmc) {
+                           bool WantSmc,
+                           const std::vector<uint32_t> &SeamEntries) {
   // Phase 3 proper: the tool's analysis code.
   if (ToolPlugin)
     ToolPlugin->instrument(SB);
@@ -485,19 +509,32 @@ void Core::instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
   }
 
   // Self-modifying-code check (Section 3.16): prepended so a stale block
-  // aborts before running any guest work.
+  // aborts before running any guest work. A trace additionally re-checks at
+  // every seam: its constituents were inlined without their own preludes,
+  // so a store inside the trace body can invalidate a later constituent —
+  // the seam exit aborts there with the guest state consistent (the exit
+  // writes the seam PC itself; the dispatcher's SmcFail handler then
+  // invalidates the whole trace's extents and resumes at that PC).
   if (WantSmc) {
+    auto EmitCheck = [&](uint32_t ResumePC) {
+      ir::TmpId Stale = SB.newTmp(ir::Ty::I32);
+      SB.dirty(&SmcCheckCallee,
+               {SB.constI64(static_cast<uint64_t>(
+                   reinterpret_cast<uintptr_t>(Trans)))},
+               Stale);
+      ir::TmpId Cond = SB.wrTmp(SB.unop(ir::Op::CmpNEZ32, SB.rdTmp(Stale)));
+      SB.exit(SB.rdTmp(Cond), ResumePC, ir::JumpKind::SmcFail);
+    };
     std::vector<ir::Stmt *> Old;
     Old.swap(SB.stmts());
-    ir::TmpId Stale = SB.newTmp(ir::Ty::I32);
-    SB.dirty(&SmcCheckCallee,
-             {SB.constI64(static_cast<uint64_t>(
-                 reinterpret_cast<uintptr_t>(Trans)))},
-             Stale);
-    ir::TmpId Cond = SB.wrTmp(SB.unop(ir::Op::CmpNEZ32, SB.rdTmp(Stale)));
-    SB.exit(SB.rdTmp(Cond), Addr, ir::JumpKind::SmcFail);
-    for (ir::Stmt *S : Old)
+    EmitCheck(Addr);
+    for (ir::Stmt *S : Old) {
+      if (!SeamEntries.empty() && S->Kind == ir::StmtKind::IMark &&
+          std::find(SeamEntries.begin(), SeamEntries.end(), S->IAddr) !=
+              SeamEntries.end())
+        EmitCheck(S->IAddr);
       SB.append(S);
+    }
   }
 }
 
@@ -525,6 +562,15 @@ void Core::setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
     TO.Frontend.MaxInsns = 200;
     TO.Frontend.MaxChases = 16;
   }
+  if (size_t N = TO.Trace.Entries.size()) {
+    // Tier 2: the trace inlines up to N former superblocks, so the limits
+    // scale with the path length (capped — the executor frame and the
+    // linear-scan allocator put a practical ceiling on block size).
+    TO.Frontend.MaxInsns =
+        static_cast<uint32_t>(std::min<size_t>(200 * N, 1200));
+    TO.Frontend.MaxChases =
+        static_cast<uint32_t>(std::min<size_t>(16 * N, 64));
+  }
   if (Opts.getBool("no-iropt")) {
     TO.RunOptimise1 = false;
     TO.RunOptimise2 = false;
@@ -546,10 +592,19 @@ void Core::setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
   // An SMC prelude embeds this run's Translation* in the blob, and under
   // --smc-check=stack the decision itself depends on live stack geometry,
   // so such blocks must never be served from (or written to) the
-  // persistent cache.
-  Raw->Cacheable = !WantSmc;
-  TO.Instrument = [this, PC, Raw, WantSmc](ir::IRSB &SB) {
-    instrumentBlock(SB, PC, Raw, WantSmc);
+  // persistent cache. Traces are never cacheable either: they encode this
+  // run's branch bias and chain graph, which no byte-content key captures.
+  Raw->Cacheable = !WantSmc && TO.Trace.Entries.empty();
+  // Seam entries (constituents after the head) for the per-seam SMC
+  // checks; copied now so the worker-side instrument call needs nothing
+  // from the guest thread.
+  std::vector<uint32_t> Seams(
+      TO.Trace.Entries.empty() ? TO.Trace.Entries.begin()
+                               : TO.Trace.Entries.begin() + 1,
+      TO.Trace.Entries.end());
+  TO.Instrument = [this, PC, Raw, WantSmc,
+                   Seams = std::move(Seams)](ir::IRSB &SB) {
+    instrumentBlock(SB, PC, Raw, WantSmc, Seams);
   };
 }
 
@@ -568,7 +623,10 @@ void Core::mergePhaseTimes(const PhaseTimes &PT) {
 }
 
 void Core::promotionInstalled(Translation *T, uint64_t GenBefore) {
-  ++Stats.HotPromotions;
+  if (T->Tier == 2)
+    ++Stats.TracesFormed;
+  else
+    ++Stats.HotPromotions;
   if (TT.generation() == GenBefore + 1) {
     // Only the replaced tier-1 block died in the insert: repair its
     // fast-cache line surgically, exactly as the inline promotion path
@@ -578,6 +636,45 @@ void Core::promotionInstalled(Translation *T, uint64_t GenBefore) {
     FastCache[hashAddr(T->Addr) & (FastCacheSize - 1)] =
         FastCacheEntry{T->Addr, T};
   }
+}
+
+TraceSpec Core::selectTracePath(Translation *Head) {
+  // Greedy walk over filled chain slots: at each constituent take the
+  // most-traversed outgoing edge, but only while that edge is strongly
+  // biased — taken on at least 3/4 of the block's executions. Anything
+  // weaker and the guarded side exit replacing the branch would fire
+  // constantly, making the trace a net loss. EdgeExecs (not the
+  // successor's ExecCount) is the evidence: a successor with other hot
+  // predecessors has a large ExecCount even when *this* edge is cold.
+  TraceSpec Spec;
+  Spec.Entries.push_back(Head->Addr);
+  Translation *Cur = Head;
+  while (Spec.Entries.size() < TraceMaxBlocks) {
+    Translation *Best = nullptr;
+    uint64_t BestEdge = 0;
+    for (size_t I = 0; I != Cur->Chain.size(); ++I) {
+      Translation *Succ = Cur->Chain[I];
+      if (Succ && Succ->Tier == 1 && I < Cur->EdgeExecs.size() &&
+          Cur->EdgeExecs[I] > BestEdge) {
+        Best = Succ;
+        BestEdge = Cur->EdgeExecs[I];
+      }
+    }
+    if (!Best || BestEdge * 4 < Cur->ExecCount * 3)
+      break;
+    auto It = std::find(Spec.Entries.begin(), Spec.Entries.end(),
+                        Best->Addr);
+    if (It != Spec.Entries.end()) {
+      // Loop closure. A back-edge to the head is the ideal ending: prefer
+      // it as the final target so the installed trace chains to itself.
+      if (It == Spec.Entries.begin())
+        Spec.PreferredFinal = Head->Addr;
+      break;
+    }
+    Spec.Entries.push_back(Best->Addr);
+    Cur = Best;
+  }
+  return Spec;
 }
 
 Translation *Core::promoteHot(uint32_t PC) {
@@ -659,6 +756,17 @@ void Core::dumpProfile() {
     C.SyncPromoStallSeconds = J.SyncPromoStallSeconds;
     C.EnqueueSeconds = J.EnqueueSeconds;
   }
+  if (TraceTier) {
+    const JitStats &J = XS->jitStats();
+    C.HasTraces = true;
+    C.TraceRequests = J.TraceRequests;
+    C.TracesFormed = Stats.TracesFormed;
+    C.TraceAborts = J.TraceAborts;
+    C.TraceExecs = Stats.TraceExecs;
+    C.TraceSideExits = Stats.TraceSideExits;
+    C.TraceDeadFlagPuts = J.TraceDeadFlagPuts;
+    C.TraceProbesCSEd = J.TraceProbesCSEd;
+  }
   if (const TransCache *TC = XS->cache()) {
     const JitStats &J = XS->jitStats();
     C.HasTransCache = true;
@@ -713,6 +821,13 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
                                              uint32_t Slot) {
   Core *C = static_cast<Core *>(User);
   auto *T = static_cast<Translation *>(Cookie);
+  // Side-exit accounting: a tier-2 exit through any slot other than the
+  // terminal one means a guarded speculation failed and the trace bailed
+  // to a constituent. (Counted here because with chaining on — a trace-
+  // formation precondition — every constant Boring exit consults this
+  // thunk whether or not the slot is filled.)
+  if (T->Tier == 2 && Slot != T->Blob.TerminalChainSlot)
+    ++C->Stats.TraceSideExits;
   if (Slot >= T->Chain.size() || !T->Chain[Slot])
     return nullptr;
   // A worker published a superblock: bounce to the dispatcher so it can
@@ -738,8 +853,25 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
           FastCacheEntry{Succ->Addr, Succ};
     return nullptr;
   }
+  // Same bounce for trace formation: a tier-1 successor crossing the trace
+  // threshold returns to the dispatcher, which selects the path and
+  // stitches (or enqueues the stitch) there — never from inside a chain.
+  // TraceRetryAt keeps a head whose chain graph proved unbiased from
+  // bouncing every transfer.
+  if (C->TraceTier && Succ->Tier == 1 && !Succ->PromoPending &&
+      Succ->ExecCount + 1 >= C->effTraceThreshold() &&
+      Succ->ExecCount + 1 >= Succ->TraceRetryAt) {
+    if (C->FastCacheGen == C->TT.generation())
+      C->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
+          FastCacheEntry{Succ->Addr, Succ};
+    return nullptr;
+  }
   ++Succ->ExecCount;
+  if (Slot < T->EdgeExecs.size())
+    ++T->EdgeExecs[Slot];
   ++C->Stats.ChainedTransfers;
+  if (Succ->Tier == 2)
+    ++C->Stats.TraceExecs;
   if (C->Prof)
     C->Prof->noteExec(Succ->Addr);
   return &Succ->Blob;
@@ -822,14 +954,21 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       // target is not the PC we dispatched (a guest redirect rewrote it),
       // chaining would bypass the dispatcher's redirect check.
       if (LastSlot < Prev->Blob.ChainTargets.size() &&
-          Prev->Blob.ChainTargets[LastSlot] == PC)
+          Prev->Blob.ChainTargets[LastSlot] == PC) {
         TT.chainTo(Prev, LastSlot, T);
+        // A dispatcher-mediated traversal of this edge (unfilled slot or a
+        // thunk bounce) is edge-profile evidence just like a chained one.
+        if (LastSlot < Prev->EdgeExecs.size())
+          ++Prev->EdgeExecs[LastSlot];
+      }
     }
     LastCookie = nullptr;
     LastSlot = ~0u;
 
     // Hotness tier: promote once a block has proven itself.
     ++T->ExecCount;
+    if (T->Tier == 2)
+      ++Stats.TraceExecs;
     if (Prof)
       Prof->noteExec(PC);
     if (HotThreshold && T->Tier == 0 && !T->PromoPending &&
@@ -857,6 +996,30 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
           FastCache[hashAddr(PC) & (FastCacheSize - 1)] =
               FastCacheEntry{PC, T};
         }
+      }
+    }
+
+    // Trace tier: a tier-1 superblock whose chain edges have proven
+    // strongly biased gets its dominant path stitched into one trace.
+    // Requires chaining (the chain graph is both the evidence and the
+    // profit mechanism) and runs only at this boundary — never inside a
+    // chain, where an install could evict code being executed.
+    if (TraceTier && ChainingEnabled && T->Tier == 1 && !T->PromoPending &&
+        T->ExecCount >= effTraceThreshold() &&
+        T->ExecCount >= T->TraceRetryAt) {
+      TraceSpec Spec = selectTracePath(T);
+      if (Spec.Entries.size() < 2) {
+        // No dominant successor: the chain graph is unbiased at the head.
+        // Back off exponentially rather than re-walking it every entry.
+        T->TraceRetryAt = T->ExecCount * 2;
+      } else if (XS->asyncEnabled()) {
+        // Queued (PromoPending stops re-requests) or queue-full (retry on
+        // a later entry — no stall, no backoff; the bias only grows).
+        XS->enqueueTrace(T, Spec);
+      } else if (Translation *NT = XS->translateTrace(Spec)) {
+        T = NT; // the old T was replaced by the insert: run the trace now
+      } else {
+        T->TraceRetryAt = T->ExecCount * 2; // spill overflow: back off
       }
     }
 

@@ -71,6 +71,12 @@ struct CoreStats {
   uint64_t ChainedTransfers = 0;
   uint64_t HostRedirectCalls = 0;
   uint64_t HotPromotions = 0; ///< blocks retranslated as hot superblocks
+  /// Trace tier (--trace-tier): traces installed, trace entries executed,
+  /// and exits taken through a guarded side exit rather than the trace's
+  /// terminal edge (TraceSideExits / TraceExecs is the side-exit rate).
+  uint64_t TracesFormed = 0;
+  uint64_t TraceExecs = 0;
+  uint64_t TraceSideExits = 0;
   /// Guest-thread seconds producing installed translations: pipeline time
   /// for fresh ones, load+validate time for --tt-cache hits. The warm-start
   /// bench compares this across cold/warm runs.
@@ -119,6 +125,17 @@ public:
   /// Executions before a block is retranslated as a hot superblock with
   /// branch chasing (0 disables the hotness tier).
   void setHotThreshold(uint64_t N) { HotThreshold = N; }
+  /// Enables the trace tier: hot superblocks whose chain edges are strongly
+  /// biased get stitched into optimised traces (requires chaining and the
+  /// hot tier to be on — traces form over tier-1 blocks only).
+  void setTraceTier(bool On) { TraceTier = On; }
+  /// Executions before a tier-1 superblock is considered for trace
+  /// formation (0 = 4x the hot threshold).
+  void setTraceThreshold(uint64_t N) { TraceThreshold = N; }
+  /// Maximum superblocks stitched into one trace (clamped to [2, 8]).
+  void setTraceMaxBlocks(unsigned N) {
+    TraceMaxBlocks = N < 2 ? 2 : (N > 8 ? 8 : N);
+  }
   Profiler *profiler() { return Prof.get(); }
   /// Non-null under --fault-inject / --trace-events.
   FaultPlan *faultPlan() { return Faults.get(); }
@@ -233,9 +250,18 @@ private:
   /// The core's own instrumentation layered around the tool's: SMC check
   /// prelude (when \p WantSmc — sampled on the guest thread at options-
   /// build time, since stack geometry must not be read from a worker) and
-  /// SP-change tracking (R7).
+  /// SP-change tracking (R7). For trace pipelines \p SeamEntries lists the
+  /// non-head constituent entry PCs: under WantSmc each seam gets its own
+  /// SMC check + SmcFail exit, because the trace inlines its constituents
+  /// without their own preludes and mid-path self-modification must still
+  /// abort at the seam it invalidates.
   void instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
-                       bool WantSmc);
+                       bool WantSmc,
+                       const std::vector<uint32_t> &SeamEntries);
+  /// Walks the chain graph from \p Head picking the dominant successor at
+  /// each step. Returns a spec with fewer than 2 entries when no biased
+  /// path exists (caller backs off via TraceRetryAt).
+  TraceSpec selectTracePath(Translation *Head);
   bool addrOnAnyStack(uint32_t Addr) const;
 
   static const hvm::CodeBlob *chainResolveThunk(void *User, void *Cookie,
@@ -265,6 +291,14 @@ private:
   SmcMode Smc = SmcMode::Stack;
   bool ChainingEnabled = false;
   uint64_t HotThreshold = 0; // 0 = hotness tier off
+  bool TraceTier = false;            // --trace-tier
+  uint64_t TraceThreshold = 0;       // 0 = 4x HotThreshold
+  unsigned TraceMaxBlocks = 8;       // constituents per trace, [2, 8]
+  /// The effective trace-formation threshold (never 0 when the hot tier is
+  /// on, so the gate can use a plain >=).
+  uint64_t effTraceThreshold() const {
+    return TraceThreshold ? TraceThreshold : 4 * HotThreshold;
+  }
   uint32_t StackSwitchThreshold = 2u << 20; // 2MB (Section 3.12)
 
   std::vector<FastCacheEntry> FastCache;

@@ -44,8 +44,18 @@ struct Translation {
   /// Times the block was entered (dispatcher entries plus chained
   /// transfers); drives hot-tier promotion.
   uint64_t ExecCount = 0;
-  /// 0 = baseline block, 1 = hot superblock (branch-chasing retranslation).
+  /// 0 = baseline block, 1 = hot superblock (branch-chasing
+  /// retranslation), 2 = trace (stitched hot path over several former
+  /// superblocks; Extents then cover every constituent, so SMC or
+  /// invalidateRange poisoning any one of them evicts the whole trace).
   uint8_t Tier = 0;
+  /// Tier 2 only: constituent entry PCs in path order (TraceEntries[0] ==
+  /// Addr). Empty below tier 2.
+  std::vector<uint32_t> TraceEntries;
+  /// Tier 1 only: do not re-attempt trace formation until ExecCount
+  /// reaches this (backoff after an unbiased chain graph or a failed
+  /// stitch). 0 = eligible immediately once over the trace threshold.
+  uint64_t TraceRetryAt = 0;
   /// An asynchronous hot promotion of this address is in flight (queued or
   /// being translated). Guest thread only; stops the dispatcher and the
   /// chain thunk from re-requesting promotion on every execution while the
@@ -60,6 +70,12 @@ struct Translation {
   /// eagerly by TransTab when the successor exists; otherwise parked as a
   /// pending waiter and filled on the successor's insertion.
   std::vector<Translation *> Chain;
+  /// Per-slot transfer counts (parallel to Chain), bumped by the chain
+  /// thunk on every chained transfer out of this translation. True edge
+  /// profiles: trace formation follows the dominant *edge*, which a
+  /// successor's ExecCount cannot substitute for when the successor has
+  /// other predecessors.
+  std::vector<uint64_t> EdgeExecs;
   /// Back-edges: one entry per filled chain slot pointing at this
   /// translation (duplicates allowed when a predecessor has several slots
   /// targeting us). Maintained by TransTab; makes unchaining O(degree).

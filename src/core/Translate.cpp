@@ -2,11 +2,13 @@
 
 #include "core/Translate.h"
 
+#include "guest/GuestArch.h"
 #include "hvm/ISel.h"
 #include "ir/IROpt.h"
 #include "ir/IRPrinter.h"
 #include "support/Errors.h"
 
+#include <algorithm>
 #include <chrono>
 
 using namespace vg;
@@ -72,16 +74,52 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   Profiler *Prof = Opts.Prof;
   PhaseTimes *Out = Opts.PhaseOut;
 
+  const bool IsTrace = !Opts.Trace.Entries.empty();
+
   // Phase 1: disassembly.
   DisasmResult Dis;
   {
     PhaseTimer Tm(Prof, Out, ProfPhase::Disasm);
-    Dis = disassembleSB(Addr, Fetch, Opts.Frontend);
+    Dis = IsTrace ? disassembleTrace(Opts.Trace, Fetch, Opts.Frontend)
+                  : disassembleSB(Addr, Fetch, Opts.Frontend);
   }
   if (Opts.Verify)
     verifyIR(*Dis.SB, /*RequireFlat=*/false, "disassembly");
   if (Art)
     Art->TreeIR = ir::toString(*Dis.SB, ir::vg1OffsetName);
+
+  // Trace pipelines: prove the CC thunk dead at whichever exit targets
+  // allow it, so DeadPut can treat side exits as jumps with known
+  // downstream liveness rather than barriers. The scanned bytes join the
+  // extents: if the proof's code changes, the trace dies with it.
+  ir::TraceOptConfig TraceCfg;
+  if (IsTrace) {
+    TraceCfg.PCLo = vg1::gso::PC;
+    TraceCfg.PCHi = vg1::gso::PC + 4;
+    TraceCfg.CCLo = vg1::gso::CC_OP;
+    TraceCfg.CCHi = vg1::gso::CC_NDEP + 4;
+    TraceCfg.ShadowOffset = vg1::gso::ShadowOffset;
+    TraceCfg.Stats = Opts.TraceStats;
+    std::vector<uint32_t> Cands;
+    for (const ir::Stmt *S : Dis.SB->stmts())
+      if (S->Kind == ir::StmtKind::Exit && S->JK == ir::JumpKind::Boring)
+        Cands.push_back(S->DstPC);
+    uint32_t FinalPC = ~0u;
+    if (Dis.SB->next()->isConst() &&
+        Dis.SB->endJumpKind() == ir::JumpKind::Boring)
+      Cands.push_back(FinalPC =
+                          static_cast<uint32_t>(Dis.SB->next()->ConstVal));
+    std::sort(Cands.begin(), Cands.end());
+    Cands.erase(std::unique(Cands.begin(), Cands.end()), Cands.end());
+    std::vector<std::pair<uint32_t, uint32_t>> Scanned;
+    for (uint32_t T : Cands)
+      if (flagsDeadAt(T, Fetch, Scanned))
+        TraceCfg.FlagsDeadTargets.push_back(T);
+    TraceCfg.FlagsDeadAtEnd =
+        FinalPC != ~0u && TraceCfg.flagsDeadAtTarget(FinalPC);
+    Dis.Extents.insert(Dis.Extents.end(), Scanned.begin(), Scanned.end());
+  }
+  const ir::TraceOptConfig *TC = IsTrace ? &TraceCfg : nullptr;
 
   // Phase 2: flatten + optimisation 1.
   std::unique_ptr<ir::IRSB> SB;
@@ -89,7 +127,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
     PhaseTimer Tm(Prof, Out, ProfPhase::Optimise1);
     SB = ir::flatten(*Dis.SB);
     if (Opts.RunOptimise1)
-      ir::optimise1(*SB, Spec, Opts.Preserve);
+      ir::optimise1(*SB, Spec, Opts.Preserve, TC);
   }
   if (Opts.Verify)
     verifyIR(*SB, /*RequireFlat=*/true, "optimisation 1");
@@ -118,7 +156,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   // Phase 4: optimisation 2.
   if (Opts.RunOptimise2) {
     PhaseTimer Tm(Prof, Out, ProfPhase::Optimise2);
-    ir::optimise2(*SB, Spec, Opts.Preserve);
+    ir::optimise2(*SB, Spec, Opts.Preserve, TC);
   }
   if (Opts.Verify)
     verifyIR(*SB, /*RequireFlat=*/true, "optimisation 2");
@@ -156,8 +194,18 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
     Art->HostPostAlloc = renderHost(Host);
     Art->CoalescedMoves = Coalesced;
   }
-  if (Host.NumSpillSlots > hvm::Executor::MaxSpillSlots)
+  if (Host.NumSpillSlots > hvm::Executor::MaxSpillSlots) {
+    if (IsTrace) {
+      // A stitched path can legitimately outgrow the executor frame; the
+      // caller keeps running the constituent tier-1 blocks instead.
+      TranslatedBlock TB;
+      TB.SpillOverflow = true;
+      TB.Meta = std::move(Dis);
+      TB.Meta.SB.reset();
+      return TB;
+    }
     unreachable("translation needs more spill slots than the executor frame");
+  }
 
   // Phase 8: assembly.
   TranslatedBlock TB;
@@ -168,6 +216,7 @@ TranslatedBlock vg::translateBlock(uint32_t Addr, const FetchFn &Fetch,
   TB.Blob.NumSpillSlots = Host.NumSpillSlots;
   TB.Blob.NumChainSlots = Host.NumChainSlots;
   TB.Blob.ChainTargets = std::move(Host.ChainTargets);
+  TB.Blob.TerminalChainSlot = Host.TerminalChainSlot;
   TB.Meta = std::move(Dis);
   TB.Meta.SB.reset(); // the IR is dead once code is emitted
   return TB;

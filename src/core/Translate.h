@@ -54,6 +54,13 @@ struct TranslationOptions {
   /// runs on worker threads every Instrument call for the same tool must
   /// hold this lock. Null for the single-threaded pipeline.
   std::mutex *InstrumentLock = nullptr;
+  /// Tier 2: when Trace.Entries is non-empty, Phase 1 stitches the hot
+  /// path into one superblock (disassembleTrace) and Phases 2/4 run the
+  /// cross-seam optimisations — flag liveness across guarded side exits
+  /// and ShadowProbe CSE. Entries[0] must equal the translated address.
+  TraceSpec Trace;
+  /// Sink for the trace passes' counters (--profile); may be null.
+  ir::TraceOptStats *TraceStats = nullptr;
 };
 
 /// Optional capture of the intermediate representations of each phase.
@@ -74,6 +81,11 @@ struct TranslationArtifacts {
 struct TranslatedBlock {
   hvm::CodeBlob Blob;
   DisasmResult Meta; ///< extents, instruction count, decode status
+  /// Trace pipelines only: register allocation overflowed the executor
+  /// frame (a stitched path can be much larger than any superblock). The
+  /// blob is empty; the caller falls back to the constituent tier-1
+  /// blocks. Plain superblocks still treat overflow as a fatal bug.
+  bool SpillOverflow = false;
 };
 
 /// Runs the pipeline for the block at \p Addr. On IR verification failure

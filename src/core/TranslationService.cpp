@@ -28,13 +28,22 @@ double TranslationService::now() {
 void TranslationService::fillTranslation(Translation &T, uint32_t PC,
                                          bool Hot, TranslatedBlock TB) {
   T.Addr = PC;
-  T.Tier = Hot ? 1 : 0;
+  // A trace pipeline marks its result through the disassembly metadata;
+  // the extents then span every constituent, so invalidateRange poisoning
+  // any one of them evicts the whole trace.
+  if (!TB.Meta.TraceEntries.empty()) {
+    T.Tier = 2;
+    T.TraceEntries = TB.Meta.TraceEntries;
+  } else {
+    T.Tier = Hot ? 1 : 0;
+  }
   T.Blob = std::move(TB.Blob);
   T.Extents = TB.Meta.Extents;
   if (T.Extents.empty())
     T.Extents.push_back({PC, PC + 1}); // NoDecode-at-entry blocks
   T.NumInsns = TB.Meta.NumInsns;
   T.Chain.assign(T.Blob.NumChainSlots, nullptr);
+  T.EdgeExecs.assign(T.Blob.NumChainSlots, 0);
 }
 
 uint64_t TranslationService::hashLive(
@@ -117,6 +126,7 @@ TranslationService::installFromCache(std::unique_ptr<Translation> &TPtr,
   Raw->Blob.NumChainSlots = E.NumChainSlots;
   Raw->Blob.ChainTargets = std::move(E.ChainTargets);
   Raw->Chain.assign(Raw->Blob.NumChainSlots, nullptr);
+  Raw->EdgeExecs.assign(Raw->Blob.NumChainSlots, 0);
 
   ++JS.CacheHits;
   double Seconds = now() - T0;
@@ -190,6 +200,47 @@ Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
   return Res;
 }
 
+Translation *TranslationService::translateTrace(const TraceSpec &Spec) {
+  auto TPtr = std::make_unique<Translation>();
+  Translation *Raw = TPtr.get();
+  uint32_t PC = Spec.Entries.at(0);
+
+  TranslationOptions TO;
+  // The spec must be pinned before setupTranslation: the host scales the
+  // frontend limits off it, forces Cacheable off, and binds the seam list
+  // into the instrument hook (per-seam SMC checks).
+  TO.Trace = Spec;
+  ir::TraceOptStats TS;
+  TO.TraceStats = &TS;
+  Host.setupTranslation(TO, PC, /*Hot=*/true, Raw);
+  ++JS.TraceRequests;
+
+  FetchFn Fetch = [this](uint32_t Addr, uint8_t *Buf,
+                         uint32_t MaxLen) -> uint32_t {
+    uint32_t N = 0;
+    while (N < MaxLen && !Memory.fetch(Addr + N, Buf + N, 1).Faulted)
+      ++N;
+    return N;
+  };
+
+  double T0 = now();
+  TranslatedBlock TB = translateBlock(PC, Fetch, TO);
+  if (TB.SpillOverflow) {
+    ++JS.TraceAborts;
+    return nullptr; // keep running the constituent tier-1 blocks
+  }
+  fillTranslation(*Raw, PC, /*Hot=*/true, std::move(TB));
+  Raw->CodeHash = hashLive(Raw->Extents);
+  Host.noteTranslation(PC, *Raw, now() - T0);
+  JS.TraceDeadFlagPuts += TS.DeadFlagPuts;
+  JS.TraceProbesCSEd += TS.ProbesCSEd;
+  uint64_t GenBefore = TT.generation();
+  Translation *Res = TT.insert(std::move(TPtr));
+  ++JS.TraceInstalled;
+  Host.promotionInstalled(Res, GenBefore);
+  return Res;
+}
+
 Translation *TranslationService::promoteFromCache(uint32_t PC) {
   if (!Cache)
     return nullptr;
@@ -248,34 +299,23 @@ void TranslationService::shutdown() {
   }
 }
 
-bool TranslationService::enqueuePromotion(Translation *Cur) {
-  if (!asyncEnabled())
-    return false;
-  double T0 = now();
-
-  auto J = std::make_unique<Job>();
-  J->Addr = Cur->Addr;
-  J->EnqueueTime = T0;
-  J->EpochAtEnqueue = TT.flushEpoch();
+std::shared_ptr<const GuestMemory::ExecSnapshot>
+TranslationService::snapshotForEpoch(uint32_t Addr, uint64_t Epoch) {
   // Rebuild when the epoch moved or the block lives in exec pages mapped
   // after the cached snapshot was taken (same epoch — a plain mmap
   // invalidates nothing).
   uint8_t Probe = 0;
-  if (!SnapCache || SnapCacheEpoch != J->EpochAtEnqueue ||
-      !SnapCache->fetch(Cur->Addr, &Probe, 1)) {
+  if (!SnapCache || SnapCacheEpoch != Epoch ||
+      !SnapCache->fetch(Addr, &Probe, 1)) {
     SnapCache = std::make_shared<GuestMemory::ExecSnapshot>(
         Memory.snapshotExecRanges());
-    SnapCacheEpoch = J->EpochAtEnqueue;
+    SnapCacheEpoch = Epoch;
   }
-  J->Snap = SnapCache;
-  J->Result = std::make_unique<Translation>();
-  // Pin everything guest-thread-dependent now: options, the SMC policy
-  // sampled inside the instrument hook, the per-tool lock.
-  Host.setupTranslation(J->TO, Cur->Addr, /*Hot=*/true, J->Result.get());
-  J->TO.Prof = nullptr; // the Profiler is guest-thread-only
-  J->TO.PhaseOut = &J->Phases;
-  J->TO.InstrumentLock = &InstrLock;
+  return SnapCache;
+}
 
+bool TranslationService::submitJob(std::unique_ptr<Job> J, Translation *Cur,
+                                   double T0) {
   {
     std::lock_guard<std::mutex> L(QueueMu);
     if (Stop)
@@ -292,6 +332,53 @@ bool TranslationService::enqueuePromotion(Translation *Cur) {
   Cur->PromoPending = true;
   ++JS.AsyncRequests;
   JS.EnqueueSeconds += now() - T0;
+  return true;
+}
+
+bool TranslationService::enqueuePromotion(Translation *Cur) {
+  if (!asyncEnabled())
+    return false;
+  double T0 = now();
+
+  auto J = std::make_unique<Job>();
+  J->Addr = Cur->Addr;
+  J->EnqueueTime = T0;
+  J->EpochAtEnqueue = TT.flushEpoch();
+  J->Snap = snapshotForEpoch(Cur->Addr, J->EpochAtEnqueue);
+  J->Result = std::make_unique<Translation>();
+  // Pin everything guest-thread-dependent now: options, the SMC policy
+  // sampled inside the instrument hook, the per-tool lock.
+  Host.setupTranslation(J->TO, Cur->Addr, /*Hot=*/true, J->Result.get());
+  J->TO.Prof = nullptr; // the Profiler is guest-thread-only
+  J->TO.PhaseOut = &J->Phases;
+  J->TO.InstrumentLock = &InstrLock;
+  return submitJob(std::move(J), Cur, T0);
+}
+
+bool TranslationService::enqueueTrace(Translation *Cur,
+                                      const TraceSpec &Spec) {
+  if (!asyncEnabled())
+    return false;
+  double T0 = now();
+
+  auto J = std::make_unique<Job>();
+  J->Addr = Cur->Addr;
+  J->EnqueueTime = T0;
+  J->EpochAtEnqueue = TT.flushEpoch();
+  J->Snap = snapshotForEpoch(Cur->Addr, J->EpochAtEnqueue);
+  J->Result = std::make_unique<Translation>();
+  // The spec goes in BEFORE setupTranslation so the host can scale the
+  // frontend limits, force Cacheable off, and capture the seam list for
+  // the per-seam SMC checks — all on the guest thread.
+  J->TO.Trace = Spec;
+  J->TO.TraceStats = &J->TraceStats; // Job outlives the pipeline
+  Host.setupTranslation(J->TO, Cur->Addr, /*Hot=*/true, J->Result.get());
+  J->TO.Prof = nullptr;
+  J->TO.PhaseOut = &J->Phases;
+  J->TO.InstrumentLock = &InstrLock;
+  if (!submitJob(std::move(J), Cur, T0))
+    return false;
+  ++JS.TraceRequests;
   return true;
 }
 
@@ -334,6 +421,13 @@ void TranslationService::runJob(Job &J) {
     double T0 = now();
     TranslatedBlock TB = translateBlock(J.Addr, Fetch, J.TO);
     J.TranslateSeconds = now() - T0;
+    if (TB.SpillOverflow) {
+      // A stitched path outgrew the executor frame. Legitimate outcome,
+      // not a bug: settle the job as failed so the head stays tier-1.
+      J.SpillOverflow = true;
+      J.Failed = true;
+      return;
+    }
     fillTranslation(*J.Result, J.Addr, /*Hot=*/true, std::move(TB));
     bool Ok = false;
     J.Result->CodeHash = hashSnapshot(Snap, J.Result->Extents, Ok);
@@ -353,6 +447,7 @@ unsigned TranslationService::drainCompleted() {
 
   unsigned Installed = 0;
   for (std::unique_ptr<Job> &J : Batch) {
+    const bool IsTrace = !J->TO.Trace.Entries.empty();
     // The promotion request is settled either way: let the block become
     // hot again if this job dies below.
     if (Translation *Cur = TT.find(J->Addr))
@@ -360,6 +455,15 @@ unsigned TranslationService::drainCompleted() {
     Host.mergePhaseTimes(J->Phases);
     if (J->Failed) {
       ++JS.WorkerFailures;
+      if (IsTrace) {
+        ++JS.TraceAborts;
+        // Back off: don't re-stitch the same head until it has run twice
+        // as long again (the chain graph that produced an overflowing or
+        // untranslatable path is unlikely to shrink soon).
+        if (Translation *Cur = TT.find(J->Addr))
+          if (Cur->Tier == 1)
+            Cur->TraceRetryAt = Cur->ExecCount * 2;
+      }
       continue;
     }
     ++JS.AsyncCompleted;
@@ -379,6 +483,11 @@ unsigned TranslationService::drainCompleted() {
     Translation *NT = TT.insert(std::move(J->Result));
     NT->PromoPending = false;
     ++JS.AsyncInstalled;
+    if (IsTrace) {
+      ++JS.TraceInstalled;
+      JS.TraceDeadFlagPuts += J->TraceStats.DeadFlagPuts;
+      JS.TraceProbesCSEd += J->TraceStats.ProbesCSEd;
+    }
     JS.InstallLatencySeconds += T1 - J->EnqueueTime;
     Host.noteTranslation(NT->Addr, *NT, J->TranslateSeconds);
     Host.promotionInstalled(NT, GenBefore);

@@ -39,6 +39,7 @@
 #include "core/TransTab.h"
 #include "core/Translate.h"
 #include "guest/GuestMemory.h"
+#include "ir/IROpt.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -79,6 +80,17 @@ struct JitStats {
   uint64_t CacheWrites = 0;  ///< translations persisted after install
   double CacheLoadSeconds = 0;  ///< guest time in lookup+validate+install
   double CacheStoreSeconds = 0; ///< guest time serializing write-backs
+  // Trace tier (--trace-tier). Async trace jobs ride the same queue as hot
+  // promotions and settle into the same accounting identity: a trace
+  // request that fails in the worker (including spill overflow, which is a
+  // legitimate outcome for a stitched path) counts as a WorkerFailure AND
+  // a TraceAbort. Traces are never cached, so the cache counters above
+  // never move for them.
+  uint64_t TraceRequests = 0;  ///< trace formations attempted (sync+async)
+  uint64_t TraceInstalled = 0; ///< traces published into the TT
+  uint64_t TraceAborts = 0;    ///< spill overflow / worker failure
+  uint64_t TraceDeadFlagPuts = 0; ///< dead CC-thunk writes deleted
+  uint64_t TraceProbesCSEd = 0;   ///< shadow probes CSE'd across seams
 };
 
 /// The hooks the service needs from its host (the Core). Small enough that
@@ -177,6 +189,23 @@ public:
   /// stop re-requesting it.
   bool enqueuePromotion(Translation *Cur);
 
+  /// The trace tier (tier 2). Synchronously stitches the hot path
+  /// described by \p Spec into one trace translation and installs it over
+  /// the head's tier-1 block. Returns null (leaving the tier-1 block
+  /// resident) when register allocation overflows the executor frame —
+  /// the only way a stitch can fail once the frontend has a path. Guest
+  /// thread, dispatch-boundary only. Never consults or feeds the
+  /// persistent cache: a trace encodes this run's branch bias and chain
+  /// graph, which no cache key captures.
+  Translation *translateTrace(const TraceSpec &Spec);
+
+  /// Queues an asynchronous trace formation over \p Cur (the resident
+  /// tier-1 head). Same contract and publication protocol as
+  /// enqueuePromotion — epoch stamp, shared snapshot, PromoPending — with
+  /// the trace spec pinned into the job before setupTranslation runs, so
+  /// the instrument hook sees the seam list on the guest thread.
+  bool enqueueTrace(Translation *Cur, const TraceSpec &Spec);
+
   /// True when at least one worker job awaits installation. A relaxed
   /// atomic load — cheap enough for the dispatch loop and the chain
   /// thunk; always false when --jit-threads=0.
@@ -214,6 +243,11 @@ private:
     PhaseTimes Phases;
     double TranslateSeconds = 0;
     bool Failed = false;
+    // Trace jobs (TO.Trace.Entries non-empty): TO.TraceStats points here
+    // (the Job outlives the pipeline, so the pointer is stable); the guest
+    // thread folds the counters into JitStats at drain time.
+    ir::TraceOptStats TraceStats;
+    bool SpillOverflow = false; ///< trace outgrew the executor frame
   };
 
   static double now();
@@ -239,6 +273,13 @@ private:
                bool &Ok);
   static void fillTranslation(Translation &T, uint32_t PC, bool Hot,
                               TranslatedBlock TB);
+  /// Returns the shared exec-page snapshot for \p Epoch, rebuilding it when
+  /// the epoch moved or \p Addr lies in pages mapped after it was taken.
+  std::shared_ptr<const GuestMemory::ExecSnapshot>
+  snapshotForEpoch(uint32_t Addr, uint64_t Epoch);
+  /// Queue hand-off shared by enqueuePromotion/enqueueTrace: pushes \p J
+  /// under backpressure rules, marks \p Cur pending, counts the request.
+  bool submitJob(std::unique_ptr<Job> J, Translation *Cur, double T0);
   void workerMain();
   void runJob(Job &J);
 

@@ -52,10 +52,13 @@ namespace {
 
 class Translator {
 public:
-  Translator(uint32_t Addr, const FetchFn &Fetch, const FrontendConfig &Cfg)
-      : Entry(Addr), Fetch(Fetch), Cfg(Cfg) {
+  Translator(uint32_t Addr, const FetchFn &Fetch, const FrontendConfig &Cfg,
+             const TraceSpec *Trace = nullptr)
+      : Entry(Addr), Fetch(Fetch), Cfg(Cfg), Trace(Trace) {
     Res.SB = std::make_unique<IRSB>();
     Res.Addr = Addr;
+    if (Trace)
+      Res.TraceEntries.push_back(Addr);
   }
 
   DisasmResult run() {
@@ -64,6 +67,15 @@ public:
     unsigned Chases = 0;
 
     for (;;) {
+      // A constituent may end in a straight line (the original superblock
+      // hit its instruction limit): crossing the next entry's PC advances
+      // the path position without any seam to stitch.
+      if (Trace && CurEntry + 1 < Trace->Entries.size() &&
+          PC == Trace->Entries[CurEntry + 1]) {
+        ++CurEntry;
+        Res.TraceEntries.push_back(PC);
+      }
+
       if (Res.NumInsns >= Cfg.MaxInsns) {
         endBlock(PC, JumpKind::Boring);
         closeExtent(ExtentStart, PC);
@@ -99,8 +111,23 @@ public:
       case InsnEnd::BlockDone:
         closeExtent(ExtentStart, Next);
         return std::move(Res);
+      case InsnEnd::SeamTo:
+        // The likely direction of the constituent's ending branch: the
+        // unlikely side exit is already emitted; carry on across the seam.
+        closeExtent(ExtentStart, Next);
+        ++CurEntry;
+        Res.TraceEntries.push_back(ChaseTarget);
+        PC = ChaseTarget;
+        ExtentStart = PC;
+        continue;
       case InsnEnd::ChaseTo:
         closeExtent(ExtentStart, Next);
+        if (Trace && ChaseTarget == Entry) {
+          // A jump back to the trace head: end here so the trace chains
+          // to itself instead of unrolling the loop.
+          endBlock(ChaseTarget, JumpKind::Boring);
+          return std::move(Res);
+        }
         if (Chases >= Cfg.MaxChases) {
           endBlock(ChaseTarget, JumpKind::Boring);
           return std::move(Res);
@@ -114,7 +141,21 @@ public:
   }
 
 private:
-  enum class InsnEnd { Fallthrough, BlockDone, ChaseTo };
+  enum class InsnEnd { Fallthrough, BlockDone, ChaseTo, SeamTo };
+
+  /// Where the hot path continues after the current constituent (~0 when
+  /// following a plain superblock or past the end of the spec).
+  uint32_t preferredNext() const {
+    if (!Trace)
+      return ~0u;
+    if (CurEntry + 1 < Trace->Entries.size())
+      return Trace->Entries[CurEntry + 1];
+    return Trace->PreferredFinal;
+  }
+
+  bool atLastEntry() const {
+    return Trace && CurEntry + 1 >= Trace->Entries.size();
+  }
 
   void closeExtent(uint32_t Start, uint32_t End) {
     if (End > Start)
@@ -327,8 +368,29 @@ private:
            SB.get(gso::CC_OP, Ty::I32), SB.get(gso::CC_DEP1, Ty::I32),
            SB.get(gso::CC_DEP2, Ty::I32)});
       TmpId TC = SB.wrTmp(CondE);
-      SB.exit(SB.unop(Op::CmpNEZ32, SB.rdTmp(TC)),
-              static_cast<uint32_t>(I.Imm), JumpKind::Boring);
+      uint32_t Target = static_cast<uint32_t>(I.Imm);
+      uint32_t Pref = preferredNext();
+      if (Trace && Pref == Target && Target != Next) {
+        // Speculate taken: the fall-through becomes the guarded side
+        // exit and disassembly continues at the branch target.
+        SB.exit(SB.binop(Op::CmpEQ32, SB.rdTmp(TC), SB.constI32(0)), Next,
+                JumpKind::Boring);
+        if (atLastEntry()) {
+          endBlock(Target, JumpKind::Boring);
+          return InsnEnd::BlockDone;
+        }
+        ChaseTarget = Target;
+        return InsnEnd::SeamTo;
+      }
+      SB.exit(SB.unop(Op::CmpNEZ32, SB.rdTmp(TC)), Target,
+              JumpKind::Boring);
+      if (Trace && Pref == Next && !atLastEntry()) {
+        // Speculate not-taken: the taken side exit above guards the seam.
+        ChaseTarget = Next;
+        return InsnEnd::SeamTo;
+      }
+      // Plain superblock end — also the trace's graceful degradation when
+      // the code no longer matches the recorded hot path.
       endBlock(Next, JumpKind::Boring);
       return InsnEnd::BlockDone;
     }
@@ -463,6 +525,8 @@ private:
   uint32_t Entry;
   const FetchFn &Fetch;
   const FrontendConfig &Cfg;
+  const TraceSpec *Trace;
+  size_t CurEntry = 0;
   DisasmResult Res;
   uint32_t ChaseTarget = 0;
 };
@@ -473,6 +537,56 @@ DisasmResult vg::disassembleSB(uint32_t Addr, const FetchFn &Fetch,
                                const FrontendConfig &Cfg) {
   Translator T(Addr, Fetch, Cfg);
   return T.run();
+}
+
+DisasmResult vg::disassembleTrace(const TraceSpec &Spec, const FetchFn &Fetch,
+                                  const FrontendConfig &Cfg) {
+  Translator T(Spec.Entries.at(0), Fetch, Cfg, &Spec);
+  return T.run();
+}
+
+bool vg::flagsDeadAt(uint32_t PC, const FetchFn &Fetch,
+                     std::vector<std::pair<uint32_t, uint32_t>> &Scanned) {
+  std::vector<std::pair<uint32_t, uint32_t>> Local;
+  uint32_t RunStart = PC, Cur = PC;
+  unsigned Chases = 0;
+  for (unsigned N = 0; N != 16; ++N) {
+    uint8_t Buf[MaxInstrLen];
+    uint32_t Got = Fetch(Cur, Buf, MaxInstrLen);
+    Instr I;
+    if (Got == 0 || !decode(Buf, Got, I))
+      return false;
+    uint32_t End = Cur + I.Len;
+    if (opSetsFlags(I.Op)) {
+      // Full thunk overwrite before any read: proof complete. Record the
+      // scanned bytes so retranslation is forced if they change.
+      Local.push_back({RunStart, End});
+      Scanned.insert(Scanned.end(), Local.begin(), Local.end());
+      return true;
+    }
+    switch (I.Op) {
+    case vg1::Opcode::JMP:
+      if (++Chases > 2)
+        return false;
+      Local.push_back({RunStart, End});
+      Cur = static_cast<uint32_t>(I.Imm);
+      RunStart = Cur;
+      break;
+    case vg1::Opcode::BCC:    // reads the thunk
+    case vg1::Opcode::JMPR:   // leaves straight-line code:
+    case vg1::Opcode::CALL:   // the continuation is unknown or the
+    case vg1::Opcode::CALLR:  // kernel/handler may observe the thunk
+    case vg1::Opcode::RET:
+    case vg1::Opcode::SYS:
+    case vg1::Opcode::HLT:
+    case vg1::Opcode::CLREQ:
+      return false;
+    default:
+      Cur = End;
+      break;
+    }
+  }
+  return false;
 }
 
 //===----------------------------------------------------------------------===//

@@ -50,6 +50,10 @@ struct DisasmResult {
   /// True if the block ends because the next instruction failed to decode;
   /// the block then ends with a NoDecode jump.
   bool DecodeFailed = false;
+  /// Trace stitching only: entry PCs of every constituent superblock the
+  /// trace actually includes, in path order (the first element is Addr).
+  /// Empty for plain superblocks.
+  std::vector<uint32_t> TraceEntries;
 };
 
 /// Superblock formation limits.
@@ -61,6 +65,36 @@ struct FrontendConfig {
 /// Disassembles one superblock starting at \p Addr.
 DisasmResult disassembleSB(uint32_t Addr, const FetchFn &Fetch,
                            const FrontendConfig &Cfg = FrontendConfig());
+
+/// A hot path of chained superblocks to stitch into one trace (tier 2).
+struct TraceSpec {
+  /// Constituent entry PCs in execution order; Entries[0] is the trace
+  /// head. Chosen by the core from the chain graph's execution counts.
+  std::vector<uint32_t> Entries;
+  /// Where the path goes after the last constituent (~0 = unknown). When
+  /// it is the taken side of the last BCC, the trace ends with that
+  /// direction as its chainable terminal (a loop back to Entries[0] then
+  /// self-chains without a dispatcher round trip).
+  uint32_t PreferredFinal = ~0u;
+};
+
+/// Disassembles the \p Spec path into a single superblock: at each
+/// conditional branch whose likely direction continues the path, the
+/// unlikely direction becomes a guarded side exit and disassembly carries
+/// on across the seam. Degrades gracefully — if the code no longer matches
+/// the path (SMC, stale counts), the result is a valid trace over the
+/// prefix that still matches, never an error.
+DisasmResult disassembleTrace(const TraceSpec &Spec, const FetchFn &Fetch,
+                              const FrontendConfig &Cfg = FrontendConfig());
+
+/// Proves the CC thunk dead at \p PC: every path from \p PC overwrites the
+/// whole thunk (an opSetsFlags instruction) before reading it (BCC) and
+/// before leaving straight-line code (limit 16 instructions, 2 chased
+/// JMPs; anything else — SYS, calls, returns, decode failure — is
+/// conservatively "live"). On success appends the scanned byte ranges to
+/// \p Scanned so the proof is covered by SMC hashing and invalidation.
+bool flagsDeadAt(uint32_t PC, const FetchFn &Fetch,
+                 std::vector<std::pair<uint32_t, uint32_t>> &Scanned);
 
 /// The clean helper evaluating VG1 conditions from the CC thunk:
 /// vg1_calc_cond(cond, cc_op, cc_dep1, cc_dep2) -> 0/1.

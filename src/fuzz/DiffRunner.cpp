@@ -122,6 +122,17 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                false,
                false,
                /*CheckSmcRetrans=*/false});
+  // Trace tier: aggressive thresholds so fuzz-sized loops actually stitch
+  // traces. Same SMC waiver as the hot/async cells — a trace formed after
+  // the patch was translated from the patched bytes, so SmcFail may
+  // legitimately never fire.
+  M.push_back({"nulgrind-traces",
+               "nulgrind",
+               {"--chaining=yes", "--hot-threshold=2", "--trace-tier=yes",
+                "--trace-threshold=8"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false});
   M.push_back({"icnt", "icnt", {}, true, false});
   M.push_back({"icntc", "icntc", {"--chaining=yes"}, true, false});
   M.push_back({"memcheck",
@@ -133,6 +144,13 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
   M.push_back({"memcheck-async",
                "memcheck",
                {"--chaining=yes", "--hot-threshold=3", "--jit-threads=2"},
+               false,
+               true,
+               /*CheckSmcRetrans=*/false});
+  M.push_back({"memcheck-traces",
+               "memcheck",
+               {"--chaining=yes", "--hot-threshold=2", "--trace-tier=yes",
+                "--trace-threshold=8"},
                false,
                true,
                /*CheckSmcRetrans=*/false});

@@ -35,6 +35,9 @@ struct CodeBlob {
   /// translation table link chain slots eagerly at insertion time instead
   /// of waiting for the dispatcher to observe the edge.
   std::vector<uint32_t> ChainTargets;
+  /// Chain slot of the fall-off-the-end exit (~0 for a register-form
+  /// ending). Exits through any other slot are guarded side exits.
+  uint32_t TerminalChainSlot = ~0u;
   /// Opaque cookie identifying the owning translation (used by chaining).
   void *Cookie = nullptr;
 };

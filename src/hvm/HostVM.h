@@ -107,6 +107,11 @@ struct HostCode {
   /// Per chain slot: constant guest target PC (NoChainTarget when the exit
   /// kind can never be chained). Parallel to the slot numbering.
   std::vector<uint32_t> ChainTargets;
+  /// Chain slot of the fall-off-the-end exit (~0 when the block ends in a
+  /// register-form exit, which takes no slot). Any *other* slot an
+  /// execution leaves through is a guarded side exit — the trace tier's
+  /// speculation-miss signal.
+  uint32_t TerminalChainSlot = ~0u;
 };
 
 /// Phase 8: encodes an instruction list into code-cache bytes. JZ labels

@@ -247,6 +247,7 @@ private:
       X.Imm = Next->ConstVal;
       X.JKind = static_cast<uint8_t>(SB.endJumpKind());
       X.ChainSlot = NextChainSlot++;
+      Code.TerminalChainSlot = X.ChainSlot;
       Code.ChainTargets.push_back(SB.endJumpKind() == ir::JumpKind::Boring
                                       ? static_cast<uint32_t>(Next->ConstVal)
                                       : NoChainTarget);

@@ -208,6 +208,16 @@ struct Callee {
   /// Identifier used by the optimiser's platform-specific partial
   /// evaluation hook (Section 3.7 Phase 2's %eflags specialisation).
   uint32_t SpecKey = 0;
+  /// The helper never writes tool shadow state (shadow memory or shadow
+  /// registers), so a cached ShadowProbe result stays valid across the
+  /// call. Pure readers like Memcheck's LOADV qualify; anything that can
+  /// mark memory defined/undefined (STOREV, stack events) must not.
+  bool PreservesShadow = false;
+  /// The helper's guest-register-state effects are fully described by the
+  /// Dirty statement's Fx list (an empty list meaning "touches none").
+  /// Lets the trace-tier optimiser keep Get/Put facts live across the
+  /// call instead of treating it as a full barrier.
+  bool StateFxComplete = false;
 };
 
 /// Process-wide registry of helper-callee descriptors, keyed by name.

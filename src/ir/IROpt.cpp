@@ -457,7 +457,8 @@ private:
 /// guest-state slots, from PUTs seen and previous GETs.
 class RedundantGet {
 public:
-  explicit RedundantGet(IRSB &SB) : SB(SB) {}
+  RedundantGet(IRSB &SB, const TraceOptConfig *Trace = nullptr)
+      : SB(SB), Trace(Trace) {}
 
   void run() {
     for (Stmt *S : SB.stmts()) {
@@ -481,7 +482,12 @@ public:
         break;
       }
       case StmtKind::Dirty:
-        if (S->Fx.empty()) {
+        // An unannotated helper may touch any guest-state slot. Trace tier
+        // only: a helper declared StateFxComplete is exactly its Fx list,
+        // so probe/check calls between former block seams stop killing
+        // Get/Put forwarding (gated on Trace to keep tiers 0/1 untouched).
+        if (S->Fx.empty() &&
+            !(Trace && S->CalleeFn && S->CalleeFn->StateFxComplete)) {
           Slots.clear();
         } else {
           for (const GuestFx &F : S->Fx)
@@ -525,6 +531,7 @@ private:
   }
 
   IRSB &SB;
+  const TraceOptConfig *Trace;
   std::vector<Slot> Slots;
 };
 
@@ -534,24 +541,30 @@ private:
 /// optimisation (paper Section 3.7, Phase 2).
 class DeadPut {
 public:
-  DeadPut(IRSB &SB, const PreservedPuts &Preserve)
-      : SB(SB), Preserve(Preserve) {}
+  DeadPut(IRSB &SB, const PreservedPuts &Preserve,
+          const TraceOptConfig *Trace = nullptr)
+      : SB(SB), Preserve(Preserve), Trace(Trace) {}
 
   void run() {
     auto &Stmts = SB.stmts();
     std::vector<Stmt *> Kept;
     Kept.reserve(Stmts.size());
     // Walk backwards. Pending = slots that will be overwritten.
+    if (Trace)
+      Pending = takenPendingRanges(nullptr); // liveness at the block end
     for (size_t I = Stmts.size(); I-- > 0;) {
       Stmt *S = Stmts[I];
       bool Keep = true;
       switch (S->Kind) {
       case StmtKind::Put: {
         Range R = rangeOfPut(S);
-        if (!Preserve.covers(S->Offset) && isFullyPending(R))
+        if (!Preserve.covers(S->Offset) && isFullyPending(R)) {
           Keep = false;
-        else
+          if (Trace && Trace->Stats && overlapsCC(R))
+            ++Trace->Stats->DeadFlagPuts;
+        } else {
           addPending(R);
+        }
         break;
       }
       case StmtKind::WrTmp:
@@ -559,7 +572,9 @@ public:
           removePending(rangeOfGet(S->Data));
         break;
       case StmtKind::Dirty:
-        if (S->Fx.empty()) {
+        // See RedundantGet: a StateFxComplete helper is its Fx list.
+        if (S->Fx.empty() &&
+            !(Trace && S->CalleeFn && S->CalleeFn->StateFxComplete)) {
           Pending.clear();
         } else {
           for (const GuestFx &F : S->Fx)
@@ -567,7 +582,23 @@ public:
         }
         break;
       case StmtKind::Exit:
-        Pending.clear();
+        if (Trace) {
+          // A side exit is a jump with known downstream liveness, not a
+          // barrier: a Put is dead only if overwritten on the taken path
+          // (exit-target liveness) AND on the fall-through path (current
+          // Pending), so intersect the two sets.
+          std::vector<Range> Taken = takenPendingRanges(S);
+          std::vector<Range> Isect;
+          for (Range T : Taken)
+            for (Range P : Pending) {
+              Range R{std::max(T.Lo, P.Lo), std::min(T.Hi, P.Hi)};
+              if (R.Lo < R.Hi)
+                Isect.push_back(R);
+            }
+          Pending = std::move(Isect);
+        } else {
+          Pending.clear();
+        }
         break;
       default:
         break;
@@ -587,6 +618,36 @@ private:
     return false;
   }
 
+  /// Guest-state ranges guaranteed to be overwritten, before any read,
+  /// once this exit is taken (\p S null = the fall-off-the-end next).
+  /// The PC slot is unconditional: every executor exit path rewrites it.
+  /// The CC thunk (and its shadow mirror) joins when the proven-Boring
+  /// target overwrites the whole thunk before reading it.
+  std::vector<Range> takenPendingRanges(const Stmt *S) const {
+    std::vector<Range> T;
+    if (Trace->PCHi > Trace->PCLo)
+      T.push_back(Range{Trace->PCLo, Trace->PCHi});
+    bool CCDead = S ? (S->JK == JumpKind::Boring &&
+                       Trace->flagsDeadAtTarget(S->DstPC))
+                    : Trace->FlagsDeadAtEnd;
+    if (CCDead && Trace->CCHi > Trace->CCLo) {
+      T.push_back(Range{Trace->CCLo, Trace->CCHi});
+      if (Trace->ShadowOffset)
+        T.push_back(Range{Trace->CCLo + Trace->ShadowOffset,
+                          Trace->CCHi + Trace->ShadowOffset});
+    }
+    return T;
+  }
+
+  bool overlapsCC(Range R) const {
+    if (Trace->CCHi == Trace->CCLo)
+      return false;
+    Range CC{Trace->CCLo, Trace->CCHi};
+    Range SCC{Trace->CCLo + Trace->ShadowOffset,
+              Trace->CCHi + Trace->ShadowOffset};
+    return CC.overlaps(R) || (Trace->ShadowOffset && SCC.overlaps(R));
+  }
+
   void addPending(Range R) { Pending.push_back(R); }
 
   void removePending(Range R) {
@@ -602,6 +663,7 @@ private:
 
   IRSB &SB;
   const PreservedPuts &Preserve;
+  const TraceOptConfig *Trace;
   std::vector<Range> Pending;
 };
 
@@ -760,35 +822,104 @@ private:
   std::vector<bool> Live;
 };
 
+/// Trace tier only: CSE of ShadowProbe *load* probes across former block
+/// seams. When a trace re-checks an address its earlier constituent
+/// already probed, the probe result (V-word or punt marker) is unchanged
+/// provided nothing in between can write tool shadow state, so the second
+/// probe collapses to a tmp copy (guard hoisting: the check runs once at
+/// the first access). Store-form probes and Dirty calls without
+/// Callee::PreservesShadow clobber the table; guest Put/Store/Load/Exit
+/// never touch the shadow map (on a taken side exit the rewritten copy is
+/// simply not reached). A punting address stays a punt both times, so the
+/// slow-path helper still runs per access and error counts are unchanged.
+class ShadowProbeCSE {
+public:
+  ShadowProbeCSE(IRSB &SB, TraceOptStats *Stats) : SB(SB), Stats(Stats) {}
+
+  void run() {
+    for (Stmt *S : SB.stmts()) {
+      switch (S->Kind) {
+      case StmtKind::ShadowProbe: {
+        if (S->Data) { // store form: writes V-bits
+          Table.clear();
+          break;
+        }
+        std::string Key = keyOfAddr(S->Addr, S->AccSize);
+        auto [It, Inserted] = Table.try_emplace(Key, S->Tmp);
+        if (!Inserted) {
+          S->Kind = StmtKind::WrTmp;
+          S->Data = SB.rdTmp(It->second);
+          S->Addr = nullptr;
+          if (Stats)
+            ++Stats->ProbesCSEd;
+        }
+        break;
+      }
+      case StmtKind::Dirty:
+        if (!S->CalleeFn || !S->CalleeFn->PreservesShadow)
+          Table.clear();
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+private:
+  static std::string keyOfAddr(const Expr *Addr, uint8_t Size) {
+    std::string K;
+    if (Addr->isConst()) {
+      K += 'c';
+      K += std::to_string(Addr->ConstVal);
+    } else {
+      K += 't';
+      K += std::to_string(Addr->Tmp);
+    }
+    K += '.';
+    K += std::to_string(Size);
+    return K;
+  }
+
+  IRSB &SB;
+  TraceOptStats *Stats;
+  std::map<std::string, TmpId> Table;
+};
+
+void optRound(IRSB &SB, const SpecFn &Spec, const PreservedPuts &Preserve,
+              const TraceOptConfig *Trace) {
+  PropFold(SB, Spec).run();
+  RedundantGet(SB, Trace).run();
+  PropFold(SB, Spec).run();
+  CSE(SB).run();
+  PropFold(SB, Spec).run();
+  DeadPut(SB, Preserve, Trace).run();
+  DeadCode(SB).run();
+}
+
 } // namespace
 
 void ir::optimise1(IRSB &SB, const SpecFn &Spec,
-                   const PreservedPuts &Preserve) {
+                   const PreservedPuts &Preserve,
+                   const TraceOptConfig *Trace) {
   // Two rounds reach a fixpoint on all blocks the front end produces.
-  for (int Round = 0; Round != 2; ++Round) {
-    PropFold(SB, Spec).run();
-    RedundantGet(SB).run();
-    PropFold(SB, Spec).run();
-    CSE(SB).run();
-    PropFold(SB, Spec).run();
-    DeadPut(SB, Preserve).run();
-    DeadCode(SB).run();
-  }
+  for (int Round = 0; Round != 2; ++Round)
+    optRound(SB, Spec, Preserve, Trace);
 }
 
 void ir::optimise2(IRSB &SB, const SpecFn &Spec,
-                   const PreservedPuts &Preserve) {
-  PropFold(SB, Spec).run();
+                   const PreservedPuts &Preserve,
+                   const TraceOptConfig *Trace) {
   // Analysis code benefits from Get/Put forwarding just like client code
   // (Section 4 R1: "shadow operations benefit fully from Valgrind's
   // post-instrumentation IR optimiser") — e.g. per-instruction inline
   // counters collapse to one load, N adds, and one store per block.
-  RedundantGet(SB).run();
-  PropFold(SB, Spec).run();
-  CSE(SB).run();
-  PropFold(SB, Spec).run();
-  DeadPut(SB, Preserve).run();
-  DeadCode(SB).run();
+  optRound(SB, Spec, Preserve, Trace);
+  if (Trace) {
+    // Cross-seam probe dedup exposes fresh copies and common guard
+    // expressions; one more round folds and sweeps them.
+    ShadowProbeCSE(SB, Trace->Stats).run();
+    optRound(SB, Spec, Preserve, Trace);
+  }
 }
 
 //===----------------------------------------------------------------------===//

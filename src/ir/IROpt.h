@@ -48,14 +48,58 @@ struct PreservedPuts {
   bool covers(uint32_t Offset) const { return Offset >= Lo && Offset < Hi; }
 };
 
+/// Counters filled by the trace-only passes; surfaced via --profile.
+struct TraceOptStats {
+  uint64_t DeadFlagPuts = 0; ///< CC-thunk Puts killed by cross-seam liveness
+  uint64_t ProbesCSEd = 0;   ///< duplicate ShadowProbe loads rewritten
+};
+
+/// Cross-block optimisation context for trace-tier (tier 2) translations.
+/// When passed to optimise1/optimise2, DeadPut treats every side exit as a
+/// jump with known downstream liveness instead of a full barrier, and
+/// optimise2 additionally CSEs repeated ShadowProbe loads across former
+/// block seams. The fields describe guest-state geometry so the IR layer
+/// stays guest-agnostic; the translation pipeline fills them from gso::*.
+struct TraceOptConfig {
+  /// Guest PC slot [PCLo, PCHi). Every exit — taken side exit or block
+  /// end, immediate or register form — rewrites the PC in the executor,
+  /// so a Put to it still pending at an exit is dead on the taken path.
+  uint32_t PCLo = 0, PCHi = 0;
+  /// Condition-code thunk [CCLo, CCHi): dead at a Boring exit whose
+  /// target provably overwrites the whole thunk before reading any of it
+  /// (vg1::flagsDeadAt). The bytes the proof scanned are part of the
+  /// trace's extents, so SMC on them invalidates the trace.
+  uint32_t CCLo = 0, CCHi = 0;
+  /// Shadow-register mirror distance (0 = no mirror dead-ranging). The
+  /// mirror of a dead CC range is equally dead: instrumentation mirrors
+  /// guest thunk Puts, so a target that overwrites the thunk before
+  /// reading it overwrites the shadow thunk first.
+  uint32_t ShadowOffset = 0;
+  /// Boring-exit targets at which the CC thunk is dead.
+  std::vector<uint32_t> FlagsDeadTargets;
+  /// The terminal next is a Boring constant whose target is flags-dead.
+  bool FlagsDeadAtEnd = false;
+  TraceOptStats *Stats = nullptr;
+
+  bool flagsDeadAtTarget(uint32_t PC) const {
+    for (uint32_t T : FlagsDeadTargets)
+      if (T == PC)
+        return true;
+    return false;
+  }
+};
+
 /// Full Phase-2 optimisation on flat IR, in place. \p Spec may be null.
+/// \p Trace (null for superblocks) enables the cross-seam extensions.
 void optimise1(IRSB &SB, const SpecFn &Spec,
-               const PreservedPuts &Preserve = PreservedPuts());
+               const PreservedPuts &Preserve = PreservedPuts(),
+               const TraceOptConfig *Trace = nullptr);
 
 /// Cheaper Phase-4 optimisation on flat IR, in place. \p Spec may be null
 /// (tools' instrumentation also benefits from helper specialisation).
 void optimise2(IRSB &SB, const SpecFn &Spec,
-               const PreservedPuts &Preserve = PreservedPuts());
+               const PreservedPuts &Preserve = PreservedPuts(),
+               const TraceOptConfig *Trace = nullptr);
 
 /// Flat IR -> tree IR, in place (Phase 5).
 void buildTrees(IRSB &SB);

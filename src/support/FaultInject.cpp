@@ -2,6 +2,7 @@
 
 #include "support/FaultInject.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 using namespace vg;
@@ -45,6 +46,22 @@ int kindFromName(const std::string &Name) {
   return -1;
 }
 
+/// Hard-validated unsigned parse: the whole string must be a digit-leading
+/// integer (0x... accepted) with no sign and no trailing garbage. The
+/// lenient strtoull it replaces turned "seed=abc" into seed=0 — a silently
+/// different fuzz campaign than the one the user asked for.
+bool parseU64Checked(const char *C, uint64_t &Out) {
+  if (*C < '0' || *C > '9')
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  unsigned long long V = std::strtoull(C, &End, 0);
+  if (*End != '\0' || errno == ERANGE)
+    return false;
+  Out = V;
+  return true;
+}
+
 } // namespace
 
 bool FaultPlan::parse(const std::string &Spec, std::string &Err) {
@@ -63,7 +80,10 @@ bool FaultPlan::parse(const std::string &Spec, std::string &Err) {
       continue;
 
     if (Item.rfind("seed=", 0) == 0) {
-      Seed = std::strtoull(Item.c_str() + 5, nullptr, 0);
+      if (!parseU64Checked(Item.c_str() + 5, Seed)) {
+        Err = "bad fault-inject seed in '" + Item + "'";
+        return false;
+      }
       continue;
     }
 
@@ -71,13 +91,13 @@ bool FaultPlan::parse(const std::string &Spec, std::string &Err) {
     uint32_t R = 0; // 0 = use per-kind default
     if (size_t Colon = Item.find(':'); Colon != std::string::npos) {
       Name = Item.substr(0, Colon);
-      char *End = nullptr;
-      R = static_cast<uint32_t>(
-          std::strtoul(Item.c_str() + Colon + 1, &End, 0));
-      if (R == 0 || (End && *End)) {
+      uint64_t Parsed = 0;
+      if (!parseU64Checked(Item.c_str() + Colon + 1, Parsed) ||
+          Parsed == 0 || Parsed > 0xFFFFFFFFull) {
         Err = "bad fault-inject rate in '" + Item + "'";
         return false;
       }
+      R = static_cast<uint32_t>(Parsed);
     }
 
     if (Name == "all") {

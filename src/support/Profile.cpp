@@ -187,6 +187,23 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                C.SyncPromoStallSeconds * 1e6, C.EnqueueSeconds * 1e6);
   }
 
+  if (C.HasTraces) {
+    Out.printf("\n== profile: trace tier ==\n");
+    Out.printf("requests=%llu traces-formed=%llu aborts=%llu\n",
+               static_cast<unsigned long long>(C.TraceRequests),
+               static_cast<unsigned long long>(C.TracesFormed),
+               static_cast<unsigned long long>(C.TraceAborts));
+    Out.printf("trace-execs=%llu side-exits=%llu (%.2f%% side-exit rate)\n",
+               static_cast<unsigned long long>(C.TraceExecs),
+               static_cast<unsigned long long>(C.TraceSideExits),
+               C.TraceExecs ? 100.0 * static_cast<double>(C.TraceSideExits) /
+                                  static_cast<double>(C.TraceExecs)
+                            : 0.0);
+    Out.printf("dead-flag-puts-eliminated=%llu probes-csed=%llu\n",
+               static_cast<unsigned long long>(C.TraceDeadFlagPuts),
+               static_cast<unsigned long long>(C.TraceProbesCSEd));
+  }
+
   if (C.HasTransCache) {
     Out.printf("\n== profile: translation cache ==\n");
     uint64_t Lookups = C.CacheHits + C.CacheMisses + C.CacheRejects;

@@ -118,6 +118,15 @@ struct ProfCounters {
   double InstallLatencySeconds = 0; ///< enqueue -> publication, summed
   double SyncPromoStallSeconds = 0; ///< guest time lost to inline promotion
   double EnqueueSeconds = 0;        ///< guest time spent snapshotting/queueing
+  // Trace-tier counters (only when --trace-tier is on).
+  bool HasTraces = false;
+  uint64_t TraceRequests = 0;     ///< trace formations attempted
+  uint64_t TracesFormed = 0;      ///< traces installed over tier-1 heads
+  uint64_t TraceAborts = 0;       ///< spill overflow / worker failure
+  uint64_t TraceExecs = 0;        ///< trace entries executed
+  uint64_t TraceSideExits = 0;    ///< exits taken through a guarded side exit
+  uint64_t TraceDeadFlagPuts = 0; ///< dead CC-thunk writes deleted
+  uint64_t TraceProbesCSEd = 0;   ///< shadow probes CSE'd across seams
   // Persistent translation-cache counters (only when --tt-cache is set).
   bool HasTransCache = false;
   uint64_t CacheHits = 0;    ///< entries validated and installed

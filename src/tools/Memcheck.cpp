@@ -90,14 +90,25 @@ uint64_t Memcheck::helperJumpUndef(void *Env, uint64_t PC, uint64_t, uint64_t,
 }
 
 namespace {
-const Callee LoadVCallee = {"mc_LOADV", &Memcheck::helperLoadV, 0};
-const Callee StoreVCallee = {"mc_STOREV", &Memcheck::helperStoreV, 0};
+// All five helpers touch only shadow memory and the error log — never
+// guest registers (StateFxComplete) — and only STOREV writes V-bits, so
+// the others additionally preserve cached ShadowProbe results.
+const Callee LoadVCallee = {"mc_LOADV", &Memcheck::helperLoadV, 0,
+                            /*PreservesShadow=*/true,
+                            /*StateFxComplete=*/true};
+const Callee StoreVCallee = {"mc_STOREV", &Memcheck::helperStoreV, 0,
+                             /*PreservesShadow=*/false,
+                             /*StateFxComplete=*/true};
 const Callee ValueCheckFailCallee = {"mc_value_check_fail",
-                                     &Memcheck::helperValueCheckFail, 0};
+                                     &Memcheck::helperValueCheckFail, 0,
+                                     /*PreservesShadow=*/true,
+                                     /*StateFxComplete=*/true};
 const Callee CondUndefCallee = {"mc_cond_undef", &Memcheck::helperCondUndef,
-                                0};
+                                0, /*PreservesShadow=*/true,
+                                /*StateFxComplete=*/true};
 const Callee JumpUndefCallee = {"mc_jump_undef", &Memcheck::helperJumpUndef,
-                                0};
+                                0, /*PreservesShadow=*/true,
+                                /*StateFxComplete=*/true};
 const ir::CalleeRegistrar RegisterCallees{
     &LoadVCallee, &StoreVCallee, &ValueCheckFailCallee, &CondUndefCallee,
     &JumpUndefCallee};

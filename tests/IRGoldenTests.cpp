@@ -204,6 +204,88 @@ TEST(IRGolden, FpSimdCpuinfo) {
                               {"flat IR (phase 2)", &Art.FlatIR}}));
 }
 
+/// A 3-constituent hot path for the trace (tier 2) pipeline. Each
+/// constituent ends at a conditional branch whose fall-through continues
+/// the path; the taken sides are cold exits that immediately overwrite
+/// the flags, so the cross-block liveness pass can prove the thunk dead
+/// there too. A and C load the same address [r5+8] with no intervening
+/// store, giving the cross-seam CSE something to collapse.
+struct TraceProgram {
+  std::vector<uint8_t> Img;
+  uint32_t A = 0, B = 0, C = 0;
+  TraceSpec Spec;
+
+  TraceProgram() {
+    Assembler As(0x4000);
+    Label Cold = As.newLabel();
+    A = As.here();
+    As.ld(Reg::R4, Reg::R5, 8);
+    As.addi(Reg::R1, Reg::R1, 1); // flag write, dead: cmpi overwrites
+    As.cmpi(Reg::R1, 10);
+    As.beq(Cold);
+    B = As.here();
+    As.addi(Reg::R2, Reg::R2, 2); // flag write: kills A's thunk cross-seam
+    As.cmpi(Reg::R2, 20);
+    As.beq(Cold);
+    C = As.here();
+    As.ld(Reg::R6, Reg::R5, 8); // same address as A's load
+    As.cmpi(Reg::R6, 30);
+    As.beq(Cold);
+    As.ret();
+    As.bind(Cold);
+    As.cmpi(Reg::R0, 0); // overwrites flags: side exits are flag-dead
+    As.ret();
+    Img = As.finalize();
+    Spec.Entries = {A, B, C};
+  }
+};
+
+TEST(IRGolden, TraceFlagLiveness) {
+  // The stitched 3-block trace under Nulgrind: A's and B's CC-thunk
+  // writes are deleted (overwritten downstream before any read, and the
+  // guarded side exits target flag-dead code), while C's survive as the
+  // trace's live-out. The golden pins both the stitched phase-2 IR (side
+  // exits visible) and the phase-4 result the liveness pass shaped.
+  TraceProgram P;
+  FetchFn F = fetchOf(0x4000, P.Img);
+  TranslationOptions TO;
+  TO.Verify = true;
+  TO.Trace = P.Spec;
+  ir::TraceOptStats TS;
+  TO.TraceStats = &TS;
+  TranslationArtifacts Art;
+  TranslatedBlock TB = translateBlock(P.A, F, TO, &Art);
+  ASSERT_EQ(TB.Meta.TraceEntries, P.Spec.Entries);
+  EXPECT_GT(TS.DeadFlagPuts, 0u);
+  checkGolden("trace_flag_liveness",
+              renderSections({{"stitched flat IR (phase 2)", &Art.FlatIR},
+                              {"optimised flat IR (phase 4)",
+                               &Art.OptimisedIR}}));
+}
+
+TEST(IRGolden, TraceCrossSeamCSE) {
+  // The same trace under Memcheck: C's reload of [r5+8] re-uses A's
+  // address computation and guest-register get across two seams, and its
+  // ShadowProbe collapses to a copy of A's probe result (guard hoisting —
+  // the addressability/definedness check runs once at the first access).
+  TraceProgram P;
+  FetchFn F = fetchOf(0x4000, P.Img);
+  Memcheck MC;
+  TranslationOptions TO;
+  TO.Verify = true;
+  TO.Trace = P.Spec;
+  ir::TraceOptStats TS;
+  TO.TraceStats = &TS;
+  TO.Instrument = [&](ir::IRSB &SB) { MC.instrument(SB); };
+  TranslationArtifacts Art;
+  TranslatedBlock TB = translateBlock(P.A, F, TO, &Art);
+  ASSERT_EQ(TB.Meta.TraceEntries, P.Spec.Entries);
+  EXPECT_GT(TS.ProbesCSEd, 0u);
+  checkGolden("trace_cross_seam_cse",
+              renderSections({{"optimised flat IR (phase 4)",
+                               &Art.OptimisedIR}}));
+}
+
 TEST(IRGolden, PrinterPrimitives) {
   // The printer itself: offsets resolved via vg1OffsetName, including
   // shadow offsets, plus expression rendering.

@@ -347,6 +347,36 @@ TEST(OptionDeathTest, TrailingJunkAndRangeViolationsAreFatal) {
               ::testing::ExitedWithCode(1), "expected an integer");
 }
 
+TEST(OptionDeathTest, NonNumericHotAndTraceThresholdsAreFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--hot-threshold=5x"}),
+              ::testing::ExitedWithCode(1),
+              "--hot-threshold=5x: expected an integer");
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--trace-threshold=-3"}),
+              ::testing::ExitedWithCode(1),
+              "--trace-threshold=-3: expected an integer");
+}
+
+TEST(OptionDeathTest, ZeroTraceEventsIsFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--trace-events=0"}),
+              ::testing::ExitedWithCode(1),
+              "--trace-events=0: expected an integer in \\[1,");
+}
+
+TEST(OptionDeathTest, MalformedFaultInjectSpecIsFatal) {
+  GuestImage Img = trivialProgram();
+  Nulgrind T;
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--fault-inject=seed=abc"}),
+              ::testing::ExitedWithCode(1),
+              "bad fault-inject seed in 'seed=abc'");
+  EXPECT_EXIT(runUnderCore(Img, &T, {"--fault-inject=preempt:0"}),
+              ::testing::ExitedWithCode(1),
+              "bad fault-inject rate in 'preempt:0'");
+}
+
 //===----------------------------------------------------------------------===//
 // End-to-end: cold/warm equivalence under a full Core
 //===----------------------------------------------------------------------===//
@@ -469,6 +499,36 @@ TEST(TransCacheEndToEnd, SmcCheckedBlocksBypassCache) {
                 Warm.Jit.CacheRejects,
             0u);
   EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+}
+
+// Trace-tier translations are excluded from the persistent cache in both
+// directions: a trace inlines guest bytes from every constituent and its
+// formation depends on run-specific edge profiles, so it is neither
+// written back on the cold run nor served from disk on the warm run — the
+// warm run re-forms its traces from its own profile.
+TEST(TransCacheEndToEnd, TraceTierTranslationsBypassCache) {
+  ScratchDir Dir;
+  GuestImage Img = buildWorkload("bzip2", 1);
+  std::vector<std::string> Opts = {"--chaining=yes", "--hot-threshold=2",
+                                   "--trace-tier=yes", "--trace-threshold=16",
+                                   "--tt-cache=" + Dir.str()};
+  Nulgrind T1, T2;
+  RunReport Cold = runUnderCore(Img, &T1, Opts);
+  ASSERT_TRUE(Cold.Completed);
+  ASSERT_GT(Cold.Stats.TracesFormed, 0u) << "test needs traces to form";
+  ASSERT_GT(Cold.Jit.CacheWrites, 0u);
+
+  RunReport Warm = runUnderCore(Img, &T2, Opts);
+  ASSERT_TRUE(Warm.Completed);
+  EXPECT_EQ(Warm.Stdout, Cold.Stdout);
+  // Not stored: every cold write validates and installs on the warm run —
+  // a persisted trace would be rejected here (tier mismatch at load).
+  EXPECT_EQ(Warm.Jit.CacheRejects, 0u);
+  EXPECT_EQ(Warm.Jit.CacheHits, Cold.Jit.CacheWrites);
+  // Not loaded: the warm run still had to form its traces itself.
+  EXPECT_GT(Warm.Stats.TracesFormed, 0u);
+  // And nothing about the warm run's traces was newly persisted either.
+  EXPECT_EQ(Warm.Jit.CacheWrites, 0u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -267,6 +267,87 @@ TEST(TransTab, ChainPointersSurviveEvictionRehash) {
 }
 
 //===----------------------------------------------------------------------===//
+// Trace (tier 2) entries
+//===----------------------------------------------------------------------===//
+
+/// A tier-2 trace over the given constituent entry addresses: installed at
+/// Entries[0], extents covering one 4-byte range per constituent.
+std::unique_ptr<Translation>
+makeTrace(std::vector<uint32_t> Entries,
+          std::vector<uint32_t> ChainTargets = {}) {
+  std::vector<std::pair<uint32_t, uint32_t>> Extents;
+  for (uint32_t E : Entries)
+    Extents.push_back({E, E + 4});
+  auto T = makeT(Entries[0], std::move(ChainTargets), std::move(Extents));
+  T->Tier = 2;
+  T->TraceEntries = std::move(Entries);
+  return T;
+}
+
+// A trace installs over its head address, replacing the head's tier-1
+// translation; the other constituents keep their own translations (side
+// exits land on them).
+TEST(TransTab, TraceInstallReplacesHeadOnly) {
+  TransTab TT(1u << 6);
+  TT.insert(makeT(0x1000, {0x2000}));
+  Translation *B = TT.insert(makeT(0x2000, {0x3000}));
+  Translation *C = TT.insert(makeT(0x3000));
+  B->Tier = C->Tier = 1;
+
+  Translation *Tr = TT.insert(makeTrace({0x1000, 0x2000, 0x3000}));
+  EXPECT_EQ(TT.find(0x1000), Tr);
+  EXPECT_EQ(Tr->Tier, 2);
+  EXPECT_EQ(TT.find(0x2000), B) << "constituents must stay resident";
+  EXPECT_EQ(TT.find(0x3000), C);
+}
+
+// SMC/invalidateRange poisoning ANY constituent extent must evict the
+// whole trace, even when the write is nowhere near the entry address —
+// the trace inlined code from every constituent.
+TEST(TransTab, PoisoningAnyConstituentEvictsWholeTrace) {
+  for (uint32_t Victim : {0x1000u, 0x2000u, 0x3000u}) {
+    TransTab TT(1u << 6);
+    TT.insert(makeT(0x2000));
+    TT.insert(makeT(0x3000));
+    TT.insert(makeTrace({0x1000, 0x2000, 0x3000}));
+
+    TT.invalidateRange(Victim + 2, 1);
+    EXPECT_EQ(TT.find(0x1000), nullptr)
+        << "write at " << std::hex << Victim << " must kill the trace";
+    // The constituent whose bytes changed dies with it; the others stay.
+    for (uint32_t A : {0x2000u, 0x3000u})
+      EXPECT_EQ(TT.find(A) != nullptr, A != Victim);
+  }
+}
+
+// Predecessors chained into a trace are unlinked when it dies, and the
+// head's replacement translation re-enables them via the waiter map — the
+// same relink contract as any other eviction, here across a tier change.
+TEST(TransTab, TraceEvictionUnchainsAndReenablesConstituents) {
+  TransTab TT(1u << 6);
+  Translation *P = TT.insert(makeT(0x0500, {0x1000}));
+  TT.insert(makeT(0x1000, {0x2000}));
+  TT.insert(makeT(0x2000));
+  Translation *Tr = TT.insert(makeTrace({0x1000, 0x2000}, {0x1000}));
+  ASSERT_EQ(P->Chain[0], Tr) << "predecessor must relink to the trace";
+  ASSERT_EQ(Tr->Chain[0], Tr) << "loop trace chains to itself";
+
+  // Poison the tail constituent: the trace and the tail die.
+  TT.invalidateRange(0x2000, 4);
+  EXPECT_EQ(P->Chain[0], nullptr);
+  EXPECT_EQ(TT.find(0x1000), nullptr);
+
+  // The head retranslates at tier 1: the parked predecessor relinks and
+  // execution through 0x1000 is re-enabled without dispatcher help.
+  Translation *A2 = TT.insert(makeT(0x1000, {0x2000}));
+  A2->Tier = 1;
+  EXPECT_EQ(P->Chain[0], A2);
+  // And the tail's own retranslation refills the head's slot.
+  Translation *B2 = TT.insert(makeT(0x2000));
+  EXPECT_EQ(A2->Chain[0], B2);
+}
+
+//===----------------------------------------------------------------------===//
 // The merged statistics view
 //===----------------------------------------------------------------------===//
 

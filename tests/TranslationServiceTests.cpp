@@ -293,6 +293,112 @@ TEST(TranslationService, ShutdownAbandonsUndrainedJobs) {
 }
 
 //===----------------------------------------------------------------------===//
+// Trace (tier 2) jobs on the same queue
+//===----------------------------------------------------------------------===//
+
+/// Two superblocks that chain A -> B (A ends at a BCC whose fall-through
+/// is B), so a TraceSpec{A, B} is a real stitchable path.
+struct TraceFixture {
+  GuestMemory Mem;
+  StubHost Host;
+  TranslationService XS;
+  uint32_t A = 0, B = 0;
+  TraceSpec Spec;
+
+  TraceFixture() : XS(Host, Mem, 1u << 8) {
+    Assembler Code(CodeBase);
+    Label Done = Code.newLabel();
+    A = Code.here();
+    Code.cmpi(Reg::R1, 0);
+    Code.beq(Done); // unlikely side exit; superblock A ends here
+    B = Code.here();
+    Code.addi(Reg::R0, Reg::R0, 1);
+    Code.ret();
+    Code.bind(Done);
+    Code.ret();
+    GuestImage Img = GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+    for (const ImageSegment &S : Img.Segments) {
+      Mem.map(S.Base, static_cast<uint32_t>(S.Bytes.size()), S.Perms);
+      Mem.write(S.Base, S.Bytes.data(), static_cast<uint32_t>(S.Bytes.size()),
+                /*IgnorePerms=*/true);
+    }
+    Spec.Entries = {A, B};
+  }
+};
+
+// A trace job rides the promotion queue: enqueueTrace publishes a tier-2
+// translation over the head and the books balance the same way promotion
+// jobs do (run with two workers so the tsan preset exercises it).
+TEST(TranslationService, AsyncTraceJobInstallsOverHead) {
+  TraceFixture F;
+  F.XS.configure(/*Threads=*/2, /*QueueDepth=*/8);
+  Translation *HeadT = F.XS.translateSync(F.A, /*Hot=*/true);
+  F.XS.translateSync(F.B, /*Hot=*/true);
+
+  ASSERT_TRUE(F.XS.enqueueTrace(HeadT, F.Spec));
+  EXPECT_TRUE(HeadT->PromoPending);
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 1u);
+
+  Translation *Tr = F.XS.transTab().find(F.A);
+  ASSERT_NE(Tr, nullptr);
+  EXPECT_EQ(Tr->Tier, 2u);
+  EXPECT_EQ(Tr->TraceEntries, (std::vector<uint32_t>{F.A, F.B}));
+  EXPECT_EQ(F.Host.LastInstalled, Tr);
+  // The tail constituent stays resident for side exits.
+  ASSERT_NE(F.XS.transTab().find(F.B), nullptr);
+  EXPECT_EQ(F.XS.transTab().find(F.B)->Tier, 1u);
+
+  const JitStats &J = F.XS.jitStats();
+  EXPECT_EQ(J.TraceRequests, 1u);
+  EXPECT_EQ(J.TraceInstalled, 1u);
+  EXPECT_EQ(J.TraceAborts, 0u);
+  EXPECT_EQ(J.AsyncInstalled, 1u);
+  const JitStats &JS = F.XS.jitStats();
+  EXPECT_EQ(JS.AsyncRequests, JS.AsyncInstalled + JS.AsyncDiscardedEpoch +
+                                  JS.AsyncDiscardedStale + JS.WorkerFailures +
+                                  JS.AsyncAbandoned);
+}
+
+// A TT flush between enqueue and drain discards an in-flight trace job
+// exactly like a promotion job — no install, epoch discard accounted.
+TEST(TranslationService, FlushDiscardsInFlightTraceJob) {
+  TraceFixture F;
+  F.XS.configure(1, 8);
+  Translation *HeadT = F.XS.translateSync(F.A, /*Hot=*/true);
+  F.XS.translateSync(F.B, /*Hot=*/true);
+  ASSERT_TRUE(F.XS.enqueueTrace(HeadT, F.Spec));
+
+  F.XS.transTab().invalidateAll();
+  F.XS.waitIdle();
+  EXPECT_EQ(F.XS.drainCompleted(), 0u);
+
+  const JitStats &J = F.XS.jitStats();
+  EXPECT_EQ(J.TraceRequests, 1u);
+  EXPECT_EQ(J.TraceInstalled, 0u);
+  EXPECT_EQ(J.AsyncDiscardedEpoch, 1u);
+  EXPECT_EQ(F.XS.transTab().find(F.A), nullptr);
+  EXPECT_EQ(J.AsyncRequests, J.AsyncInstalled + J.AsyncDiscardedEpoch +
+                                 J.AsyncDiscardedStale + J.WorkerFailures +
+                                 J.AsyncAbandoned);
+}
+
+// The synchronous path (--jit-threads=0): translateTrace installs
+// immediately and never rides the async counters.
+TEST(TranslationService, SyncTranslateTraceInstallsImmediately) {
+  TraceFixture F;
+  F.XS.translateSync(F.A, /*Hot=*/true);
+  F.XS.translateSync(F.B, /*Hot=*/true);
+  Translation *Tr = F.XS.translateTrace(F.Spec);
+  ASSERT_NE(Tr, nullptr);
+  EXPECT_EQ(Tr->Tier, 2u);
+  EXPECT_EQ(F.XS.transTab().find(F.A), Tr);
+  EXPECT_EQ(F.XS.jitStats().TraceRequests, 1u);
+  EXPECT_EQ(F.XS.jitStats().TraceInstalled, 1u);
+  EXPECT_EQ(F.XS.jitStats().AsyncRequests, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // The concurrency hammer (run under ThreadSanitizer via the tsan preset)
 //===----------------------------------------------------------------------===//
 
