@@ -54,6 +54,12 @@ echo "== smoke: sec314_sched (quick soak) =="
 # and byte-identical trace replay per seed.
 VG_SOAK_QUICK=1 ./build/bench/sec314_sched
 
+echo "== smoke: sec314_mtscale (sharded scheduler) =="
+# Correctness always (identical checksums at --sched-threads=1/2/4); the
+# >=1.5x speedup target is enforced only on hosts with >=4 hardware
+# threads (the bench reports overhead instead on smaller machines).
+VG_MTSCALE_QUICK=1 ./build/bench/sec314_mtscale
+
 echo "== smoke: sec54_shadowmem (quick) =="
 # Quick mode: every layout x pattern cell runs and BENCH_shadowmem.json is
 # written, but the micro cells use fewer ops and the vortex macro
@@ -70,13 +76,14 @@ FUZZ_ITERS=200
 ./build/src/vgfuzz --self-test --seed=1 --quiet
 
 echo "== smoke: ThreadSanitizer (concurrency label) =="
-# The TranslationService worker/guest-thread protocol under TSan: the
-# service and persistent-cache unit tests plus the sigmt soak with
-# --jit-threads=2 (all tests carrying the `concurrency` ctest label, via
-# the tsan preset).
+# The TranslationService worker/guest-thread protocol and the sharded
+# scheduler (--sched-threads=N) under TSan: service, persistent-cache,
+# and MT-scheduler unit tests (everything carrying the `concurrency`
+# ctest label, via the tsan preset).
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j \
-    --target test_translationservice --target test_transcache >/dev/null
+    --target test_translationservice --target test_transcache \
+    --target test_mtsched >/dev/null
 ctest --preset tsan
 
 if [ "$FUZZ_SOAK" = "1" ]; then

@@ -12,6 +12,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 using namespace vg;
 using namespace vg::vg1;
@@ -78,6 +79,10 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("tt-cache-max-mb", "256",
                  "size budget for the --tt-cache directory in MiB; oldest "
                  "entries are evicted to fit (0 = unbounded)");
+  Opts.addOption("sched-threads", "1",
+                 "host threads executing guest threads in parallel (1 = the "
+                 "serialised big-lock scheduler of Section 3.14; >1 needs a "
+                 "tool that declares supportsParallelGuests)");
   if (ToolPlugin)
     ToolPlugin->registerOptions(Opts);
   Kernel = std::make_unique<SimKernel>(AS, &Events, this);
@@ -135,6 +140,15 @@ void Core::applyOptions() {
     Tracer->setClock(&Stats.BlocksDispatched);
   }
   TraceDumpAtExit = Opts.getBool("trace-dump");
+  SchedThreads = static_cast<unsigned>(
+      Opts.getIntChecked("sched-threads", 1, 16));
+  if (SchedThreads > 1 && ToolPlugin &&
+      !ToolPlugin->supportsParallelGuests()) {
+    Out.printf("core: tool '%s' does not support parallel guest execution; "
+               "forcing --sched-threads=1\n",
+               ToolPlugin->name());
+    SchedThreads = 1;
+  }
   unsigned JT = static_cast<unsigned>(
       Opts.getIntChecked("jit-threads", 0, 16));
   unsigned QD = static_cast<unsigned>(
@@ -154,7 +168,7 @@ void Core::applyOptions() {
     std::erase_if(Items, [](const auto &It) {
       return It.first == "tt-cache" || It.first == "tt-cache-max-mb" ||
              It.first == "log-file" || It.first == "profile" ||
-             It.first == "trace-dump";
+             It.first == "trace-dump" || It.first == "sched-threads";
     });
     uint64_t CH = TransCache::configHash(
         ToolPlugin ? ToolPlugin->name() : "none", Items);
@@ -440,7 +454,11 @@ uint64_t Core::helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
                              uint64_t) {
   auto *Ctx = static_cast<ExecContext *>(Env);
   Core *C = static_cast<Core *>(Ctx->Core);
-  ThreadState &TS = C->Threads[C->CurTid];
+  // Index through the context's tid, never the scheduler's "current"
+  // thread: under --sched-threads=N several contexts execute at once and
+  // CurTid is meaningless (satellite of the big-lock break-up — this was
+  // the one helper that still assumed the serialised world).
+  ThreadState &TS = C->Threads[Ctx->Tid];
   uint32_t NewSP = TS.gpr(RegSP);
   uint32_t Old = TS.TrackedSP;
   if (NewSP == Old)
@@ -653,14 +671,21 @@ TraceSpec Core::selectTracePath(Translation *Head) {
     Translation *Best = nullptr;
     uint64_t BestEdge = 0;
     for (size_t I = 0; I != Cur->Chain.size(); ++I) {
-      Translation *Succ = Cur->Chain[I];
-      if (Succ && Succ->Tier == 1 && I < Cur->EdgeExecs.size() &&
-          Cur->EdgeExecs[I] > BestEdge) {
+      // Acquire pairs with the release install so the successor's fields
+      // (Tier, Addr) are visible; the edge counters are approximate
+      // profile data, relaxed is all they need.
+      Translation *Succ = Cur->Chain[I].load(std::memory_order_acquire);
+      uint64_t Edge =
+          I < Cur->EdgeExecs.size()
+              ? Cur->EdgeExecs[I].load(std::memory_order_relaxed)
+              : 0;
+      if (Succ && Succ->Tier == 1 && Edge > BestEdge) {
         Best = Succ;
-        BestEdge = Cur->EdgeExecs[I];
+        BestEdge = Edge;
       }
     }
-    if (!Best || BestEdge * 4 < Cur->ExecCount * 3)
+    if (!Best ||
+        BestEdge * 4 < Cur->ExecCount.load(std::memory_order_relaxed) * 3)
       break;
     auto It = std::find(Spec.Entries.begin(), Spec.Entries.end(),
                         Best->Addr);
@@ -779,6 +804,19 @@ void Core::dumpProfile() {
     C.CacheLoadSeconds = J.CacheLoadSeconds;
     C.CacheStoreSeconds = J.CacheStoreSeconds;
   }
+  if (SchedThreads > 1) {
+    C.HasSched = true;
+    C.SchedThreads = SchedThreads;
+    for (const auto &S : Shards) {
+      C.SchedQuanta += S->Quanta;
+      C.WorldLockAcquisitions += S->WorldLockAcquisitions;
+    }
+    C.RunQueuePushes = RunQPushes;
+    C.RunQueuePops = RunQPops;
+    C.RunQueueWaits = RunQWaits;
+    C.TranslationsRetired = TranslationsRetired;
+    C.LimboHighWater = LimboHighWater;
+  }
   if (Tracer) {
     C.HasTrace = true;
     C.TraceRecorded = Tracer->recorded();
@@ -828,7 +866,12 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
   // thunk whether or not the slot is filled.)
   if (T->Tier == 2 && Slot != T->Blob.TerminalChainSlot)
     ++C->Stats.TraceSideExits;
-  if (Slot >= T->Chain.size() || !T->Chain[Slot])
+  // Acquire pairs with the release install in TransTab::chainTo: a filled
+  // slot must imply a fully-initialised successor blob.
+  Translation *Succ = Slot < T->Chain.size()
+                          ? T->Chain[Slot].load(std::memory_order_acquire)
+                          : nullptr;
+  if (!Succ)
     return nullptr;
   // A worker published a superblock: bounce to the dispatcher so it can
   // install at a boundary where nothing is executing inside the code
@@ -836,15 +879,16 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
   // on). Always false at --jit-threads=0.
   if (C->XS->hasCompleted())
     return nullptr;
-  Translation *Succ = T->Chain[Slot];
   // Hotness accounting happens here too, or chained loops would never
   // cross the threshold. A successor about to go hot bounces back to the
   // dispatcher, which performs the promotion (retranslation must not run
   // while the executor is inside the chain). A block whose promotion is
   // already queued keeps chaining at tier 1 — bouncing every transfer
   // until the worker finishes would cost more than the stall we avoided.
-  if (C->HotThreshold && Succ->Tier == 0 && !Succ->PromoPending &&
-      Succ->ExecCount + 1 >= C->HotThreshold) {
+  if (C->HotThreshold && Succ->Tier == 0 &&
+      !Succ->PromoPending.load(std::memory_order_relaxed) &&
+      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
+          C->HotThreshold) {
     // The successor is known — the bounce exists only to run the promotion
     // from dispatcher context. Prefill its fast-cache line so the bounced
     // dispatch doesn't pay a table lookup for a block we are holding.
@@ -858,17 +902,20 @@ const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
   // stitches (or enqueues the stitch) there — never from inside a chain.
   // TraceRetryAt keeps a head whose chain graph proved unbiased from
   // bouncing every transfer.
-  if (C->TraceTier && Succ->Tier == 1 && !Succ->PromoPending &&
-      Succ->ExecCount + 1 >= C->effTraceThreshold() &&
-      Succ->ExecCount + 1 >= Succ->TraceRetryAt) {
+  if (C->TraceTier && Succ->Tier == 1 &&
+      !Succ->PromoPending.load(std::memory_order_relaxed) &&
+      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
+          C->effTraceThreshold() &&
+      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
+          Succ->TraceRetryAt.load(std::memory_order_relaxed)) {
     if (C->FastCacheGen == C->TT.generation())
       C->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
           FastCacheEntry{Succ->Addr, Succ};
     return nullptr;
   }
-  ++Succ->ExecCount;
+  Succ->ExecCount.fetch_add(1, std::memory_order_relaxed);
   if (Slot < T->EdgeExecs.size())
-    ++T->EdgeExecs[Slot];
+    T->EdgeExecs[Slot].fetch_add(1, std::memory_order_relaxed);
   ++C->Stats.ChainedTransfers;
   if (Succ->Tier == 2)
     ++C->Stats.TraceExecs;
@@ -888,6 +935,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
   Ctx.Core = this;
   Ctx.Tool = ToolPlugin;
   Ctx.ShadowSM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr;
+  Ctx.Tid = TS.Tid;
   hvm::Executor Exec(Ctx, gso::PC);
   if (ChainingEnabled)
     Exec.setChaining(&chainResolveThunk, this);
@@ -959,20 +1007,21 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
         // A dispatcher-mediated traversal of this edge (unfilled slot or a
         // thunk bounce) is edge-profile evidence just like a chained one.
         if (LastSlot < Prev->EdgeExecs.size())
-          ++Prev->EdgeExecs[LastSlot];
+          Prev->EdgeExecs[LastSlot].fetch_add(1, std::memory_order_relaxed);
       }
     }
     LastCookie = nullptr;
     LastSlot = ~0u;
 
     // Hotness tier: promote once a block has proven itself.
-    ++T->ExecCount;
+    uint64_t Execs = T->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1;
     if (T->Tier == 2)
       ++Stats.TraceExecs;
     if (Prof)
       Prof->noteExec(PC);
-    if (HotThreshold && T->Tier == 0 && !T->PromoPending &&
-        T->ExecCount >= HotThreshold) {
+    if (HotThreshold && T->Tier == 0 &&
+        !T->PromoPending.load(std::memory_order_relaxed) &&
+        Execs >= HotThreshold) {
       if (Translation *CT = XS->asyncEnabled() ? XS->promoteFromCache(PC)
                                                : nullptr) {
         // Persistent-cache hit: the superblock was installed synchronously,
@@ -1004,14 +1053,17 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
     // Requires chaining (the chain graph is both the evidence and the
     // profit mechanism) and runs only at this boundary — never inside a
     // chain, where an install could evict code being executed.
-    if (TraceTier && ChainingEnabled && T->Tier == 1 && !T->PromoPending &&
-        T->ExecCount >= effTraceThreshold() &&
-        T->ExecCount >= T->TraceRetryAt) {
+    // Re-read the exec count: the promotion above may have replaced T.
+    uint64_t TExecs = T->ExecCount.load(std::memory_order_relaxed);
+    if (TraceTier && ChainingEnabled && T->Tier == 1 &&
+        !T->PromoPending.load(std::memory_order_relaxed) &&
+        TExecs >= effTraceThreshold() &&
+        TExecs >= T->TraceRetryAt.load(std::memory_order_relaxed)) {
       TraceSpec Spec = selectTracePath(T);
       if (Spec.Entries.size() < 2) {
         // No dominant successor: the chain graph is unbiased at the head.
         // Back off exponentially rather than re-walking it every entry.
-        T->TraceRetryAt = T->ExecCount * 2;
+        T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
       } else if (XS->asyncEnabled()) {
         // Queued (PromoPending stops re-requests) or queue-full (retry on
         // a later entry — no stall, no backoff; the bias only grows).
@@ -1019,7 +1071,8 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       } else if (Translation *NT = XS->translateTrace(Spec)) {
         T = NT; // the old T was replaced by the insert: run the trace now
       } else {
-        T->TraceRetryAt = T->ExecCount * 2; // spill overflow: back off
+        // spill overflow: back off
+        T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
       }
     }
 
@@ -1052,6 +1105,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       if (A == SimKernel::Action::Exit) {
         ProcessExited = true;
         ProcessExitCode = Kernel->exitCode();
+        stopWorld();
       }
       continue;
     }
@@ -1063,6 +1117,7 @@ void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
       continue;
     case ir::JumpKind::Exit:
       ProcessExited = true;
+      stopWorld();
       continue;
     case ir::JumpKind::NoDecode:
       handleFault(TS, O.NextPC, O.NextPC, false, SigILL);
@@ -1104,11 +1159,16 @@ void Core::injectBoundaryFaults(ThreadState &TS) {
     if (Events.FaultInjected)
       Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::TTFlush),
                            0);
-    XS->invalidate(0, 0xFFFFFFFFu);
+    // Whole-space flush. Not invalidate(0, 0xFFFFFFFFu): a 32-bit length
+    // cannot express the full 4GB and left translations covering the final
+    // guest byte alive.
+    XS->invalidateAll();
   }
 }
 
 CoreExit Core::run(uint64_t MaxBlocks) {
+  if (SchedThreads > 1)
+    return runParallel(MaxBlocks);
   while (!ProcessExited && !FatalSignal && liveThreads() > 0 &&
          Stats.BlocksDispatched < MaxBlocks) {
     // Round-robin thread choice (the serialised big lock of Section 3.14:
@@ -1145,6 +1205,10 @@ CoreExit Core::run(uint64_t MaxBlocks) {
     dispatchLoop(Threads[CurTid], Quantum, /*StopPC=*/0xFFFFFFFF);
   }
 
+  return finishRun();
+}
+
+CoreExit Core::finishRun() {
   // Stop the translation workers before reporting: unpublished jobs are
   // abandoned (counted), and the counters below must be final. Any
   // callGuest from a tool's fini degrades to inline promotion.
@@ -1166,6 +1230,426 @@ CoreExit Core::run(uint64_t MaxBlocks) {
     E.Code = ProcessExitCode;
   }
   return E;
+}
+
+//===----------------------------------------------------------------------===//
+// The sharded scheduler (--sched-threads=N, DESIGN section 14)
+//===----------------------------------------------------------------------===//
+//
+// The serial scheduler above *is* the big lock of Section 3.14: one host
+// thread, one guest thread at a time. runParallel breaks it: N host
+// "shards" each pop a runnable guest thread from the run queue and execute
+// one quantum concurrently. The big lock survives in miniature as WorldMu,
+// held only for block-boundary slow work (translate, chain, promote,
+// signals, syscalls, client requests); Exec.run and the chain-resolve
+// thunk — where virtually all time goes for a CPU-bound guest — run with
+// no lock at all.
+//
+// Memory reclamation is the crux. A shard executing inside the code cache
+// holds raw Translation pointers no lock protects, so nothing another
+// shard invalidates may be freed while it could still be running. The
+// scheme is quiescent-state-based: each shard, at the top of every
+// dispatch iteration (provably outside all translations), republishes the
+// global epoch as its LocalEpoch; retiring a translation stamps it with a
+// freshly incremented epoch and parks it in Limbo; a limbo entry is freed
+// once every shard has announced an epoch at or past its stamp. A parked
+// shard announces ~0 (it holds nothing). The same deferred-destruction
+// idea covers guest pages and shadow chunks via their graveyards.
+
+CoreExit Core::runParallel(uint64_t MaxBlocks) {
+  MaxBlocksMT = MaxBlocks;
+  // Unmapped guest pages and reclaimed shadow chunks must survive until
+  // the run ends: lock-free readers (helpers, other shards' Exec.run) may
+  // still be dereferencing them.
+  Memory.setDeferredReclaim(true);
+  if (ShadowMap *SM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr)
+    SM->setDeferredReclaim(true);
+  TT.setRetireHook([this](std::unique_ptr<Translation> T) {
+    retireTranslation(std::move(T));
+  });
+  if (Tracer)
+    Tracer->setAtomicClock(&GlobalBlockClock);
+
+  RunQ = std::make_unique<RunQueue>();
+  for (int I = 0; I != MaxThreads; ++I)
+    if (Threads[I].Status == ThreadStatus::Runnable)
+      RunQ->push(I);
+
+  Shards.clear();
+  for (unsigned I = 0; I != SchedThreads; ++I) {
+    auto S = std::make_unique<ShardCtx>();
+    S->C = this;
+    S->Index = I;
+    S->FastCache.resize(FastCacheSize);
+    Shards.push_back(std::move(S));
+  }
+  {
+    std::vector<std::thread> Workers;
+    Workers.reserve(SchedThreads);
+    for (auto &S : Shards)
+      Workers.emplace_back([this, &S] { shardMain(*S); });
+    for (auto &W : Workers)
+      W.join();
+  }
+
+  // Single-threaded again: merge the shards' lock-free counters, settle
+  // the block clock, and drain what the grace periods held back.
+  for (auto &S : Shards) {
+    Stats.ChainedTransfers += S->ChainedTransfers;
+    Stats.TraceExecs += S->TraceExecs;
+    Stats.TraceSideExits += S->TraceSideExits;
+  }
+  Stats.BlocksDispatched = GlobalBlockClock.load(std::memory_order_relaxed);
+  RunQPushes = RunQ->pushes();
+  RunQPops = RunQ->pops();
+  RunQWaits = RunQ->waits();
+  TT.setRetireHook({});
+  Limbo.clear();
+  RunQ.reset();
+  return finishRun();
+}
+
+void Core::shardMain(ShardCtx &S) {
+  while (true) {
+    // Parked: this shard holds no translation pointers and blocks no
+    // reclamation.
+    S.LocalEpoch.store(~0ull, std::memory_order_release);
+    int Tid = RunQ->pop();
+    if (Tid == RunQueue::Shutdown)
+      return;
+    ++S.Quanta;
+    dispatchLoopMT(S, Threads[Tid]);
+    S.LocalEpoch.store(~0ull, std::memory_order_release);
+    if (ProcessExited.load(std::memory_order_acquire) ||
+        FatalSignal.load(std::memory_order_acquire)) {
+      RunQ->shutdown();
+      return;
+    }
+    if (GlobalBlockClock.load(std::memory_order_relaxed) >= MaxBlocksMT) {
+      RunQ->shutdown();
+      return;
+    }
+    if (Threads[Tid].Status == ThreadStatus::Runnable)
+      RunQ->push(Tid);
+  }
+}
+
+void Core::dispatchLoopMT(ShardCtx &S, ThreadState &TS) {
+  ExecContext Ctx;
+  Ctx.GuestState = TS.Guest;
+  Ctx.Mem = &Memory;
+  Ctx.Core = this;
+  Ctx.Tool = ToolPlugin;
+  Ctx.ShadowSM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr;
+  Ctx.Tid = TS.Tid;
+  hvm::Executor Exec(Ctx, gso::PC);
+  if (ChainingEnabled)
+    Exec.setChaining(&chainResolveThunkMT, &S);
+
+  YieldFlags[TS.Tid].store(false, std::memory_order_relaxed);
+  uint64_t Clock = GlobalBlockClock.load(std::memory_order_relaxed);
+  uint64_t Quantum = std::min<uint64_t>(
+      ThreadQuantum, MaxBlocksMT - std::min(MaxBlocksMT, Clock));
+
+  void *LastCookie = nullptr;
+  uint32_t LastSlot = ~0u;
+  uint32_t LastAddr = 0;
+
+  while (Quantum > 0 && !ProcessExited.load(std::memory_order_acquire) &&
+         !FatalSignal.load(std::memory_order_acquire) &&
+         TS.Status == ThreadStatus::Runnable &&
+         !YieldFlags[TS.Tid].load(std::memory_order_relaxed)) {
+    // Quiescent point: between Exec.run calls this shard holds no
+    // translation pointer except LastCookie — and that one is only ever
+    // dereferenced after the residency check below proves the table still
+    // maps LastAddr to this exact pointer.
+    S.LocalEpoch.store(GlobalEpoch.load(std::memory_order_acquire),
+                       std::memory_order_release);
+
+    Translation *T;
+    {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      if (XS->hasCompleted())
+        XS->drainCompleted();
+      if (Faults)
+        injectBoundaryFaults(TS);
+      if (deliverPendingSignals(TS)) {
+        Quantum -= std::min<uint64_t>(Quantum, 1);
+        continue;
+      }
+
+      uint32_t PC = TS.getPC();
+      if (auto GR = GuestRedirects.find(PC); GR != GuestRedirects.end()) {
+        TS.setPCVal(GR->second);
+        continue;
+      }
+      if (auto HR = HostRedirects.find(PC); HR != HostRedirects.end()) {
+        ++Stats.HostRedirectCalls;
+        // The replacement body runs under the world lock, including any
+        // callGuest re-entry (which uses the serial dispatchLoop and the
+        // core's own fast cache — both world-lock property in MT). Host
+        // replacements are slow-path by contract.
+        HR->second(*this, TS);
+        uint32_t SP = TS.gpr(RegSP);
+        uint32_t Ret = 0;
+        if (Memory.read(SP, &Ret, 4, /*IgnorePerms=*/true).Faulted) {
+          handleFault(TS, PC, SP, false, SigSEGV);
+          continue;
+        }
+        TS.setGpr(RegSP, SP + 4);
+        TS.setPCVal(Ret);
+        LastCookie = nullptr;
+        continue;
+      }
+
+      T = findOrTranslateMT(S, PC);
+
+      // Lazy chain-fill, exactly as in the serial loop — but the serial
+      // loop's generation check is NOT sufficient proof here that
+      // LastCookie still points at a live translation. Another shard can
+      // retire the very translation this shard is executing (promotion
+      // install, eviction, SMC flush) *before* the Boring exit saves the
+      // cookie, so the saved generation already includes that retirement
+      // and the compare passes on a limbo'd — soon freed — object. Worse
+      // than the dangling read: chaining through such a cookie injects a
+      // back-edge from a retired translation into the live chain graph,
+      // which unlinkChains later re-parks as a waiter whose From is freed
+      // memory. Instead, re-validate residency by address: the cookie is
+      // live iff the table still maps LastAddr to this exact pointer
+      // (pointer compare only — no dereference until it passes).
+      if (ChainingEnabled && LastCookie && LastSlot != ~0u &&
+          TT.find(LastAddr) == LastCookie) {
+        auto *Prev = static_cast<Translation *>(LastCookie);
+        if (LastSlot < Prev->Blob.ChainTargets.size() &&
+            Prev->Blob.ChainTargets[LastSlot] == PC) {
+          TT.chainTo(Prev, LastSlot, T);
+          if (LastSlot < Prev->EdgeExecs.size())
+            Prev->EdgeExecs[LastSlot].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      LastCookie = nullptr;
+      LastSlot = ~0u;
+
+      uint64_t Execs =
+          T->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (T->Tier == 2)
+        ++Stats.TraceExecs;
+      if (Prof)
+        Prof->noteExec(PC);
+      if (HotThreshold && T->Tier == 0 &&
+          !T->PromoPending.load(std::memory_order_relaxed) &&
+          Execs >= HotThreshold) {
+        if (Translation *CT = XS->asyncEnabled() ? XS->promoteFromCache(PC)
+                                                 : nullptr) {
+          T = CT;
+        } else if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
+          // Background promotion; keep running tier 1.
+        } else {
+          uint64_t GenBefore = TT.generation();
+          T = promoteHot(PC);
+          if (TT.generation() == GenBefore + 1) {
+            // Surgical repair of this shard's own line (the serial loop's
+            // trick); other shards see the generation bump and wipe.
+            S.FastCacheGen = TT.generation();
+            S.FastCache[hashAddr(PC) & (FastCacheSize - 1)] =
+                FastCacheEntry{PC, T};
+          }
+        }
+      }
+
+      uint64_t TExecs = T->ExecCount.load(std::memory_order_relaxed);
+      if (TraceTier && ChainingEnabled && T->Tier == 1 &&
+          !T->PromoPending.load(std::memory_order_relaxed) &&
+          TExecs >= effTraceThreshold() &&
+          TExecs >= T->TraceRetryAt.load(std::memory_order_relaxed)) {
+        TraceSpec Spec = selectTracePath(T);
+        if (Spec.Entries.size() < 2) {
+          T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
+        } else if (XS->asyncEnabled()) {
+          XS->enqueueTrace(T, Spec);
+        } else if (Translation *NT = XS->translateTrace(Spec)) {
+          T = NT;
+        } else {
+          T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
+        }
+      }
+    } // WorldMu released — everything below runs lock-free.
+
+    uint64_t ChainBudget = (ChainingEnabled && Quantum > 0) ? Quantum - 1 : 0;
+    hvm::RunOutcome O = Exec.run(T->Blob, ChainBudget);
+    GlobalBlockClock.fetch_add(O.BlocksExecuted, std::memory_order_relaxed);
+    Quantum -= std::min<uint64_t>(Quantum, O.BlocksExecuted);
+
+    if (O.K == hvm::RunOutcome::Kind::Fault) {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      handleFault(TS, O.FaultPC, O.FaultAddr, O.FaultWrite, SigSEGV);
+      continue;
+    }
+
+    switch (O.JK) {
+    case ir::JumpKind::Boring:
+      LastCookie = O.ExitCookie;
+      LastSlot = O.ExitSlot;
+      // Dereferencing the cookie is safe HERE and only here: the chain
+      // pointer that led to this translation was still live after this
+      // quantum's epoch announcement, so even a mid-quantum retirement
+      // cannot reclaim its memory before this shard next announces. The
+      // address is what the next iteration's residency check keys on.
+      LastAddr = static_cast<Translation *>(LastCookie)->Addr;
+      continue;
+    case ir::JumpKind::Call:
+    case ir::JumpKind::Ret:
+      continue;
+    case ir::JumpKind::Syscall: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      SimKernel::Action A = Kernel->onSyscall(TS);
+      if (A == SimKernel::Action::Exit) {
+        ProcessExited.store(true, std::memory_order_release);
+        ProcessExitCode = Kernel->exitCode();
+        stopWorld();
+      }
+      continue;
+    }
+    case ir::JumpKind::ClientReq: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      handleClientRequest(TS);
+      continue;
+    }
+    case ir::JumpKind::Yield:
+      Quantum = 0;
+      continue;
+    case ir::JumpKind::Exit: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      ProcessExited.store(true, std::memory_order_release);
+      stopWorld();
+      continue;
+    }
+    case ir::JumpKind::NoDecode: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      handleFault(TS, O.NextPC, O.NextPC, false, SigILL);
+      continue;
+    }
+    case ir::JumpKind::SmcFail: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      ++Stats.SmcRetranslations;
+      for (auto [Lo, Hi] : T->Extents)
+        XS->invalidate(Lo, Hi - Lo);
+      continue;
+    }
+    case ir::JumpKind::SigSEGV: {
+      std::lock_guard<std::mutex> World(WorldMu);
+      ++S.WorldLockAcquisitions;
+      handleFault(TS, O.NextPC, O.NextPC, false, SigSEGV);
+      continue;
+    }
+    }
+  }
+}
+
+Translation *Core::findOrTranslateMT(ShardCtx &S, uint32_t PC) {
+  // A block boundary under the lock is the natural place to try freeing
+  // limbo: every shard passes through here constantly.
+  if (!Limbo.empty())
+    reclaimLimbo();
+  if (S.FastCacheGen != TT.generation()) {
+    std::fill(S.FastCache.begin(), S.FastCache.end(), FastCacheEntry{});
+    S.FastCacheGen = TT.generation();
+  }
+  FastCacheEntry &E = S.FastCache[hashAddr(PC) & (FastCacheSize - 1)];
+  if (E.Addr == PC && E.T) {
+    ++Stats.FastCacheHits;
+    TT.countFastHit();
+    return E.T;
+  }
+  ++Stats.FastCacheMisses;
+  Translation *T = TT.lookup(PC);
+  if (!T)
+    T = XS->translateSync(PC, /*Hot=*/false);
+  if (S.FastCacheGen != TT.generation()) {
+    std::fill(S.FastCache.begin(), S.FastCache.end(), FastCacheEntry{});
+    S.FastCacheGen = TT.generation();
+  }
+  S.FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
+  return T;
+}
+
+const hvm::CodeBlob *Core::chainResolveThunkMT(void *User, void *Cookie,
+                                               uint32_t Slot) {
+  // The lock-free twin of chainResolveThunk: same decisions, but all
+  // counter traffic goes to the shard (merged after join) and the bounce
+  // prefills the shard's private fast cache. No profiler attribution —
+  // that map is world-lock property.
+  auto *S = static_cast<ShardCtx *>(User);
+  Core *C = S->C;
+  auto *T = static_cast<Translation *>(Cookie);
+  if (T->Tier == 2 && Slot != T->Blob.TerminalChainSlot)
+    ++S->TraceSideExits;
+  Translation *Succ = Slot < T->Chain.size()
+                          ? T->Chain[Slot].load(std::memory_order_acquire)
+                          : nullptr;
+  if (!Succ)
+    return nullptr;
+  if (C->XS->hasCompleted())
+    return nullptr; // bounce: publish finished promotions at the boundary
+  if (C->HotThreshold && Succ->Tier == 0 &&
+      !Succ->PromoPending.load(std::memory_order_relaxed) &&
+      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
+          C->HotThreshold) {
+    if (S->FastCacheGen == C->TT.generation())
+      S->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
+          FastCacheEntry{Succ->Addr, Succ};
+    return nullptr; // bounce: promotion decisions are made under the lock
+  }
+  if (C->TraceTier && Succ->Tier == 1 &&
+      !Succ->PromoPending.load(std::memory_order_relaxed)) {
+    uint64_t E = Succ->ExecCount.load(std::memory_order_relaxed) + 1;
+    if (E >= C->effTraceThreshold() &&
+        E >= Succ->TraceRetryAt.load(std::memory_order_relaxed)) {
+      if (S->FastCacheGen == C->TT.generation())
+        S->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
+            FastCacheEntry{Succ->Addr, Succ};
+      return nullptr; // bounce: trace formation too
+    }
+  }
+  Succ->ExecCount.fetch_add(1, std::memory_order_relaxed);
+  if (Slot < T->EdgeExecs.size())
+    T->EdgeExecs[Slot].fetch_add(1, std::memory_order_relaxed);
+  ++S->ChainedTransfers;
+  if (Succ->Tier == 2)
+    ++S->TraceExecs;
+  return &Succ->Blob;
+}
+
+void Core::retireTranslation(std::unique_ptr<Translation> T) {
+  // Unlink-from-table and chain-unlink already happened (under WorldMu);
+  // the increment publishes "this translation was dead by epoch E". A
+  // shard that later announces an epoch >= E read the counter after the
+  // unlink, so it can only have found the translation through a stale
+  // pointer it no longer holds at its next quiescent point.
+  uint64_t E = GlobalEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+  Limbo.emplace_back(E, std::move(T));
+  ++TranslationsRetired;
+  LimboHighWater = std::max<uint64_t>(LimboHighWater, Limbo.size());
+  reclaimLimbo();
+}
+
+void Core::reclaimLimbo() {
+  uint64_t MinE = ~0ull;
+  for (auto &S : Shards)
+    MinE = std::min(MinE, S->LocalEpoch.load(std::memory_order_acquire));
+  std::erase_if(Limbo, [&](const auto &Ent) { return Ent.first <= MinE; });
+}
+
+void Core::stopWorld() {
+  if (RunQ)
+    RunQ->shutdown();
 }
 
 uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
@@ -1224,6 +1708,7 @@ void Core::handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
   if (Tracer)
     Tracer->record(TS.Tid, TraceEvent::SigFatal, static_cast<uint32_t>(Sig));
   FatalSignal = Sig;
+  stopWorld();
 }
 
 bool Core::deliverPendingSignals(ThreadState &TS) {
@@ -1243,6 +1728,7 @@ bool Core::deliverPendingSignals(ThreadState &TS) {
         Tracer->record(TS.Tid, TraceEvent::SigFatal,
                        static_cast<uint32_t>(Sig));
       FatalSignal = Sig; // default action: terminate
+      stopWorld();
       return true;
     }
     deliverSignal(TS, Sig);
@@ -1367,6 +1853,11 @@ int Core::spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) {
     TS.TrackedSP = SP;
     TS.StackBase = SP;
     TS.StackLimit = SP > (1u << 20) ? SP - (1u << 20) : 0;
+    // Under the sharded scheduler the new thread must enter the run queue
+    // or no shard would ever pick it up (the serial scheduler's round-robin
+    // scan finds it by polling Threads[] instead).
+    if (RunQ)
+      RunQ->push(I);
     return I;
   }
   return -1;
@@ -1394,10 +1885,18 @@ void Core::exitThread(int Tid, int Code) {
   if (liveThreads() == 0) {
     ProcessExited = true;
     ProcessExitCode = Code;
+    stopWorld();
   }
 }
 
-void Core::requestYield(int Tid) { YieldRequested = true; }
+void Core::requestYield(int Tid) {
+  // Both flags: the serial scheduler tests YieldRequested (kept so its
+  // decisions are bit-for-bit what they always were), each shard tests its
+  // own thread's bit.
+  YieldRequested = true;
+  if (Tid >= 0 && Tid < MaxThreads)
+    YieldFlags[Tid].store(true, std::memory_order_relaxed);
+}
 
 //===----------------------------------------------------------------------===//
 // Client requests (Section 3.11)

@@ -23,6 +23,7 @@
 #include "core/TransTab.h"
 #include "core/Translate.h"
 #include "core/TranslationService.h"
+#include "kernel/RunQueue.h"
 #include "kernel/SimKernel.h"
 #include "support/EventTrace.h"
 #include "support/FaultInject.h"
@@ -30,8 +31,10 @@
 #include "support/Output.h"
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 
 namespace vg {
 
@@ -184,6 +187,10 @@ public:
   ThreadState &thread(int Tid) { return Threads[Tid]; }
   int currentTid() const { return CurTid; }
   int liveThreads() const;
+  /// True while the sharded scheduler is running (--sched-threads > 1).
+  /// Tools use this to avoid world-lock-only services from lock-free
+  /// helper context (e.g. stack capture walks the segment map).
+  bool isParallel() const { return RunQ != nullptr; }
 
   // --- KernelHost (threads & signals, called by the simulated kernel) -----
   int spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) override;
@@ -222,6 +229,59 @@ private:
     Translation *T = nullptr;
   };
   static constexpr size_t FastCacheSize = 1u << 13; // direct-mapped
+
+  //===--- sharded scheduler (--sched-threads=N, DESIGN section 14) -------===//
+  /// One shard: a host thread that pops runnable guest threads from the run
+  /// queue and executes them. Everything a shard touches without the world
+  /// lock lives here — its own dispatcher fast cache, its own counters for
+  /// the lock-free chain path, and its QSBR epoch announcement.
+  struct ShardCtx {
+    Core *C = nullptr;
+    unsigned Index = 0;
+    /// The shard's snapshot of GlobalEpoch at its last quiescent point
+    /// (a moment it provably held no translation pointers); ~0 while
+    /// parked in the run queue. reclaimLimbo() frees a retired
+    /// translation once every shard has announced an epoch at or past
+    /// its retirement stamp.
+    std::atomic<uint64_t> LocalEpoch{~0ull};
+    std::vector<FastCacheEntry> FastCache; ///< private, never shared
+    uint64_t FastCacheGen = 0;
+    /// Counters bumped on the lock-free paths; merged into Core::Stats
+    /// after the shards join.
+    uint64_t ChainedTransfers = 0;
+    uint64_t TraceExecs = 0;
+    uint64_t TraceSideExits = 0;
+    // Profile counters.
+    uint64_t Quanta = 0;                ///< run-queue pops that ran a quantum
+    uint64_t WorldLockAcquisitions = 0; ///< block-boundary lock round-trips
+  };
+
+  /// The shared run epilogue: worker shutdown, tool fini, profile/trace
+  /// dumps, exit-status construction.
+  CoreExit finishRun();
+  /// run() when SchedThreads > 1: spawns the shards, lets them race, joins
+  /// them, merges their stats, and finishes exactly like the serial path.
+  CoreExit runParallel(uint64_t MaxBlocks);
+  void shardMain(ShardCtx &S);
+  /// One scheduling quantum of \p TS on shard \p S: the MT twin of
+  /// dispatchLoop. Block-boundary work (translate, chain, promote, signals,
+  /// syscalls) runs under WorldMu; Exec.run and the chain thunk run
+  /// lock-free.
+  void dispatchLoopMT(ShardCtx &S, ThreadState &TS);
+  /// findOrTranslate against the shard's private fast cache. WorldMu held.
+  Translation *findOrTranslateMT(ShardCtx &S, uint32_t PC);
+  static const hvm::CodeBlob *chainResolveThunkMT(void *User, void *Cookie,
+                                                  uint32_t Slot);
+  /// TransTab retire hook while parallel: dead translations park in Limbo
+  /// with an epoch stamp instead of being freed (a shard may still be
+  /// executing their code). WorldMu held by all callers.
+  void retireTranslation(std::unique_ptr<Translation> T);
+  /// Frees limbo entries every shard has quiesced past. WorldMu held.
+  void reclaimLimbo();
+  /// Funnels every "the run is over" condition (process exit, fatal
+  /// signal, block budget) into the run queue's shutdown. No-op when the
+  /// serialised scheduler is running.
+  void stopWorld();
 
   Translation *findOrTranslate(uint32_t PC);
   /// Inline hot-tier promotion: retranslate \p PC as a superblock,
@@ -283,9 +343,34 @@ private:
   std::array<ThreadState, MaxThreads> Threads;
   int CurTid = 0;
   bool YieldRequested = false;
-  bool ProcessExited = false;
+  /// Atomic because MT shards read them in their loop conditions while
+  /// another shard's locked section sets them; the serial scheduler uses
+  /// them exactly as the plain flags they replaced.
+  std::atomic<bool> ProcessExited{false};
   int ProcessExitCode = 0;
-  int FatalSignal = 0;
+  std::atomic<int> FatalSignal{0};
+
+  // Sharded-scheduler state (inert at --sched-threads=1: RunQ stays null
+  // and nothing else is touched).
+  unsigned SchedThreads = 1;      // --sched-threads
+  std::mutex WorldMu;             ///< the MT big lock: every slow path
+  std::unique_ptr<RunQueue> RunQ; ///< non-null only while runParallel runs
+  std::vector<std::unique_ptr<ShardCtx>> Shards;
+  std::atomic<uint64_t> GlobalEpoch{0};
+  /// Retired translations awaiting their grace period, stamped with the
+  /// epoch current at retirement. Guarded by WorldMu.
+  std::vector<std::pair<uint64_t, std::unique_ptr<Translation>>> Limbo;
+  uint64_t TranslationsRetired = 0;
+  uint64_t LimboHighWater = 0;
+  /// MT dispatched-block clock: budget accounting and trace timestamps.
+  std::atomic<uint64_t> GlobalBlockClock{0};
+  uint64_t MaxBlocksMT = ~0ull;
+  /// Per-guest-thread yield requests. The serial scheduler keeps using the
+  /// single YieldRequested flag (same decisions as ever); shards each honor
+  /// their own bit.
+  std::array<std::atomic<bool>, MaxThreads> YieldFlags{};
+  /// Run-queue counters saved before RunQ is destroyed (profile output).
+  uint64_t RunQPushes = 0, RunQPops = 0, RunQWaits = 0;
 
   std::array<uint32_t, 64> SigHandlers{}; // 0 = default action
   SmcMode Smc = SmcMode::Stack;

@@ -356,14 +356,20 @@ void TransCache::evictToFit(uint64_t NeedBytes) {
 void TransCache::poison(uint32_t Addr, uint32_t Len) {
   if (Len == 0)
     return;
-  uint32_t Hi = Addr + std::min<uint32_t>(Len, 0xFFFFFFFFu - Addr);
-  if (Hi == Addr)
-    Hi = 0xFFFFFFFFu;
+  // 64-bit exclusive end: Addr + Len may legitimately equal 2^32 (a range
+  // ending at the top of the guest space), which must cover the final
+  // byte 0xFFFFFFFF rather than being clipped or wrapping.
+  uint64_t Hi = std::min<uint64_t>(static_cast<uint64_t>(Addr) + Len,
+                                   0x100000000ull);
   Poisoned.push_back({Addr, Hi});
 }
 
+void TransCache::poisonAll() { PoisonedAll = true; }
+
 bool TransCache::poisoned(
     const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const {
+  if (PoisonedAll)
+    return !Extents.empty();
   for (auto [Lo, Hi] : Extents)
     for (auto [PLo, PHi] : Poisoned)
       if (Lo < PHi && PLo < Hi)

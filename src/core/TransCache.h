@@ -107,6 +107,11 @@ public:
   /// run: redirects and unmaps change what an address *means* without
   /// changing its bytes, so the content checks cannot catch them.
   void poison(uint32_t Addr, uint32_t Len);
+  /// Marks the entire guest space invalid for the rest of this run (a full
+  /// TT flush). A dedicated whole-space flag rather than poison(0, ~0u):
+  /// a 32-bit length cannot express the full 4GB, so a range-based
+  /// encoding would always exclude the final guest byte 0xFFFFFFFF.
+  void poisonAll();
   bool poisoned(
       const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const;
 
@@ -128,7 +133,11 @@ private:
   uint64_t TotalBytes = 0; ///< current on-disk usage of this config's entries
   uint64_t EvictedFiles = 0;
   uint64_t WriteFailures = 0;
-  std::vector<std::pair<uint32_t, uint32_t>> Poisoned; ///< [lo, hi) ranges
+  /// [lo, hi) ranges; hi is 64-bit so a range reaching the top of the
+  /// guest space covers byte 0xFFFFFFFF (hi == 2^32) instead of being
+  /// clipped one byte short.
+  std::vector<std::pair<uint32_t, uint64_t>> Poisoned;
+  bool PoisonedAll = false; ///< whole-space poison (full TT flush)
 };
 
 } // namespace vg

@@ -92,10 +92,22 @@ void TransTab::eraseSlot(size_t Idx) {
   Slot &Sl = Slots[Idx];
   assert(Sl.St == Slot::State::Full && "erasing non-full slot");
   unlinkChains(Sl.T.get());
+#ifndef NDEBUG
+  // A waiter whose From is the translation being retired would later be
+  // filled against freed memory; unlinkChains must have cancelled them all.
+  for (auto &[Key, W] : Pending)
+    for (auto &[From, S2] : W) {
+      (void)Key;
+      (void)S2;
+      assert(From != Sl.T.get() && "stale waiter survives retirement");
+    }
+#endif
+  if (RetireFn)
+    RetireFn(std::move(Sl.T)); // epoch-deferred destruction (MT scheduler)
   Sl.T.reset();
   Sl.St = Slot::State::Tomb;
   --Count;
-  ++Gen;
+  Gen.fetch_add(1, std::memory_order_release);
 }
 
 void TransTab::evictChunk() {
@@ -148,8 +160,11 @@ void TransTab::rehash() {
 }
 
 unsigned TransTab::invalidateRange(uint32_t Addr, uint32_t Len) {
-  ++FlushEpoch;
-  uint32_t End = Addr + Len;
+  FlushEpoch.fetch_add(1, std::memory_order_release);
+  // End as a 64-bit bound: a range reaching the top of the guest space
+  // (Addr + Len == 2^32) must cover the final byte 0xFFFFFFFF rather than
+  // wrapping to 0 and matching nothing.
+  uint64_t End = static_cast<uint64_t>(Addr) + Len;
   unsigned N = 0;
   for (size_t I = 0; I != Slots.size(); ++I) {
     if (Slots[I].St != Slot::State::Full)
@@ -167,7 +182,7 @@ unsigned TransTab::invalidateRange(uint32_t Addr, uint32_t Len) {
 }
 
 void TransTab::invalidateAll() {
-  ++FlushEpoch;
+  FlushEpoch.fetch_add(1, std::memory_order_release);
   for (size_t I = 0; I != Slots.size(); ++I)
     if (Slots[I].St == Slot::State::Full)
       eraseSlot(I);
@@ -197,12 +212,15 @@ void TransTab::removeWaiter(uint32_t Target, const Translation *From,
 void TransTab::chainTo(Translation *From, uint32_t Slot, Translation *To) {
   if (!From || !To || Slot >= From->Chain.size())
     return;
-  if (From->Chain[Slot] == To)
+  if (From->Chain[Slot].load(std::memory_order_relaxed) == To)
     return;
-  assert(!From->Chain[Slot] && "chain slot already linked elsewhere");
+  assert(!From->Chain[Slot].load(std::memory_order_relaxed) &&
+         "chain slot already linked elsewhere");
   if (Slot < From->Blob.ChainTargets.size())
     removeWaiter(From->Blob.ChainTargets[Slot], From, Slot);
-  From->Chain[Slot] = To;
+  // Release: a shard's chain thunk that acquire-loads the slot must see the
+  // successor's fully-initialised blob.
+  From->Chain[Slot].store(To, std::memory_order_release);
   To->ChainedFrom.push_back(From);
   ++S.ChainsFilled;
 }
@@ -234,8 +252,8 @@ void TransTab::unlinkChains(Translation *T) {
   // it, so a retranslation of T->Addr relinks the predecessors eagerly.
   for (Translation *P : T->ChainedFrom) {
     for (uint32_t Slot = 0; Slot != P->Chain.size(); ++Slot) {
-      if (P->Chain[Slot] == T) {
-        P->Chain[Slot] = nullptr;
+      if (P->Chain[Slot].load(std::memory_order_relaxed) == T) {
+        P->Chain[Slot].store(nullptr, std::memory_order_release);
         ++S.Unchains;
         Pending[T->Addr].push_back({P, Slot});
       }
@@ -246,12 +264,12 @@ void TransTab::unlinkChains(Translation *T) {
   // for slots that never linked.
   const std::vector<uint32_t> &Targets = T->Blob.ChainTargets;
   for (uint32_t Slot = 0; Slot != T->Chain.size(); ++Slot) {
-    if (Translation *Succ = T->Chain[Slot]) {
+    if (Translation *Succ = T->Chain[Slot].load(std::memory_order_relaxed)) {
       auto &BF = Succ->ChainedFrom;
       auto It = std::find(BF.begin(), BF.end(), T);
       if (It != BF.end())
         BF.erase(It);
-      T->Chain[Slot] = nullptr;
+      T->Chain[Slot].store(nullptr, std::memory_order_release);
     } else if (Slot < Targets.size() &&
                Targets[Slot] != hvm::NoChainTarget) {
       removeWaiter(Targets[Slot], T, Slot);

@@ -42,8 +42,10 @@ void TranslationService::fillTranslation(Translation &T, uint32_t PC,
   if (T.Extents.empty())
     T.Extents.push_back({PC, PC + 1}); // NoDecode-at-entry blocks
   T.NumInsns = TB.Meta.NumInsns;
-  T.Chain.assign(T.Blob.NumChainSlots, nullptr);
-  T.EdgeExecs.assign(T.Blob.NumChainSlots, 0);
+  // vector<atomic<..>> has no assign(); size-construction value-initialises
+  // every element (null slots, zero edge counts).
+  T.Chain = std::vector<std::atomic<Translation *>>(T.Blob.NumChainSlots);
+  T.EdgeExecs = std::vector<std::atomic<uint64_t>>(T.Blob.NumChainSlots);
 }
 
 uint64_t TranslationService::hashLive(
@@ -125,8 +127,8 @@ TranslationService::installFromCache(std::unique_ptr<Translation> &TPtr,
   Raw->Blob.NumSpillSlots = E.NumSpillSlots;
   Raw->Blob.NumChainSlots = E.NumChainSlots;
   Raw->Blob.ChainTargets = std::move(E.ChainTargets);
-  Raw->Chain.assign(Raw->Blob.NumChainSlots, nullptr);
-  Raw->EdgeExecs.assign(Raw->Blob.NumChainSlots, 0);
+  Raw->Chain = std::vector<std::atomic<Translation *>>(Raw->Blob.NumChainSlots);
+  Raw->EdgeExecs = std::vector<std::atomic<uint64_t>>(Raw->Blob.NumChainSlots);
 
   ++JS.CacheHits;
   double Seconds = now() - T0;

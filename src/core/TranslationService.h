@@ -166,6 +166,19 @@ public:
     return TT.invalidateRange(Addr, Len);
   }
 
+  /// Full-address-space invalidation. A Len parameter cannot express the
+  /// whole 4GB guest space in 32 bits, and invalidate(0, 0xFFFFFFFF)
+  /// silently missed translations covering the final guest byte — the
+  /// fault-injected TT flush used exactly that spelling. One epoch bump,
+  /// every translation discarded, the whole cache poisoned.
+  unsigned invalidateAll() {
+    if (Cache)
+      Cache->poisonAll();
+    unsigned N = static_cast<unsigned>(TT.size());
+    TT.invalidateAll();
+    return N;
+  }
+
   /// The synchronous pipeline: translate the block at \p PC (hot = chase
   /// branches into a superblock), hash its bytes, account it through the
   /// host, and insert it into the table. Guest thread only. With a cache

@@ -133,6 +133,17 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                false,
                false,
                /*CheckSmcRetrans=*/false});
+  // Sharded scheduler: the fuzz programs are single-threaded, so all but
+  // one shard park — but the dispatch path, fast-cache policy, chain
+  // publication, and epoch-based translation reclaim are the MT ones, and
+  // every guest-visible observation must still match the serial oracle.
+  // The SMC waiver matches the other retranslation-perturbing cells.
+  M.push_back({"nulgrind-mt",
+               "nulgrind",
+               {"--sched-threads=4"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false});
   M.push_back({"icnt", "icnt", {}, true, false});
   M.push_back({"icntc", "icntc", {"--chaining=yes"}, true, false});
   M.push_back({"memcheck",
@@ -151,6 +162,14 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                "memcheck",
                {"--chaining=yes", "--hot-threshold=2", "--trace-tier=yes",
                 "--trace-threshold=8"},
+               false,
+               true,
+               /*CheckSmcRetrans=*/false});
+  // Memcheck under the sharded scheduler with the JIT lit up: shadow
+  // memory, error recording, and hot promotion all take their MT paths.
+  M.push_back({"memcheck-mt",
+               "memcheck",
+               {"--chaining=yes", "--hot-threshold=3", "--sched-threads=4"},
                false,
                true,
                /*CheckSmcRetrans=*/false});

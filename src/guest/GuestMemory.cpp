@@ -6,6 +6,18 @@
 
 using namespace vg;
 
+GuestMemory::~GuestMemory() {
+  for (std::atomic<Leaf *> &TS : Top) {
+    Leaf *L = TS.load(std::memory_order_relaxed);
+    if (!L)
+      continue;
+    for (std::atomic<Page *> &PS : L->Slots)
+      delete PS.load(std::memory_order_relaxed);
+    delete L;
+  }
+  // Graveyard pages free themselves (unique_ptr).
+}
+
 bool GuestMemory::ExecSnapshot::fetch(uint32_t Addr, void *Out,
                                       uint32_t Len) const {
   if (Len == 0)
@@ -27,26 +39,57 @@ bool GuestMemory::ExecSnapshot::fetch(uint32_t Addr, void *Out,
 }
 
 GuestMemory::ExecSnapshot GuestMemory::snapshotExecRanges() const {
-  std::vector<uint32_t> ExecPages;
-  ExecPages.reserve(Pages.size());
-  for (const auto &[Idx, P] : Pages)
-    if (P->Perms & PermExec)
-      ExecPages.push_back(Idx);
-  std::sort(ExecPages.begin(), ExecPages.end());
-
+  // The radix tree iterates in address order, so runs coalesce in one
+  // pass with no sort.
   ExecSnapshot Snap;
-  for (size_t I = 0; I != ExecPages.size(); ++I) {
-    uint32_t Idx = ExecPages[I];
-    if (Snap.Ranges.empty() ||
-        ExecPages[I - 1] + 1 != Idx) {
-      Snap.Ranges.push_back({Idx << PageShift, {}});
-      Snap.Ranges.back().Bytes.reserve(PageSize);
+  uint32_t PrevIdx = ~0u;
+  for (uint32_t TI = 0; TI != TopSize; ++TI) {
+    const Leaf *L = Top[TI].load(std::memory_order_acquire);
+    if (!L)
+      continue;
+    for (uint32_t LI = 0; LI != LeafSize; ++LI) {
+      const Page *P = L->Slots[LI].load(std::memory_order_acquire);
+      if (!P || !(P->Perms.load(std::memory_order_relaxed) & PermExec))
+        continue;
+      uint32_t Idx = (TI << LeafBits) | LI;
+      if (Snap.Ranges.empty() || PrevIdx + 1 != Idx) {
+        Snap.Ranges.push_back({Idx << PageShift, {}});
+        Snap.Ranges.back().Bytes.reserve(PageSize);
+      }
+      ExecSnapshot::Range &R = Snap.Ranges.back();
+      R.Bytes.insert(R.Bytes.end(), P->Data.begin(), P->Data.end());
+      PrevIdx = Idx;
     }
-    const Page *P = Pages.find(Idx)->second.get();
-    ExecSnapshot::Range &R = Snap.Ranges.back();
-    R.Bytes.insert(R.Bytes.end(), P->Data.begin(), P->Data.end());
   }
   return Snap;
+}
+
+GuestMemory::Leaf *GuestMemory::ensureLeaf(uint32_t PageIdx) {
+  std::atomic<Leaf *> &Slot = Top[PageIdx >> LeafBits];
+  Leaf *L = Slot.load(std::memory_order_relaxed);
+  if (!L) {
+    // Mutators are serialised by the world lock, so a plain
+    // check-then-publish cannot double-install.
+    L = new Leaf();
+    Slot.store(L, std::memory_order_release);
+  }
+  return L;
+}
+
+void GuestMemory::dropPage(uint32_t PageIdx) {
+  Leaf *L = Top[PageIdx >> LeafBits].load(std::memory_order_relaxed);
+  if (!L)
+    return;
+  std::atomic<Page *> &Slot = L->Slots[PageIdx & (LeafSize - 1)];
+  Page *P = Slot.load(std::memory_order_relaxed);
+  if (!P)
+    return;
+  Slot.store(nullptr, std::memory_order_release);
+  PageCount.fetch_sub(1, std::memory_order_relaxed);
+  if (DeferReclaim)
+    Graveyard.emplace_back(P); // a concurrent reader may still hold P
+  else
+    delete P;
 }
 
 void GuestMemory::map(uint32_t Addr, uint32_t Len, uint8_t Perms) {
@@ -54,18 +97,24 @@ void GuestMemory::map(uint32_t Addr, uint32_t Len, uint8_t Perms) {
     return;
   uint32_t First = Addr >> PageShift;
   uint32_t Last = (Addr + Len - 1) >> PageShift;
-  for (uint32_t P = First;; ++P) {
-    auto &Slot = Pages[P];
-    if (!Slot) {
-      Slot = std::make_unique<Page>();
-      Slot->Data.fill(0);
+  for (uint32_t PI = First;; ++PI) {
+    Leaf *L = ensureLeaf(PI);
+    std::atomic<Page *> &Slot = L->Slots[PI & (LeafSize - 1)];
+    Page *P = Slot.load(std::memory_order_relaxed);
+    if (!P) {
+      P = new Page();
+      P->Data.fill(0);
+      P->Perms.store(Perms, std::memory_order_relaxed);
+      // Release: a lock-free reader that sees the pointer sees the
+      // zero-fill and the permissions.
+      Slot.store(P, std::memory_order_release);
+      PageCount.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      P->Perms.store(Perms, std::memory_order_relaxed);
     }
-    Slot->Perms = Perms;
-    if (P == Last)
+    if (PI == Last)
       break;
   }
-  LastIdx = ~0u;
-  LastPage = nullptr;
 }
 
 void GuestMemory::unmap(uint32_t Addr, uint32_t Len) {
@@ -73,13 +122,11 @@ void GuestMemory::unmap(uint32_t Addr, uint32_t Len) {
     return;
   uint32_t First = Addr >> PageShift;
   uint32_t Last = (Addr + Len - 1) >> PageShift;
-  for (uint32_t P = First;; ++P) {
-    Pages.erase(P);
-    if (P == Last)
+  for (uint32_t PI = First;; ++PI) {
+    dropPage(PI);
+    if (PI == Last)
       break;
   }
-  LastIdx = ~0u;
-  LastPage = nullptr;
 }
 
 void GuestMemory::protect(uint32_t Addr, uint32_t Len, uint8_t Perms) {
@@ -87,23 +134,26 @@ void GuestMemory::protect(uint32_t Addr, uint32_t Len, uint8_t Perms) {
     return;
   uint32_t First = Addr >> PageShift;
   uint32_t Last = (Addr + Len - 1) >> PageShift;
-  for (uint32_t P = First;; ++P) {
-    if (Page *Pg = lookup(P))
-      Pg->Perms = Perms;
-    if (P == Last)
+  for (uint32_t PI = First;; ++PI) {
+    if (Page *Pg = lookup(PI))
+      Pg->Perms.store(Perms, std::memory_order_relaxed);
+    if (PI == Last)
       break;
   }
 }
 
+// VG_NO_TSAN: the byte copy lands in guest data (see Sanitizers.h);
+// the page-table walk alongside it is already atomic.
 template <bool IsWrite>
-MemFault GuestMemory::access(uint32_t Addr, void *Buf, uint32_t Len,
+VG_NO_TSAN MemFault GuestMemory::access(uint32_t Addr, void *Buf, uint32_t Len,
                              uint8_t NeedPerm) const {
   uint8_t *Bytes = static_cast<uint8_t *>(Buf);
   uint32_t Done = 0;
   while (Done != Len) {
     uint32_t A = Addr + Done;
     Page *P = lookup(A >> PageShift);
-    if (!P || (NeedPerm && !(P->Perms & NeedPerm)))
+    if (!P ||
+        (NeedPerm && !(P->Perms.load(std::memory_order_relaxed) & NeedPerm)))
       return MemFault{true, A, IsWrite};
     uint32_t Off = A & (PageSize - 1);
     uint32_t Chunk = std::min(Len - Done, PageSize - Off);

@@ -29,6 +29,11 @@ struct ExecContext {
   void *Core = nullptr;
   /// The running tool (tool helpers downcast this).
   void *Tool = nullptr;
+  /// Guest thread id this context executes. Helpers that need the owning
+  /// ThreadState must index through this, never through the core's
+  /// "current tid" — under --sched-threads=N several contexts run
+  /// concurrently and there is no single current thread.
+  int Tid = 0;
   /// The tool's shadow map, when it has one (Tool::shadowMap()). Services
   /// SHPROBE instructions — the JIT-inlined Memcheck fast path — without a
   /// helper call. Null makes every probe report "take the slow path".

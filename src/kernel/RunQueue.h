@@ -1,0 +1,90 @@
+//===-- kernel/RunQueue.h - Runnable-thread queue for shards ----*- C++ -*-==//
+///
+/// \file
+/// The sharded scheduler's run queue (DESIGN section 14): guest threads
+/// that are runnable but not currently executing on a shard wait here.
+/// Shards pop blocking — a futex-style park on a condition variable — and
+/// pushes wake exactly one parked shard. shutdown() wakes everyone and
+/// makes every future pop return Shutdown, which is how the world stops:
+/// process exit, a fatal signal, and the block-budget ceiling all funnel
+/// into one idempotent call.
+///
+/// The queue orders nothing beyond FIFO fairness and promises no
+/// scheduling determinism — that is the point of --sched-threads=N. The
+/// serialised N=1 scheduler never constructs one.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_KERNEL_RUNQUEUE_H
+#define VG_KERNEL_RUNQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace vg {
+
+class RunQueue {
+public:
+  static constexpr int Shutdown = -1;
+
+  /// Enqueues a runnable guest thread and wakes one parked shard. A tid
+  /// must never be queued twice (the owner invariant: a runnable thread is
+  /// either queued or held by exactly one shard).
+  void push(int Tid) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      if (Down)
+        return; // world is stopping; the tid's state no longer matters
+      Q.push_back(Tid);
+      ++Pushes;
+    }
+    Cv.notify_one();
+  }
+
+  /// Blocks until a tid is available (or the queue is shut down, returning
+  /// Shutdown forever after).
+  int pop() {
+    std::unique_lock<std::mutex> L(Mu);
+    ++Pops;
+    if (Q.empty() && !Down) {
+      ++Waits;
+      Cv.wait(L, [&] { return !Q.empty() || Down; });
+    }
+    if (Down)
+      return Shutdown;
+    int Tid = Q.front();
+    Q.pop_front();
+    return Tid;
+  }
+
+  /// Stops the world: every parked shard wakes with Shutdown and every
+  /// later pop returns it immediately. Idempotent; callable from any
+  /// thread.
+  void shutdown() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Down = true;
+      Q.clear();
+    }
+    Cv.notify_all();
+  }
+
+  // Profile counters (stable once all shards have joined).
+  uint64_t pushes() const { return Pushes; }
+  uint64_t pops() const { return Pops; }
+  uint64_t waits() const { return Waits; }
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<int> Q;
+  bool Down = false;
+  uint64_t Pushes = 0;
+  uint64_t Pops = 0;
+  uint64_t Waits = 0; ///< pops that had to park
+};
+
+} // namespace vg
+
+#endif // VG_KERNEL_RUNQUEUE_H

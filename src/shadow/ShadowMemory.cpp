@@ -9,8 +9,15 @@ using namespace vg;
 ShadowMap::Secondary ShadowMap::DsmNoAccess;
 ShadowMap::Secondary ShadowMap::DsmDefined;
 bool ShadowMap::DsmInit = false;
+thread_local ShadowMap::TLCache ShadowMap::TLC;
 
-ShadowMap::ShadowMap() : OwnedIdx(NumChunks, -1) {
+namespace {
+std::atomic<uint64_t> NextMapId{1};
+} // namespace
+
+ShadowMap::ShadowMap()
+    : Primary(NumChunks), Id(NextMapId.fetch_add(1,
+                                                 std::memory_order_relaxed)) {
   if (!DsmInit) {
     DsmNoAccess.V.fill(0xFF);
     DsmNoAccess.A.fill(0x00);
@@ -18,47 +25,65 @@ ShadowMap::ShadowMap() : OwnedIdx(NumChunks, -1) {
     DsmDefined.A.fill(0xFF);
     DsmInit = true;
   }
+  for (std::atomic<Secondary *> &P : Primary)
+    P.store(&DsmNoAccess, std::memory_order_relaxed);
+}
+
+ShadowMap::~ShadowMap() {
+  for (std::atomic<Secondary *> &P : Primary) {
+    Secondary *S = P.load(std::memory_order_relaxed);
+    if (ownedSec(S))
+      delete S;
+  }
+  // Graveyard secondaries free themselves (unique_ptr).
 }
 
 ShadowMap::Secondary *ShadowMap::materialise(uint32_t ChunkIdx) {
-  int32_t Idx = OwnedIdx[ChunkIdx];
-  // Materialise a copy of the distinguished secondary (copy-on-write),
-  // reusing a reclaimed Owned slot when one is free.
-  auto S = std::make_unique<Secondary>(Idx == -1 ? DsmNoAccess : DsmDefined);
-  Secondary *Raw = S.get();
-  uint32_t Slot;
-  if (!FreeSlots.empty()) {
-    Slot = FreeSlots.back();
-    FreeSlots.pop_back();
-    Owned[Slot] = std::move(S);
-  } else {
-    Slot = static_cast<uint32_t>(Owned.size());
-    Owned.push_back(std::move(S));
+  std::lock_guard<std::mutex> Lock(Stripes[ChunkIdx % NumStripes]);
+  Secondary *Cur = Primary[ChunkIdx].load(std::memory_order_relaxed);
+  if (ownedSec(Cur)) {
+    // Another thread materialised this chunk while we waited on the
+    // stripe; adopt its secondary.
+    TLC = {Id, CacheEpoch.load(std::memory_order_acquire), ChunkIdx, Cur,
+           Cur};
+    return Cur;
   }
-  OwnedIdx[ChunkIdx] = static_cast<int32_t>(Slot);
-  ++St.Materialised;
-  ++St.LiveChunks;
-  St.HighWater = std::max(St.HighWater, St.LiveChunks);
-  // Update (don't just drop) the cache: the caller is about to write here.
-  CacheChunk = ChunkIdx;
-  CacheSec = Raw;
-  CacheOwned = Raw;
+  // Materialise a copy of the distinguished secondary (copy-on-write).
+  Secondary *Raw = new Secondary(*Cur);
+  // Release: a lock-free reader that sees the pointer sees the copy.
+  Primary[ChunkIdx].store(Raw, std::memory_order_release);
+  St.Materialised.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Live = St.LiveChunks.fetch_add(1, std::memory_order_relaxed) + 1;
+  uint64_t HW = St.HighWater.load(std::memory_order_relaxed);
+  while (Live > HW &&
+         !St.HighWater.compare_exchange_weak(HW, Live,
+                                             std::memory_order_relaxed)) {
+  }
+  // Invalidate every thread's cached line for this chunk, then update
+  // (don't just drop) our own: the caller is about to write here.
+  uint64_t E = CacheEpoch.fetch_add(1, std::memory_order_release) + 1;
+  TLC = {Id, E, ChunkIdx, Raw, Raw};
   return Raw;
 }
 
-void ShadowMap::setWholeChunk(uint32_t ChunkIdx, int32_t NewDsm) {
-  int32_t Idx = OwnedIdx[ChunkIdx];
-  if (Idx >= 0) {
-    // Release the owned secondary back to the distinguished one; the slot
-    // goes on the free list for the next materialise.
-    Owned[static_cast<uint32_t>(Idx)].reset();
-    FreeSlots.push_back(static_cast<uint32_t>(Idx));
-    ++St.Reclaimed;
-    --St.LiveChunks;
+void ShadowMap::setWholeChunk(uint32_t ChunkIdx, Secondary *Dsm) {
+  std::lock_guard<std::mutex> Lock(Stripes[ChunkIdx % NumStripes]);
+  Secondary *Old = Primary[ChunkIdx].load(std::memory_order_relaxed);
+  Primary[ChunkIdx].store(Dsm, std::memory_order_release);
+  if (ownedSec(Old)) {
+    St.Reclaimed.fetch_add(1, std::memory_order_relaxed);
+    St.LiveChunks.fetch_sub(1, std::memory_order_relaxed);
+    if (DeferReclaim) {
+      // A concurrent probe may still hold Old: park it until destruction.
+      std::lock_guard<std::mutex> RLock(ReclaimMu);
+      Graveyard.emplace_back(Old);
+    } else {
+      delete Old;
+    }
   }
-  OwnedIdx[ChunkIdx] = NewDsm;
-  if (ChunkIdx == CacheChunk)
-    invalidateCache();
+  // The epoch bump drops every thread's cached pointer for this map —
+  // including our own entry for this chunk, which just died.
+  CacheEpoch.fetch_add(1, std::memory_order_release);
 }
 
 namespace {
@@ -155,7 +180,7 @@ void copyABits(uint8_t *DstA, uint32_t DstOff, const uint8_t *SrcA,
 void ShadowMap::makeNoAccess(uint32_t Addr, uint32_t Len) {
   forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
     if (Off == 0 && N == ChunkSize) {
-      setWholeChunk(C, -1); // reclaims any owned secondary
+      setWholeChunk(C, &DsmNoAccess); // reclaims any owned secondary
       return;
     }
     Secondary *S = writable(C);
@@ -167,7 +192,7 @@ void ShadowMap::makeNoAccess(uint32_t Addr, uint32_t Len) {
 void ShadowMap::makeDefined(uint32_t Addr, uint32_t Len) {
   forChunks(Addr, Len, [&](uint32_t C, uint32_t Off, uint32_t N) {
     if (Off == 0 && N == ChunkSize) {
-      setWholeChunk(C, -2);
+      setWholeChunk(C, &DsmDefined);
       return;
     }
     Secondary *S = writable(C);
@@ -232,7 +257,8 @@ void ShadowMap::setByte(uint32_t Addr, bool Addressable, uint8_t V) {
     S->A[Off >> 3] &= static_cast<uint8_t>(~(1u << (Off & 7)));
 }
 
-uint64_t ShadowMap::loadVSlow(uint32_t Addr, uint32_t Size,
+// VG_NO_TSAN: V/A bytes of racy guest data (see Sanitizers.h).
+VG_NO_TSAN uint64_t ShadowMap::loadVSlow(uint32_t Addr, uint32_t Size,
                               AddrCheck &Check) const {
   uint64_t V = 0;
   for (uint32_t I = 0; I != Size; ++I) {
@@ -252,7 +278,7 @@ uint64_t ShadowMap::loadVSlow(uint32_t Addr, uint32_t Size,
   return V;
 }
 
-void ShadowMap::storeVSlow(uint32_t Addr, uint32_t Size, uint64_t Vbits,
+VG_NO_TSAN void ShadowMap::storeVSlow(uint32_t Addr, uint32_t Size, uint64_t Vbits,
                            AddrCheck &Check) {
   for (uint32_t I = 0; I != Size; ++I) {
     uint32_t A = Addr + I;

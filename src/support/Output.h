@@ -12,6 +12,7 @@
 
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 namespace vg {
@@ -41,7 +42,9 @@ public:
   /// printf-style formatted output.
   void printf(const char *Fmt, ...) __attribute__((format(printf, 2, 3)));
 
-  /// Writes a raw string.
+  /// Writes a raw string. All output funnels through here; the internal
+  /// lock keeps concurrent writers (tool helpers running on several shards
+  /// under --sched-threads=N) from interleaving mid-line.
   void write(const std::string &S);
 
   /// Returns and clears the accumulated buffer (Buffer mode only).
@@ -57,6 +60,7 @@ private:
 
   Mode TheMode;
   std::FILE *File = nullptr;
+  std::mutex Mu; ///< guards Buf and the FILE against concurrent write()
   std::string Buf;
 };
 

@@ -204,6 +204,26 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                static_cast<unsigned long long>(C.TraceProbesCSEd));
   }
 
+  if (C.HasSched) {
+    Out.printf("\n== profile: sharded scheduler ==\n");
+    Out.printf("sched-threads=%llu quanta=%llu\n",
+               static_cast<unsigned long long>(C.SchedThreads),
+               static_cast<unsigned long long>(C.SchedQuanta));
+    Out.printf("run-queue pushes=%llu pops=%llu waits=%llu\n",
+               static_cast<unsigned long long>(C.RunQueuePushes),
+               static_cast<unsigned long long>(C.RunQueuePops),
+               static_cast<unsigned long long>(C.RunQueueWaits));
+    Out.printf("world-lock acquisitions=%llu (%.1f blocks/acquisition)\n",
+               static_cast<unsigned long long>(C.WorldLockAcquisitions),
+               C.WorldLockAcquisitions
+                   ? static_cast<double>(C.BlocksDispatched) /
+                         static_cast<double>(C.WorldLockAcquisitions)
+                   : 0.0);
+    Out.printf("translations retired=%llu limbo-high-water=%llu\n",
+               static_cast<unsigned long long>(C.TranslationsRetired),
+               static_cast<unsigned long long>(C.LimboHighWater));
+  }
+
   if (C.HasTransCache) {
     Out.printf("\n== profile: translation cache ==\n");
     uint64_t Lookups = C.CacheHits + C.CacheMisses + C.CacheRejects;

@@ -127,6 +127,16 @@ struct ProfCounters {
   uint64_t TraceSideExits = 0;    ///< exits taken through a guarded side exit
   uint64_t TraceDeadFlagPuts = 0; ///< dead CC-thunk writes deleted
   uint64_t TraceProbesCSEd = 0;   ///< shadow probes CSE'd across seams
+  // Sharded-scheduler counters (only when --sched-threads > 1).
+  bool HasSched = false;
+  uint64_t SchedThreads = 0;
+  uint64_t SchedQuanta = 0;          ///< run-queue pops that ran a quantum
+  uint64_t RunQueuePushes = 0;
+  uint64_t RunQueuePops = 0;
+  uint64_t RunQueueWaits = 0;        ///< pops that had to park
+  uint64_t WorldLockAcquisitions = 0;///< block-boundary lock round-trips
+  uint64_t TranslationsRetired = 0;  ///< QSBR limbo traffic
+  uint64_t LimboHighWater = 0;       ///< peak translations awaiting grace
   // Persistent translation-cache counters (only when --tt-cache is set).
   bool HasTransCache = false;
   uint64_t CacheHits = 0;    ///< entries validated and installed

@@ -1,0 +1,32 @@
+//===-- support/Sanitizers.h - Sanitizer annotations ------------*- C++ -*-==//
+///
+/// \file
+/// VG_NO_TSAN marks functions whose data races are the *guest program's*,
+/// not the framework's. Under --sched-threads=N two guest threads may race
+/// on a guest address exactly as they would on real hardware; the
+/// framework mirrors that race onto the host byte array backing guest
+/// memory, and onto the shadow bytes describing it. Serialising those
+/// accesses would serialise guest execution (the big lock this subsystem
+/// exists to break), and any interleaving TSan could pick is a correct
+/// outcome of the guest's own (lack of a) memory model. So the narrow
+/// guest-data/shadow-data copy paths are excluded from ThreadSanitizer
+/// instrumentation — structural metadata (page tables, secondary-map
+/// lifetime, permissions) stays fully instrumented and must stay clean.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SUPPORT_SANITIZERS_H
+#define VG_SUPPORT_SANITIZERS_H
+
+#if defined(__SANITIZE_THREAD__)
+#define VG_NO_TSAN __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define VG_NO_TSAN __attribute__((no_sanitize("thread")))
+#else
+#define VG_NO_TSAN
+#endif
+#else
+#define VG_NO_TSAN
+#endif
+
+#endif // VG_SUPPORT_SANITIZERS_H

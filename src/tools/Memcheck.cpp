@@ -20,6 +20,8 @@ Memcheck *toolOf(void *Env) {
   return static_cast<Memcheck *>(static_cast<ExecContext *>(Env)->Tool);
 }
 
+int tidOf(void *Env) { return static_cast<ExecContext *>(Env)->Tid; }
+
 std::string hexAddr(uint32_t A) {
   char Buf[16];
   std::snprintf(Buf, sizeof(Buf), "0x%08X", A);
@@ -31,7 +33,7 @@ std::string hexAddr(uint32_t A) {
 uint64_t Memcheck::helperLoadV(void *Env, uint64_t Addr, uint64_t Size,
                                uint64_t PC, uint64_t) {
   Memcheck *MC = toolOf(Env);
-  ++MC->ShadowLoads;
+  MC->ShadowLoads.fetch_add(1, std::memory_order_relaxed);
   AddrCheck Check;
   uint64_t V = MC->SM.loadV(static_cast<uint32_t>(Addr),
                             static_cast<uint32_t>(Size), Check);
@@ -39,7 +41,7 @@ uint64_t Memcheck::helperLoadV(void *Env, uint64_t Addr, uint64_t Size,
     MC->reportError("InvalidRead",
                     "Invalid read of size " + std::to_string(Size) + " at " +
                         hexAddr(static_cast<uint32_t>(Addr)),
-                    static_cast<uint32_t>(PC));
+                    static_cast<uint32_t>(PC), tidOf(Env));
   }
   return V;
 }
@@ -47,7 +49,7 @@ uint64_t Memcheck::helperLoadV(void *Env, uint64_t Addr, uint64_t Size,
 uint64_t Memcheck::helperStoreV(void *Env, uint64_t Addr, uint64_t Vbits,
                                 uint64_t Size, uint64_t PC) {
   Memcheck *MC = toolOf(Env);
-  ++MC->ShadowStores;
+  MC->ShadowStores.fetch_add(1, std::memory_order_relaxed);
   AddrCheck Check;
   MC->SM.storeV(static_cast<uint32_t>(Addr), static_cast<uint32_t>(Size),
                 Vbits, Check);
@@ -55,7 +57,7 @@ uint64_t Memcheck::helperStoreV(void *Env, uint64_t Addr, uint64_t Vbits,
     MC->reportError("InvalidWrite",
                     "Invalid write of size " + std::to_string(Size) + " at " +
                         hexAddr(static_cast<uint32_t>(Addr)),
-                    static_cast<uint32_t>(PC));
+                    static_cast<uint32_t>(PC), tidOf(Env));
   }
   return 0;
 }
@@ -66,7 +68,7 @@ uint64_t Memcheck::helperValueCheckFail(void *Env, uint64_t PC, uint64_t Size,
   MC->reportError("UninitValue",
                   "Use of uninitialised value of size " +
                       std::to_string(Size) + " (memory address)",
-                  static_cast<uint32_t>(PC));
+                  static_cast<uint32_t>(PC), tidOf(Env));
   return 0;
 }
 
@@ -76,7 +78,7 @@ uint64_t Memcheck::helperCondUndef(void *Env, uint64_t PC, uint64_t, uint64_t,
   MC->reportError(
       "UninitCondition",
       "Conditional jump or move depends on uninitialised value(s)",
-      static_cast<uint32_t>(PC));
+      static_cast<uint32_t>(PC), tidOf(Env));
   return 0;
 }
 
@@ -85,7 +87,7 @@ uint64_t Memcheck::helperJumpUndef(void *Env, uint64_t PC, uint64_t, uint64_t,
   Memcheck *MC = toolOf(Env);
   MC->reportError("UninitJumpTarget",
                   "Jump to an uninitialised target address",
-                  static_cast<uint32_t>(PC));
+                  static_cast<uint32_t>(PC), tidOf(Env));
   return 0;
 }
 
@@ -577,7 +579,7 @@ void Memcheck::init(Core &Core_) {
         reportError("UninitSyscall",
                     std::string("Syscall parameter ") + Sys +
                         " contains uninitialised byte(s)",
-                    TS.getPC());
+                    TS.getPC(), Tid);
         return;
       }
     }
@@ -599,7 +601,7 @@ void Memcheck::init(Core &Core_) {
         reportError(Unaddr ? "InvalidRead" : "UninitSyscall",
                     std::string("Syscall parameter ") + Sys +
                         " string is bad at " + hexAddr(Bad),
-                    C->thread(Tid).getPC());
+                    C->thread(Tid).getPC(), Tid);
         return;
       }
       uint8_t B;
@@ -614,7 +616,7 @@ void Memcheck::init(Core &Core_) {
       reportError("InvalidWrite",
                   std::string("Syscall parameter ") + Sys +
                       " points to unaddressable byte(s) at " + hexAddr(Bad),
-                  C->thread(Tid).getPC());
+                  C->thread(Tid).getPC(), Tid);
     }
   };
   E.PostMemWrite = [this](int, uint32_t Addr, uint32_t Len) {
@@ -636,12 +638,12 @@ void Memcheck::checkDefinedRange(int Tid, uint32_t Addr, uint32_t Len,
     reportError("InvalidRead",
                 std::string("Syscall parameter ") + What +
                     " points to unaddressable byte(s) at " + hexAddr(Bad),
-                C->thread(Tid).getPC());
+                C->thread(Tid).getPC(), Tid);
   } else {
     reportError("UninitSyscall",
                 std::string("Syscall parameter ") + What +
                     " points to uninitialised byte(s) at " + hexAddr(Bad),
-                C->thread(Tid).getPC());
+                C->thread(Tid).getPC(), Tid);
   }
 }
 
@@ -667,7 +669,7 @@ void Memcheck::onBadFree(int Tid, uint32_t Addr) {
   reportError("InvalidFree",
               "Invalid free() / delete of " + hexAddr(Addr) +
                   " (not a live heap block)",
-              Site);
+              Site, Tid);
 }
 
 bool Memcheck::handleClientRequest(int Tid, uint32_t Code,
@@ -702,10 +704,18 @@ bool Memcheck::handleClientRequest(int Tid, uint32_t Code,
 }
 
 void Memcheck::reportError(const char *Kind, const std::string &Msg,
-                           uint32_t PC) {
-  bool IsNew = C->errors().record(Kind, "==memcheck== " + Msg, PC,
-                                  C->captureStackTrace(C->thread(
-                                      C->currentTid())));
+                           uint32_t PC, int Tid) {
+  if (Tid < 0)
+    Tid = C->currentTid();
+  // The stack scan consults the address-space segment map, which is only
+  // stable under the world lock; helpers run lock-free under
+  // --sched-threads=N, so parallel runs record errors without a stack
+  // (deduplication is by kind + PC and unaffected).
+  std::vector<uint32_t> Stack;
+  if (!C->isParallel())
+    Stack = C->captureStackTrace(C->thread(Tid));
+  bool IsNew =
+      C->errors().record(Kind, "==memcheck== " + Msg, PC, std::move(Stack));
   if (IsNew) {
     C->output().printf("==memcheck== %s\n==memcheck==    at %s\n",
                        Msg.c_str(), hexAddr(PC).c_str());

@@ -995,6 +995,144 @@ void wlSigMt(Assembler &C, Assembler &D, GuestLibLabels &Lib,
   epilogue(C, Lib);
 }
 
+/// mtcpu: four cloned children, each hash-mixing over its own private
+/// mmap'd buffer — CPU-bound, no shared writable data beyond the go/done
+/// handshake, and each child's sum is deterministic regardless of how the
+/// threads interleave. The parallel-scheduler scaling bench runs this at
+/// --sched-threads=1 vs 4; the concurrency tests hammer it for divergence.
+void wlMtCpu(Assembler &C, Assembler &D, GuestLibLabels &Lib,
+             uint32_t Scale) {
+  constexpr uint32_t NumChildren = 4;
+  Label ChildFn = C.newLabel();
+  Label Over = C.newLabel();
+
+  Label Done = D.boundLabel();
+  D.emitZeros(4 * NumChildren); // per-child done flags
+  Label Sums = D.boundLabel();
+  D.emitZeros(4 * NumChildren); // per-child hash results
+  Label Go = D.boundLabel();
+  D.emitZeros(4); // children may start
+  uint32_t DoneA = D.labelAddr(Done), SumsA = D.labelAddr(Sums);
+  uint32_t GoA = D.labelAddr(Go);
+  uint32_t Iters = 4096 * Scale;
+
+  // Spawn the children: mmap a stack then clone, both with retry loops
+  // (fault injection can fail either).
+  for (uint32_t Idx = 0; Idx != NumChildren; ++Idx) {
+    Label MapRetry = C.boundLabel();
+    C.movi(Reg::R0, SysMmap);
+    C.movi(Reg::R1, 0);
+    C.movi(Reg::R2, 65536);
+    C.movi(Reg::R3, 3);
+    C.movi(Reg::R4, 0);
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(MapRetry);
+    C.addi(Reg::R9, Reg::R0, 65536); // child SP = top of mapping
+    Label CloneRetry = C.boundLabel();
+    C.movi(Reg::R0, SysClone);
+    C.leai(Reg::R1, ChildFn);
+    C.mov(Reg::R2, Reg::R9);
+    C.movi(Reg::R3, Idx); // child arg = its index
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(CloneRetry);
+  }
+  C.movi(Reg::R2, 1);
+  C.movi(Reg::R3, GoA);
+  C.st(Reg::R3, 0, Reg::R2);
+
+  // Wait for all children, yielding between polls.
+  {
+    Label Wait = C.boundLabel();
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.movi(Reg::R3, DoneA);
+    C.ld(Reg::R2, Reg::R3, 0);
+    C.ld(Reg::R4, Reg::R3, 4);
+    C.add(Reg::R2, Reg::R2, Reg::R4);
+    C.ld(Reg::R4, Reg::R3, 8);
+    C.add(Reg::R2, Reg::R2, Reg::R4);
+    C.ld(Reg::R4, Reg::R3, 12);
+    C.add(Reg::R2, Reg::R2, Reg::R4);
+    C.cmpi(Reg::R2, NumChildren);
+    C.bne(Wait);
+  }
+
+  // checksum: fold the four sums with distinct odd multipliers so a swap
+  // of two children's results cannot cancel out.
+  C.movi(Reg::R3, SumsA);
+  C.ld(Reg::R11, Reg::R3, 0);
+  static const uint32_t Mults[] = {5, 9, 13};
+  for (uint32_t I = 0; I != 3; ++I) {
+    C.ld(Reg::R4, Reg::R3, static_cast<int16_t>(4 * (I + 1)));
+    C.movi(Reg::R5, Mults[I]);
+    C.mul(Reg::R4, Reg::R4, Reg::R5);
+    C.xor_(Reg::R11, Reg::R11, Reg::R4);
+  }
+  C.jmp(Over);
+
+  // child(idx in r1): mmap a private scratch buffer, wait for go, then a
+  // store/load/hash loop with no syscalls — pure compute.
+  C.bind(ChildFn);
+  C.mov(Reg::R6, Reg::R1); // idx
+  {
+    Label BufRetry = C.boundLabel();
+    C.movi(Reg::R0, SysMmap);
+    C.movi(Reg::R1, 0);
+    C.movi(Reg::R2, 65536);
+    C.movi(Reg::R3, 3);
+    C.movi(Reg::R4, 0);
+    C.sys();
+    C.cmpi(Reg::R0, -1);
+    C.beq(BufRetry);
+    C.mov(Reg::R9, Reg::R0); // buffer base
+  }
+  {
+    Label Spin = C.boundLabel();
+    C.movi(Reg::R0, SysYield);
+    C.sys();
+    C.movi(Reg::R3, GoA);
+    C.ld(Reg::R2, Reg::R3, 0);
+    C.cmpi(Reg::R2, 0);
+    C.beq(Spin);
+  }
+  C.movi(Reg::R7, 0);      // i
+  C.movi(Reg::R8, 0x9E37); // hash
+  C.add(Reg::R8, Reg::R8, Reg::R6);
+  {
+    Label CLoop = C.boundLabel();
+    C.movi(Reg::R2, 33);
+    C.mul(Reg::R8, Reg::R8, Reg::R2);
+    C.xor_(Reg::R8, Reg::R8, Reg::R7);
+    // buf[i & 0x3FFF] = hash (word-indexed; 4 * 0x3FFF < 64KB).
+    C.andi(Reg::R2, Reg::R7, 0x3FFF);
+    C.stx(Reg::R9, Reg::R2, 2, 0, Reg::R8);
+    // hash ^= buf[(7i + 1) & 0x3FFF] — a different, older slot (zero
+    // until the buffer wraps), so loads feed the hash too.
+    C.movi(Reg::R4, 7);
+    C.mul(Reg::R4, Reg::R7, Reg::R4);
+    C.addi(Reg::R4, Reg::R4, 1);
+    C.andi(Reg::R4, Reg::R4, 0x3FFF);
+    C.ldx(Reg::R5, Reg::R9, Reg::R4, 2, 0);
+    C.xor_(Reg::R8, Reg::R8, Reg::R5);
+    C.addi(Reg::R7, Reg::R7, 1);
+    C.cmpi(Reg::R7, Iters);
+    C.blt(CLoop);
+  }
+  C.movi(Reg::R3, SumsA);
+  C.stx(Reg::R3, Reg::R6, 2, 0, Reg::R8);
+  C.movi(Reg::R2, 1);
+  C.movi(Reg::R3, DoneA);
+  C.stx(Reg::R3, Reg::R6, 2, 0, Reg::R2);
+  C.movi(Reg::R0, SysExitThread);
+  C.movi(Reg::R1, 0);
+  C.sys();
+
+  C.bind(Over);
+  epilogue(C, Lib);
+}
+
 } // namespace
 
 const std::vector<WorkloadInfo> &vg::allWorkloads() {
@@ -1041,5 +1179,7 @@ GuestImage vg::buildWorkload(const std::string &Name, uint32_t Scale) {
     return build(wlSwim, Scale);
   if (Name == "sigmt")
     return build(wlSigMt, Scale);
+  if (Name == "mtcpu")
+    return build(wlMtCpu, Scale);
   fatalError(("unknown workload: " + Name).c_str());
 }

@@ -193,6 +193,49 @@ TEST(ShadowFast, CacheInvalidatedByWholeChunkRangeOps) {
   EXPECT_EQ(SM.vbyte(Base), 0xFF);
 }
 
+TEST(ShadowFast, ReclaimThenImmediateProbeNeverSeesStaleSecondary) {
+  // The stale-cache window: the last-secondary cache resolves an owned
+  // secondary, whole-chunk reclamation releases that secondary, and the
+  // very next probe of the same chunk address must re-resolve through the
+  // primary — a stale pointer would read freed memory (or, with slot
+  // reuse, another chunk's shadow). The epoch-validated per-thread cache
+  // makes the reload unconditional; probe every cached entry point.
+  ShadowMap SM;
+  uint32_t Base = 21 * CS;
+  SM.makeUndefined(Base, 64);
+  AddrCheck C;
+  SM.storeV(Base, 4, 0, C);
+  ASSERT_EQ(SM.probeLoadW32(Base), 0ull); // cache holds the owned secondary
+  ASSERT_EQ(SM.chunksLive(), 1u);
+
+  SM.makeNoAccess(Base, CS); // reclaims the cached secondary
+  ASSERT_EQ(SM.chunksLive(), 0u);
+  EXPECT_EQ(SM.probeLoadW32(Base), ShadowMap::ProbeSlow);
+  EXPECT_EQ(SM.probeStoreW32(Base, 0), 1ull);
+  EXPECT_FALSE(SM.abit(Base));
+  AddrCheck C2;
+  EXPECT_EQ(SM.loadV(Base, 4, C2) & 0xFFFFFFFFull, 0xFFFFFFFFull);
+  EXPECT_FALSE(C2.Ok);
+
+  // Same window under deferred reclamation (the sharded scheduler's
+  // mode): the reclaimed secondary is parked, not freed, and the probe
+  // still re-resolves to the DSM.
+  ShadowMap SD;
+  SD.setDeferredReclaim(true);
+  SD.makeUndefined(Base, 64);
+  AddrCheck C3;
+  SD.storeV(Base, 4, 0, C3);
+  ASSERT_EQ(SD.probeLoadW32(Base), 0ull);
+  SD.makeDefined(Base, CS); // whole-chunk swap to the Defined DSM
+  EXPECT_EQ(SD.chunksLive(), 0u);
+  EXPECT_EQ(SD.chunksReclaimed(), 1u);
+  EXPECT_EQ(SD.probeLoadW32(Base), 0ull); // Defined DSM, not the old copy
+  AddrCheck C4;
+  SD.storeV(Base, 4, 0xFFFFFFFFull, C4); // must CoW afresh
+  EXPECT_EQ(SD.chunksMaterialised(), 2u);
+  EXPECT_EQ(SD.vbyte(Base), 0xFF);
+}
+
 //===----------------------------------------------------------------------===//
 // JIT probes
 //===----------------------------------------------------------------------===//
