@@ -49,6 +49,38 @@ echo "== smoke: sec33_warmstart (persistent translation cache) =="
 # rejects, and byte-identical stdout between cold and warm.
 ./build/bench/sec33_warmstart
 
+echo "== smoke: translation server (vgserve) =="
+# Cold run populates a cache directory, a vgserve daemon takes it over,
+# and a fresh client (no local cache) must install everything over the
+# socket: >= 1 server hit, zero inline-JIT fallbacks.
+TTDIR=$(mktemp -d "${TMPDIR:-/tmp}/vg-verify-tts.XXXXXX")
+TTSOCK="$TTDIR/vgserve.sock"
+./build/examples/vgrun --tool=nulgrind --chaining=yes --hot-threshold=2 \
+    --tt-cache="$TTDIR/cache" vortex >/dev/null 2>&1
+./build/src/vgserve --socket="$TTSOCK" --dir="$TTDIR/cache" --quiet &
+VGSERVE_PID=$!
+for _ in 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15 16 17 18 19 20; do
+  [ -S "$TTSOCK" ] && break
+  sleep 0.1
+done
+SRVPROF=$(./build/examples/vgrun --tool=nulgrind --chaining=yes \
+    --hot-threshold=2 --tt-server="$TTSOCK" --profile=yes vortex 2>&1 \
+    | sed -n 's/^server \(requests\|timeouts\)/server \1/p')
+kill "$VGSERVE_PID" 2>/dev/null || true
+wait "$VGSERVE_PID" 2>/dev/null || true
+rm -rf "$TTDIR"
+echo "$SRVPROF"
+SRVHITS=$(echo "$SRVPROF" | sed -n 's/^server requests=[0-9]* hits=\([0-9]*\).*/\1/p')
+SRVFALL=$(echo "$SRVPROF" | sed -n 's/.*fallbacks=\([0-9]*\).*/\1/p')
+[ "${SRVHITS:-0}" -gt 0 ] || {
+  echo "server smoke: expected server hits > 0, got '${SRVHITS:-none}'" >&2
+  exit 1
+}
+[ "${SRVFALL:-1}" -eq 0 ] || {
+  echo "server smoke: expected 0 fallbacks, got '${SRVFALL:-none}'" >&2
+  exit 1
+}
+
 echo "== smoke: sec314_sched (quick soak) =="
 # 5 seeds instead of 50; still checks clean exits, zero Memcheck errors,
 # and byte-identical trace replay per seed.
@@ -83,7 +115,7 @@ echo "== smoke: ThreadSanitizer (concurrency label) =="
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j \
     --target test_translationservice --target test_transcache \
-    --target test_mtsched >/dev/null
+    --target test_transserver --target test_mtsched >/dev/null
 ctest --preset tsan
 
 if [ "$FUZZ_SOAK" = "1" ]; then

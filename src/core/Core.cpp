@@ -79,6 +79,14 @@ Core::Core(Tool *ToolPlugin)
   Opts.addOption("tt-cache-max-mb", "256",
                  "size budget for the --tt-cache directory in MiB; oldest "
                  "entries are evicted to fit (0 = unbounded)");
+  Opts.addOption("tt-server", "",
+                 "Unix-domain socket of a vgserve translation daemon, "
+                 "consulted on a local-cache miss; fetched entries are "
+                 "re-validated before install and any server failure "
+                 "degrades to the local cache / inline JIT (empty = off)");
+  Opts.addOption("tt-server-timeout-ms", "200",
+                 "per-request deadline for --tt-server traffic; a deadline "
+                 "that fires is retried with backoff, then degraded");
   Opts.addOption("sched-threads", "1",
                  "host threads executing guest threads in parallel (1 = the "
                  "serialised big-lock scheduler of Section 3.14; >1 needs a "
@@ -155,25 +163,39 @@ void Core::applyOptions() {
       Opts.getIntChecked("jit-queue-depth", 1, 1024));
   if (JT)
     XS->configure(JT, QD);
-  if (std::string CacheDir = Opts.getString("tt-cache"); !CacheDir.empty()) {
-    uint64_t MaxMb = static_cast<uint64_t>(
-        Opts.getIntChecked("tt-cache-max-mb", 0, 1 << 20));
+  std::string CacheDir = Opts.getString("tt-cache");
+  std::string ServerSock = Opts.getString("tt-server");
+  if (!CacheDir.empty() || !ServerSock.empty()) {
     // The fingerprint covers everything that can change generated code:
     // the tool (its options too — tools register into this same registry)
     // and every core option except the handful that only affect where
     // output/cache files go or what gets *reported* (never what gets
     // *emitted*). --trace-events stays in: it turns on SP-tracking
-    // instrumentation.
+    // instrumentation. Computed once and shared by the cache and the
+    // server client: local files and served images must live in one key
+    // space, so a cold --tt-cache run's directory can be served verbatim.
     auto Items = Opts.items();
     std::erase_if(Items, [](const auto &It) {
       return It.first == "tt-cache" || It.first == "tt-cache-max-mb" ||
+             It.first == "tt-server" || It.first == "tt-server-timeout-ms" ||
              It.first == "log-file" || It.first == "profile" ||
              It.first == "trace-dump" || It.first == "sched-threads";
     });
     uint64_t CH = TransCache::configHash(
         ToolPlugin ? ToolPlugin->name() : "none", Items);
-    XS->attachCache(std::make_unique<TransCache>(
-        CacheDir, MaxMb * (1ull << 20), CH));
+    if (!CacheDir.empty()) {
+      uint64_t MaxMb = static_cast<uint64_t>(
+          Opts.getIntChecked("tt-cache-max-mb", 0, 1 << 20));
+      XS->attachCache(std::make_unique<TransCache>(
+          CacheDir, MaxMb * (1ull << 20), CH));
+    }
+    if (!ServerSock.empty()) {
+      TransServerClient::Config SC;
+      SC.SocketPath = ServerSock;
+      SC.TimeoutMs = static_cast<int>(
+          Opts.getIntChecked("tt-server-timeout-ms", 1, 60000));
+      XS->attachServer(std::make_unique<TransServerClient>(SC), CH);
+    }
   }
 }
 
@@ -803,6 +825,22 @@ void Core::dumpProfile() {
     C.CacheDirBytes = TC->totalBytes();
     C.CacheLoadSeconds = J.CacheLoadSeconds;
     C.CacheStoreSeconds = J.CacheStoreSeconds;
+  }
+  if (const TransServerClient *SC = XS->server()) {
+    const JitStats &J = XS->jitStats();
+    C.HasTransServer = true;
+    C.ServerRequests = J.ServerRequests;
+    C.ServerHits = J.ServerHits;
+    C.ServerMisses = J.ServerMisses;
+    C.ServerRejects = J.ServerRejects;
+    C.ServerTimeouts = J.ServerTimeouts;
+    C.ServerRetries = J.ServerRetries;
+    C.ServerFallbacks = J.ServerFallbacks;
+    C.ServerWrites = J.ServerWrites;
+    C.ServerBytesFetched = J.ServerBytesFetched;
+    C.ServerBytesSent = J.ServerBytesSent;
+    C.ServerFetchSeconds = J.ServerFetchSeconds;
+    C.ServerAlive = SC->alive();
   }
   if (SchedThreads > 1) {
     C.HasSched = true;

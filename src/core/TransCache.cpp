@@ -6,10 +6,13 @@
 #include "ir/IR.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <map>
+
+#include <unistd.h>
 
 using namespace vg;
 
@@ -151,16 +154,30 @@ uint64_t TransCache::configHash(
   return H;
 }
 
+std::string TransCache::entryFileName(uint64_t ConfigHash, uint64_t Key) {
+  return hex16(ConfigHash) + "-" + hex16(Key) + ".vgtc";
+}
+
 std::string TransCache::entryPath(uint64_t Key) const {
-  return Dir + "/" + hex16(ConfigHash) + "-" + hex16(Key) + ".vgtc";
+  return Dir + "/" + entryFileName(ConfigHash, Key);
 }
 
 TransCache::LoadResult TransCache::load(uint64_t Key, TransCacheEntry &Out) {
   std::vector<uint8_t> File;
   if (!readWholeFile(entryPath(Key), File))
     return LoadResult::NotFound;
+  return decodeEntryFile(File, ConfigHash, Key, Out, /*ResolveCallees=*/true);
+}
 
-  if (File.size() < HeaderSize)
+TransCache::LoadResult
+TransCache::decodeEntryFile(const std::vector<uint8_t> &File,
+                            uint64_t ConfigHash, uint64_t Key,
+                            TransCacheEntry &Out, bool ResolveCallees) {
+  // A zero-length file is what an interrupted writer or an aggressive
+  // truncation leaves behind. It must settle as Malformed (a reject) —
+  // an entry that exists but carries no translation can never be a hit
+  // candidate. Pinned by TransCacheTests.ZeroLengthEntryIsMalformed.
+  if (File.empty() || File.size() < HeaderSize)
     return LoadResult::Malformed;
   Cursor H{File.data(), HeaderSize};
   uint8_t M[4] = {H.u8(), H.u8(), H.u8(), H.u8()};
@@ -208,10 +225,12 @@ TransCache::LoadResult TransCache::load(uint64_t Key, TransCacheEntry &Out) {
   if (!C.Ok || C.Off != C.N || E.ChainTargets.size() != E.NumChainSlots)
     return LoadResult::Malformed;
 
-  // Resolve the callee name indexes back into live pointers. The blob is
-  // re-walked with the same decoder store() used, so a stored entry whose
-  // bytes do not decode — or that somehow smuggled an unpatched field —
-  // can never reach the executor.
+  // Re-walk the blob with the same decoder store() used, so a stored
+  // entry whose bytes do not decode — or that somehow smuggled an
+  // unpatched field — can never reach the executor. The structural walk
+  // and index bounds checks always run; only the name -> live pointer
+  // patch is skipped for out-of-process validators (the server daemon,
+  // where this process's Callee addresses mean nothing).
   std::vector<uint32_t> Slots;
   if (!hvm::findCalleeSlots(E.Bytes, Slots))
     return LoadResult::Malformed;
@@ -219,6 +238,8 @@ TransCache::LoadResult TransCache::load(uint64_t Key, TransCacheEntry &Out) {
     uint64_t Idx = readFieldU64(E.Bytes.data() + Off);
     if (Idx >= Names.size())
       return LoadResult::Malformed;
+    if (!ResolveCallees)
+      continue;
     const ir::Callee *Callee = ir::findCalleeByName(Names[Idx]);
     if (!Callee)
       return LoadResult::Malformed; // helper unknown to this process
@@ -231,13 +252,22 @@ TransCache::LoadResult TransCache::load(uint64_t Key, TransCacheEntry &Out) {
 }
 
 bool TransCache::store(uint64_t Key, const TransCacheEntry &E) {
-  // Make the blob position-independent: every CALL's pointer field becomes
-  // an index into the serialized name table.
-  std::vector<uint32_t> Slots;
-  if (!hvm::findCalleeSlots(E.Bytes, Slots)) {
+  std::vector<uint8_t> File;
+  if (!encodeEntryFile(ConfigHash, Key, E, File)) {
     ++WriteFailures;
     return false;
   }
+  return storeFile(Key, File);
+}
+
+bool TransCache::encodeEntryFile(uint64_t ConfigHash, uint64_t Key,
+                                 const TransCacheEntry &E,
+                                 std::vector<uint8_t> &File) {
+  // Make the blob position-independent: every CALL's pointer field becomes
+  // an index into the serialized name table.
+  std::vector<uint32_t> Slots;
+  if (!hvm::findCalleeSlots(E.Bytes, Slots))
+    return false;
   std::vector<uint8_t> Bytes = E.Bytes;
   std::vector<std::string> Names;
   std::map<uint64_t, uint64_t> NameIdx; // pointer bits -> table index
@@ -247,10 +277,8 @@ bool TransCache::store(uint64_t Key, const TransCacheEntry &E) {
     if (It == NameIdx.end()) {
       const char *Name = ir::registeredCalleeName(
           reinterpret_cast<const ir::Callee *>(static_cast<uintptr_t>(Ptr)));
-      if (!Name) {
-        ++WriteFailures; // anonymous helper: entry cannot leave the process
-        return false;
-      }
+      if (!Name)
+        return false; // anonymous helper: entry cannot leave the process
       It = NameIdx.emplace(Ptr, Names.size()).first;
       Names.push_back(Name);
     }
@@ -280,7 +308,7 @@ bool TransCache::store(uint64_t Key, const TransCacheEntry &E) {
   putU32(Payload, static_cast<uint32_t>(Bytes.size()));
   Payload.insert(Payload.end(), Bytes.begin(), Bytes.end());
 
-  std::vector<uint8_t> File;
+  File.clear();
   File.reserve(HeaderSize + Payload.size());
   File.insert(File.end(), Magic, Magic + 4);
   putU32(File, TransCacheFormatVersion);
@@ -289,7 +317,10 @@ bool TransCache::store(uint64_t Key, const TransCacheEntry &E) {
   putU32(File, static_cast<uint32_t>(Payload.size()));
   putU64(File, fnv1a(Payload.data(), Payload.size()));
   File.insert(File.end(), Payload.begin(), Payload.end());
+  return true;
+}
 
+bool TransCache::storeFile(uint64_t Key, const std::vector<uint8_t> &File) {
   std::string Path = entryPath(Key);
   std::error_code EC;
   uint64_t OldSize = static_cast<uint64_t>(fs::file_size(Path, EC));
@@ -298,9 +329,17 @@ bool TransCache::store(uint64_t Key, const TransCacheEntry &E) {
   if (MaxBytes)
     evictToFit(File.size() > OldSize ? File.size() - OldSize : 0);
 
-  // Atomic publication: a crash mid-write leaves only a .tmp the next
-  // construction ignores (wrong extension), never a torn entry.
-  std::string Tmp = Path + ".tmp";
+  // Atomic publication: a crash mid-write leaves only a temp file the next
+  // construction ignores (wrong extension), never a torn entry. The temp
+  // name carries pid + a process-wide counter: two writers racing on the
+  // same key (two processes warming one directory, or two threads with
+  // separate TransCache instances) must each stage into a private file —
+  // a shared temp name would interleave their writes and rename(2) could
+  // then publish the torn mix under the valid name. Pinned by
+  // TransCacheTests.TwoWritersSameKeyNeverTearAnEntry.
+  static std::atomic<uint64_t> TmpCounter{0};
+  std::string Tmp = Path + "." + std::to_string(getpid()) + "-" +
+                    std::to_string(TmpCounter.fetch_add(1)) + ".tmp";
   std::FILE *F = std::fopen(Tmp.c_str(), "wb");
   if (!F) {
     ++WriteFailures;
@@ -353,7 +392,7 @@ void TransCache::evictToFit(uint64_t NeedBytes) {
   }
 }
 
-void TransCache::poison(uint32_t Addr, uint32_t Len) {
+void PoisonSet::poison(uint32_t Addr, uint32_t Len) {
   if (Len == 0)
     return;
   // 64-bit exclusive end: Addr + Len may legitimately equal 2^32 (a range
@@ -361,18 +400,27 @@ void TransCache::poison(uint32_t Addr, uint32_t Len) {
   // byte 0xFFFFFFFF rather than being clipped or wrapping.
   uint64_t Hi = std::min<uint64_t>(static_cast<uint64_t>(Addr) + Len,
                                    0x100000000ull);
-  Poisoned.push_back({Addr, Hi});
+  Ranges.push_back({Addr, Hi});
 }
 
-void TransCache::poisonAll() { PoisonedAll = true; }
-
-bool TransCache::poisoned(
+bool PoisonSet::poisoned(
     const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const {
-  if (PoisonedAll)
+  if (All)
     return !Extents.empty();
   for (auto [Lo, Hi] : Extents)
-    for (auto [PLo, PHi] : Poisoned)
+    for (auto [PLo, PHi] : Ranges)
       if (Lo < PHi && PLo < Hi)
         return true;
   return false;
+}
+
+void TransCache::poison(uint32_t Addr, uint32_t Len) {
+  Poison.poison(Addr, Len);
+}
+
+void TransCache::poisonAll() { Poison.poisonAll(); }
+
+bool TransCache::poisoned(
+    const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const {
+  return Poison.poisoned(Extents);
 }

@@ -93,13 +93,77 @@ uint64_t TranslationService::cachePrefixHash(uint32_t PC) const {
   return H;
 }
 
+unsigned TranslationService::invalidate(uint32_t Addr, uint32_t Len) {
+  if (Cache)
+    Cache->poison(Addr, Len);
+  else if (Server)
+    ServerPoison.poison(Addr, Len);
+  if (Server)
+    Server->poison(ServerCfg, Addr, Len); // daemon eviction, best-effort
+  return TT.invalidateRange(Addr, Len);
+}
+
+unsigned TranslationService::invalidateAll() {
+  if (Cache)
+    Cache->poisonAll();
+  else if (Server)
+    ServerPoison.poisonAll();
+  if (Server)
+    Server->poisonAll(ServerCfg); // best-effort
+  unsigned N = static_cast<unsigned>(TT.size());
+  TT.invalidateAll();
+  return N;
+}
+
+TransCache::LoadResult
+TranslationService::loadFromServer(uint64_t Key, TransCacheEntry &E,
+                                   std::vector<uint8_t> &Image,
+                                   bool &FromServer) {
+  double T0 = now();
+  ++JS.ServerRequests;
+  TransServerClient::CallStats CS;
+  TransServerClient::FetchResult FR = Server->get(ServerCfg, Key, Image, &CS);
+  JS.ServerRetries += CS.Retries;
+  JS.ServerTimeouts += CS.Timeouts;
+  JS.ServerFetchSeconds += now() - T0;
+  switch (FR) {
+  case TransServerClient::FetchResult::Failed:
+    // Timeout / EOF / malformed frame / dead-latched daemon: the ladder's
+    // degrade rung. Indistinguishable from a miss above here — the caller
+    // falls through to the inline pipeline, never stalls.
+    ++JS.ServerFallbacks;
+    return TransCache::LoadResult::NotFound;
+  case TransServerClient::FetchResult::Miss:
+    ++JS.ServerMisses;
+    return TransCache::LoadResult::NotFound;
+  case TransServerClient::FetchResult::Hit:
+    break;
+  }
+  FromServer = true;
+  JS.ServerBytesFetched += Image.size();
+  // The socket adds no trust: the image runs through exactly the decode a
+  // local --tt-cache file gets (header, checksum, callee resolution), and
+  // the caller still applies the live-hash and poison gauntlet on top.
+  return TransCache::decodeEntryFile(Image, ServerCfg, Key, E,
+                                     /*ResolveCallees=*/true);
+}
+
 Translation *
 TranslationService::installFromCache(std::unique_ptr<Translation> &TPtr,
                                      uint64_t Key, uint32_t PC, bool Hot,
                                      bool Promotion) {
   double T0 = now();
   TransCacheEntry E;
-  TransCache::LoadResult R = Cache->load(Key, E);
+  TransCache::LoadResult R = TransCache::LoadResult::NotFound;
+  if (Cache)
+    R = Cache->load(Key, E);
+  // The daemon is strictly behind the local cache: consulted only when no
+  // local entry exists at all (a local Malformed entry is a reject, not a
+  // licence to try the network).
+  bool FromServer = false;
+  std::vector<uint8_t> ServerImage;
+  if (R == TransCache::LoadResult::NotFound && Server)
+    R = loadFromServer(Key, E, ServerImage, FromServer);
   if (R == TransCache::LoadResult::NotFound) {
     ++JS.CacheMisses;
     JS.CacheLoadSeconds += now() - T0;
@@ -111,10 +175,20 @@ TranslationService::installFromCache(std::unique_ptr<Translation> &TPtr,
   // the range. Anything else is a reject — fall through to the pipeline.
   if (R == TransCache::LoadResult::Malformed || E.Addr != PC ||
       E.Tier != (Hot ? 1 : 0) || E.Extents.empty() ||
-      hashLive(E.Extents) != E.CodeHash || Cache->poisoned(E.Extents)) {
+      hashLive(E.Extents) != E.CodeHash || poisonedExtents(E.Extents)) {
     ++JS.CacheRejects;
+    if (FromServer)
+      ++JS.ServerRejects;
     JS.CacheLoadSeconds += now() - T0;
     return nullptr;
+  }
+  if (FromServer) {
+    ++JS.ServerHits;
+    // Write-through AFTER the full gauntlet passed, using the pristine
+    // file image (decode patches callee indexes to live pointers in its
+    // own copy; the image on disk must keep the indexes).
+    if (Cache)
+      Cache->storeFile(Key, ServerImage);
   }
 
   Translation *Raw = TPtr.get();
@@ -155,8 +229,29 @@ void TranslationService::writeBackToCache(uint64_t Key, const Translation &T) {
   E.NumChainSlots = T.Blob.NumChainSlots;
   E.ChainTargets = T.Blob.ChainTargets;
   E.Bytes = T.Blob.Bytes;
-  if (Cache->store(Key, E))
+  // One encode feeds both sinks: the local cache file and the daemon PUT
+  // carry byte-identical images, so a future client fetching this entry
+  // re-validates exactly what a local warm run would read.
+  uint64_t CH = Cache ? Cache->configHashValue() : ServerCfg;
+  std::vector<uint8_t> File;
+  if (!TransCache::encodeEntryFile(CH, Key, E, File)) {
+    if (Cache)
+      Cache->noteWriteFailure();
+    JS.CacheStoreSeconds += now() - T0;
+    return;
+  }
+  if (Cache && Cache->storeFile(Key, File))
     ++JS.CacheWrites;
+  if (Server) {
+    TransServerClient::CallStats CS;
+    bool Ok = Server->put(ServerCfg, Key, File, &CS);
+    JS.ServerRetries += CS.Retries;
+    JS.ServerTimeouts += CS.Timeouts;
+    if (Ok) {
+      ++JS.ServerWrites;
+      JS.ServerBytesSent += File.size();
+    }
+  }
   JS.CacheStoreSeconds += now() - T0;
 }
 
@@ -171,7 +266,7 @@ Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
   // (Raw->Cacheable) was just decided by setupTranslation on this thread,
   // so position-dependent blobs (SMC prelude) never consult the disk.
   uint64_t Key = 0;
-  bool UseCache = Cache && Raw->Cacheable;
+  bool UseCache = (Cache || Server) && Raw->Cacheable;
   if (UseCache) {
     Key = TransCache::entryKey(PC, Hot, cachePrefixHash(PC));
     if (Translation *T = installFromCache(TPtr, Key, PC, Hot,
@@ -197,7 +292,7 @@ Translation *TranslationService::translateSync(uint32_t PC, bool Hot) {
   Raw->CodeHash = hashLive(Raw->Extents);
   Host.noteTranslation(PC, *Raw, now() - T0);
   Translation *Res = TT.insert(std::move(TPtr));
-  if (UseCache && !Cache->poisoned(Res->Extents))
+  if (UseCache && !poisonedExtents(Res->Extents))
     writeBackToCache(Key, *Res);
   return Res;
 }
@@ -244,7 +339,7 @@ Translation *TranslationService::translateTrace(const TraceSpec &Spec) {
 }
 
 Translation *TranslationService::promoteFromCache(uint32_t PC) {
-  if (!Cache)
+  if (!Cache && !Server)
     return nullptr;
   auto TPtr = std::make_unique<Translation>();
   TranslationOptions TO;
@@ -497,7 +592,7 @@ unsigned TranslationService::drainCompleted() {
     // Persist the freshly-installed superblock. The live-hash check just
     // passed, so a key derived from live bytes matches what a future
     // lookup (which also reads live bytes) will compute.
-    if (Cache && NT->Cacheable && !Cache->poisoned(NT->Extents))
+    if ((Cache || Server) && NT->Cacheable && !poisonedExtents(NT->Extents))
       writeBackToCache(
           TransCache::entryKey(NT->Addr, /*Hot=*/true, cachePrefixHash(NT->Addr)),
           *NT);

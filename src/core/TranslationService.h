@@ -40,6 +40,7 @@
 #include "core/Translate.h"
 #include "guest/GuestMemory.h"
 #include "ir/IROpt.h"
+#include "server/TransServerClient.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -91,6 +92,25 @@ struct JitStats {
   uint64_t TraceAborts = 0;    ///< spill overflow / worker failure
   uint64_t TraceDeadFlagPuts = 0; ///< dead CC-thunk writes deleted
   uint64_t TraceProbesCSEd = 0;   ///< shadow probes CSE'd across seams
+  // Translation server (--tt-server). The daemon is consulted only after
+  // the local cache misses, so ServerHits is a subset of CacheHits and the
+  // cache identity above still holds. The server's own identity:
+  // ServerRequests == ServerHits + ServerMisses + ServerRejects +
+  // ServerFallbacks — every lookup settles into exactly one bucket, and a
+  // Fallback (timeout/EOF/malformed/dead daemon) degrades to the local
+  // pipeline, never to a stall. Timeouts/Retries also cover write-back
+  // PUT traffic; the hit/miss buckets never do.
+  uint64_t ServerRequests = 0;  ///< server lookups settled (incl. dead skips)
+  uint64_t ServerHits = 0;      ///< fetched, validated, and installed
+  uint64_t ServerMisses = 0;    ///< daemon had no entry under the key
+  uint64_t ServerRejects = 0;   ///< fetched but failed validation; pipeline ran
+  uint64_t ServerTimeouts = 0;  ///< per-request deadlines that fired
+  uint64_t ServerRetries = 0;   ///< re-attempts after a failed attempt
+  uint64_t ServerFallbacks = 0; ///< lookups that degraded down the ladder
+  uint64_t ServerWrites = 0;    ///< translations pushed to the daemon
+  uint64_t ServerBytesFetched = 0;
+  uint64_t ServerBytesSent = 0;
+  double ServerFetchSeconds = 0; ///< guest time in server lookups
 };
 
 /// The hooks the service needs from its host (the Core). Small enough that
@@ -156,28 +176,34 @@ public:
   /// workers never see it.
   void attachCache(std::unique_ptr<TransCache> C) { Cache = std::move(C); }
   TransCache *cache() { return Cache.get(); }
+  const TransCache *cache() const { return Cache.get(); }
+
+  /// Attaches the translation-server client (--tt-server). Call before
+  /// execution starts. \p ConfigHash is the same fingerprint the cache
+  /// uses — with both attached it MUST be the value the cache was built
+  /// with, so local files and served images decode under one key space.
+  /// Guest-thread-only, exactly like the cache.
+  void attachServer(std::unique_ptr<TransServerClient> S,
+                    uint64_t ConfigHash) {
+    Server = std::move(S);
+    ServerCfg = ConfigHash;
+  }
+  TransServerClient *server() { return Server.get(); }
+  const TransServerClient *server() const { return Server.get(); }
 
   /// Invalidation entry point hosts use instead of raw TT.invalidateRange:
-  /// bumps the flush epoch exactly as before AND poisons the cache, so a
-  /// redirected/unmapped address can't be re-served from disk this run.
-  unsigned invalidate(uint32_t Addr, uint32_t Len) {
-    if (Cache)
-      Cache->poison(Addr, Len);
-    return TT.invalidateRange(Addr, Len);
-  }
+  /// bumps the flush epoch exactly as before AND poisons the cache (or the
+  /// server-only poison set) so a redirected/unmapped address can't be
+  /// re-served this run, AND notifies the daemon (best-effort, bounded) so
+  /// it evicts entries intersecting the range.
+  unsigned invalidate(uint32_t Addr, uint32_t Len);
 
   /// Full-address-space invalidation. A Len parameter cannot express the
   /// whole 4GB guest space in 32 bits, and invalidate(0, 0xFFFFFFFF)
   /// silently missed translations covering the final guest byte — the
   /// fault-injected TT flush used exactly that spelling. One epoch bump,
   /// every translation discarded, the whole cache poisoned.
-  unsigned invalidateAll() {
-    if (Cache)
-      Cache->poisonAll();
-    unsigned N = static_cast<unsigned>(TT.size());
-    TT.invalidateAll();
-    return N;
-  }
+  unsigned invalidateAll();
 
   /// The synchronous pipeline: translate the block at \p PC (hot = chase
   /// branches into a superblock), hash its bytes, account it through the
@@ -276,7 +302,24 @@ private:
   Translation *installFromCache(std::unique_ptr<Translation> &TPtr,
                                 uint64_t Key, uint32_t PC, bool Hot,
                                 bool Promotion);
-  /// Serializes an installed translation under \p Key (counts CacheWrites).
+  /// Fetches \p Key from the daemon and decodes it. NotFound on miss or
+  /// any transport failure (the ladder's "degrade" rung), Malformed when
+  /// the daemon returned bytes that fail validation. On Found, \p Image
+  /// keeps the pristine pre-callee-patch file bytes for write-through and
+  /// \p FromServer is set so the caller attributes the install (or the
+  /// reject — FromServer is set for Malformed too).
+  TransCache::LoadResult loadFromServer(uint64_t Key, TransCacheEntry &E,
+                                        std::vector<uint8_t> &Image,
+                                        bool &FromServer);
+  /// The run's semantic-invalidation check: the cache's poison set when a
+  /// cache is attached, the service-level set in server-only mode.
+  bool poisonedExtents(
+      const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const {
+    return Cache ? Cache->poisoned(Extents) : ServerPoison.poisoned(Extents);
+  }
+  /// Serializes an installed translation under \p Key: encoded once, then
+  /// published to the local cache (counts CacheWrites) and pushed to the
+  /// daemon (counts ServerWrites).
   void writeBackToCache(uint64_t Key, const Translation &T);
   uint64_t hashLive(
       const std::vector<std::pair<uint32_t, uint32_t>> &Extents) const;
@@ -328,6 +371,14 @@ private:
 
   /// Persistent translation cache, or null. Guest thread only.
   std::unique_ptr<TransCache> Cache;
+
+  /// Translation-server client (--tt-server), or null. Guest thread only.
+  std::unique_ptr<TransServerClient> Server;
+  uint64_t ServerCfg = 0; ///< config fingerprint sent with every request
+  /// Same-run poison bookkeeping for server-only mode (--tt-server with no
+  /// local --tt-cache): without a TransCache to own the set, redirects and
+  /// unmaps must still reject served entries for the rest of the run.
+  PoisonSet ServerPoison;
 
   JitStats JS; ///< guest thread only
 };

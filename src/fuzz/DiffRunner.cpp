@@ -2,6 +2,7 @@
 
 #include "fuzz/DiffRunner.h"
 
+#include "server/TransServer.h"
 #include "tools/Cachegrind.h"
 #include "tools/ICnt.h"
 #include "tools/Memcheck.h"
@@ -194,6 +195,18 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                true,
                /*CheckSmcRetrans=*/false,
                /*CacheTwice=*/true});
+  // Translation server: same double-run shape as the cache cells, but the
+  // translations travel through a live in-process vgserve daemon — cold run
+  // warms it via write-back PUTs, warm run installs over the socket after
+  // full client-side re-validation.
+  M.push_back({"nulgrind-served",
+               "nulgrind",
+               {"--chaining=yes", "--hot-threshold=2"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false,
+               /*CacheTwice=*/false,
+               /*ServeTwice=*/true});
   if (P.Smc)
     for (FuzzConfig &C : M)
       C.Opts.push_back("--smc-check=all");
@@ -216,6 +229,7 @@ static void runOne(const FuzzProgram &P, const GuestImage &Img,
                    const RunReport &Oracle, const FuzzConfig &C,
                    std::vector<Divergence> &Out) {
   std::string CacheDir;
+  std::string ServerSock;
   auto runAs = [&](const FuzzConfig &Cell) {
     std::unique_ptr<Tool> T = makeTool(Cell.ToolName);
     if (!T) {
@@ -225,12 +239,38 @@ static void runOne(const FuzzProgram &P, const GuestImage &Img,
     std::vector<std::string> Opts = Cell.Opts;
     if (!CacheDir.empty())
       Opts.push_back("--tt-cache=" + CacheDir);
+    if (!ServerSock.empty())
+      Opts.push_back("--tt-server=" + ServerSock);
     RunReport Got =
         runUnderCore(Img, T.get(), Opts, P.StdinData, CoreMaxBlocks);
     const ICnt *Counter = dynamic_cast<const ICnt *>(T.get());
     const Memcheck *Mc = dynamic_cast<const Memcheck *>(T.get());
     compareReports(Oracle, Got, Cell, Counter, Mc, P.Smc, P.Signals, Out);
   };
+  if (C.ServeTwice) {
+    std::string Dir = freshCacheDir();
+    TransServer::Options SO;
+    SO.Dir = Dir;
+    SO.SocketPath = Dir + ".sock";
+    TransServer Server(SO);
+    std::string SrvErr;
+    if (!Server.start(SrvErr)) {
+      // No socket to serve on (exotic sandbox): the client would just fall
+      // back to inline JIT, which the plain cells already cover — skip.
+      std::error_code EC;
+      std::filesystem::remove_all(Dir, EC);
+      return;
+    }
+    ServerSock = SO.SocketPath;
+    runAs(C); // cold: warms the daemon via write-back PUTs
+    FuzzConfig Warm = C;
+    Warm.Name += "-warm";
+    runAs(Warm); // warm: installs over the wire
+    Server.stop();
+    std::error_code EC;
+    std::filesystem::remove_all(Dir, EC);
+    return;
+  }
   if (!C.CacheTwice) {
     runAs(C);
     return;

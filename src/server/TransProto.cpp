@@ -1,0 +1,205 @@
+//===-- server/TransProto.cpp - Translation-server wire protocol ----------==//
+
+#include "server/TransProto.h"
+
+#include <chrono>
+#include <cstring>
+
+#include <errno.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0 // a dead peer then raises SIGPIPE; Linux has it
+#endif
+
+using namespace vg;
+using namespace vg::srv;
+
+void srv::putU32(std::vector<uint8_t> &B, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+void srv::putU64(std::vector<uint8_t> &B, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    B.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint32_t srv::getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V |= static_cast<uint32_t>(P[I]) << (8 * I);
+  return V;
+}
+
+uint64_t srv::getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+namespace {
+
+double nowSeconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Remaining milliseconds until \p Deadline (seconds), or -1 for "block".
+int remainingMs(double Deadline) {
+  if (Deadline < 0)
+    return -1;
+  double Left = (Deadline - nowSeconds()) * 1e3;
+  if (Left <= 0)
+    return 0;
+  return Left > 1e9 ? 1000000000 : static_cast<int>(Left) + 1;
+}
+
+/// Reads exactly \p N bytes. \p Progress reports whether any byte landed,
+/// so callers can tell an idle timeout from a mid-frame stall.
+IoResult readFull(int Fd, uint8_t *Buf, size_t N, double Deadline,
+                  bool &Progress) {
+  size_t Got = 0;
+  while (Got != N) {
+    int Wait = remainingMs(Deadline);
+    if (Wait == 0)
+      return Got || Progress ? IoResult::Error : IoResult::Timeout;
+    struct pollfd P = {Fd, POLLIN, 0};
+    int R = poll(&P, 1, Wait);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoResult::Error;
+    }
+    if (R == 0)
+      return Got || Progress ? IoResult::Error : IoResult::Timeout;
+    ssize_t K = recv(Fd, Buf + Got, N - Got, 0);
+    if (K == 0)
+      return Got || Progress ? IoResult::Error : IoResult::Eof;
+    if (K < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return IoResult::Error;
+    }
+    Got += static_cast<size_t>(K);
+    Progress = true;
+  }
+  return IoResult::Ok;
+}
+
+IoResult writeFull(int Fd, const uint8_t *Buf, size_t N, double Deadline) {
+  size_t Put = 0;
+  while (Put != N) {
+    int Wait = remainingMs(Deadline);
+    if (Wait == 0)
+      return IoResult::Timeout;
+    struct pollfd P = {Fd, POLLOUT, 0};
+    int R = poll(&P, 1, Wait);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoResult::Error;
+    }
+    if (R == 0)
+      return IoResult::Timeout;
+    ssize_t K = send(Fd, Buf + Put, N - Put, MSG_NOSIGNAL);
+    if (K < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return IoResult::Error; // includes EPIPE: peer is gone
+    }
+    Put += static_cast<size_t>(K);
+  }
+  return IoResult::Ok;
+}
+
+} // namespace
+
+IoResult srv::writeFrame(int Fd, MsgType Type, const uint8_t *Body,
+                         size_t Len, int TimeoutMs) {
+  if (Len > MaxFrameBody)
+    return IoResult::Malformed;
+  double Deadline = TimeoutMs < 0 ? -1 : nowSeconds() + TimeoutMs * 1e-3;
+  std::vector<uint8_t> Buf;
+  Buf.reserve(FrameHeaderSize + Len);
+  Buf.insert(Buf.end(), FrameMagic, FrameMagic + 4);
+  Buf.push_back(static_cast<uint8_t>(Type));
+  putU32(Buf, static_cast<uint32_t>(Len));
+  if (Len)
+    Buf.insert(Buf.end(), Body, Body + Len);
+  return writeFull(Fd, Buf.data(), Buf.size(), Deadline);
+}
+
+IoResult srv::readFrame(int Fd, Frame &Out, int TimeoutMs) {
+  double Deadline = TimeoutMs < 0 ? -1 : nowSeconds() + TimeoutMs * 1e-3;
+  uint8_t Hdr[FrameHeaderSize];
+  bool Progress = false;
+  IoResult R = readFull(Fd, Hdr, sizeof(Hdr), Deadline, Progress);
+  if (R != IoResult::Ok)
+    return R;
+  if (std::memcmp(Hdr, FrameMagic, 4) != 0)
+    return IoResult::Malformed;
+  uint32_t Len = getU32(Hdr + 5);
+  if (Len > MaxFrameBody)
+    return IoResult::Malformed;
+  Out.Type = static_cast<MsgType>(Hdr[4]);
+  Out.Body.resize(Len);
+  if (Len) {
+    R = readFull(Fd, Out.Body.data(), Len, Deadline, Progress);
+    if (R != IoResult::Ok)
+      // A truncated body (peer closed or stalled mid-frame) can never be
+      // interpreted; surface it as Malformed so both sides drop the
+      // connection rather than resynchronise on garbage.
+      return R == IoResult::Error || R == IoResult::Eof ? IoResult::Malformed
+                                                        : R;
+  }
+  return IoResult::Ok;
+}
+
+static int makeUnixAddr(const std::string &Path, struct sockaddr_un &SA) {
+  if (Path.size() >= sizeof(SA.sun_path))
+    return -1;
+  std::memset(&SA, 0, sizeof(SA));
+  SA.sun_family = AF_UNIX;
+  std::memcpy(SA.sun_path, Path.c_str(), Path.size() + 1);
+  return 0;
+}
+
+int srv::connectUnix(const std::string &Path) {
+  struct sockaddr_un SA;
+  if (makeUnixAddr(Path, SA) < 0)
+    return -1;
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  for (;;) {
+    if (connect(Fd, reinterpret_cast<struct sockaddr *>(&SA), sizeof(SA)) ==
+        0)
+      return Fd;
+    if (errno == EINTR)
+      continue;
+    close(Fd);
+    return -1;
+  }
+}
+
+int srv::listenUnix(const std::string &Path, int Backlog) {
+  struct sockaddr_un SA;
+  if (makeUnixAddr(Path, SA) < 0)
+    return -1;
+  int Fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  unlink(Path.c_str()); // a stale socket from a dead daemon
+  if (bind(Fd, reinterpret_cast<struct sockaddr *>(&SA), sizeof(SA)) < 0 ||
+      listen(Fd, Backlog) < 0) {
+    close(Fd);
+    return -1;
+  }
+  return Fd;
+}

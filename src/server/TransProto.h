@@ -1,0 +1,95 @@
+//===-- server/TransProto.h - Translation-server wire protocol -*- C++ -*-==//
+///
+/// \file
+/// The framing layer shared by vgserve and the --tt-server client: a
+/// length-prefixed frame protocol over a Unix-domain stream socket.
+///
+///   Frame := Magic "VGTP" (4) | Type (u8) | BodyLen (u32 LE) | Body
+///
+/// Request bodies (client -> daemon):
+///   Get    := ConfigHash u64 | Key u64
+///   Put    := ConfigHash u64 | Key u64 | entry file image (VGTC bytes)
+///   Poison := ConfigHash u64 | All u8 | Addr u32 | Len u32
+///   Ping   := (empty)
+///
+/// Response bodies (daemon -> client):
+///   Hit  := entry file image      Miss := (empty)
+///   Ok   := (empty)               Err  := (empty)
+///
+/// Two deliberate properties:
+///
+///  - The payload is the *on-disk file image* (TransCache's VGTC format),
+///    checksummed and position-independent. The daemon never decodes host
+///    pointers and the client re-validates every fetched image exactly as
+///    it validates a local --tt-cache file — the socket adds no trust.
+///  - Every read honours a deadline. A frame with a bad magic or an
+///    oversized body is Malformed; a peer that stalls mid-frame is an
+///    Error, distinct from an idle Timeout before any byte arrived, so
+///    servers can keep idle connections open while dropping wedged ones.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_SERVER_TRANSPROTO_H
+#define VG_SERVER_TRANSPROTO_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vg {
+namespace srv {
+
+constexpr char FrameMagic[4] = {'V', 'G', 'T', 'P'};
+constexpr size_t FrameHeaderSize = 4 + 1 + 4;
+/// An entry is never remotely this big (TransCache rejects reads over
+/// 64 MiB too); anything larger is a malformed or hostile frame.
+constexpr uint32_t MaxFrameBody = 64u << 20;
+
+enum class MsgType : uint8_t {
+  Get = 1,
+  Put = 2,
+  Poison = 3,
+  Ping = 4,
+  Hit = 16,
+  Miss = 17,
+  Ok = 18,
+  Err = 19,
+};
+
+struct Frame {
+  MsgType Type = MsgType::Err;
+  std::vector<uint8_t> Body;
+};
+
+enum class IoResult {
+  Ok,
+  Timeout,   ///< deadline expired before ANY byte of the frame arrived
+  Eof,       ///< peer closed cleanly at a frame boundary
+  Malformed, ///< bad magic, oversized body, or a non-frame byte stream
+  Error,     ///< socket error, or a peer that stalled/closed mid-frame
+};
+
+/// Little-endian field helpers shared by both sides.
+void putU32(std::vector<uint8_t> &B, uint32_t V);
+void putU64(std::vector<uint8_t> &B, uint64_t V);
+uint32_t getU32(const uint8_t *P);
+uint64_t getU64(const uint8_t *P);
+
+/// Sends one complete frame. \p TimeoutMs bounds the whole send (-1 =
+/// block); a slow or dead peer settles as Timeout/Error, never a stall.
+IoResult writeFrame(int Fd, MsgType Type, const uint8_t *Body, size_t Len,
+                    int TimeoutMs);
+
+/// Receives one complete frame within \p TimeoutMs (-1 = block).
+IoResult readFrame(int Fd, Frame &Out, int TimeoutMs);
+
+/// Connects to the AF_UNIX stream socket at \p Path; -1 on failure.
+int connectUnix(const std::string &Path);
+
+/// Binds and listens on \p Path (unlinking any stale socket first);
+/// -1 on failure (path too long for sun_path, bind/listen error).
+int listenUnix(const std::string &Path, int Backlog);
+
+} // namespace srv
+} // namespace vg
+
+#endif // VG_SERVER_TRANSPROTO_H

@@ -1,0 +1,147 @@
+//===-- server/TransServerClient.cpp - --tt-server client -----------------==//
+
+#include "server/TransServerClient.h"
+
+#include <unistd.h>
+
+using namespace vg;
+using namespace vg::srv;
+
+TransServerClient::~TransServerClient() { closeFd(); }
+
+void TransServerClient::closeFd() {
+  if (Fd >= 0) {
+    close(Fd);
+    Fd = -1;
+  }
+}
+
+bool TransServerClient::request(MsgType Type,
+                                const std::vector<uint8_t> &Body,
+                                Frame &Reply, CallStats *CS) {
+  if (Dead)
+    return false;
+  ++S.Requests;
+  if (CS)
+    CS->Attempted = true;
+  for (int Attempt = 0; Attempt <= C.MaxRetries; ++Attempt) {
+    if (Attempt) {
+      ++S.Retries;
+      if (CS)
+        ++CS->Retries;
+      // Exponential backoff, capped: a daemon mid-restart gets a breather
+      // without the guest thread ever sleeping long enough to notice.
+      long Ms = static_cast<long>(C.BackoffBaseMs) << (Attempt - 1);
+      if (Ms > 50)
+        Ms = 50;
+      if (Ms > 0)
+        usleep(static_cast<useconds_t>(Ms) * 1000);
+    }
+    if (Fd < 0) {
+      Fd = connectUnix(C.SocketPath);
+      if (Fd < 0)
+        continue; // daemon gone or not yet up; backoff and retry
+      ++S.Reconnects;
+    }
+    if (writeFrame(Fd, Type, Body.data(), Body.size(), C.TimeoutMs) !=
+        IoResult::Ok) {
+      closeFd();
+      continue;
+    }
+    IoResult R = readFrame(Fd, Reply, C.TimeoutMs);
+    if (R == IoResult::Ok) {
+      Strikes = 0;
+      return true;
+    }
+    if (R == IoResult::Timeout) {
+      ++S.Timeouts;
+      if (CS)
+        ++CS->Timeouts;
+    }
+    // Timeout/EOF/malformed/error all poison the connection: the stream
+    // may hold a half-delivered reply, so resynchronising is hopeless.
+    closeFd();
+  }
+  if (++Strikes >= C.MaxStrikes)
+    Dead = true; // latch: no more socket traffic this run
+  return false;
+}
+
+TransServerClient::FetchResult
+TransServerClient::get(uint64_t Cfg, uint64_t Key,
+                       std::vector<uint8_t> &Image, CallStats *CS) {
+  if (Dead) {
+    ++S.Fallbacks;
+    return FetchResult::Failed;
+  }
+  std::vector<uint8_t> Body;
+  putU64(Body, Cfg);
+  putU64(Body, Key);
+  Frame Reply;
+  if (!request(MsgType::Get, Body, Reply, CS)) {
+    ++S.Fallbacks;
+    return FetchResult::Failed;
+  }
+  switch (Reply.Type) {
+  case MsgType::Hit:
+    ++S.Hits;
+    S.BytesFetched += Reply.Body.size();
+    Image = std::move(Reply.Body);
+    return FetchResult::Hit;
+  case MsgType::Miss:
+  case MsgType::Err: // daemon understood but could not serve: a plain miss
+    ++S.Misses;
+    return FetchResult::Miss;
+  default:
+    // Reply desync — drop the connection and degrade this lookup.
+    closeFd();
+    ++S.Fallbacks;
+    return FetchResult::Failed;
+  }
+}
+
+bool TransServerClient::put(uint64_t Cfg, uint64_t Key,
+                            const std::vector<uint8_t> &Image,
+                            CallStats *CS) {
+  if (Dead)
+    return false;
+  std::vector<uint8_t> Body;
+  Body.reserve(16 + Image.size());
+  putU64(Body, Cfg);
+  putU64(Body, Key);
+  Body.insert(Body.end(), Image.begin(), Image.end());
+  Frame Reply;
+  if (!request(MsgType::Put, Body, Reply, CS) ||
+      Reply.Type != MsgType::Ok) {
+    ++S.PutFailures;
+    return false;
+  }
+  ++S.Puts;
+  S.BytesSent += Image.size();
+  return true;
+}
+
+void TransServerClient::poison(uint64_t Cfg, uint32_t Addr, uint32_t Len,
+                               CallStats *CS) {
+  if (Dead)
+    return;
+  std::vector<uint8_t> Body;
+  putU64(Body, Cfg);
+  Body.push_back(0); // All = false
+  putU32(Body, Addr);
+  putU32(Body, Len);
+  Frame Reply;
+  request(MsgType::Poison, Body, Reply, CS); // best-effort
+}
+
+void TransServerClient::poisonAll(uint64_t Cfg, CallStats *CS) {
+  if (Dead)
+    return;
+  std::vector<uint8_t> Body;
+  putU64(Body, Cfg);
+  Body.push_back(1); // All = true
+  putU32(Body, 0);
+  putU32(Body, 0);
+  Frame Reply;
+  request(MsgType::Poison, Body, Reply, CS); // best-effort
+}

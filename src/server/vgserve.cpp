@@ -1,0 +1,109 @@
+//===-- server/vgserve.cpp - Standalone translation-server daemon ---------==//
+///
+/// \file
+/// `vgserve --socket=<path> --dir=<dir>`: a thin main() around
+/// TransServer. Serves validated translation entries from <dir> (any
+/// --tt-cache directory works as-is) until SIGINT/SIGTERM, then prints a
+/// one-line stats summary.
+///
+//===----------------------------------------------------------------------===//
+
+#include "server/TransServer.h"
+
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <unistd.h>
+
+namespace {
+
+volatile std::sig_atomic_t GotSignal = 0;
+
+void onSignal(int) { GotSignal = 1; }
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: vgserve --socket=<path> --dir=<dir> [--max-mb=<n>] "
+               "[--quiet]\n"
+               "  Serves translation-cache entries from <dir> over the\n"
+               "  Unix-domain socket at <path> until SIGINT/SIGTERM.\n"
+               "  --max-mb bounds the directory size (default 256, 0 = "
+               "unbounded).\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  vg::TransServer::Options O;
+  bool Quiet = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto valueOf = [&](const char *Prefix) -> const char * {
+      size_t N = std::strlen(Prefix);
+      return A.compare(0, N, Prefix) == 0 ? A.c_str() + N : nullptr;
+    };
+    if (const char *V = valueOf("--socket=")) {
+      O.SocketPath = V;
+    } else if (const char *V = valueOf("--dir=")) {
+      O.Dir = V;
+    } else if (const char *V = valueOf("--max-mb=")) {
+      char *End = nullptr;
+      unsigned long long MB = std::strtoull(V, &End, 10);
+      if (!End || *End) {
+        std::fprintf(stderr, "vgserve: bad --max-mb value '%s'\n", V);
+        return 2;
+      }
+      O.MaxBytes = static_cast<uint64_t>(MB) << 20;
+    } else if (A == "--quiet") {
+      Quiet = true;
+    } else if (A == "--help" || A == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vgserve: unknown option '%s'\n", A.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (O.SocketPath.empty() || O.Dir.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  vg::TransServer Server(O);
+  std::string Err;
+  if (!Server.start(Err)) {
+    std::fprintf(stderr, "vgserve: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!Quiet) {
+    // One flushed line so scripts can wait for readiness on stdout.
+    std::printf("vgserve: serving %s on %s (%" PRIu64 " entries, %" PRIu64
+                " bytes)\n",
+                O.Dir.c_str(), O.SocketPath.c_str(), Server.indexedEntries(),
+                Server.totalBytes());
+    std::fflush(stdout);
+  }
+  while (!GotSignal)
+    usleep(100 * 1000);
+  Server.stop();
+  if (!Quiet) {
+    vg::TransServer::Stats S = Server.stats();
+    std::printf("vgserve: conns=%" PRIu64 " gets=%" PRIu64 " hits=%" PRIu64
+                " misses=%" PRIu64 " coalesced=%" PRIu64 " puts=%" PRIu64
+                " put-rejects=%" PRIu64 " poisons=%" PRIu64
+                " evicted=%" PRIu64 " malformed=%" PRIu64 "\n",
+                S.Connections, S.Requests, S.Hits, S.Misses, S.Coalesced,
+                S.Puts, S.PutRejects, S.Poisons, S.Evicted,
+                S.MalformedFrames);
+  }
+  return 0;
+}

@@ -252,6 +252,35 @@ void Profiler::report(OutputSink &Out, const ProfCounters &C,
                              : 0.0);
   }
 
+  if (C.HasTransServer) {
+    Out.printf("\n== profile: translation server ==\n");
+    Out.printf("server requests=%llu hits=%llu misses=%llu rejects=%llu "
+               "(%.2f%% hit)\n",
+               static_cast<unsigned long long>(C.ServerRequests),
+               static_cast<unsigned long long>(C.ServerHits),
+               static_cast<unsigned long long>(C.ServerMisses),
+               static_cast<unsigned long long>(C.ServerRejects),
+               C.ServerRequests
+                   ? 100.0 * static_cast<double>(C.ServerHits) /
+                         static_cast<double>(C.ServerRequests)
+                   : 0.0);
+    Out.printf("server timeouts=%llu retries=%llu fallbacks=%llu "
+               "writes=%llu alive-at-exit=%s\n",
+               static_cast<unsigned long long>(C.ServerTimeouts),
+               static_cast<unsigned long long>(C.ServerRetries),
+               static_cast<unsigned long long>(C.ServerFallbacks),
+               static_cast<unsigned long long>(C.ServerWrites),
+               C.ServerAlive ? "yes" : "no");
+    Out.printf("server bytes fetched=%llu sent=%llu fetch total=%.1fus "
+               "mean=%.1fus\n",
+               static_cast<unsigned long long>(C.ServerBytesFetched),
+               static_cast<unsigned long long>(C.ServerBytesSent),
+               C.ServerFetchSeconds * 1e6,
+               C.ServerHits ? C.ServerFetchSeconds * 1e6 /
+                                  static_cast<double>(C.ServerHits)
+                            : 0.0);
+  }
+
   if (C.HasTrace) {
     Out.printf("\n== profile: event trace ==\n");
     Out.printf("recorded=%llu dropped=%llu syscalls=%llu signal-records="

@@ -147,6 +147,20 @@ struct ProfCounters {
   uint64_t CacheDirBytes = 0;     ///< on-disk footprint at exit
   double CacheLoadSeconds = 0;    ///< read+validate+install, summed
   double CacheStoreSeconds = 0;   ///< serialize+write-back, summed
+  // Translation-server counters (only when --tt-server is set).
+  bool HasTransServer = false;
+  uint64_t ServerRequests = 0;  ///< server lookups settled
+  uint64_t ServerHits = 0;      ///< fetched, validated, installed
+  uint64_t ServerMisses = 0;
+  uint64_t ServerRejects = 0;   ///< fetched but failed validation
+  uint64_t ServerTimeouts = 0;
+  uint64_t ServerRetries = 0;
+  uint64_t ServerFallbacks = 0; ///< lookups degraded down the ladder
+  uint64_t ServerWrites = 0;    ///< entries pushed to the daemon
+  uint64_t ServerBytesFetched = 0;
+  uint64_t ServerBytesSent = 0;
+  double ServerFetchSeconds = 0;
+  bool ServerAlive = false; ///< daemon still reachable at exit
 };
 
 /// Accumulates profile data for one run.

@@ -21,9 +21,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include <unistd.h>
 
@@ -275,9 +279,196 @@ TEST(TransCache, GarbageFilesInDirAreIgnored) {
   EXPECT_EQ(F.XS.jitStats().CacheHits, 0u);
 }
 
+// A zero-length entry file — what a writer killed between open and first
+// write leaves behind — must be Malformed (a reject), never a hit
+// candidate and never a crash. Pinned both at the decode layer and
+// through the full service path.
+TEST(TransCache, ZeroLengthEntryIsMalformed) {
+  TransCacheEntry E;
+  EXPECT_EQ(TransCache::decodeEntryFile({}, /*ConfigHash=*/1, /*Key=*/2, E,
+                                        /*ResolveCallees=*/true),
+            TransCache::LoadResult::Malformed);
+
+  ScratchDir Dir;
+  {
+    CacheFixture Cold(Dir.str());
+    Cold.XS.translateSync(Cold.Blocks[0], false);
+    EXPECT_EQ(Cold.XS.jitStats().CacheWrites, 1u);
+  }
+  unsigned N = 0;
+  for (const auto &DE : fs::directory_iterator(Dir.Path)) {
+    fs::resize_file(DE.path(), 0);
+    ++N;
+  }
+  ASSERT_EQ(N, 1u);
+  CacheFixture Warm(Dir.str());
+  Translation *T = Warm.XS.translateSync(Warm.Blocks[0], false);
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(Warm.XS.jitStats().CacheHits, 0u);
+  EXPECT_EQ(Warm.XS.jitStats().CacheRejects, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Two writers, one key: temp-file+rename must never publish a torn entry
+//===----------------------------------------------------------------------===//
+
+// Two cache instances (standing in for two processes racing on a shared
+// --tt-cache directory) hammer the SAME key with images of different
+// sizes while a reader polls the published file. Every observation must
+// be one complete image — a shared temp-file name would let the writers
+// interleave and rename a torn mix into place, which the whole-payload
+// checksum then exposes as Malformed.
+TEST(TransCacheConcurrency, TwoWritersSameKeyNeverTearAnEntry) {
+  // Two valid images of different lengths, made by translating blocks of
+  // different instruction counts through a cold service run.
+  ScratchDir SrcDir;
+  struct Image {
+    uint64_t Key;
+    std::vector<uint8_t> Bytes;
+  };
+  std::vector<Image> Images;
+  {
+    GuestMemory Mem;
+    CacheStubHost Host;
+    TranslationService XS(Host, Mem);
+    Assembler Code(CodeBase);
+    std::vector<uint32_t> Blocks;
+    for (unsigned I = 0; I != 2; ++I) {
+      Blocks.push_back(Code.here());
+      for (unsigned K = 0; K != 1 + 8 * I; ++K)
+        Code.movi(Reg::R0, K);
+      Code.ret();
+    }
+    GuestImage Img = GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+    for (const ImageSegment &S : Img.Segments) {
+      Mem.map(S.Base, static_cast<uint32_t>(S.Bytes.size()), S.Perms);
+      Mem.write(S.Base, S.Bytes.data(), static_cast<uint32_t>(S.Bytes.size()),
+                /*IgnorePerms=*/true);
+    }
+    XS.attachCache(std::make_unique<TransCache>(SrcDir.str(), 0, /*CH=*/1));
+    for (uint32_t PC : Blocks)
+      XS.translateSync(PC, false);
+    for (const auto &DE : fs::directory_iterator(SrcDir.Path)) {
+      std::string Stem = DE.path().stem().string();
+      ASSERT_EQ(Stem.size(), 33u);
+      Image I;
+      I.Key = std::strtoull(Stem.substr(17).c_str(), nullptr, 16);
+      std::ifstream F(DE.path(), std::ios::binary);
+      I.Bytes.assign(std::istreambuf_iterator<char>(F),
+                     std::istreambuf_iterator<char>());
+      Images.push_back(std::move(I));
+    }
+  }
+  ASSERT_EQ(Images.size(), 2u);
+  ASSERT_NE(Images[0].Bytes.size(), Images[1].Bytes.size());
+
+  ScratchDir Dir;
+  constexpr uint64_t SharedKey = 0x5EED;
+  constexpr int Rounds = 300;
+  std::atomic<bool> WritersDone{false};
+  std::atomic<int> Torn{0};
+  auto writer = [&](const Image &I) {
+    TransCache C(Dir.str(), 0, /*ConfigHash=*/1);
+    for (int R = 0; R != Rounds; ++R)
+      ASSERT_TRUE(C.storeFile(SharedKey, I.Bytes));
+  };
+  std::thread W1(writer, std::cref(Images[0]));
+  std::thread W2(writer, std::cref(Images[1]));
+  std::thread Reader([&] {
+    std::string Path =
+        Dir.str() + "/" + TransCache::entryFileName(1, SharedKey);
+    while (!WritersDone.load(std::memory_order_acquire)) {
+      std::ifstream F(Path, std::ios::binary);
+      if (!F.good())
+        continue; // nothing published yet
+      std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(F)),
+                                 std::istreambuf_iterator<char>());
+      // Whichever writer's rename won, the file must be one of the two
+      // complete images: decode it against the key its SIZE claims it is.
+      const Image *Want = nullptr;
+      for (const Image &I : Images)
+        if (I.Bytes.size() == Bytes.size())
+          Want = &I;
+      TransCacheEntry E;
+      if (!Want ||
+          TransCache::decodeEntryFile(Bytes, 1, Want->Key, E,
+                                      /*ResolveCallees=*/false) !=
+              TransCache::LoadResult::Found)
+        Torn.fetch_add(1);
+    }
+  });
+  W1.join();
+  W2.join();
+  WritersDone.store(true, std::memory_order_release);
+  Reader.join();
+  EXPECT_EQ(Torn.load(), 0) << "a reader observed a torn/mixed entry";
+  // Every unique temp file was consumed by its rename.
+  for (const auto &DE : fs::directory_iterator(Dir.Path))
+    EXPECT_EQ(DE.path().extension(), ".vgtc")
+        << "leftover temp file: " << DE.path();
+}
+
 //===----------------------------------------------------------------------===//
 // Size budget
 //===----------------------------------------------------------------------===//
+
+// Eviction is oldest-mtime-first, not insertion- or directory-order:
+// stamp the files with a fake clock (explicit last_write_time values in
+// reverse creation order) and check the stamped-oldest files are the ones
+// that go when a new store pushes the directory over budget.
+TEST(TransCache, StaleMtimeEvictionUnderFakeClock) {
+  ScratchDir Dir;
+  uint64_t OneEntry;
+  {
+    CacheFixture Warm(Dir.str(), 0, /*NBlocks=*/4);
+    for (uint32_t PC : Warm.Blocks)
+      Warm.XS.translateSync(PC, false);
+    ASSERT_EQ(Warm.XS.jitStats().CacheWrites, 4u);
+    OneEntry = Warm.XS.cache()->totalBytes() / 4;
+  }
+  // Fake clock: sort by name, stamp [0] stalest, [3] freshest — an order
+  // deliberately unrelated to when the files were actually written.
+  std::vector<fs::path> Files;
+  for (const auto &DE : fs::directory_iterator(Dir.Path))
+    Files.push_back(DE.path());
+  ASSERT_EQ(Files.size(), 4u);
+  std::sort(Files.begin(), Files.end());
+  fs::file_time_type Now = fs::file_time_type::clock::now();
+  for (size_t I = 0; I != Files.size(); ++I)
+    fs::last_write_time(Files[I],
+                        Now - std::chrono::hours(24 * (4 - I)));
+  // Reopen with room for ~3 entries and store a fifth block: the budget
+  // forces eviction, which must pick the stamped-stalest files first.
+  {
+    GuestMemory Mem;
+    CacheStubHost Host;
+    TranslationService XS(Host, Mem);
+    std::vector<uint32_t> Blocks;
+    Assembler Code(CodeBase);
+    for (unsigned I = 0; I != 5; ++I) {
+      Blocks.push_back(Code.here());
+      Code.movi(Reg::R0, I);
+      Code.ret();
+    }
+    uint32_t FifthPC = Blocks[4];
+    GuestImage Img =
+        GuestImageBuilder().addCode(Code).entry(CodeBase).build();
+    for (const ImageSegment &S : Img.Segments) {
+      Mem.map(S.Base, static_cast<uint32_t>(S.Bytes.size()), S.Perms);
+      Mem.write(S.Base, S.Bytes.data(),
+                static_cast<uint32_t>(S.Bytes.size()),
+                /*IgnorePerms=*/true);
+    }
+    XS.attachCache(std::make_unique<TransCache>(
+        Dir.str(), 3 * OneEntry + OneEntry / 2, /*CH=*/1));
+    XS.translateSync(FifthPC, false);
+    EXPECT_EQ(XS.jitStats().CacheWrites, 1u);
+    EXPECT_GT(XS.cache()->evictedFiles(), 0u);
+  }
+  // The stalest-stamped file went first; the freshest survived.
+  EXPECT_FALSE(fs::exists(Files[0]));
+  EXPECT_TRUE(fs::exists(Files[3]));
+}
 
 TEST(TransCache, EvictionHonoursByteBudget) {
   ScratchDir Dir;
