@@ -8,7 +8,7 @@
 ///
 /// Usage:
 ///   vgrun [--tool=memcheck|nulgrind|icnt|icntc|cachegrind|massif|
-///          taintgrind] [core/tool options] <program> [--scale=N]
+///          taintgrind|loopgrind] [core/tool options] <program> [--scale=N]
 ///          [--stdin=TEXT] [--native]
 ///
 /// <program> is one of the built-in workloads (bzip2, crafty, gcc, gzip,
@@ -21,6 +21,7 @@
 #include "guestlib/GuestLib.h"
 #include "tools/Cachegrind.h"
 #include "tools/ICnt.h"
+#include "tools/Loopgrind.h"
 #include "tools/Massif.h"
 #include "tools/Memcheck.h"
 #include "tools/Nulgrind.h"
@@ -78,6 +79,8 @@ std::unique_ptr<Tool> makeTool(const std::string &Name) {
     return std::make_unique<Massif>();
   if (Name == "taintgrind")
     return std::make_unique<TaintGrind>();
+  if (Name == "loopgrind")
+    return std::make_unique<Loopgrind>();
   return nullptr;
 }
 
@@ -85,7 +88,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: vgrun [--tool=NAME] [core/tool options] PROGRAM\n"
                "  tools: nulgrind memcheck icnt icntc cachegrind massif "
-               "taintgrind\n  programs: demo, or a workload name (");
+               "taintgrind loopgrind\n  programs: demo, or a workload name (");
   for (const WorkloadInfo &W : allWorkloads())
     std::fprintf(stderr, "%s ", W.Name.c_str());
   std::fprintf(stderr, "sigmt mtcpu)\n"

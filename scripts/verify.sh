@@ -81,6 +81,23 @@ SRVFALL=$(echo "$SRVPROF" | sed -n 's/.*fallbacks=\([0-9]*\).*/\1/p')
   exit 1
 }
 
+echo "== smoke: loopgrind (tool plug-in surface) =="
+# The demo tool built on the opened plug-in surface must produce a loop
+# report on a loopy workload: back-edges and at least one hot loop head.
+LGOUT=$(./build/examples/vgrun --tool=loopgrind --chaining=yes \
+    --loop-top=3 vortex 2>&1)
+echo "$LGOUT" | grep -q '^==loopgrind== blocks entered:' || {
+  echo "loopgrind smoke: missing report header" >&2
+  exit 1
+}
+LGBE=$(echo "$LGOUT" \
+    | sed -n 's/^==loopgrind== blocks entered: [0-9]*, back-edges: \([0-9]*\).*/\1/p')
+[ "${LGBE:-0}" -gt 0 ] || {
+  echo "loopgrind smoke: expected back-edges > 0, got '${LGBE:-none}'" >&2
+  exit 1
+}
+echo "loopgrind back-edges: $LGBE"
+
 echo "== smoke: sec314_sched (quick soak) =="
 # 5 seeds instead of 50; still checks clean exits, zero Memcheck errors,
 # and byte-identical trace replay per seed.
@@ -108,14 +125,16 @@ FUZZ_ITERS=200
 ./build/src/vgfuzz --self-test --seed=1 --quiet
 
 echo "== smoke: ThreadSanitizer (concurrency label) =="
-# The TranslationService worker/guest-thread protocol and the sharded
-# scheduler (--sched-threads=N) under TSan: service, persistent-cache,
-# and MT-scheduler unit tests (everything carrying the `concurrency`
-# ctest label, via the tsan preset).
+# The TranslationService worker/guest-thread protocol, the sharded
+# scheduler (--sched-threads=N), and the MT client-request path under
+# TSan: service, persistent-cache, MT-scheduler, and client-request unit
+# tests (everything carrying the `concurrency` ctest label, via the tsan
+# preset).
 cmake --preset tsan >/dev/null
 cmake --build --preset tsan -j \
     --target test_translationservice --target test_transcache \
-    --target test_transserver --target test_mtsched >/dev/null
+    --target test_transserver --target test_mtsched \
+    --target test_clientrequest >/dev/null
 ctest --preset tsan
 
 if [ "$FUZZ_SOAK" = "1" ]; then

@@ -3,9 +3,29 @@
 /// \file
 /// Client requests (Section 3.11): a guest program executes CLREQ with a
 /// request code in r0 and arguments in r1..r4; the result is returned in
-/// r0. Codes below 0x10000 are handled by the core; higher codes go to the
-/// running tool. Running natively (no Valgrind), CLREQ returns 0 — exactly
-/// the behaviour of the real macros outside Valgrind.
+/// r0. Running natively (no Valgrind), CLREQ returns 0 — exactly the
+/// behaviour of the real macros outside Valgrind.
+///
+/// Request codes are namespaced the way real Valgrind's VG_USERREQ codes
+/// are: the top 16 bits carry a two-character owner tag and the low 16
+/// bits the request number within that namespace —
+///
+///     code = (tag << 16) | number,   tag = (first << 8) | second
+///
+/// The core owns the 'C','R' namespace; each tool claims its own tag
+/// ('M','C' for Memcheck, 'T','G' for TaintGrind, 'L','G' for Loopgrind).
+/// ClientRequestEngine decodes the tag and routes: core-tagged requests
+/// are serviced in the core, anything else is offered to the running
+/// tool's Tool::handleClientRequest(); unrecognised requests return 0 and
+/// are counted, never fatal.
+///
+/// Compatibility: the original flat code space (0x1001-0x1006 core
+/// requests, 0x2001-0x2004 allocator requests, and CrToolBase=0x10000 tool
+/// codes) predates the tag encoding. Those raw values are still accepted —
+/// the engine normalises the legacy core/allocator codes to their
+/// canonical tagged equivalents before dispatch, and tools keep alias
+/// cases for their old CrToolBase-relative values. The CrLegacy* constants
+/// below exist so the regression tests can pin that promise.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef VG_CORE_CLIENTREQUESTS_H
@@ -15,32 +35,99 @@
 
 namespace vg {
 
+/// Builds a 16-bit namespace tag from two printable characters — the
+/// VG_USERREQ_TOOL_BASE('X','Y') of the real macros.
+constexpr uint32_t vgToolTag(char First, char Second) {
+  return (static_cast<uint32_t>(static_cast<uint8_t>(First)) << 8) |
+         static_cast<uint8_t>(Second);
+}
+
+/// Builds a full request code from a namespace tag and a request number.
+constexpr uint32_t vgRequest(uint32_t Tag, uint32_t Number) {
+  return (Tag << 16) | (Number & 0xFFFFu);
+}
+
+/// The namespace tag of a request code.
+constexpr uint32_t vgRequestTag(uint32_t Code) { return Code >> 16; }
+
+/// The core's own namespace.
+constexpr uint32_t CrCoreTag = vgToolTag('C', 'R');
+
 enum ClientRequest : uint32_t {
   /// Discard cached translations of [arg1, arg1+arg2) — for dynamic code
   /// generators (Section 3.16).
-  CrDiscardTranslations = 0x1001,
+  CrDiscardTranslations = vgRequest(CrCoreTag, 0x0001),
   /// Register a stack [arg1=start(low), arg2=end(high)); returns an id.
   /// (Section 3.12: help for stack-switch detection in tricky cases.)
-  CrStackRegister = 0x1002,
+  CrStackRegister = vgRequest(CrCoreTag, 0x0002),
   /// Deregister stack arg1.
-  CrStackDeregister = 0x1003,
+  CrStackDeregister = vgRequest(CrCoreTag, 0x0003),
   /// Change stack arg1 to [arg2, arg3).
-  CrStackChange = 0x1004,
+  CrStackChange = vgRequest(CrCoreTag, 0x0004),
   /// Print the NUL-terminated string at arg1 on the tool output channel.
-  CrPrint = 0x1005,
+  CrPrint = vgRequest(CrCoreTag, 0x0005),
   /// True (1) when running under the core — lets guest code detect it.
-  CrRunningOnValgrind = 0x1006,
+  CrRunningOnValgrind = vgRequest(CrCoreTag, 0x0006),
 
   // --- replacement-allocator requests (issued by guestlib malloc etc.,
   //     the moral equivalent of Valgrind's vgpreload stubs; R8) ----------
-  CrMalloc = 0x2001,  ///< arg1=size        -> payload address (0 on OOM)
-  CrFree = 0x2002,    ///< arg1=addr
-  CrCalloc = 0x2003,  ///< arg1=n, arg2=sz  -> zeroed payload
-  CrRealloc = 0x2004, ///< arg1=addr, arg2=newsize -> payload
-
-  /// First code owned by tools.
-  CrToolBase = 0x10000,
+  CrMalloc = vgRequest(CrCoreTag, 0x0101),  ///< arg1=size -> payload (0=OOM)
+  CrFree = vgRequest(CrCoreTag, 0x0102),    ///< arg1=addr
+  CrCalloc = vgRequest(CrCoreTag, 0x0103),  ///< arg1=n, arg2=sz -> zeroed
+  CrRealloc = vgRequest(CrCoreTag, 0x0104), ///< arg1=addr, arg2=newsize
 };
+
+/// Pre-namespacing raw codes, still accepted at runtime (normalised to the
+/// canonical codes above by ClientRequestEngine). New code should use the
+/// tagged constants; these exist for old guest binaries and the
+/// compatibility regression tests.
+enum LegacyClientRequest : uint32_t {
+  CrLegacyDiscardTranslations = 0x1001,
+  CrLegacyStackRegister = 0x1002,
+  CrLegacyStackDeregister = 0x1003,
+  CrLegacyStackChange = 0x1004,
+  CrLegacyPrint = 0x1005,
+  CrLegacyRunningOnValgrind = 0x1006,
+  CrLegacyMalloc = 0x2001,
+  CrLegacyFree = 0x2002,
+  CrLegacyCalloc = 0x2003,
+  CrLegacyRealloc = 0x2004,
+};
+
+/// First code of the legacy flat tool space. Tools that shipped requests
+/// as CrToolBase+N keep accepting those values as aliases of their tagged
+/// codes; new tool requests should be vgRequest(vgToolTag(...), N).
+constexpr uint32_t CrToolBase = 0x10000;
+
+/// Normalises a legacy flat core/allocator code to its canonical tagged
+/// equivalent; any other code (tagged, tool-space, or unknown) passes
+/// through unchanged.
+constexpr uint32_t vgNormalizeRequest(uint32_t Code) {
+  switch (Code) {
+  case CrLegacyDiscardTranslations:
+    return CrDiscardTranslations;
+  case CrLegacyStackRegister:
+    return CrStackRegister;
+  case CrLegacyStackDeregister:
+    return CrStackDeregister;
+  case CrLegacyStackChange:
+    return CrStackChange;
+  case CrLegacyPrint:
+    return CrPrint;
+  case CrLegacyRunningOnValgrind:
+    return CrRunningOnValgrind;
+  case CrLegacyMalloc:
+    return CrMalloc;
+  case CrLegacyFree:
+    return CrFree;
+  case CrLegacyCalloc:
+    return CrCalloc;
+  case CrLegacyRealloc:
+    return CrRealloc;
+  default:
+    return Code;
+  }
+}
 
 } // namespace vg
 

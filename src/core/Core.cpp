@@ -1,18 +1,22 @@
 //===-- core/Core.cpp - The Valgrind core ---------------------------------==//
+//
+// Once the monolith holding the dispatcher, schedulers, signals, client
+// requests, and redirection, Core is now the owner/wiring class over the
+// extracted engines (DispatchLoop, SignalEngine, RedirectEngine,
+// ClientRequestEngine). What remains here: construction and options,
+// image loading, the TranslationHost side (the core's own instrumentation
+// and translation accounting), thread lifecycle, and thin forwards that
+// keep the public surface stable.
+//
+//===----------------------------------------------------------------------===//
 
 #include "core/Core.h"
 
-#include "core/ClientRequests.h"
-#include "shadow/ShadowMemory.h"
+#include "core/DispatchLoop.h"
+#include "core/TracerHooks.h"
 #include "support/Errors.h"
-#include "support/Hashing.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cinttypes>
-#include <cstdio>
-#include <cstdlib>
-#include <thread>
 
 using namespace vg;
 using namespace vg::vg1;
@@ -26,8 +30,11 @@ Tool::~Tool() = default;
 Core::Core(Tool *ToolPlugin)
     : XS(std::make_unique<TranslationService>(
           static_cast<TranslationHost &>(*this), Memory, 1u << 14)),
-      TT(XS->transTab()), ToolPlugin(ToolPlugin), FastCache(FastCacheSize),
-      Spec(vg1SpecFn()) {
+      TT(XS->transTab()), ToolPlugin(ToolPlugin), Spec(vg1SpecFn()) {
+  Signals = std::make_unique<SignalEngine>(*this);
+  Redirects = std::make_unique<RedirectEngine>(*this);
+  ClReqs = std::make_unique<ClientRequestEngine>(*this);
+  Dispatch = std::make_unique<DispatchLoop>(*this);
   Opts.addOption("smc-check", "stack",
                  "when to check for self-modifying code: none|stack|all");
   Opts.addOption("chaining", "no",
@@ -207,6 +214,8 @@ int Core::liveThreads() const {
   return N;
 }
 
+bool Core::isParallel() const { return Dispatch->isParallel(); }
+
 //===----------------------------------------------------------------------===//
 // Start-up (Section 3.3)
 //===----------------------------------------------------------------------===//
@@ -235,8 +244,10 @@ void Core::loadImage(const GuestImage &Img) {
   }
 
   // --trace-events sees everything from here on, including the start-up
-  // mappings below.
-  installTracerHooks();
+  // mappings below. (Layering the tracer over every EventHub callback makes
+  // wantsStackEvents() true even for tools that ignore stacks — traced runs
+  // deliberately instrument SP changes so the trace is complete.)
+  installTracerHooks(Events, Tracer.get());
 
   // The sigreturn trampoline lives in the core's own region: a handler
   // returning normally lands here, which re-enters the core via the
@@ -316,139 +327,9 @@ void Core::loadImage(const GuestImage &Img) {
     });
   }
 
-  // Resolve pending symbol redirections against the image's symbol table
-  // (and keep the table so later registrations resolve immediately).
-  ImageSymbols = Img.Symbols;
-  for (auto &[Sym, Fn] : PendingSymbolRedirects) {
-    if (uint32_t Addr = Img.symbol(Sym))
-      HostRedirects[Addr] = Fn;
-  }
-}
-
-void Core::installTracerHooks() {
-  if (!Tracer)
-    return;
-  // Layer the tracer over every EventHub callback, keeping whatever the
-  // tool (or the core itself) registered. Note this makes
-  // wantsStackEvents() true even for tools that ignore stacks — traced
-  // runs deliberately instrument SP changes so the trace is complete.
-  EventTracer *Tr = Tracer.get();
-
-  auto P1 = Events.PreRegRead;
-  Events.PreRegRead = [Tr, P1](int Tid, uint32_t Off, uint32_t Size,
-                               const char *Name) {
-    Tr->record(Tid, TraceEvent::PreRegRead, Off, Size);
-    if (P1)
-      P1(Tid, Off, Size, Name);
-  };
-  auto P2 = Events.PostRegWrite;
-  Events.PostRegWrite = [Tr, P2](int Tid, uint32_t Off, uint32_t Size) {
-    Tr->record(Tid, TraceEvent::PostRegWrite, Off, Size);
-    if (P2)
-      P2(Tid, Off, Size);
-  };
-  auto P3 = Events.PreMemRead;
-  Events.PreMemRead = [Tr, P3](int Tid, uint32_t Addr, uint32_t Len,
-                               const char *Name) {
-    Tr->record(Tid, TraceEvent::PreMemRead, Addr, Len);
-    if (P3)
-      P3(Tid, Addr, Len, Name);
-  };
-  auto P4 = Events.PreMemReadAsciiz;
-  Events.PreMemReadAsciiz = [Tr, P4](int Tid, uint32_t Addr,
-                                     const char *Name) {
-    Tr->record(Tid, TraceEvent::PreMemReadAsciiz, Addr);
-    if (P4)
-      P4(Tid, Addr, Name);
-  };
-  auto P5 = Events.PreMemWrite;
-  Events.PreMemWrite = [Tr, P5](int Tid, uint32_t Addr, uint32_t Len,
-                                const char *Name) {
-    Tr->record(Tid, TraceEvent::PreMemWrite, Addr, Len);
-    if (P5)
-      P5(Tid, Addr, Len, Name);
-  };
-  auto P6 = Events.PostMemWrite;
-  Events.PostMemWrite = [Tr, P6](int Tid, uint32_t Addr, uint32_t Len) {
-    Tr->record(Tid, TraceEvent::PostMemWrite, Addr, Len);
-    if (P6)
-      P6(Tid, Addr, Len);
-  };
-  auto P7 = Events.NewMemStartup;
-  Events.NewMemStartup = [Tr, P7](uint32_t Addr, uint32_t Len,
-                                  uint8_t Perms) {
-    Tr->record(0, TraceEvent::NewMemStartup, Addr, Len, Perms);
-    if (P7)
-      P7(Addr, Len, Perms);
-  };
-  auto P8 = Events.NewMemMmap;
-  Events.NewMemMmap = [Tr, P8](uint32_t Addr, uint32_t Len, uint8_t Perms) {
-    Tr->record(0, TraceEvent::NewMemMmap, Addr, Len, Perms);
-    if (P8)
-      P8(Addr, Len, Perms);
-  };
-  auto P9 = Events.DieMemMunmap;
-  Events.DieMemMunmap = [Tr, P9](uint32_t Addr, uint32_t Len) {
-    Tr->record(0, TraceEvent::DieMemMunmap, Addr, Len);
-    if (P9)
-      P9(Addr, Len);
-  };
-  auto P10 = Events.NewMemBrk;
-  Events.NewMemBrk = [Tr, P10](uint32_t Addr, uint32_t Len) {
-    Tr->record(0, TraceEvent::NewMemBrk, Addr, Len);
-    if (P10)
-      P10(Addr, Len);
-  };
-  auto P11 = Events.DieMemBrk;
-  Events.DieMemBrk = [Tr, P11](uint32_t Addr, uint32_t Len) {
-    Tr->record(0, TraceEvent::DieMemBrk, Addr, Len);
-    if (P11)
-      P11(Addr, Len);
-  };
-  auto P12 = Events.CopyMemMremap;
-  Events.CopyMemMremap = [Tr, P12](uint32_t Src, uint32_t Dst,
-                                   uint32_t Len) {
-    Tr->record(0, TraceEvent::CopyMemMremap, Src, Dst, Len);
-    if (P12)
-      P12(Src, Dst, Len);
-  };
-  auto P13 = Events.NewMemStack;
-  Events.NewMemStack = [Tr, P13](uint32_t Addr, uint32_t Len) {
-    Tr->record(0, TraceEvent::NewMemStack, Addr, Len);
-    if (P13)
-      P13(Addr, Len);
-  };
-  auto P14 = Events.DieMemStack;
-  Events.DieMemStack = [Tr, P14](uint32_t Addr, uint32_t Len) {
-    Tr->record(0, TraceEvent::DieMemStack, Addr, Len);
-    if (P14)
-      P14(Addr, Len);
-  };
-  auto P15 = Events.PostFileRead;
-  Events.PostFileRead = [Tr, P15](int Tid, uint32_t Fd, uint32_t Addr,
-                                  uint32_t Len, const char *Source) {
-    Tr->record(Tid, TraceEvent::PostFileRead, Fd, Addr, Len);
-    if (P15)
-      P15(Tid, Fd, Addr, Len, Source);
-  };
-  auto P16 = Events.PreSyscall;
-  Events.PreSyscall = [Tr, P16](int Tid, uint32_t Num) {
-    Tr->record(Tid, TraceEvent::SyscallEnter, Num);
-    if (P16)
-      P16(Tid, Num);
-  };
-  auto P17 = Events.PostSyscall;
-  Events.PostSyscall = [Tr, P17](int Tid, uint32_t Num, uint32_t Result) {
-    Tr->record(Tid, TraceEvent::SyscallExit, Num, Result);
-    if (P17)
-      P17(Tid, Num, Result);
-  };
-  auto P18 = Events.FaultInjected;
-  Events.FaultInjected = [Tr, P18](int Tid, uint32_t Kind, uint32_t Arg) {
-    Tr->record(Tid, TraceEvent::FaultInjected, Kind, Arg);
-    if (P18)
-      P18(Tid, Kind, Arg);
-  };
+  // Resolve pending symbol redirections/wraps against the image's symbol
+  // table (and keep the table so later registrations resolve immediately).
+  Redirects->setImageSymbols(Img.Symbols);
 }
 
 //===----------------------------------------------------------------------===//
@@ -488,14 +369,9 @@ uint64_t Core::helperTrackSp(void *Env, uint64_t, uint64_t, uint64_t,
 
   // Stack-switch heuristic (Section 3.12): a jump of >= threshold bytes, or
   // a move into a different registered stack, is a switch (no events).
-  auto StackOf = [&](uint32_t A) -> int {
-    for (const RegisteredStack &R : C->AltStacks)
-      if (A >= R.Start && A < R.End)
-        return static_cast<int>(R.Id);
-    return -1;
-  };
   uint32_t Delta = NewSP > Old ? NewSP - Old : Old - NewSP;
-  int OldStk = StackOf(Old), NewStk = StackOf(NewSP);
+  int OldStk = C->ClReqs->stackIdOf(Old);
+  int NewStk = C->ClReqs->stackIdOf(NewSP);
   if (Delta >= C->StackSwitchThreshold || OldStk != NewStk) {
     TS.TrackedSP = NewSP;
     return 0;
@@ -583,10 +459,7 @@ bool Core::addrOnAnyStack(uint32_t Addr) const {
     if (TS.Status == ThreadStatus::Runnable && Addr >= TS.StackLimit &&
         Addr < TS.StackBase)
       return true;
-  for (const RegisteredStack &R : AltStacks)
-    if (Addr >= R.Start && Addr < R.End)
-      return true;
-  return false;
+  return ClReqs->onRegisteredStack(Addr);
 }
 
 void Core::setupTranslation(TranslationOptions &TO, uint32_t PC, bool Hot,
@@ -663,587 +536,18 @@ void Core::mergePhaseTimes(const PhaseTimes &PT) {
 }
 
 void Core::promotionInstalled(Translation *T, uint64_t GenBefore) {
-  if (T->Tier == 2)
-    ++Stats.TracesFormed;
-  else
-    ++Stats.HotPromotions;
-  if (TT.generation() == GenBefore + 1) {
-    // Only the replaced tier-1 block died in the insert: repair its
-    // fast-cache line surgically, exactly as the inline promotion path
-    // does. Any bigger generation jump (an eviction run) lets the
-    // generation check wipe the cache wholesale on the next dispatch.
-    FastCacheGen = TT.generation();
-    FastCache[hashAddr(T->Addr) & (FastCacheSize - 1)] =
-        FastCacheEntry{T->Addr, T};
-  }
-}
-
-TraceSpec Core::selectTracePath(Translation *Head) {
-  // Greedy walk over filled chain slots: at each constituent take the
-  // most-traversed outgoing edge, but only while that edge is strongly
-  // biased — taken on at least 3/4 of the block's executions. Anything
-  // weaker and the guarded side exit replacing the branch would fire
-  // constantly, making the trace a net loss. EdgeExecs (not the
-  // successor's ExecCount) is the evidence: a successor with other hot
-  // predecessors has a large ExecCount even when *this* edge is cold.
-  TraceSpec Spec;
-  Spec.Entries.push_back(Head->Addr);
-  Translation *Cur = Head;
-  while (Spec.Entries.size() < TraceMaxBlocks) {
-    Translation *Best = nullptr;
-    uint64_t BestEdge = 0;
-    for (size_t I = 0; I != Cur->Chain.size(); ++I) {
-      // Acquire pairs with the release install so the successor's fields
-      // (Tier, Addr) are visible; the edge counters are approximate
-      // profile data, relaxed is all they need.
-      Translation *Succ = Cur->Chain[I].load(std::memory_order_acquire);
-      uint64_t Edge =
-          I < Cur->EdgeExecs.size()
-              ? Cur->EdgeExecs[I].load(std::memory_order_relaxed)
-              : 0;
-      if (Succ && Succ->Tier == 1 && Edge > BestEdge) {
-        Best = Succ;
-        BestEdge = Edge;
-      }
-    }
-    if (!Best ||
-        BestEdge * 4 < Cur->ExecCount.load(std::memory_order_relaxed) * 3)
-      break;
-    auto It = std::find(Spec.Entries.begin(), Spec.Entries.end(),
-                        Best->Addr);
-    if (It != Spec.Entries.end()) {
-      // Loop closure. A back-edge to the head is the ideal ending: prefer
-      // it as the final target so the installed trace chains to itself.
-      if (It == Spec.Entries.begin())
-        Spec.PreferredFinal = Head->Addr;
-      break;
-    }
-    Spec.Entries.push_back(Best->Addr);
-    Cur = Best;
-  }
-  return Spec;
-}
-
-Translation *Core::promoteHot(uint32_t PC) {
-  ++Stats.HotPromotions;
-  // insert() replaces the cold translation; its predecessors' chain slots
-  // are re-parked and relink to the superblock immediately (TransTab's
-  // eager waiter resolution), so the hot path re-forms without further
-  // dispatcher round-trips.
-  using Clock = std::chrono::steady_clock;
-  double T0 =
-      std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
-  Translation *T = XS->translateSync(PC, /*Hot=*/true);
-  double T1 =
-      std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
-  XS->noteSyncPromotion(T1 - T0);
-  return T;
-}
-
-void Core::dumpProfile() {
-  if (!Prof)
-    return;
-  const TransTab::Stats &TS = TT.stats();
-  ProfCounters C;
-  C.BlocksDispatched = Stats.BlocksDispatched;
-  C.DispatcherEntries = Stats.BlocksDispatched - Stats.ChainedTransfers;
-  C.FastCacheHits = Stats.FastCacheHits;
-  C.FastCacheMisses = Stats.FastCacheMisses;
-  C.ChainedTransfers = Stats.ChainedTransfers;
-  C.Translations = Stats.Translations;
-  C.HotPromotions = Stats.HotPromotions;
-  C.TableLookups = TS.Lookups;
-  C.TableHits = TS.Hits;
-  C.ChainsFilled = TS.ChainsFilled;
-  C.Unchains = TS.Unchains;
-  C.EvictionRuns = TS.EvictionRuns;
-  C.Evicted = TS.Evicted;
-  C.Invalidated = TS.Invalidated;
-  if (ShadowMap *SM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr) {
-    const ShadowStats &SS = SM->stats();
-    C.HasShadow = true;
-    C.ShadowFastLoads = SS.FastLoads;
-    C.ShadowSlowLoads = SS.SlowLoads;
-    C.ShadowFastStores = SS.FastStores;
-    C.ShadowSlowStores = SS.SlowStores;
-    C.ShadowSecCacheHits = SS.SecCacheHits;
-    C.ShadowSecCacheMisses = SS.SecCacheMisses;
-    C.ShadowChunksMaterialised = SS.Materialised;
-    C.ShadowChunksReclaimed = SS.Reclaimed;
-    C.ShadowChunksLive = SS.LiveChunks;
-    C.ShadowChunksHighWater = SS.HighWater;
-  }
-  C.ThreadSwitches = Stats.ThreadSwitches;
-  C.SignalsDelivered = Stats.SignalsDelivered;
-  C.SignalsDropped = Stats.SignalsDropped;
-  if (Faults) {
-    C.HasFaults = true;
-    C.FaultRolls = Faults->rolls();
-    for (unsigned I = 0; I != NumFaultKinds; ++I) {
-      C.FaultsInjected[I] = Faults->injected(static_cast<FaultKind>(I));
-      C.FaultNames[I] = faultKindName(static_cast<FaultKind>(I));
-    }
-  }
-  if (XS->jitThreads() > 0) {
-    const JitStats &J = XS->jitStats();
-    C.HasJit = true;
-    C.JitThreads = XS->jitThreads();
-    C.JitQueueDepth = XS->queueDepth();
-    C.AsyncRequests = J.AsyncRequests;
-    C.AsyncCompleted = J.AsyncCompleted;
-    C.AsyncInstalled = J.AsyncInstalled;
-    C.AsyncDiscardedEpoch = J.AsyncDiscardedEpoch;
-    C.AsyncDiscardedStale = J.AsyncDiscardedStale;
-    C.AsyncAbandoned = J.AsyncAbandoned;
-    C.QueueFullFallbacks = J.QueueFullFallbacks;
-    C.WorkerFailures = J.WorkerFailures;
-    C.QueueHighWater = J.QueueHighWater;
-    C.SyncPromotions = J.SyncPromotions;
-    C.InstallLatencySeconds = J.InstallLatencySeconds;
-    C.SyncPromoStallSeconds = J.SyncPromoStallSeconds;
-    C.EnqueueSeconds = J.EnqueueSeconds;
-  }
-  if (TraceTier) {
-    const JitStats &J = XS->jitStats();
-    C.HasTraces = true;
-    C.TraceRequests = J.TraceRequests;
-    C.TracesFormed = Stats.TracesFormed;
-    C.TraceAborts = J.TraceAborts;
-    C.TraceExecs = Stats.TraceExecs;
-    C.TraceSideExits = Stats.TraceSideExits;
-    C.TraceDeadFlagPuts = J.TraceDeadFlagPuts;
-    C.TraceProbesCSEd = J.TraceProbesCSEd;
-  }
-  if (const TransCache *TC = XS->cache()) {
-    const JitStats &J = XS->jitStats();
-    C.HasTransCache = true;
-    C.CacheHits = J.CacheHits;
-    C.CacheMisses = J.CacheMisses;
-    C.CacheRejects = J.CacheRejects;
-    C.CacheWrites = J.CacheWrites;
-    C.CacheEvictedFiles = TC->evictedFiles();
-    C.CacheDirBytes = TC->totalBytes();
-    C.CacheLoadSeconds = J.CacheLoadSeconds;
-    C.CacheStoreSeconds = J.CacheStoreSeconds;
-  }
-  if (const TransServerClient *SC = XS->server()) {
-    const JitStats &J = XS->jitStats();
-    C.HasTransServer = true;
-    C.ServerRequests = J.ServerRequests;
-    C.ServerHits = J.ServerHits;
-    C.ServerMisses = J.ServerMisses;
-    C.ServerRejects = J.ServerRejects;
-    C.ServerTimeouts = J.ServerTimeouts;
-    C.ServerRetries = J.ServerRetries;
-    C.ServerFallbacks = J.ServerFallbacks;
-    C.ServerWrites = J.ServerWrites;
-    C.ServerBytesFetched = J.ServerBytesFetched;
-    C.ServerBytesSent = J.ServerBytesSent;
-    C.ServerFetchSeconds = J.ServerFetchSeconds;
-    C.ServerAlive = SC->alive();
-  }
-  if (SchedThreads > 1) {
-    C.HasSched = true;
-    C.SchedThreads = SchedThreads;
-    for (const auto &S : Shards) {
-      C.SchedQuanta += S->Quanta;
-      C.WorldLockAcquisitions += S->WorldLockAcquisitions;
-    }
-    C.RunQueuePushes = RunQPushes;
-    C.RunQueuePops = RunQPops;
-    C.RunQueueWaits = RunQWaits;
-    C.TranslationsRetired = TranslationsRetired;
-    C.LimboHighWater = LimboHighWater;
-  }
-  if (Tracer) {
-    C.HasTrace = true;
-    C.TraceRecorded = Tracer->recorded();
-    C.TraceDropped = Tracer->dropped();
-    C.TraceSyscalls = Tracer->count(TraceEvent::SyscallEnter);
-    C.TraceSignals = Tracer->count(TraceEvent::SigQueue) +
-                     Tracer->count(TraceEvent::SigDeliver) +
-                     Tracer->count(TraceEvent::SigReturn) +
-                     Tracer->count(TraceEvent::SigDrop);
-  }
-  Prof->report(Out, C);
-}
-
-Translation *Core::findOrTranslate(uint32_t PC) {
-  if (FastCacheGen != TT.generation()) {
-    std::fill(FastCache.begin(), FastCache.end(), FastCacheEntry{});
-    FastCacheGen = TT.generation();
-  }
-  FastCacheEntry &E = FastCache[hashAddr(PC) & (FastCacheSize - 1)];
-  if (E.Addr == PC && E.T) {
-    ++Stats.FastCacheHits;
-    // The table was bypassed, but the lookup still logically happened:
-    // fold it into the table's statistics so hit rates stay honest.
-    TT.countFastHit();
-    return E.T;
-  }
-  ++Stats.FastCacheMisses;
-  Translation *T = TT.lookup(PC);
-  if (!T)
-    T = XS->translateSync(PC, /*Hot=*/false);
-  if (FastCacheGen != TT.generation()) {
-    std::fill(FastCache.begin(), FastCache.end(), FastCacheEntry{});
-    FastCacheGen = TT.generation();
-  }
-  FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
-  return T;
-}
-
-const hvm::CodeBlob *Core::chainResolveThunk(void *User, void *Cookie,
-                                             uint32_t Slot) {
-  Core *C = static_cast<Core *>(User);
-  auto *T = static_cast<Translation *>(Cookie);
-  // Side-exit accounting: a tier-2 exit through any slot other than the
-  // terminal one means a guarded speculation failed and the trace bailed
-  // to a constituent. (Counted here because with chaining on — a trace-
-  // formation precondition — every constant Boring exit consults this
-  // thunk whether or not the slot is filled.)
-  if (T->Tier == 2 && Slot != T->Blob.TerminalChainSlot)
-    ++C->Stats.TraceSideExits;
-  // Acquire pairs with the release install in TransTab::chainTo: a filled
-  // slot must imply a fully-initialised successor blob.
-  Translation *Succ = Slot < T->Chain.size()
-                          ? T->Chain[Slot].load(std::memory_order_acquire)
-                          : nullptr;
-  if (!Succ)
-    return nullptr;
-  // A worker published a superblock: bounce to the dispatcher so it can
-  // install at a boundary where nothing is executing inside the code
-  // cache (an install may evict translations this very chain is standing
-  // on). Always false at --jit-threads=0.
-  if (C->XS->hasCompleted())
-    return nullptr;
-  // Hotness accounting happens here too, or chained loops would never
-  // cross the threshold. A successor about to go hot bounces back to the
-  // dispatcher, which performs the promotion (retranslation must not run
-  // while the executor is inside the chain). A block whose promotion is
-  // already queued keeps chaining at tier 1 — bouncing every transfer
-  // until the worker finishes would cost more than the stall we avoided.
-  if (C->HotThreshold && Succ->Tier == 0 &&
-      !Succ->PromoPending.load(std::memory_order_relaxed) &&
-      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
-          C->HotThreshold) {
-    // The successor is known — the bounce exists only to run the promotion
-    // from dispatcher context. Prefill its fast-cache line so the bounced
-    // dispatch doesn't pay a table lookup for a block we are holding.
-    if (C->FastCacheGen == C->TT.generation())
-      C->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
-          FastCacheEntry{Succ->Addr, Succ};
-    return nullptr;
-  }
-  // Same bounce for trace formation: a tier-1 successor crossing the trace
-  // threshold returns to the dispatcher, which selects the path and
-  // stitches (or enqueues the stitch) there — never from inside a chain.
-  // TraceRetryAt keeps a head whose chain graph proved unbiased from
-  // bouncing every transfer.
-  if (C->TraceTier && Succ->Tier == 1 &&
-      !Succ->PromoPending.load(std::memory_order_relaxed) &&
-      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
-          C->effTraceThreshold() &&
-      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
-          Succ->TraceRetryAt.load(std::memory_order_relaxed)) {
-    if (C->FastCacheGen == C->TT.generation())
-      C->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
-          FastCacheEntry{Succ->Addr, Succ};
-    return nullptr;
-  }
-  Succ->ExecCount.fetch_add(1, std::memory_order_relaxed);
-  if (Slot < T->EdgeExecs.size())
-    T->EdgeExecs[Slot].fetch_add(1, std::memory_order_relaxed);
-  ++C->Stats.ChainedTransfers;
-  if (Succ->Tier == 2)
-    ++C->Stats.TraceExecs;
-  if (C->Prof)
-    C->Prof->noteExec(Succ->Addr);
-  return &Succ->Blob;
+  Dispatch->promotionInstalled(T, GenBefore);
 }
 
 //===----------------------------------------------------------------------===//
-// The dispatcher/scheduler (Section 3.9/3.14)
+// Execution (forwards into the dispatch engine)
 //===----------------------------------------------------------------------===//
 
-void Core::dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC) {
-  ExecContext Ctx;
-  Ctx.GuestState = TS.Guest;
-  Ctx.Mem = &Memory;
-  Ctx.Core = this;
-  Ctx.Tool = ToolPlugin;
-  Ctx.ShadowSM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr;
-  Ctx.Tid = TS.Tid;
-  hvm::Executor Exec(Ctx, gso::PC);
-  if (ChainingEnabled)
-    Exec.setChaining(&chainResolveThunk, this);
+CoreExit Core::run(uint64_t MaxBlocks) { return Dispatch->run(MaxBlocks); }
 
-  // Lazy chain-fill fallback (register-constant edges the eager linker
-  // could not resolve at insert time never reach here; this catches edges
-  // whose slot was parked and has since been cancelled). LastGen guards
-  // against the cookie dangling after an eviction.
-  void *LastCookie = nullptr;
-  uint32_t LastSlot = ~0u;
-  uint64_t LastGen = 0;
-
-  while (Quantum > 0 && !ProcessExited && !FatalSignal &&
-         TS.Status == ThreadStatus::Runnable && !YieldRequested) {
-    // Publish finished background promotions. Safe exactly here: nothing
-    // is executing inside the code cache between Exec.run calls, so the
-    // install may evict/replace translations freely. A no-op single
-    // atomic load at --jit-threads=0.
-    if (XS->hasCompleted())
-      XS->drainCompleted();
-    if (Faults)
-      injectBoundaryFaults(TS);
-    if (deliverPendingSignals(TS)) {
-      // A delivery consumes one slice of the quantum on top of the
-      // handler's own blocks (counted by Exec.run like any others), so a
-      // signal storm cannot starve the other threads.
-      Quantum -= std::min<uint64_t>(Quantum, 1);
-      continue; // PC changed; redispatch
-    }
-
-    uint32_t PC = TS.getPC();
-    if (PC == StopPC)
-      return;
-
-    // Function redirection (Section 3.13).
-    if (auto GR = GuestRedirects.find(PC); GR != GuestRedirects.end()) {
-      TS.setPCVal(GR->second);
-      continue;
-    }
-    if (auto HR = HostRedirects.find(PC); HR != HostRedirects.end()) {
-      ++Stats.HostRedirectCalls;
-      HR->second(*this, TS);
-      // Perform the guest return: pop the address CALL pushed.
-      uint32_t SP = TS.gpr(RegSP);
-      uint32_t Ret = 0;
-      if (Memory.read(SP, &Ret, 4, /*IgnorePerms=*/true).Faulted) {
-        handleFault(TS, PC, SP, false, SigSEGV);
-        continue;
-      }
-      TS.setGpr(RegSP, SP + 4);
-      TS.setPCVal(Ret);
-      LastCookie = nullptr;
-      continue;
-    }
-
-    Translation *T = findOrTranslate(PC);
-
-    // Fill the previous exit's chain slot now that the successor is known.
-    // Safe only if no eviction ran since the exit (the cookie would dangle).
-    if (ChainingEnabled && LastCookie && LastSlot != ~0u &&
-        TT.generation() == LastGen) {
-      auto *Prev = static_cast<Translation *>(LastCookie);
-      // Only link true fall-through edges: if the exit's recorded constant
-      // target is not the PC we dispatched (a guest redirect rewrote it),
-      // chaining would bypass the dispatcher's redirect check.
-      if (LastSlot < Prev->Blob.ChainTargets.size() &&
-          Prev->Blob.ChainTargets[LastSlot] == PC) {
-        TT.chainTo(Prev, LastSlot, T);
-        // A dispatcher-mediated traversal of this edge (unfilled slot or a
-        // thunk bounce) is edge-profile evidence just like a chained one.
-        if (LastSlot < Prev->EdgeExecs.size())
-          Prev->EdgeExecs[LastSlot].fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-    LastCookie = nullptr;
-    LastSlot = ~0u;
-
-    // Hotness tier: promote once a block has proven itself.
-    uint64_t Execs = T->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1;
-    if (T->Tier == 2)
-      ++Stats.TraceExecs;
-    if (Prof)
-      Prof->noteExec(PC);
-    if (HotThreshold && T->Tier == 0 &&
-        !T->PromoPending.load(std::memory_order_relaxed) &&
-        Execs >= HotThreshold) {
-      if (Translation *CT = XS->asyncEnabled() ? XS->promoteFromCache(PC)
-                                               : nullptr) {
-        // Persistent-cache hit: the superblock was installed synchronously,
-        // replacing the tier-1 translation we were about to execute — the
-        // old T is dead memory now, so continue with the replacement.
-        // (At --jit-threads=0 the inline promoteHot path below consults
-        // the cache itself inside translateSync.)
-        T = CT;
-      } else if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
-        // The promotion compiles in the background; keep executing the
-        // tier-1 translation and install the superblock at a later
-        // boundary. No stall taken here — that is the whole point.
-      } else {
-        uint64_t GenBefore = TT.generation();
-        T = promoteHot(PC);
-        if (TT.generation() == GenBefore + 1) {
-          // Only the replaced translation died: repair its fast-cache line
-          // surgically instead of letting the generation check wipe the
-          // whole cache (every other entry still points at live memory).
-          FastCacheGen = TT.generation();
-          FastCache[hashAddr(PC) & (FastCacheSize - 1)] =
-              FastCacheEntry{PC, T};
-        }
-      }
-    }
-
-    // Trace tier: a tier-1 superblock whose chain edges have proven
-    // strongly biased gets its dominant path stitched into one trace.
-    // Requires chaining (the chain graph is both the evidence and the
-    // profit mechanism) and runs only at this boundary — never inside a
-    // chain, where an install could evict code being executed.
-    // Re-read the exec count: the promotion above may have replaced T.
-    uint64_t TExecs = T->ExecCount.load(std::memory_order_relaxed);
-    if (TraceTier && ChainingEnabled && T->Tier == 1 &&
-        !T->PromoPending.load(std::memory_order_relaxed) &&
-        TExecs >= effTraceThreshold() &&
-        TExecs >= T->TraceRetryAt.load(std::memory_order_relaxed)) {
-      TraceSpec Spec = selectTracePath(T);
-      if (Spec.Entries.size() < 2) {
-        // No dominant successor: the chain graph is unbiased at the head.
-        // Back off exponentially rather than re-walking it every entry.
-        T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
-      } else if (XS->asyncEnabled()) {
-        // Queued (PromoPending stops re-requests) or queue-full (retry on
-        // a later entry — no stall, no backoff; the bias only grows).
-        XS->enqueueTrace(T, Spec);
-      } else if (Translation *NT = XS->translateTrace(Spec)) {
-        T = NT; // the old T was replaced by the insert: run the trace now
-      } else {
-        // spill overflow: back off
-        T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
-      }
-    }
-
-    // The chain budget is Quantum - 1 (this dispatch itself is one block);
-    // guard the subtraction — delivery charges above can leave the quantum
-    // at 0 exactly when a continue re-entered the loop through a path that
-    // does not re-test it.
-    uint64_t ChainBudget =
-        (ChainingEnabled && Quantum > 0) ? Quantum - 1 : 0;
-    hvm::RunOutcome O = Exec.run(T->Blob, ChainBudget);
-    Stats.BlocksDispatched += O.BlocksExecuted;
-    Quantum -= std::min<uint64_t>(Quantum, O.BlocksExecuted);
-
-    if (O.K == hvm::RunOutcome::Kind::Fault) {
-      handleFault(TS, O.FaultPC, O.FaultAddr, O.FaultWrite, SigSEGV);
-      continue;
-    }
-
-    switch (O.JK) {
-    case ir::JumpKind::Boring:
-      LastCookie = O.ExitCookie;
-      LastSlot = O.ExitSlot;
-      LastGen = TT.generation();
-      continue;
-    case ir::JumpKind::Call:
-    case ir::JumpKind::Ret:
-      continue;
-    case ir::JumpKind::Syscall: {
-      SimKernel::Action A = Kernel->onSyscall(TS);
-      if (A == SimKernel::Action::Exit) {
-        ProcessExited = true;
-        ProcessExitCode = Kernel->exitCode();
-        stopWorld();
-      }
-      continue;
-    }
-    case ir::JumpKind::ClientReq:
-      handleClientRequest(TS);
-      continue;
-    case ir::JumpKind::Yield:
-      Quantum = 0;
-      continue;
-    case ir::JumpKind::Exit:
-      ProcessExited = true;
-      stopWorld();
-      continue;
-    case ir::JumpKind::NoDecode:
-      handleFault(TS, O.NextPC, O.NextPC, false, SigILL);
-      continue;
-    case ir::JumpKind::SmcFail: {
-      // Stale translation: throw it (and anything else over those bytes)
-      // away and retranslate. PC is unchanged.
-      ++Stats.SmcRetranslations;
-      for (auto [Lo, Hi] : T->Extents)
-        XS->invalidate(Lo, Hi - Lo);
-      continue;
-    }
-    case ir::JumpKind::SigSEGV:
-      handleFault(TS, O.NextPC, O.NextPC, false, SigSEGV);
-      continue;
-    }
-  }
-}
-
-void Core::injectBoundaryFaults(ThreadState &TS) {
-  // Signal storm: queue one of the signals the client installed a handler
-  // for, as if another process had just kill()ed us at this block boundary.
-  if (Faults->roll(FaultKind::SigStorm)) {
-    int Installed[64];
-    int Count = 0;
-    for (int S = 1; S < 64; ++S)
-      if (SigHandlers[S])
-        Installed[Count++] = S;
-    if (Count) {
-      int Sig = Installed[Faults->pick(static_cast<uint32_t>(Count))];
-      if (Events.FaultInjected)
-        Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::SigStorm),
-                             static_cast<uint32_t>(Sig));
-      raiseSignal(TS.Tid, Sig);
-    }
-  }
-  // Translation-table flush pressure: everything retranslates from here.
-  if (Faults->roll(FaultKind::TTFlush)) {
-    if (Events.FaultInjected)
-      Events.FaultInjected(TS.Tid, static_cast<uint32_t>(FaultKind::TTFlush),
-                           0);
-    // Whole-space flush. Not invalidate(0, 0xFFFFFFFFu): a 32-bit length
-    // cannot express the full 4GB and left translations covering the final
-    // guest byte alive.
-    XS->invalidateAll();
-  }
-}
-
-CoreExit Core::run(uint64_t MaxBlocks) {
-  if (SchedThreads > 1)
-    return runParallel(MaxBlocks);
-  while (!ProcessExited && !FatalSignal && liveThreads() > 0 &&
-         Stats.BlocksDispatched < MaxBlocks) {
-    // Round-robin thread choice (the serialised big lock of Section 3.14:
-    // exactly one thread ever runs).
-    int Next = -1;
-    for (int I = 1; I <= MaxThreads; ++I) {
-      int Cand = (CurTid + I) % MaxThreads;
-      if (Threads[Cand].Status == ThreadStatus::Runnable) {
-        Next = Cand;
-        break;
-      }
-    }
-    if (Next < 0)
-      break;
-    if (Next != CurTid) {
-      ++Stats.ThreadSwitches;
-      if (Tracer)
-        Tracer->record(Next, TraceEvent::ThreadSwitch,
-                       static_cast<uint32_t>(CurTid),
-                       static_cast<uint32_t>(Next));
-    }
-    CurTid = Next;
-    YieldRequested = false;
-    uint64_t Quantum =
-        std::min<uint64_t>(ThreadQuantum, MaxBlocks - Stats.BlocksDispatched);
-    // Forced preemption: shrink this slice to a single block, shaking out
-    // scheduling assumptions the 100k-block quantum normally hides.
-    if (Faults && Quantum > 1 && Faults->roll(FaultKind::Preempt)) {
-      if (Events.FaultInjected)
-        Events.FaultInjected(CurTid, static_cast<uint32_t>(FaultKind::Preempt),
-                             1);
-      Quantum = 1;
-    }
-    dispatchLoop(Threads[CurTid], Quantum, /*StopPC=*/0xFFFFFFFF);
-  }
-
-  return finishRun();
+uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
+                         const std::vector<uint32_t> &Args) {
+  return Dispatch->callGuest(TS, Addr, Args);
 }
 
 CoreExit Core::finishRun() {
@@ -1254,7 +558,7 @@ CoreExit Core::finishRun() {
 
   if (ToolPlugin)
     ToolPlugin->fini(ProcessExitCode);
-  dumpProfile();
+  Dispatch->dumpProfile();
   if (Tracer && (TraceDumpAtExit || FatalSignal))
     Tracer->dump(Out);
 
@@ -1268,608 +572,6 @@ CoreExit Core::finishRun() {
     E.Code = ProcessExitCode;
   }
   return E;
-}
-
-//===----------------------------------------------------------------------===//
-// The sharded scheduler (--sched-threads=N, DESIGN section 14)
-//===----------------------------------------------------------------------===//
-//
-// The serial scheduler above *is* the big lock of Section 3.14: one host
-// thread, one guest thread at a time. runParallel breaks it: N host
-// "shards" each pop a runnable guest thread from the run queue and execute
-// one quantum concurrently. The big lock survives in miniature as WorldMu,
-// held only for block-boundary slow work (translate, chain, promote,
-// signals, syscalls, client requests); Exec.run and the chain-resolve
-// thunk — where virtually all time goes for a CPU-bound guest — run with
-// no lock at all.
-//
-// Memory reclamation is the crux. A shard executing inside the code cache
-// holds raw Translation pointers no lock protects, so nothing another
-// shard invalidates may be freed while it could still be running. The
-// scheme is quiescent-state-based: each shard, at the top of every
-// dispatch iteration (provably outside all translations), republishes the
-// global epoch as its LocalEpoch; retiring a translation stamps it with a
-// freshly incremented epoch and parks it in Limbo; a limbo entry is freed
-// once every shard has announced an epoch at or past its stamp. A parked
-// shard announces ~0 (it holds nothing). The same deferred-destruction
-// idea covers guest pages and shadow chunks via their graveyards.
-
-CoreExit Core::runParallel(uint64_t MaxBlocks) {
-  MaxBlocksMT = MaxBlocks;
-  // Unmapped guest pages and reclaimed shadow chunks must survive until
-  // the run ends: lock-free readers (helpers, other shards' Exec.run) may
-  // still be dereferencing them.
-  Memory.setDeferredReclaim(true);
-  if (ShadowMap *SM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr)
-    SM->setDeferredReclaim(true);
-  TT.setRetireHook([this](std::unique_ptr<Translation> T) {
-    retireTranslation(std::move(T));
-  });
-  if (Tracer)
-    Tracer->setAtomicClock(&GlobalBlockClock);
-
-  RunQ = std::make_unique<RunQueue>();
-  for (int I = 0; I != MaxThreads; ++I)
-    if (Threads[I].Status == ThreadStatus::Runnable)
-      RunQ->push(I);
-
-  Shards.clear();
-  for (unsigned I = 0; I != SchedThreads; ++I) {
-    auto S = std::make_unique<ShardCtx>();
-    S->C = this;
-    S->Index = I;
-    S->FastCache.resize(FastCacheSize);
-    Shards.push_back(std::move(S));
-  }
-  {
-    std::vector<std::thread> Workers;
-    Workers.reserve(SchedThreads);
-    for (auto &S : Shards)
-      Workers.emplace_back([this, &S] { shardMain(*S); });
-    for (auto &W : Workers)
-      W.join();
-  }
-
-  // Single-threaded again: merge the shards' lock-free counters, settle
-  // the block clock, and drain what the grace periods held back.
-  for (auto &S : Shards) {
-    Stats.ChainedTransfers += S->ChainedTransfers;
-    Stats.TraceExecs += S->TraceExecs;
-    Stats.TraceSideExits += S->TraceSideExits;
-  }
-  Stats.BlocksDispatched = GlobalBlockClock.load(std::memory_order_relaxed);
-  RunQPushes = RunQ->pushes();
-  RunQPops = RunQ->pops();
-  RunQWaits = RunQ->waits();
-  TT.setRetireHook({});
-  Limbo.clear();
-  RunQ.reset();
-  return finishRun();
-}
-
-void Core::shardMain(ShardCtx &S) {
-  while (true) {
-    // Parked: this shard holds no translation pointers and blocks no
-    // reclamation.
-    S.LocalEpoch.store(~0ull, std::memory_order_release);
-    int Tid = RunQ->pop();
-    if (Tid == RunQueue::Shutdown)
-      return;
-    ++S.Quanta;
-    dispatchLoopMT(S, Threads[Tid]);
-    S.LocalEpoch.store(~0ull, std::memory_order_release);
-    if (ProcessExited.load(std::memory_order_acquire) ||
-        FatalSignal.load(std::memory_order_acquire)) {
-      RunQ->shutdown();
-      return;
-    }
-    if (GlobalBlockClock.load(std::memory_order_relaxed) >= MaxBlocksMT) {
-      RunQ->shutdown();
-      return;
-    }
-    if (Threads[Tid].Status == ThreadStatus::Runnable)
-      RunQ->push(Tid);
-  }
-}
-
-void Core::dispatchLoopMT(ShardCtx &S, ThreadState &TS) {
-  ExecContext Ctx;
-  Ctx.GuestState = TS.Guest;
-  Ctx.Mem = &Memory;
-  Ctx.Core = this;
-  Ctx.Tool = ToolPlugin;
-  Ctx.ShadowSM = ToolPlugin ? ToolPlugin->shadowMap() : nullptr;
-  Ctx.Tid = TS.Tid;
-  hvm::Executor Exec(Ctx, gso::PC);
-  if (ChainingEnabled)
-    Exec.setChaining(&chainResolveThunkMT, &S);
-
-  YieldFlags[TS.Tid].store(false, std::memory_order_relaxed);
-  uint64_t Clock = GlobalBlockClock.load(std::memory_order_relaxed);
-  uint64_t Quantum = std::min<uint64_t>(
-      ThreadQuantum, MaxBlocksMT - std::min(MaxBlocksMT, Clock));
-
-  void *LastCookie = nullptr;
-  uint32_t LastSlot = ~0u;
-  uint32_t LastAddr = 0;
-
-  while (Quantum > 0 && !ProcessExited.load(std::memory_order_acquire) &&
-         !FatalSignal.load(std::memory_order_acquire) &&
-         TS.Status == ThreadStatus::Runnable &&
-         !YieldFlags[TS.Tid].load(std::memory_order_relaxed)) {
-    // Quiescent point: between Exec.run calls this shard holds no
-    // translation pointer except LastCookie — and that one is only ever
-    // dereferenced after the residency check below proves the table still
-    // maps LastAddr to this exact pointer.
-    S.LocalEpoch.store(GlobalEpoch.load(std::memory_order_acquire),
-                       std::memory_order_release);
-
-    Translation *T;
-    {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      if (XS->hasCompleted())
-        XS->drainCompleted();
-      if (Faults)
-        injectBoundaryFaults(TS);
-      if (deliverPendingSignals(TS)) {
-        Quantum -= std::min<uint64_t>(Quantum, 1);
-        continue;
-      }
-
-      uint32_t PC = TS.getPC();
-      if (auto GR = GuestRedirects.find(PC); GR != GuestRedirects.end()) {
-        TS.setPCVal(GR->second);
-        continue;
-      }
-      if (auto HR = HostRedirects.find(PC); HR != HostRedirects.end()) {
-        ++Stats.HostRedirectCalls;
-        // The replacement body runs under the world lock, including any
-        // callGuest re-entry (which uses the serial dispatchLoop and the
-        // core's own fast cache — both world-lock property in MT). Host
-        // replacements are slow-path by contract.
-        HR->second(*this, TS);
-        uint32_t SP = TS.gpr(RegSP);
-        uint32_t Ret = 0;
-        if (Memory.read(SP, &Ret, 4, /*IgnorePerms=*/true).Faulted) {
-          handleFault(TS, PC, SP, false, SigSEGV);
-          continue;
-        }
-        TS.setGpr(RegSP, SP + 4);
-        TS.setPCVal(Ret);
-        LastCookie = nullptr;
-        continue;
-      }
-
-      T = findOrTranslateMT(S, PC);
-
-      // Lazy chain-fill, exactly as in the serial loop — but the serial
-      // loop's generation check is NOT sufficient proof here that
-      // LastCookie still points at a live translation. Another shard can
-      // retire the very translation this shard is executing (promotion
-      // install, eviction, SMC flush) *before* the Boring exit saves the
-      // cookie, so the saved generation already includes that retirement
-      // and the compare passes on a limbo'd — soon freed — object. Worse
-      // than the dangling read: chaining through such a cookie injects a
-      // back-edge from a retired translation into the live chain graph,
-      // which unlinkChains later re-parks as a waiter whose From is freed
-      // memory. Instead, re-validate residency by address: the cookie is
-      // live iff the table still maps LastAddr to this exact pointer
-      // (pointer compare only — no dereference until it passes).
-      if (ChainingEnabled && LastCookie && LastSlot != ~0u &&
-          TT.find(LastAddr) == LastCookie) {
-        auto *Prev = static_cast<Translation *>(LastCookie);
-        if (LastSlot < Prev->Blob.ChainTargets.size() &&
-            Prev->Blob.ChainTargets[LastSlot] == PC) {
-          TT.chainTo(Prev, LastSlot, T);
-          if (LastSlot < Prev->EdgeExecs.size())
-            Prev->EdgeExecs[LastSlot].fetch_add(1, std::memory_order_relaxed);
-        }
-      }
-      LastCookie = nullptr;
-      LastSlot = ~0u;
-
-      uint64_t Execs =
-          T->ExecCount.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (T->Tier == 2)
-        ++Stats.TraceExecs;
-      if (Prof)
-        Prof->noteExec(PC);
-      if (HotThreshold && T->Tier == 0 &&
-          !T->PromoPending.load(std::memory_order_relaxed) &&
-          Execs >= HotThreshold) {
-        if (Translation *CT = XS->asyncEnabled() ? XS->promoteFromCache(PC)
-                                                 : nullptr) {
-          T = CT;
-        } else if (XS->asyncEnabled() && XS->enqueuePromotion(T)) {
-          // Background promotion; keep running tier 1.
-        } else {
-          uint64_t GenBefore = TT.generation();
-          T = promoteHot(PC);
-          if (TT.generation() == GenBefore + 1) {
-            // Surgical repair of this shard's own line (the serial loop's
-            // trick); other shards see the generation bump and wipe.
-            S.FastCacheGen = TT.generation();
-            S.FastCache[hashAddr(PC) & (FastCacheSize - 1)] =
-                FastCacheEntry{PC, T};
-          }
-        }
-      }
-
-      uint64_t TExecs = T->ExecCount.load(std::memory_order_relaxed);
-      if (TraceTier && ChainingEnabled && T->Tier == 1 &&
-          !T->PromoPending.load(std::memory_order_relaxed) &&
-          TExecs >= effTraceThreshold() &&
-          TExecs >= T->TraceRetryAt.load(std::memory_order_relaxed)) {
-        TraceSpec Spec = selectTracePath(T);
-        if (Spec.Entries.size() < 2) {
-          T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
-        } else if (XS->asyncEnabled()) {
-          XS->enqueueTrace(T, Spec);
-        } else if (Translation *NT = XS->translateTrace(Spec)) {
-          T = NT;
-        } else {
-          T->TraceRetryAt.store(TExecs * 2, std::memory_order_relaxed);
-        }
-      }
-    } // WorldMu released — everything below runs lock-free.
-
-    uint64_t ChainBudget = (ChainingEnabled && Quantum > 0) ? Quantum - 1 : 0;
-    hvm::RunOutcome O = Exec.run(T->Blob, ChainBudget);
-    GlobalBlockClock.fetch_add(O.BlocksExecuted, std::memory_order_relaxed);
-    Quantum -= std::min<uint64_t>(Quantum, O.BlocksExecuted);
-
-    if (O.K == hvm::RunOutcome::Kind::Fault) {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      handleFault(TS, O.FaultPC, O.FaultAddr, O.FaultWrite, SigSEGV);
-      continue;
-    }
-
-    switch (O.JK) {
-    case ir::JumpKind::Boring:
-      LastCookie = O.ExitCookie;
-      LastSlot = O.ExitSlot;
-      // Dereferencing the cookie is safe HERE and only here: the chain
-      // pointer that led to this translation was still live after this
-      // quantum's epoch announcement, so even a mid-quantum retirement
-      // cannot reclaim its memory before this shard next announces. The
-      // address is what the next iteration's residency check keys on.
-      LastAddr = static_cast<Translation *>(LastCookie)->Addr;
-      continue;
-    case ir::JumpKind::Call:
-    case ir::JumpKind::Ret:
-      continue;
-    case ir::JumpKind::Syscall: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      SimKernel::Action A = Kernel->onSyscall(TS);
-      if (A == SimKernel::Action::Exit) {
-        ProcessExited.store(true, std::memory_order_release);
-        ProcessExitCode = Kernel->exitCode();
-        stopWorld();
-      }
-      continue;
-    }
-    case ir::JumpKind::ClientReq: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      handleClientRequest(TS);
-      continue;
-    }
-    case ir::JumpKind::Yield:
-      Quantum = 0;
-      continue;
-    case ir::JumpKind::Exit: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      ProcessExited.store(true, std::memory_order_release);
-      stopWorld();
-      continue;
-    }
-    case ir::JumpKind::NoDecode: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      handleFault(TS, O.NextPC, O.NextPC, false, SigILL);
-      continue;
-    }
-    case ir::JumpKind::SmcFail: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      ++Stats.SmcRetranslations;
-      for (auto [Lo, Hi] : T->Extents)
-        XS->invalidate(Lo, Hi - Lo);
-      continue;
-    }
-    case ir::JumpKind::SigSEGV: {
-      std::lock_guard<std::mutex> World(WorldMu);
-      ++S.WorldLockAcquisitions;
-      handleFault(TS, O.NextPC, O.NextPC, false, SigSEGV);
-      continue;
-    }
-    }
-  }
-}
-
-Translation *Core::findOrTranslateMT(ShardCtx &S, uint32_t PC) {
-  // A block boundary under the lock is the natural place to try freeing
-  // limbo: every shard passes through here constantly.
-  if (!Limbo.empty())
-    reclaimLimbo();
-  if (S.FastCacheGen != TT.generation()) {
-    std::fill(S.FastCache.begin(), S.FastCache.end(), FastCacheEntry{});
-    S.FastCacheGen = TT.generation();
-  }
-  FastCacheEntry &E = S.FastCache[hashAddr(PC) & (FastCacheSize - 1)];
-  if (E.Addr == PC && E.T) {
-    ++Stats.FastCacheHits;
-    TT.countFastHit();
-    return E.T;
-  }
-  ++Stats.FastCacheMisses;
-  Translation *T = TT.lookup(PC);
-  if (!T)
-    T = XS->translateSync(PC, /*Hot=*/false);
-  if (S.FastCacheGen != TT.generation()) {
-    std::fill(S.FastCache.begin(), S.FastCache.end(), FastCacheEntry{});
-    S.FastCacheGen = TT.generation();
-  }
-  S.FastCache[hashAddr(PC) & (FastCacheSize - 1)] = FastCacheEntry{PC, T};
-  return T;
-}
-
-const hvm::CodeBlob *Core::chainResolveThunkMT(void *User, void *Cookie,
-                                               uint32_t Slot) {
-  // The lock-free twin of chainResolveThunk: same decisions, but all
-  // counter traffic goes to the shard (merged after join) and the bounce
-  // prefills the shard's private fast cache. No profiler attribution —
-  // that map is world-lock property.
-  auto *S = static_cast<ShardCtx *>(User);
-  Core *C = S->C;
-  auto *T = static_cast<Translation *>(Cookie);
-  if (T->Tier == 2 && Slot != T->Blob.TerminalChainSlot)
-    ++S->TraceSideExits;
-  Translation *Succ = Slot < T->Chain.size()
-                          ? T->Chain[Slot].load(std::memory_order_acquire)
-                          : nullptr;
-  if (!Succ)
-    return nullptr;
-  if (C->XS->hasCompleted())
-    return nullptr; // bounce: publish finished promotions at the boundary
-  if (C->HotThreshold && Succ->Tier == 0 &&
-      !Succ->PromoPending.load(std::memory_order_relaxed) &&
-      Succ->ExecCount.load(std::memory_order_relaxed) + 1 >=
-          C->HotThreshold) {
-    if (S->FastCacheGen == C->TT.generation())
-      S->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
-          FastCacheEntry{Succ->Addr, Succ};
-    return nullptr; // bounce: promotion decisions are made under the lock
-  }
-  if (C->TraceTier && Succ->Tier == 1 &&
-      !Succ->PromoPending.load(std::memory_order_relaxed)) {
-    uint64_t E = Succ->ExecCount.load(std::memory_order_relaxed) + 1;
-    if (E >= C->effTraceThreshold() &&
-        E >= Succ->TraceRetryAt.load(std::memory_order_relaxed)) {
-      if (S->FastCacheGen == C->TT.generation())
-        S->FastCache[hashAddr(Succ->Addr) & (FastCacheSize - 1)] =
-            FastCacheEntry{Succ->Addr, Succ};
-      return nullptr; // bounce: trace formation too
-    }
-  }
-  Succ->ExecCount.fetch_add(1, std::memory_order_relaxed);
-  if (Slot < T->EdgeExecs.size())
-    T->EdgeExecs[Slot].fetch_add(1, std::memory_order_relaxed);
-  ++S->ChainedTransfers;
-  if (Succ->Tier == 2)
-    ++S->TraceExecs;
-  return &Succ->Blob;
-}
-
-void Core::retireTranslation(std::unique_ptr<Translation> T) {
-  // Unlink-from-table and chain-unlink already happened (under WorldMu);
-  // the increment publishes "this translation was dead by epoch E". A
-  // shard that later announces an epoch >= E read the counter after the
-  // unlink, so it can only have found the translation through a stale
-  // pointer it no longer holds at its next quiescent point.
-  uint64_t E = GlobalEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
-  Limbo.emplace_back(E, std::move(T));
-  ++TranslationsRetired;
-  LimboHighWater = std::max<uint64_t>(LimboHighWater, Limbo.size());
-  reclaimLimbo();
-}
-
-void Core::reclaimLimbo() {
-  uint64_t MinE = ~0ull;
-  for (auto &S : Shards)
-    MinE = std::min(MinE, S->LocalEpoch.load(std::memory_order_acquire));
-  std::erase_if(Limbo, [&](const auto &Ent) { return Ent.first <= MinE; });
-}
-
-void Core::stopWorld() {
-  if (RunQ)
-    RunQ->shutdown();
-}
-
-uint32_t Core::callGuest(ThreadState &TS, uint32_t Addr,
-                         const std::vector<uint32_t> &Args) {
-  // Save the registers the call clobbers.
-  uint32_t SavedPC = TS.getPC();
-  uint32_t SavedRegs[NumGPRs];
-  for (unsigned I = 0; I != NumGPRs; ++I)
-    SavedRegs[I] = TS.gpr(I);
-
-  uint32_t SP = TS.gpr(RegSP) - 4;
-  Memory.write(SP, &ReturnSentinel, 4, /*IgnorePerms=*/true);
-  if (Events.NewMemStack)
-    Events.NewMemStack(SP, 4);
-  if (Events.PostMemWrite)
-    Events.PostMemWrite(TS.Tid, SP, 4);
-  TS.TrackedSP = SP;
-  TS.setGpr(RegSP, SP);
-  for (size_t I = 0; I != Args.size() && I < 5; ++I)
-    TS.setGpr(static_cast<unsigned>(1 + I), Args[I]);
-  // As in deliverSignal: the core set SP and the argument registers, so
-  // definedness tools must see them as written.
-  if (Events.PostRegWrite) {
-    Events.PostRegWrite(TS.Tid, gso::gpr(RegSP), 4);
-    for (size_t I = 0; I != Args.size() && I < 5; ++I)
-      Events.PostRegWrite(TS.Tid, gso::gpr(static_cast<unsigned>(1 + I)), 4);
-  }
-  TS.setPCVal(Addr);
-
-  uint64_t Quantum = ~0ull >> 1;
-  dispatchLoop(TS, Quantum, ReturnSentinel);
-  uint32_t Result = TS.gpr(0);
-
-  for (unsigned I = 0; I != NumGPRs; ++I)
-    TS.setGpr(I, SavedRegs[I]);
-  TS.setPCVal(SavedPC);
-  return Result;
-}
-
-//===----------------------------------------------------------------------===//
-// Faults and signals (Section 3.15)
-//===----------------------------------------------------------------------===//
-
-void Core::handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
-                       bool Write, int Sig) {
-  TS.setPCVal(FaultPC);
-  // A handler whose signal is masked (it is itself running) does not get
-  // re-entered: a handler that faults the same way it was invoked for
-  // terminates instead of recursing forever.
-  if (Sig >= 0 && Sig < 64 && SigHandlers[Sig] && !TS.signalMasked(Sig)) {
-    deliverSignal(TS, Sig);
-    return;
-  }
-  Out.printf("vg: fatal signal %d at pc=0x%08X (%s address 0x%08X)\n", Sig,
-             FaultPC, Write ? "writing" : "reading", FaultAddr);
-  if (Tracer)
-    Tracer->record(TS.Tid, TraceEvent::SigFatal, static_cast<uint32_t>(Sig));
-  FatalSignal = Sig;
-  stopWorld();
-}
-
-bool Core::deliverPendingSignals(ThreadState &TS) {
-  if (TS.PendingSignals.empty())
-    return false;
-  // Deliver the first *unmasked* pending signal. A signal whose handler is
-  // already on the frame stack stays queued until that handler's sigreturn
-  // clears the mask bit — handlers are never re-entered.
-  for (size_t I = 0; I != TS.PendingSignals.size(); ++I) {
-    int Sig = TS.PendingSignals[I];
-    if (TS.signalMasked(Sig))
-      continue;
-    TS.PendingSignals.erase(TS.PendingSignals.begin() +
-                            static_cast<long>(I));
-    if (SigHandlers[Sig] == 0) {
-      if (Tracer)
-        Tracer->record(TS.Tid, TraceEvent::SigFatal,
-                       static_cast<uint32_t>(Sig));
-      FatalSignal = Sig; // default action: terminate
-      stopWorld();
-      return true;
-    }
-    deliverSignal(TS, Sig);
-    return true;
-  }
-  return false;
-}
-
-void Core::deliverSignal(ThreadState &TS, int Sig) {
-  ++Stats.SignalsDelivered;
-  // Save the full guest context; sigreturn restores it. gso::TotalSize
-  // spans the guest registers, the shadow registers, and the CC thunk, so
-  // a tool's shadow state survives the handler unchanged. Delivery happens
-  // only between code blocks, so loads/stores are never separated from
-  // their shadow counterparts (Section 3.15).
-  TS.SignalFrames.push_back(
-      {std::vector<uint8_t>(TS.Guest, TS.Guest + gso::TotalSize), Sig});
-  TS.SigMask |= 1ull << Sig;
-  uint32_t SP = TS.gpr(RegSP) - 4;
-  uint32_t Tramp = AddressSpace::CoreBase;
-  Memory.write(SP, &Tramp, 4, /*IgnorePerms=*/true);
-  // Keep shadow-memory tools consistent: the slot became active stack and
-  // then was written by the core.
-  if (Events.NewMemStack)
-    Events.NewMemStack(SP, 4);
-  if (Events.PostMemWrite)
-    Events.PostMemWrite(TS.Tid, SP, 4);
-  TS.TrackedSP = SP;
-  TS.setGpr(RegSP, SP);
-  TS.setGpr(1, static_cast<uint32_t>(Sig));
-  // The core wrote SP and r1 behind the client's back; without these a
-  // definedness tool sees the handler read an undefined signal number.
-  if (Events.PostRegWrite) {
-    Events.PostRegWrite(TS.Tid, gso::gpr(RegSP), 4);
-    Events.PostRegWrite(TS.Tid, gso::gpr(1), 4);
-  }
-  TS.setPCVal(SigHandlers[Sig]);
-  if (Tracer)
-    Tracer->record(TS.Tid, TraceEvent::SigDeliver, static_cast<uint32_t>(Sig),
-                   SigHandlers[Sig]);
-}
-
-void Core::setSignalHandler(int Sig, uint32_t Handler) {
-  if (Sig >= 0 && Sig < 64)
-    SigHandlers[Sig] = Handler;
-}
-
-uint32_t Core::signalHandler(int Sig) const {
-  return (Sig >= 0 && Sig < 64) ? SigHandlers[Sig] : 0;
-}
-
-bool Core::raiseSignal(int Tid, int Sig) {
-  if (Sig <= 0 || Sig >= 64)
-    return false;
-  if (Tid < 0 || Tid >= MaxThreads ||
-      Threads[Tid].Status != ThreadStatus::Runnable) {
-    // Exited/empty target: the signal has nowhere to go. Reject it rather
-    // than queueing into a dead slot a future thread would inherit.
-    ++Stats.SignalsDropped;
-    if (Tracer)
-      Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
-                     static_cast<uint32_t>(Tid), SigDropBadTarget);
-    return false;
-  }
-  ThreadState &TS = Threads[Tid];
-  // Coalesce duplicates, like non-queued POSIX signals: a signal already
-  // pending absorbs the new raise (which still succeeds).
-  for (int P : TS.PendingSignals) {
-    if (P == Sig) {
-      ++Stats.SignalsDropped;
-      if (Tracer)
-        Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
-                       static_cast<uint32_t>(Tid), SigDropCoalesced);
-      return true;
-    }
-  }
-  TS.PendingSignals.push_back(Sig);
-  if (Tracer)
-    Tracer->record(Tid, TraceEvent::SigQueue, static_cast<uint32_t>(Sig),
-                   static_cast<uint32_t>(Tid));
-  return true;
-}
-
-void Core::sigreturn(int Tid) {
-  ThreadState &TS = Threads[Tid];
-  if (TS.SignalFrames.empty()) {
-    // Stray sigreturn: the client re-entered the core's trampoline (or
-    // issued the raw syscall) with no delivery in flight. With signals
-    // still pending this is a real delivery bug, so report it instead of
-    // silently ignoring it.
-    char Msg[96];
-    std::snprintf(Msg, sizeof(Msg),
-                  "sigreturn with no signal frame (%u signal(s) pending)",
-                  static_cast<unsigned>(TS.PendingSignals.size()));
-    Errors.record("StraySigreturn", Msg, TS.getPC(), captureStackTrace(TS));
-    return;
-  }
-  ThreadState::SignalFrame &F = TS.SignalFrames.back();
-  TS.SigMask &= ~(1ull << F.Sig);
-  std::copy(F.Guest.begin(), F.Guest.end(), TS.Guest);
-  TS.SignalFrames.pop_back();
-  if (Tracer)
-    Tracer->record(Tid, TraceEvent::SigReturn, TS.getPC());
 }
 
 //===----------------------------------------------------------------------===//
@@ -1891,11 +593,7 @@ int Core::spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) {
     TS.TrackedSP = SP;
     TS.StackBase = SP;
     TS.StackLimit = SP > (1u << 20) ? SP - (1u << 20) : 0;
-    // Under the sharded scheduler the new thread must enter the run queue
-    // or no shard would ever pick it up (the serial scheduler's round-robin
-    // scan finds it by polling Threads[] instead).
-    if (RunQ)
-      RunQ->push(I);
+    Dispatch->threadSpawned(I);
     return I;
   }
   return -1;
@@ -1905,257 +603,39 @@ void Core::exitThread(int Tid, int Code) {
   if (Tid < 0 || Tid >= MaxThreads)
     return;
   ThreadState &TS = Threads[Tid];
-  // Signals queued at a dying thread die with it (they were addressed to
-  // this thread, and the slot may be reused by a future spawn).
-  if (!TS.PendingSignals.empty()) {
-    Stats.SignalsDropped += TS.PendingSignals.size();
-    if (Tracer)
-      for (int Sig : TS.PendingSignals)
-        Tracer->record(Tid, TraceEvent::SigDrop, static_cast<uint32_t>(Sig),
-                       static_cast<uint32_t>(Tid), SigDropThreadExit);
-  }
-  TS.PendingSignals.clear();
-  TS.SignalFrames.clear();
-  TS.SigMask = 0;
+  Signals->threadExiting(TS);
   TS.Status = ThreadStatus::Exited;
   if (Tracer)
     Tracer->record(Tid, TraceEvent::ThreadExit, static_cast<uint32_t>(Code));
   if (liveThreads() == 0) {
     ProcessExited = true;
     ProcessExitCode = Code;
-    stopWorld();
+    Dispatch->stopWorld();
   }
 }
 
-void Core::requestYield(int Tid) {
-  // Both flags: the serial scheduler tests YieldRequested (kept so its
-  // decisions are bit-for-bit what they always were), each shard tests its
-  // own thread's bit.
-  YieldRequested = true;
-  if (Tid >= 0 && Tid < MaxThreads)
-    YieldFlags[Tid].store(true, std::memory_order_relaxed);
-}
+void Core::requestYield(int Tid) { Dispatch->requestYield(Tid); }
 
 //===----------------------------------------------------------------------===//
-// Client requests (Section 3.11)
+// Signals (KernelHost forwards into the signal engine)
 //===----------------------------------------------------------------------===//
 
-void Core::handleClientRequest(ThreadState &TS) {
-  uint32_t Code = TS.gpr(0);
-  uint32_t Args[4] = {TS.gpr(1), TS.gpr(2), TS.gpr(3), TS.gpr(4)};
-  uint32_t Result = 0;
-
-  switch (Code) {
-  case CrDiscardTranslations:
-    discardTranslations(Args[0], Args[1]);
-    break;
-  case CrStackRegister: {
-    AltStacks.push_back(RegisteredStack{NextStackId, Args[0], Args[1]});
-    Result = NextStackId++;
-    break;
-  }
-  case CrStackDeregister:
-    AltStacks.erase(std::remove_if(AltStacks.begin(), AltStacks.end(),
-                                   [&](const RegisteredStack &R) {
-                                     return R.Id == Args[0];
-                                   }),
-                    AltStacks.end());
-    break;
-  case CrStackChange:
-    for (RegisteredStack &R : AltStacks) {
-      if (R.Id == Args[0]) {
-        R.Start = Args[1];
-        R.End = Args[2];
-      }
-    }
-    break;
-  case CrPrint: {
-    std::string S;
-    for (uint32_t I = 0; I != 4096; ++I) {
-      uint8_t B;
-      if (Memory.read(Args[0] + I, &B, 1, true).Faulted || B == 0)
-        break;
-      S.push_back(static_cast<char>(B));
-    }
-    Out.printf("%s", S.c_str());
-    break;
-  }
-  case CrRunningOnValgrind:
-    Result = 1;
-    break;
-  case CrMalloc:
-    Result = clientMalloc(TS.Tid, Args[0], /*Zeroed=*/false);
-    break;
-  case CrFree:
-    clientFree(TS.Tid, Args[0]);
-    break;
-  case CrCalloc: {
-    uint64_t Total = static_cast<uint64_t>(Args[0]) * Args[1];
-    Result = Total > 0xFFFFFFFFull
-                 ? 0
-                 : clientMalloc(TS.Tid, static_cast<uint32_t>(Total),
-                                /*Zeroed=*/true);
-    break;
-  }
-  case CrRealloc:
-    Result = clientRealloc(TS.Tid, Args[0], Args[1]);
-    break;
-  default:
-    if (ToolPlugin &&
-        ToolPlugin->handleClientRequest(TS.Tid, Code, Args, Result))
-      break;
-    Result = 0; // unknown requests read as 0, like native CLREQ
-    break;
-  }
-  TS.setGpr(0, Result);
+void Core::setSignalHandler(int Sig, uint32_t Handler) {
+  Signals->setHandler(Sig, Handler);
 }
+
+uint32_t Core::signalHandler(int Sig) const { return Signals->handler(Sig); }
+
+bool Core::raiseSignal(int Tid, int Sig) { return Signals->raise(Tid, Sig); }
+
+void Core::sigreturn(int Tid) { Signals->sigreturn(Tid); }
+
+//===----------------------------------------------------------------------===//
+// Translation discard (client request + munmap)
+//===----------------------------------------------------------------------===//
 
 void Core::discardTranslations(uint32_t Addr, uint32_t Len) {
   XS->invalidate(Addr, Len);
-}
-
-//===----------------------------------------------------------------------===//
-// Function redirection (Section 3.13)
-//===----------------------------------------------------------------------===//
-
-void Core::redirectToHost(uint32_t Addr, HostReplacementFn Fn) {
-  HostRedirects[Addr] = std::move(Fn);
-  // Drop any pre-redirect translation of Addr (and cancel chain waiters
-  // parked on it): a predecessor chained straight into the old code would
-  // bypass the dispatcher's redirect check.
-  XS->invalidate(Addr, 1);
-}
-
-void Core::redirectSymbolToHost(const std::string &Symbol,
-                                HostReplacementFn Fn) {
-  if (auto It = ImageSymbols.find(Symbol); It != ImageSymbols.end()) {
-    HostRedirects[It->second] = std::move(Fn);
-    XS->invalidate(It->second, 1); // drop any pre-redirect translation
-    return;
-  }
-  PendingSymbolRedirects[Symbol] = std::move(Fn);
-}
-
-void Core::redirectGuest(uint32_t From, uint32_t To) {
-  GuestRedirects[From] = To;
-  // Any existing translation entered at From must go (and chasing through
-  // From could have inlined it elsewhere, so scrub the byte too).
-  XS->invalidate(From, 1);
-}
-
-//===----------------------------------------------------------------------===//
-// The replacement allocator (R8)
-//===----------------------------------------------------------------------===//
-
-namespace {
-constexpr uint32_t HeapArenaSize = 64u << 20;
-constexpr uint32_t HeapChunk = 1u << 20;
-uint32_t align16(uint32_t V) { return (V + 15) & ~15u; }
-} // namespace
-
-uint32_t Core::clientMalloc(int Tid, uint32_t Size, bool Zeroed) {
-  if (HeapArenaBase == 0) {
-    HeapArenaBase = AS.findFree(HeapArenaSize, 0x60000000);
-    if (!HeapArenaBase ||
-        !AS.add(HeapArenaBase, HeapArenaSize, PermRW, SegKind::ClientMmap,
-                "replacement-heap"))
-      return 0;
-    HeapArenaEnd = HeapArenaBase + HeapArenaSize;
-    HeapBump = HeapArenaBase;
-    HeapMapped = HeapArenaBase;
-  }
-  uint32_t RZ = (ToolPlugin && ToolPlugin->tracksHeap())
-                    ? ToolPlugin->redzoneBytes()
-                    : 0;
-  uint32_t RawSize = align16(std::max<uint32_t>(Size, 1) + 2 * RZ);
-
-  uint32_t Raw = 0;
-  // First fit over the free list.
-  for (size_t I = 0; I != HeapFree.size(); ++I) {
-    if (HeapFree[I].second >= RawSize) {
-      Raw = HeapFree[I].first;
-      if (HeapFree[I].second > RawSize) {
-        HeapFree[I].first += RawSize;
-        HeapFree[I].second -= RawSize;
-      } else {
-        HeapFree.erase(HeapFree.begin() + static_cast<long>(I));
-      }
-      break;
-    }
-  }
-  if (!Raw) {
-    if (HeapBump + RawSize > HeapArenaEnd)
-      return 0; // arena exhausted
-    Raw = HeapBump;
-    HeapBump += RawSize;
-    while (HeapMapped < HeapBump) {
-      Memory.map(HeapMapped, HeapChunk, PermRW);
-      HeapMapped += HeapChunk;
-    }
-  }
-
-  uint32_t Payload = Raw + RZ;
-  HeapLive[Payload] = Size;
-  HeapMeta[Payload] = {Raw, RawSize};
-  HeapLiveBytes += Size;
-  if (Zeroed) {
-    std::vector<uint8_t> Z(Size, 0);
-    Memory.write(Payload, Z.data(), Size, /*IgnorePerms=*/true);
-  }
-  if (ToolPlugin)
-    ToolPlugin->onMalloc(Tid, Payload, Size, Zeroed);
-  return Payload;
-}
-
-bool Core::clientFree(int Tid, uint32_t Addr) {
-  if (Addr == 0)
-    return true; // free(NULL)
-  auto It = HeapLive.find(Addr);
-  if (It == HeapLive.end()) {
-    if (ToolPlugin)
-      ToolPlugin->onBadFree(Tid, Addr);
-    return false;
-  }
-  uint32_t Size = It->second;
-  if (ToolPlugin)
-    ToolPlugin->onFree(Tid, Addr, Size);
-  auto Meta = HeapMeta[Addr];
-  HeapFree.push_back(Meta);
-  HeapLive.erase(It);
-  HeapMeta.erase(Addr);
-  HeapLiveBytes -= Size;
-  return true;
-}
-
-uint32_t Core::clientRealloc(int Tid, uint32_t Addr, uint32_t NewSize) {
-  if (Addr == 0)
-    return clientMalloc(Tid, NewSize, false);
-  auto It = HeapLive.find(Addr);
-  if (It == HeapLive.end()) {
-    if (ToolPlugin)
-      ToolPlugin->onBadFree(Tid, Addr);
-    return 0;
-  }
-  uint32_t OldSize = It->second;
-  uint32_t NewAddr = clientMalloc(Tid, NewSize, false);
-  if (!NewAddr)
-    return 0;
-  // Copy the payload (like mremap, tools see onMalloc+onFree; Memcheck's
-  // definedness copy rides on its own onMalloc/Free handling plus this
-  // byte copy happening through IgnorePerms writes).
-  uint32_t N = std::min(OldSize, NewSize);
-  std::vector<uint8_t> Tmp(N);
-  Memory.read(Addr, Tmp.data(), N, true);
-  Memory.write(NewAddr, Tmp.data(), N, true);
-  if (Events.CopyMemMremap)
-    Events.CopyMemMremap(Addr, NewAddr, N);
-  clientFree(Tid, Addr);
-  return NewAddr;
-}
-
-uint32_t Core::heapBlockSize(uint32_t Addr) const {
-  auto It = HeapLive.find(Addr);
-  return It == HeapLive.end() ? 0 : It->second;
 }
 
 //===----------------------------------------------------------------------===//

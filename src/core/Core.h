@@ -2,28 +2,38 @@
 ///
 /// \file
 /// The core: everything of Section 3 that is not the JIT pipeline itself.
-/// It owns the client address space, loads guest images (start-up,
-/// Section 3.3), makes/finds/runs translations through the dispatcher and
-/// scheduler (Section 3.9), routes system calls to the simulated kernel
-/// (3.10), handles client requests (3.11), drives the events system (3.12),
-/// provides function replacement/wrapping (3.13), serialises threads with a
-/// big lock and a 100k-block quantum (3.14), intercepts and delivers
-/// signals only between code blocks (3.15), and checks for self-modifying
-/// code (3.16).
+/// Once a monolith, it is now an owner/wiring class over four layered
+/// engines plus the extracted TranslationService:
+///
+///   DispatchLoop        dispatcher + serial/sharded schedulers (3.9, 3.14)
+///   SignalEngine        signal queueing, masking, delivery (3.15)
+///   RedirectEngine      replacement, redirection, wrapping (3.13)
+///   ClientRequestEngine client requests, registered stacks, the
+///                       replacement allocator (3.11, R8)
+///
+/// Core itself owns the client address space, loads guest images
+/// (start-up, Section 3.3), routes system calls to the simulated kernel
+/// (3.10), drives the events system (3.12), holds run-state and
+/// configuration, and checks for self-modifying code (3.16). Every public
+/// entry point tools and tests use is kept here as a thin forward, so the
+/// decomposition is invisible to callers that do not opt into the engine
+/// accessors.
 ///
 //===----------------------------------------------------------------------===//
 #ifndef VG_CORE_CORE_H
 #define VG_CORE_CORE_H
 
+#include "core/ClientRequestEngine.h"
 #include "core/ErrorManager.h"
 #include "core/Events.h"
 #include "core/GuestImage.h"
+#include "core/RedirectEngine.h"
+#include "core/SignalEngine.h"
 #include "core/ThreadState.h"
 #include "core/Tool.h"
 #include "core/TransTab.h"
 #include "core/Translate.h"
 #include "core/TranslationService.h"
-#include "kernel/RunQueue.h"
 #include "kernel/SimKernel.h"
 #include "support/EventTrace.h"
 #include "support/FaultInject.h"
@@ -32,20 +42,14 @@
 
 #include <array>
 #include <atomic>
-#include <functional>
 #include <memory>
-#include <mutex>
 
 namespace vg {
 
+class DispatchLoop;
+
 /// How aggressively to check for self-modifying code (Section 3.16).
 enum class SmcMode { None, Stack, All };
-
-/// A host-side function replacement: runs instead of a guest function.
-/// Reads its arguments from the thread's registers (r1..), writes its
-/// result to r0. Entered via the guest CALL convention; the core performs
-/// the return.
-using HostReplacementFn = std::function<void(Core &C, ThreadState &TS)>;
 
 /// Exit status of a whole run.
 struct CoreExit {
@@ -123,6 +127,12 @@ public:
   TransTab &transTab() { return TT; }
   TranslationService &translationService() { return *XS; }
 
+  // --- the engines (direct access for tools and tests) --------------------
+  ClientRequestEngine &clientRequests() { return *ClReqs; }
+  RedirectEngine &redirects() { return *Redirects; }
+  SignalEngine &signals() { return *Signals; }
+  DispatchLoop &dispatcher() { return *Dispatch; }
+
   void setSmcMode(SmcMode M) { Smc = M; }
   void setChaining(bool On) { ChainingEnabled = On; }
   /// Executions before a block is retranslated as a hot superblock with
@@ -157,12 +167,28 @@ public:
 
   // --- function replacement and wrapping (Section 3.13) -------------------
   /// Replaces the guest function at \p Addr with host code.
-  void redirectToHost(uint32_t Addr, HostReplacementFn Fn);
+  void redirectToHost(uint32_t Addr, HostReplacementFn Fn) {
+    Redirects->redirectToHost(Addr, std::move(Fn));
+  }
   /// Replaces the function named \p Symbol (resolved at loadImage time;
   /// may be called before or after load).
-  void redirectSymbolToHost(const std::string &Symbol, HostReplacementFn Fn);
+  void redirectSymbolToHost(const std::string &Symbol, HostReplacementFn Fn) {
+    Redirects->redirectSymbolToHost(Symbol, std::move(Fn));
+  }
   /// Makes calls to \p From run \p To instead (guest-to-guest).
-  void redirectGuest(uint32_t From, uint32_t To);
+  void redirectGuest(uint32_t From, uint32_t To) {
+    Redirects->redirectGuest(From, To);
+  }
+  /// Wraps the guest function at \p Addr: Pre hook, the original (via
+  /// call-into-guest), Post hook which may rewrite the result.
+  void wrapFunction(uint32_t Addr, WrapHooks Hooks) {
+    Redirects->wrap(Addr, std::move(Hooks));
+  }
+  /// Like wrapFunction, resolved against the image symbol table (before or
+  /// after loadImage).
+  void wrapSymbolFunction(const std::string &Symbol, WrapHooks Hooks) {
+    Redirects->wrapSymbol(Symbol, std::move(Hooks));
+  }
 
   /// Calls back into guest code from host context (the mechanism that lets
   /// a replacement function invoke the function it replaced — wrapping).
@@ -173,15 +199,25 @@ public:
   // --- replacement allocator (R8) ------------------------------------------
   /// Allocates a client heap block (red zones per the tool's request).
   /// Returns the payload address, 0 on exhaustion.
-  uint32_t clientMalloc(int Tid, uint32_t Size, bool Zeroed);
+  uint32_t clientMalloc(int Tid, uint32_t Size, bool Zeroed) {
+    return ClReqs->clientMalloc(Tid, Size, Zeroed);
+  }
   /// Frees a payload pointer. Returns false (and reports) on a bad free.
-  bool clientFree(int Tid, uint32_t Addr);
-  uint32_t clientRealloc(int Tid, uint32_t Addr, uint32_t NewSize);
+  bool clientFree(int Tid, uint32_t Addr) {
+    return ClReqs->clientFree(Tid, Addr);
+  }
+  uint32_t clientRealloc(int Tid, uint32_t Addr, uint32_t NewSize) {
+    return ClReqs->clientRealloc(Tid, Addr, NewSize);
+  }
   /// Size of a live block (0 if unknown).
-  uint32_t heapBlockSize(uint32_t Addr) const;
+  uint32_t heapBlockSize(uint32_t Addr) const {
+    return ClReqs->heapBlockSize(Addr);
+  }
   /// Live heap blocks (leak checking, Massif).
-  const std::map<uint32_t, uint32_t> &heapBlocks() const { return HeapLive; }
-  uint64_t heapBytesLive() const { return HeapLiveBytes; }
+  const std::map<uint32_t, uint32_t> &heapBlocks() const {
+    return ClReqs->heapBlocks();
+  }
+  uint64_t heapBytesLive() const { return ClReqs->heapBytesLive(); }
 
   // --- threads (ThreadState access for tools/tests) -----------------------
   ThreadState &thread(int Tid) { return Threads[Tid]; }
@@ -190,7 +226,7 @@ public:
   /// True while the sharded scheduler is running (--sched-threads > 1).
   /// Tools use this to avoid world-lock-only services from lock-free
   /// helper context (e.g. stack capture walks the segment map).
-  bool isParallel() const { return RunQ != nullptr; }
+  bool isParallel() const;
 
   // --- KernelHost (threads & signals, called by the simulated kernel) -----
   int spawnThread(uint32_t Entry, uint32_t SP, uint32_t Arg) override;
@@ -224,87 +260,17 @@ public:
   std::vector<uint32_t> captureStackTrace(ThreadState &TS, unsigned Max = 8);
 
 private:
-  struct FastCacheEntry {
-    uint32_t Addr = ~0u;
-    Translation *T = nullptr;
-  };
-  static constexpr size_t FastCacheSize = 1u << 13; // direct-mapped
-
-  //===--- sharded scheduler (--sched-threads=N, DESIGN section 14) -------===//
-  /// One shard: a host thread that pops runnable guest threads from the run
-  /// queue and executes them. Everything a shard touches without the world
-  /// lock lives here — its own dispatcher fast cache, its own counters for
-  /// the lock-free chain path, and its QSBR epoch announcement.
-  struct ShardCtx {
-    Core *C = nullptr;
-    unsigned Index = 0;
-    /// The shard's snapshot of GlobalEpoch at its last quiescent point
-    /// (a moment it provably held no translation pointers); ~0 while
-    /// parked in the run queue. reclaimLimbo() frees a retired
-    /// translation once every shard has announced an epoch at or past
-    /// its retirement stamp.
-    std::atomic<uint64_t> LocalEpoch{~0ull};
-    std::vector<FastCacheEntry> FastCache; ///< private, never shared
-    uint64_t FastCacheGen = 0;
-    /// Counters bumped on the lock-free paths; merged into Core::Stats
-    /// after the shards join.
-    uint64_t ChainedTransfers = 0;
-    uint64_t TraceExecs = 0;
-    uint64_t TraceSideExits = 0;
-    // Profile counters.
-    uint64_t Quanta = 0;                ///< run-queue pops that ran a quantum
-    uint64_t WorldLockAcquisitions = 0; ///< block-boundary lock round-trips
-  };
+  // The engines are friends: they are Core's own internals, split into
+  // separate TUs for layering and testability, not arm's-length clients.
+  friend class DispatchLoop;
+  friend class SignalEngine;
+  friend class RedirectEngine;
+  friend class ClientRequestEngine;
 
   /// The shared run epilogue: worker shutdown, tool fini, profile/trace
-  /// dumps, exit-status construction.
+  /// dumps, exit-status construction. Called by DispatchLoop::run.
   CoreExit finishRun();
-  /// run() when SchedThreads > 1: spawns the shards, lets them race, joins
-  /// them, merges their stats, and finishes exactly like the serial path.
-  CoreExit runParallel(uint64_t MaxBlocks);
-  void shardMain(ShardCtx &S);
-  /// One scheduling quantum of \p TS on shard \p S: the MT twin of
-  /// dispatchLoop. Block-boundary work (translate, chain, promote, signals,
-  /// syscalls) runs under WorldMu; Exec.run and the chain thunk run
-  /// lock-free.
-  void dispatchLoopMT(ShardCtx &S, ThreadState &TS);
-  /// findOrTranslate against the shard's private fast cache. WorldMu held.
-  Translation *findOrTranslateMT(ShardCtx &S, uint32_t PC);
-  static const hvm::CodeBlob *chainResolveThunkMT(void *User, void *Cookie,
-                                                  uint32_t Slot);
-  /// TransTab retire hook while parallel: dead translations park in Limbo
-  /// with an epoch stamp instead of being freed (a shard may still be
-  /// executing their code). WorldMu held by all callers.
-  void retireTranslation(std::unique_ptr<Translation> T);
-  /// Frees limbo entries every shard has quiesced past. WorldMu held.
-  void reclaimLimbo();
-  /// Funnels every "the run is over" condition (process exit, fatal
-  /// signal, block budget) into the run queue's shutdown. No-op when the
-  /// serialised scheduler is running.
-  void stopWorld();
 
-  Translation *findOrTranslate(uint32_t PC);
-  /// Inline hot-tier promotion: retranslate \p PC as a superblock,
-  /// stalling the guest (the only mode at --jit-threads=0, and the
-  /// fallback rung when the async queue is full). Replaces the old
-  /// translation (predecessor chain slots relink eagerly via TransTab).
-  Translation *promoteHot(uint32_t PC);
-  void dumpProfile();
-  /// Dispatches blocks for \p TS until the quantum is spent, the process
-  /// exits, a fatal signal lands, the thread stops being runnable, or the
-  /// PC reaches \p StopPC (callGuest's sentinel).
-  void dispatchLoop(ThreadState &TS, uint64_t &Quantum, uint32_t StopPC);
-  void handleClientRequest(ThreadState &TS);
-  void handleFault(ThreadState &TS, uint32_t FaultPC, uint32_t FaultAddr,
-                   bool Write, int Sig);
-  bool deliverPendingSignals(ThreadState &TS);
-  void deliverSignal(ThreadState &TS, int Sig);
-  /// Wraps every EventHub callback so the --trace-events buffer sees the
-  /// event stream (tool callbacks still run). Called from loadImage.
-  void installTracerHooks();
-  /// Block-boundary fault injection (sigstorm / ttflush). Called at the
-  /// top of the dispatch loop.
-  void injectBoundaryFaults(ThreadState &TS);
   [[noreturn]] void internalError(const char *Msg);
 
   /// The core's own instrumentation layered around the tool's: SMC check
@@ -318,14 +284,7 @@ private:
   void instrumentBlock(ir::IRSB &SB, uint32_t Addr, Translation *Trans,
                        bool WantSmc,
                        const std::vector<uint32_t> &SeamEntries);
-  /// Walks the chain graph from \p Head picking the dominant successor at
-  /// each step. Returns a spec with fewer than 2 entries when no biased
-  /// path exists (caller backs off via TraceRetryAt).
-  TraceSpec selectTracePath(Translation *Head);
   bool addrOnAnyStack(uint32_t Addr) const;
-
-  static const hvm::CodeBlob *chainResolveThunk(void *User, void *Cookie,
-                                                uint32_t Slot);
 
   OptionRegistry Opts;
   OutputSink Out;
@@ -340,9 +299,16 @@ private:
   TransTab &TT; ///< alias into XS (guest-thread access only)
   Tool *ToolPlugin;
 
+  // The engines. Heap-allocated so their headers only need Core forward-
+  // declared (DispatchLoop's header needs Core complete, hence the pointer
+  // plus out-of-line isParallel/dtor).
+  std::unique_ptr<SignalEngine> Signals;
+  std::unique_ptr<RedirectEngine> Redirects;
+  std::unique_ptr<ClientRequestEngine> ClReqs;
+  std::unique_ptr<DispatchLoop> Dispatch;
+
   std::array<ThreadState, MaxThreads> Threads;
   int CurTid = 0;
-  bool YieldRequested = false;
   /// Atomic because MT shards read them in their loop conditions while
   /// another shard's locked section sets them; the serial scheduler uses
   /// them exactly as the plain flags they replaced.
@@ -350,35 +316,13 @@ private:
   int ProcessExitCode = 0;
   std::atomic<int> FatalSignal{0};
 
-  // Sharded-scheduler state (inert at --sched-threads=1: RunQ stays null
-  // and nothing else is touched).
-  unsigned SchedThreads = 1;      // --sched-threads
-  std::mutex WorldMu;             ///< the MT big lock: every slow path
-  std::unique_ptr<RunQueue> RunQ; ///< non-null only while runParallel runs
-  std::vector<std::unique_ptr<ShardCtx>> Shards;
-  std::atomic<uint64_t> GlobalEpoch{0};
-  /// Retired translations awaiting their grace period, stamped with the
-  /// epoch current at retirement. Guarded by WorldMu.
-  std::vector<std::pair<uint64_t, std::unique_ptr<Translation>>> Limbo;
-  uint64_t TranslationsRetired = 0;
-  uint64_t LimboHighWater = 0;
-  /// MT dispatched-block clock: budget accounting and trace timestamps.
-  std::atomic<uint64_t> GlobalBlockClock{0};
-  uint64_t MaxBlocksMT = ~0ull;
-  /// Per-guest-thread yield requests. The serial scheduler keeps using the
-  /// single YieldRequested flag (same decisions as ever); shards each honor
-  /// their own bit.
-  std::array<std::atomic<bool>, MaxThreads> YieldFlags{};
-  /// Run-queue counters saved before RunQ is destroyed (profile output).
-  uint64_t RunQPushes = 0, RunQPops = 0, RunQWaits = 0;
-
-  std::array<uint32_t, 64> SigHandlers{}; // 0 = default action
+  unsigned SchedThreads = 1; // --sched-threads
   SmcMode Smc = SmcMode::Stack;
   bool ChainingEnabled = false;
-  uint64_t HotThreshold = 0; // 0 = hotness tier off
-  bool TraceTier = false;            // --trace-tier
-  uint64_t TraceThreshold = 0;       // 0 = 4x HotThreshold
-  unsigned TraceMaxBlocks = 8;       // constituents per trace, [2, 8]
+  uint64_t HotThreshold = 0;   // 0 = hotness tier off
+  bool TraceTier = false;      // --trace-tier
+  uint64_t TraceThreshold = 0; // 0 = 4x HotThreshold
+  unsigned TraceMaxBlocks = 8; // constituents per trace, [2, 8]
   /// The effective trace-formation threshold (never 0 when the hot tier is
   /// on, so the gate can use a plain >=).
   uint64_t effTraceThreshold() const {
@@ -386,36 +330,10 @@ private:
   }
   uint32_t StackSwitchThreshold = 2u << 20; // 2MB (Section 3.12)
 
-  std::vector<FastCacheEntry> FastCache;
-  uint64_t FastCacheGen = 0;
-  std::unique_ptr<Profiler> Prof; // non-null under --profile
+  std::unique_ptr<Profiler> Prof;      // non-null under --profile
   std::unique_ptr<FaultPlan> Faults;   // non-null under --fault-inject
   std::unique_ptr<EventTracer> Tracer; // non-null under --trace-events
   bool TraceDumpAtExit = false;        // --trace-dump (fatal always dumps)
-
-  std::map<uint32_t, HostReplacementFn> HostRedirects;
-  std::map<std::string, HostReplacementFn> PendingSymbolRedirects;
-  std::map<uint32_t, uint32_t> GuestRedirects;
-  std::map<std::string, uint32_t> ImageSymbols;
-
-  // Replacement allocator state.
-  uint32_t HeapArenaBase = 0, HeapArenaEnd = 0, HeapBump = 0;
-  uint32_t HeapMapped = 0; ///< arena pages are mapped lazily up to here
-  std::map<uint32_t, uint32_t> HeapLive; ///< payload addr -> size
-  /// payload addr -> (raw start, raw size), including red zones.
-  std::map<uint32_t, std::pair<uint32_t, uint32_t>> HeapMeta;
-  std::vector<std::pair<uint32_t, uint32_t>> HeapFree; ///< addr,size (raw)
-  uint64_t HeapLiveBytes = 0;
-
-  // Registered alternative stacks (client requests).
-  struct RegisteredStack {
-    uint32_t Id, Start, End;
-  };
-  std::vector<RegisteredStack> AltStacks;
-  uint32_t NextStackId = 1;
-
-  /// Sentinel return address used by callGuest.
-  static constexpr uint32_t ReturnSentinel = 0xFFFF0000;
 
   CoreStats Stats;
   const ir::SpecFn Spec;

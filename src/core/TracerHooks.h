@@ -1,0 +1,27 @@
+//===-- core/TracerHooks.h - Event-trace layering ---------------*- C++ -*-==//
+///
+/// \file
+/// Wraps every EventHub callback so the --trace-events ring buffer sees
+/// the event stream (whatever the tool or the core registered still
+/// runs). Called once from Core::loadImage, before the start-up mappings
+/// fire their events. A free function: it needs nothing from Core but the
+/// hub and the tracer.
+///
+//===----------------------------------------------------------------------===//
+#ifndef VG_CORE_TRACERHOOKS_H
+#define VG_CORE_TRACERHOOKS_H
+
+namespace vg {
+
+class EventHub;
+class EventTracer;
+
+/// Layers \p Tr over every callback of \p Events. No-op when \p Tr is
+/// null. Note this makes wantsStackEvents() true even for tools that
+/// ignore stacks — traced runs deliberately instrument SP changes so the
+/// trace is complete.
+void installTracerHooks(EventHub &Events, EventTracer *Tr);
+
+} // namespace vg
+
+#endif // VG_CORE_TRACERHOOKS_H

@@ -145,6 +145,16 @@ public:
   size_t size() const { return Count; }
   size_t capacity() const { return Slots.size(); }
 
+  /// Visits every resident translation, insertion-order agnostic. The
+  /// visitor must not mutate the table. Callers must hold the world lock
+  /// (or run after the schedulers have joined — e.g. tool fini reports
+  /// walking the chain graph).
+  void forEach(const std::function<void(const Translation &)> &Fn) const {
+    for (const Slot &S : Slots)
+      if (S.St == Slot::State::Full)
+        Fn(*S.T);
+  }
+
   // Statistics for bench/sec39_dispatch.
   struct Stats {
     uint64_t Inserts = 0;

@@ -5,6 +5,7 @@
 #include "server/TransServer.h"
 #include "tools/Cachegrind.h"
 #include "tools/ICnt.h"
+#include "tools/Loopgrind.h"
 #include "tools/Memcheck.h"
 #include "tools/Nulgrind.h"
 #include "tools/TaintGrind.h"
@@ -40,6 +41,8 @@ std::unique_ptr<Tool> makeTool(const std::string &Name) {
     return std::make_unique<Cachegrind>();
   if (Name == "taintgrind")
     return std::make_unique<TaintGrind>();
+  if (Name == "loopgrind")
+    return std::make_unique<Loopgrind>();
   return nullptr;
 }
 
@@ -176,6 +179,28 @@ std::vector<FuzzConfig> vg::fuzz::defaultMatrix(const FuzzProgram &P) {
                /*CheckSmcRetrans=*/false});
   M.push_back({"cachegrind", "cachegrind", {}, false, false});
   M.push_back({"taintgrind", "taintgrind", {}, false, false});
+  // Client-request cell: requests end blocks with JumpKind::ClientReq, and
+  // the ClReq/ClReqCore/ClReqTool atoms put them in every program, so this
+  // cell drives them across every tier boundary at once — chained blocks,
+  // async hot promotion, and trace stitching racing the guest. The JIT and
+  // the RefInterp oracle must agree on every request's result.
+  M.push_back({"nulgrind-creq",
+               "nulgrind",
+               {"--chaining=yes", "--hot-threshold=2", "--trace-tier=yes",
+                "--trace-threshold=8", "--jit-threads=2"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false});
+  // Loopgrind: its entry dirty call rides inside every translation, and
+  // the LG-tagged atoms flip collection on and off mid-program. Guest-
+  // visible state must be bit-identical to the oracle regardless.
+  M.push_back({"loopgrind",
+               "loopgrind",
+               {"--chaining=yes", "--hot-threshold=2", "--trace-tier=yes",
+                "--trace-threshold=8"},
+               false,
+               false,
+               /*CheckSmcRetrans=*/false});
   // Persistent translation cache: cold run writes, warm run installs the
   // deserialized translations — both must match the oracle bit for bit.
   // (SMC programs get --smc-check=all below, which marks every block

@@ -2,6 +2,7 @@
 
 #include "fuzz/ProgramGen.h"
 
+#include "core/ClientRequests.h"
 #include "guest/Disasm.h"
 #include "guest/GuestMemory.h"
 #include "guestlib/GuestLib.h"
@@ -254,6 +255,39 @@ struct RenderCtx {
       A.movi(Reg::R0, 0);
       A.clreq();
       break;
+    case AtomKind::ClReqCore:
+      // RUNNING_ON_VALGRIND through either encoding: the canonical tagged
+      // code or its legacy flat alias (the engine must normalise both to
+      // the same answer). The result differs by construction — 1 under the
+      // core, 0 natively — so r0 is renormalised to a seeded constant.
+      A.movi(Reg::R0, (At.A & 1) ? CrLegacyRunningOnValgrind
+                                 : CrRunningOnValgrind);
+      A.clreq();
+      A.movi(Reg::R0, normConst(At, 0x43));
+      break;
+    case AtomKind::ClReqTool: {
+      // A tool-namespace request: Loopgrind's start/stop (side effects
+      // only — harmless under every other tool, which just declines it) or
+      // a code in the unclaimed 'Z','Z' namespace. All of them return 0
+      // everywhere today, but tools own their namespaces, so r0 is
+      // renormalised rather than relied on.
+      uint32_t Code;
+      switch (At.A & 3) {
+      case 0:
+        Code = vgRequest(vgToolTag('L', 'G'), 1); // LgStart
+        break;
+      case 1:
+        Code = vgRequest(vgToolTag('L', 'G'), 2); // LgStop
+        break;
+      default:
+        Code = vgRequest(vgToolTag('Z', 'Z'), umod(At.Imm, 0x10000));
+        break;
+      }
+      A.movi(Reg::R0, Code);
+      A.clreq();
+      A.movi(Reg::R0, normConst(At, 0x5A));
+      break;
+    }
     case AtomKind::SysWrite: {
       uint32_t Off = static_cast<uint32_t>(At.Imm) & 0xFC0;
       A.movi(Reg::R0, SysWrite);
@@ -561,7 +595,8 @@ const KindWeight Weights[] = {
     {AtomKind::SysTime, 1, false},  {AtomKind::SysGetpid, 1, false},
     {AtomKind::SysYield, 1, false}, {AtomKind::SysKill, 3, false},
     {AtomKind::CallFn, 3, false},   {AtomKind::CallrFn, 2, false},
-    {AtomKind::JmprSkip, 2, true},
+    {AtomKind::JmprSkip, 2, true},  {AtomKind::ClReqCore, 1, true},
+    {AtomKind::ClReqTool, 1, true},
 };
 
 int64_t interestingImm(Rng &R) {
@@ -681,6 +716,8 @@ static unsigned atomInstrCount(const Atom &At) {
   case AtomKind::FlagProbe:
   case AtomKind::SysGetpid:
   case AtomKind::SysYield:
+  case AtomKind::ClReqCore:
+  case AtomKind::ClReqTool:
     return 3;
   case AtomKind::JmprSkip:
     return 4;
@@ -715,7 +752,7 @@ static const char *KindNames[NumAtomKinds] = {
     "flagprobe", "falu3",   "funary",  "fmovimm",  "fconvi2d", "fconvd2i",
     "fcmp",     "fload",    "fstore",  "cpuinfo",  "clreq",    "syswrite",
     "sysread",  "loadio",   "systime", "sysgetpid", "sysyield", "syskill",
-    "callfn",   "callrfn",  "jmprskip",
+    "callfn",   "callrfn",  "jmprskip", "clreqcore", "clreqtool",
 };
 
 static void serializeAtoms(std::ostringstream &OS,

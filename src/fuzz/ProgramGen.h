@@ -82,8 +82,11 @@ enum class AtomKind : uint8_t {
   CallFn,    ///< call leaf function A
   CallrFn,   ///< leai r11, leaf A; callr r11
   JmprSkip,  ///< leai r11,L; jmpr r11; movi B,Imm(poison); L:
+  ClReqCore, ///< RUNNING_ON_VALGRIND (canonical/legacy by A); r0 renormed
+  ClReqTool, ///< tool-tagged request (LG start/stop or unknown 'Z','Z')
 };
-constexpr unsigned NumAtomKinds = static_cast<unsigned>(AtomKind::JmprSkip) + 1;
+constexpr unsigned NumAtomKinds =
+    static_cast<unsigned>(AtomKind::ClReqTool) + 1;
 
 /// One generated atom. All fields are free-form; render() maps them into
 /// the legal ranges.

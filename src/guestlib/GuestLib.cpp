@@ -18,6 +18,16 @@ uint32_t vg::emitStart(Assembler &Code, Label Main) {
   return Entry;
 }
 
+void vg::emitClientRequest(Assembler &Code, uint32_t Request, uint32_t Arg1,
+                           uint32_t Arg2, uint32_t Arg3, uint32_t Arg4) {
+  Code.movi(Reg::R0, Request);
+  Code.movi(Reg::R1, Arg1);
+  Code.movi(Reg::R2, Arg2);
+  Code.movi(Reg::R3, Arg3);
+  Code.movi(Reg::R4, Arg4);
+  Code.clreq();
+}
+
 GuestLibLabels vg::emitGuestLib(Assembler &Code, Assembler &Data) {
   GuestLibLabels L;
 

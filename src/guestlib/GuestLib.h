@@ -44,6 +44,15 @@ GuestLibLabels emitGuestLib(vg1::Assembler &Code, vg1::Assembler &Data);
 /// symbol; the image entry should be its address (returned).
 uint32_t emitStart(vg1::Assembler &Code, vg1::Label Main);
 
+/// Emits an inline client request with immediate arguments — the moral
+/// equivalent of the VALGRIND_DO_CLIENT_REQUEST macro: loads \p Request
+/// into r0 and the arguments into r1..r4, then CLREQ. The result is left
+/// in r0 (0 when running natively, exactly like the real macros).
+/// Clobbers r0..r4.
+void emitClientRequest(vg1::Assembler &Code, uint32_t Request,
+                       uint32_t Arg1 = 0, uint32_t Arg2 = 0,
+                       uint32_t Arg3 = 0, uint32_t Arg4 = 0);
+
 } // namespace vg
 
 #endif // VG_GUESTLIB_GUESTLIB_H

@@ -45,14 +45,28 @@
 
 namespace vg {
 
-/// Memcheck's client requests.
+/// Memcheck's client-request namespace tag.
+constexpr uint32_t McTag = vgToolTag('M', 'C');
+
+/// Memcheck's client requests ('M','C' namespace).
 enum MemcheckRequest : uint32_t {
-  McMakeMemDefined = CrToolBase + 1,   ///< (addr, len)
-  McMakeMemUndefined = CrToolBase + 2, ///< (addr, len)
-  McMakeMemNoAccess = CrToolBase + 3,  ///< (addr, len)
-  McCheckMemIsDefined = CrToolBase + 4, ///< (addr, len) -> 0 ok / first bad
-  McCheckMemIsAddressable = CrToolBase + 5,
-  McCountErrors = CrToolBase + 6, ///< () -> unique error count
+  McMakeMemDefined = vgRequest(McTag, 1),   ///< (addr, len)
+  McMakeMemUndefined = vgRequest(McTag, 2), ///< (addr, len)
+  McMakeMemNoAccess = vgRequest(McTag, 3),  ///< (addr, len)
+  McCheckMemIsDefined = vgRequest(McTag, 4), ///< (addr, len) -> 0 ok/first bad
+  McCheckMemIsAddressable = vgRequest(McTag, 5),
+  McCountErrors = vgRequest(McTag, 6), ///< () -> unique error count
+};
+
+/// Pre-namespacing flat codes (CrToolBase+N). Old guest binaries still
+/// issue these; handleClientRequest keeps alias cases for them.
+enum LegacyMemcheckRequest : uint32_t {
+  McLegacyMakeMemDefined = CrToolBase + 1,
+  McLegacyMakeMemUndefined = CrToolBase + 2,
+  McLegacyMakeMemNoAccess = CrToolBase + 3,
+  McLegacyCheckMemIsDefined = CrToolBase + 4,
+  McLegacyCheckMemIsAddressable = CrToolBase + 5,
+  McLegacyCountErrors = CrToolBase + 6,
 };
 
 class Memcheck : public Tool {

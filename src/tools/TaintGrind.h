@@ -33,10 +33,22 @@
 
 namespace vg {
 
+/// TaintGrind's client-request namespace tag.
+constexpr uint32_t TgTag = vgToolTag('T', 'G');
+
+/// TaintGrind's client requests ('T','G' namespace).
 enum TaintRequest : uint32_t {
-  TgTaint = CrToolBase + 0x100,     ///< (addr, len)
-  TgUntaint = CrToolBase + 0x101,   ///< (addr, len)
-  TgIsTainted = CrToolBase + 0x102, ///< (addr, len) -> nonzero if any
+  TgTaint = vgRequest(TgTag, 1),     ///< (addr, len)
+  TgUntaint = vgRequest(TgTag, 2),   ///< (addr, len)
+  TgIsTainted = vgRequest(TgTag, 3), ///< (addr, len) -> nonzero if any
+};
+
+/// Pre-namespacing flat codes (CrToolBase+0x100..). Still accepted as
+/// aliases in handleClientRequest.
+enum LegacyTaintRequest : uint32_t {
+  TgLegacyTaint = CrToolBase + 0x100,
+  TgLegacyUntaint = CrToolBase + 0x101,
+  TgLegacyIsTainted = CrToolBase + 0x102,
 };
 
 /// Sparse byte-granular taint plane (default: untainted).
